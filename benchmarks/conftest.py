@@ -1,0 +1,49 @@
+"""Benchmark fixtures.
+
+``paper_scale_result`` runs the pipeline once per session at the paper's
+full scale (20,915 bots, 500-bot honeypot, ~35s) so each table/figure
+benchmark re-derives its artifact from a realistic corpus and checks its
+shape against the paper's reported numbers.
+
+Set ``REPRO_BENCH_SCALE`` to shrink the world for quick iterations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AssessmentPipeline
+
+PAPER_SCALE = 20_915
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", PAPER_SCALE))
+
+
+def tolerance(points: float) -> float:
+    """Absolute tolerance in percentage points, widened at smaller scales."""
+    if BENCH_SCALE >= PAPER_SCALE:
+        return points
+    return points * max(1.0, (PAPER_SCALE / BENCH_SCALE) ** 0.5)
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> PipelineConfig:
+    return PipelineConfig().scaled(
+        BENCH_SCALE, honeypot_sample_size=min(500, BENCH_SCALE)
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale_result(paper_config):
+    pipeline = AssessmentPipeline(paper_config)
+    return pipeline.run()
+
+
+@pytest.fixture(scope="session")
+def paper_world(paper_config):
+    """A fresh world (same seed) for benchmarks that drive stages directly."""
+    from repro.core.pipeline import PipelineWorld
+
+    return PipelineWorld.build(paper_config)

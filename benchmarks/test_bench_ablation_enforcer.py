@@ -1,0 +1,65 @@
+"""Ablation: the runtime policy enforcer (Discord vs Slack/Teams posture).
+
+The paper's architectural point (Sections 2, 6): Discord delegates user-
+permission checks to third-party developers, so an unchecked privileged bot
+enables permission re-delegation; Slack/MS Teams interpose a runtime
+policy enforcer.  This benchmark runs the same re-delegation attack against
+a population of *unchecked* moderation bots on both postures and measures
+the attack success rate: near-total on the Discord posture, zero under the
+enforcer.
+"""
+
+from repro.discordsim.behaviors import MODERATION_UNCHECKED, build_runtime
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.platforms import make_platform
+from repro.web.captcha import TwoCaptchaClient
+
+N_BOTS = 30
+
+
+def _attack_success_rate(profile_name: str) -> float:
+    platform = make_platform(profile_name, captcha_seed=5)
+    solver = TwoCaptchaClient(platform.clock, accuracy=1.0, seed=5)
+    successes = 0
+    for index in range(N_BOTS):
+        owner = platform.create_user(f"owner{index}", phone_verified=True)
+        guild = platform.create_guild(owner, f"G{index}")
+        developer = platform.create_user(f"dev{index}", phone_verified=True)
+        application = platform.register_application(developer, f"ModBot{index}")
+        if platform.policy.vetting_review:
+            platform.vet_application(application.client_id)
+        url = build_invite_url(application.client_id, Permissions.of(Permission.ADMINISTRATOR))
+        screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+        answer = solver.solve(screen.captcha_prompt)
+        platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+        build_runtime(platform, application.bot_user.user_id, MODERATION_UNCHECKED)
+
+        victim = platform.create_user(f"victim{index}")
+        platform.join_guild(victim.user_id, guild.guild_id)
+        attacker = platform.create_user(f"attacker{index}")
+        platform.join_guild(attacker.user_id, guild.guild_id)
+        channel = guild.text_channels()[0]
+        platform.post_message(
+            attacker.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}"
+        )
+        if victim.user_id not in guild.members:
+            successes += 1
+    return successes / N_BOTS
+
+
+def test_bench_enforcer_ablation(benchmark):
+    def run_both():
+        return {name: _attack_success_rate(name) for name in ("discord", "slack")}
+
+    rates = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # Discord posture: every unchecked bot is exploitable.
+    assert rates["discord"] == 1.0
+    # Runtime enforcer: the same bots, same attack, zero successes.
+    assert rates["slack"] == 0.0
+    print(f"\nre-delegation success rate: discord={rates['discord']:.0%}, slack={rates['slack']:.0%}")
+
+
+def test_bench_telegram_matches_discord(benchmark):
+    rate = benchmark.pedantic(lambda: _attack_success_rate("telegram"), rounds=1, iterations=1)
+    assert rate == 1.0  # no enforcer -> same exposure as Discord

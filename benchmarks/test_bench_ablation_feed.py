@@ -1,0 +1,33 @@
+"""Ablation: does the honeypot's conversational feed matter?
+
+The methodology invests in a realistic OSN-style feed so guilds "appear
+active and in use".  A cautious operator only snoops on guilds that look
+lived-in; without the feed (only the 4 token messages present) the guild
+looks dead and the Melonian-style trigger never fires.
+"""
+
+from repro.discordsim.platform import DiscordPlatform
+from repro.honeypot import HoneypotExperiment
+from repro.web.network import VirtualInternet
+
+
+def _campaign(paper_world, feed_messages: int, seed: int = 77):
+    melonian = paper_world.ecosystem.bot_by_name("Melonian")
+    others = [bot for bot in paper_world.ecosystem.top_voted(20) if bot.name != "Melonian"][:19]
+    platform = DiscordPlatform(captcha_seed=seed)
+    internet = VirtualInternet(platform.clock, seed=seed)
+    experiment = HoneypotExperiment(platform, internet, seed=seed)
+    return experiment.run([melonian] + others, feed_messages=feed_messages)
+
+
+def test_bench_feed_enables_detection(benchmark, paper_world):
+    report = benchmark.pedantic(lambda: _campaign(paper_world, feed_messages=25), rounds=1, iterations=1)
+    assert [outcome.bot_name for outcome in report.flagged_bots] == ["Melonian"]
+
+
+def test_bench_no_feed_misses_cautious_operator(benchmark, paper_world):
+    report = benchmark.pedantic(lambda: _campaign(paper_world, feed_messages=0), rounds=1, iterations=1)
+    assert report.flagged_bots == []  # dead-looking guild -> no snooping
+    # And the ground truth says we *missed* an invasive bot.
+    assert report.false_negatives >= 1
+    assert report.recall < 1.0

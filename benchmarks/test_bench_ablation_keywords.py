@@ -1,0 +1,90 @@
+"""Ablation: keyword traceability accuracy and naive pattern matching.
+
+Two limitations the paper discusses in Section 5:
+
+1. Keyword-based traceability can misfire on word-form variants.  We
+   measure its accuracy against ground truth on the generated corpus.
+2. Substring matching for Table-3 APIs counts occurrences in comments; the
+   stricter comment-stripping variant quantifies that over-count.
+"""
+
+import random
+
+from repro.codeanalysis.patterns import contains_check
+from repro.ecosystem.policies import PolicySpec, render_policy
+from repro.traceability.analyzer import TraceabilityAnalyzer
+from repro.traceability.keywords import CATEGORIES
+
+
+def test_bench_keyword_accuracy(benchmark, paper_world):
+    """Keyword classification vs ground truth over every generated policy."""
+    analyzer = TraceabilityAnalyzer()
+    corpus = [
+        (bot.policy, bot.policy_text)
+        for bot in paper_world.ecosystem.bots
+        if bot.policy.present and bot.policy.link_valid
+    ]
+    assert corpus
+
+    def accuracy():
+        correct = 0
+        for spec, text in corpus:
+            predicted, _ = analyzer.classify_text(text)
+            correct += predicted.value == spec.expected_class
+        return correct / len(corpus)
+
+    result = benchmark(accuracy)
+    assert result == 1.0  # matches the paper's clean 100-policy validation
+
+
+def test_bench_keyword_wordform_limitation(benchmark):
+    """Word-form variants the keyword family does NOT cover stay invisible —
+    the exact failure mode the paper concedes."""
+    analyzer = TraceabilityAnalyzer()
+
+    def classify_pair():
+        _, listed = analyzer.classify_text("We amass interaction records here.")
+        _, unlisted = analyzer.classify_text("We amass interaction traces silently.")
+        return listed, unlisted
+
+    listed, unlisted = benchmark(classify_pair)
+    assert "collect" in listed  # "records" is a listed keyword
+    assert unlisted == set()  # "amass" alone is invisible to the method
+
+
+def test_bench_comment_overcount(benchmark, paper_world):
+    """How much does naive substring matching over-count vs comment-aware?"""
+    repos = [
+        (bot.github.files, bot.github.language)
+        for bot in paper_world.ecosystem.bots
+        if bot.github is not None and bot.github.has_source_code
+        and bot.github.language in ("JavaScript", "Python")
+    ]
+
+    def count_both():
+        naive = sum(1 for files, language in repos if contains_check(files, language))
+        strict = sum(
+            1 for files, language in repos if contains_check(files, language, ignore_comments=True)
+        )
+        return naive, strict
+
+    naive, strict = benchmark(count_both)
+    # Generated check snippets are real code (one JS variant is a comment-
+    # annotated convention), so the strict count can only be <= naive.
+    assert strict <= naive
+    assert naive > 0
+
+
+def test_bench_policy_corpus_generation_throughput(benchmark):
+    """Cost of rendering a 1,000-policy corpus (generator-side)."""
+    rng = random.Random(0)
+    specs = []
+    for _ in range(1000):
+        categories = frozenset(rng.sample(list(CATEGORIES), rng.choice([1, 2, 3])))
+        specs.append(PolicySpec(present=True, categories=categories, generic=rng.random() < 0.6))
+
+    def render_all():
+        return [render_policy(spec, "Bot", rng) for spec in specs]
+
+    texts = benchmark(render_all)
+    assert len(texts) == 1000

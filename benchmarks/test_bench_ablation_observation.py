@@ -1,0 +1,48 @@
+"""Ablation: observation-window length vs post-install behaviour changes.
+
+The threat model warns that "developers can alter the chatbot code at any
+time after installation without the users being made aware".  A honeypot
+campaign that observes for a day (the paper's scale, "at the time of
+writing") cannot see a backdoor that wakes after a week.  This ablation
+plants a sleeper bot and sweeps the observation window: one day misses it,
+two weeks catch it.
+"""
+
+import dataclasses
+
+from repro.discordsim import behaviors
+from repro.discordsim.platform import DiscordPlatform
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+from repro.honeypot import HoneypotExperiment
+from repro.web.network import VirtualInternet
+
+ONE_DAY = 86_400.0
+TWO_WEEKS = 14 * 86_400.0
+
+
+def _campaign(observation_window: float, seed: int = 55):
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=150, seed=seed, honeypot_window=20))
+    sample = [bot for bot in ecosystem.top_voted(20) if bot.has_valid_permissions][:10]
+    # Plant: the first sampled benign bot becomes a sleeper.
+    planted = next(bot for bot in sample if bot.behavior == behaviors.BENIGN)
+    planted.behavior = behaviors.SLEEPER
+    platform = DiscordPlatform(captcha_seed=seed)
+    internet = VirtualInternet(platform.clock, seed=seed)
+    experiment = HoneypotExperiment(platform, internet, seed=seed)
+    report = experiment.run(sample, observation_window=observation_window)
+    return report, planted.name
+
+
+def test_bench_short_window_misses_sleeper(benchmark):
+    report, planted_name = benchmark.pedantic(lambda: _campaign(ONE_DAY), rounds=1, iterations=1)
+    flagged = {outcome.bot_name for outcome in report.flagged_bots}
+    assert planted_name not in flagged  # still dormant when the study ended
+    assert report.recall < 1.0  # the ground truth knows we missed one
+
+
+def test_bench_long_window_catches_sleeper(benchmark):
+    report, planted_name = benchmark.pedantic(lambda: _campaign(TWO_WEEKS), rounds=1, iterations=1)
+    flagged = {outcome.bot_name for outcome in report.flagged_bots}
+    assert planted_name in flagged
+    planted = next(outcome for outcome in report.flagged_bots if outcome.bot_name == planted_name)
+    assert planted.trigger_kinds  # tokens actually fired

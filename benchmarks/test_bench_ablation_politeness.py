@@ -1,0 +1,56 @@
+"""Ablation: scraper politeness vs the listing site's defences.
+
+The methodology limits request rate and mimics human pacing.  This
+ablation compares a polite and an aggressive scraper against the same
+rate-limited site: the aggressive one hammers into 429s (and still
+completes only thanks to its backoff handler), while the polite one glides
+under the limit.
+"""
+
+import pytest
+
+from repro.botstore.host import StoreDefenses, build_store_host
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+from repro.scraper.base import ScraperConfig
+from repro.scraper.topgg import TopGGScraper
+from repro.web.captcha import TwoCaptchaClient
+from repro.web.network import VirtualClock, VirtualInternet
+
+DEFENSES = StoreDefenses(rate_limit_requests=30, rate_limit_window=60.0, captcha_enabled=False)
+
+
+def _crawl(think_time: float, pages: int = 4):
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=120, seed=3, honeypot_window=20))
+    clock = VirtualClock()
+    internet = VirtualInternet(clock, seed=3)
+    build_store_host(ecosystem, internet, DEFENSES)
+    scraper = TopGGScraper(
+        internet,
+        solver=TwoCaptchaClient(clock, accuracy=1.0),
+        # The aggressive configuration also ignores robots.txt pacing.
+        config=ScraperConfig(
+            min_think_time=think_time, max_think_time=think_time, respect_robots=think_time > 0
+        ),
+    )
+    result = scraper.crawl(max_pages=pages, resolve_permissions=False)
+    return scraper, result, clock
+
+
+def test_bench_polite_scraper(benchmark):
+    scraper, result, clock = benchmark.pedantic(lambda: _crawl(think_time=2.5), rounds=1, iterations=1)
+    assert len(result.bots) == 100
+    assert scraper.stats.rate_limited == 0  # never tripped the limiter
+
+
+def test_bench_aggressive_scraper(benchmark):
+    scraper, result, clock = benchmark.pedantic(lambda: _crawl(think_time=0.0), rounds=1, iterations=1)
+    assert len(result.bots) == 100  # backoff recovers everything...
+    assert scraper.stats.rate_limited > 0  # ...but hammered into 429s
+
+
+def test_bench_politeness_rate_bound(benchmark):
+    """The polite crawl stays under the disruption threshold end to end."""
+    scraper, result, clock = benchmark.pedantic(lambda: _crawl(think_time=2.5), rounds=1, iterations=1)
+    internet = scraper.internet
+    rate = internet.request_rate(scraper.browser.client.client_id, window=clock.now() or 1.0)
+    assert rate < 0.5  # requests/second, sustained — no service disruption

@@ -1,0 +1,53 @@
+"""TXT-CODE: the Section 4.2 code-analysis numbers.
+
+Paper: 23.86% of active bots link GitHub; 60.46% of links are valid repos;
+14.39% of active bots have public source; JavaScript 41% / Python 32% of
+valid repos; permission checks present in 72.97% of JS repos but only 2.65%
+of Python repos.
+"""
+
+from repro.analysis.code_stats import CodeAnalysisSummary
+from repro.analysis.tables import render_table
+
+from conftest import tolerance
+
+PAPER_GITHUB_LINK_PERCENT = 23.86
+PAPER_VALID_REPO_PERCENT = 60.46
+PAPER_SOURCE_PERCENT = 14.39
+PAPER_JS_SHARE = 41.0
+PAPER_PY_SHARE = 32.0
+PAPER_JS_CHECK_RATE = 72.97
+PAPER_PY_CHECK_RATE = 2.65
+
+
+def test_bench_code_analysis(benchmark, paper_scale_result):
+    active = len(paper_scale_result.crawl.with_valid_permissions())
+    links = sum(1 for bot in paper_scale_result.crawl.with_valid_permissions() if bot.github_url)
+    analyses = paper_scale_result.repo_analyses
+
+    summary = benchmark(CodeAnalysisSummary.from_analyses, active, links, analyses)
+
+    assert abs(summary.github_link_percent - PAPER_GITHUB_LINK_PERCENT) < tolerance(1.5)
+    assert abs(summary.valid_repo_percent_of_links - PAPER_VALID_REPO_PERCENT) < tolerance(4.0)
+    assert abs(summary.source_percent_of_active - PAPER_SOURCE_PERCENT) < tolerance(1.5)
+    assert abs(summary.language_percent("JavaScript") - PAPER_JS_SHARE) < tolerance(3.0)
+    assert abs(summary.language_percent("Python") - PAPER_PY_SHARE) < tolerance(3.0)
+
+    js_rate = summary.check_rate("JavaScript") * 100
+    py_rate = summary.check_rate("Python") * 100
+    assert abs(js_rate - PAPER_JS_CHECK_RATE) < tolerance(5.0)
+    assert abs(py_rate - PAPER_PY_CHECK_RATE) < tolerance(2.0)
+    # The paper's headline asymmetry: JS repos check, Python repos don't.
+    assert js_rate / max(py_rate, 0.1) > 10
+
+    print()
+    print(
+        render_table(
+            ("Language", "Repos analyzed", "With checks", "Percent"),
+            [
+                (language, analyzed, checks, f"{percent:.2f}%")
+                for language, analyzed, checks, percent in summary.check_table()
+            ],
+            title="Permission checks by language (reproduced)",
+        )
+    )

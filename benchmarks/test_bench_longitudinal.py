@@ -1,0 +1,44 @@
+"""Extension benchmark: longitudinal drift detection.
+
+Implements the paper's future-work direction (temporal, large-scale
+measurement) and its threat-model warning that permissions can change
+after install: evolve the full-scale ecosystem one epoch and measure the
+snapshot diff, asserting that silent escalation is detected exactly.
+"""
+
+from repro.analysis.longitudinal import compare_snapshots, trend
+from repro.ecosystem.evolution import EvolutionConfig, evolve_ecosystem
+
+
+def test_bench_snapshot_diff(benchmark, paper_world):
+    before = paper_world.ecosystem
+    after, log = evolve_ecosystem(before, EvolutionConfig(), seed=404)
+
+    delta = benchmark(compare_snapshots, before, after)
+
+    # The diff recovers the ground-truth evolution log exactly.
+    assert set(delta.removed_bots) == set(log.removed)
+    assert set(delta.added_bots) == set(log.added)
+    surviving_escalations = {name for name in log.escalated if name not in log.invites_broken}
+    assert {record.bot_name for record in delta.escalations} == surviving_escalations
+    # Escalation enlarges risk, never shrinks it.
+    assert all(record.risk_delta >= 0 for record in delta.escalations)
+    print(
+        f"\nepoch diff: +{len(delta.added_bots)} bots, -{len(delta.removed_bots)}, "
+        f"{delta.escalation_count} escalations ({len(delta.gained_administrator())} gained admin), "
+        f"{len(delta.policy_adopters)} adopted policies"
+    )
+
+
+def test_bench_trend_series(benchmark, paper_world):
+    snapshots = [paper_world.ecosystem]
+    current = paper_world.ecosystem
+    for epoch in range(2):
+        current, _ = evolve_ecosystem(current, seed=500 + epoch)
+        snapshots.append(current)
+
+    points = benchmark(trend, snapshots)
+    assert len(points) == 3
+    # Admin rate stays in the paper's neighbourhood across epochs.
+    for point in points:
+        assert 0.5 < point.admin_rate < 0.6

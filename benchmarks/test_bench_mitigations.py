@@ -1,0 +1,93 @@
+"""Extension benchmark: the full mitigation matrix for re-delegation.
+
+One attack — an unprivileged member makes a privileged bot kick a victim —
+against every defence the ecosystem offers:
+
+| Defence | Outcome |
+|---|---|
+| none (Discord prefix command, unchecked bot)        | attack succeeds |
+| developer check (`requires_user_permissions`)       | blocked by bot  |
+| runtime policy enforcer (Slack/Teams posture)       | blocked by platform |
+| slash command + ``default_member_permissions``      | blocked before dispatch |
+"""
+
+from repro.discordsim.behaviors import MODERATION_CHECKED, MODERATION_UNCHECKED, build_runtime
+from repro.discordsim.guild import PermissionDenied
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.slash import SlashCommandRegistry
+from repro.platforms import make_platform
+from repro.web.captcha import TwoCaptchaClient
+
+
+def _world(platform):
+    solver = TwoCaptchaClient(platform.clock, accuracy=1.0, seed=2)
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "G")
+    developer = platform.create_user("dev", phone_verified=True)
+    application = platform.register_application(developer, "ModBot")
+    if platform.policy.vetting_review:
+        platform.vet_application(application.client_id)
+    url = build_invite_url(application.client_id, Permissions.of(Permission.ADMINISTRATOR))
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = solver.solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    victim = platform.create_user("victim")
+    platform.join_guild(victim.user_id, guild.guild_id)
+    attacker = platform.create_user("attacker")
+    platform.join_guild(attacker.user_id, guild.guild_id)
+    return owner, guild, application, victim, attacker
+
+
+def _prefix_attack(platform, behavior) -> bool:
+    owner, guild, application, victim, attacker = _world(platform)
+    build_runtime(platform, application.bot_user.user_id, behavior)
+    channel = guild.text_channels()[0]
+    platform.post_message(attacker.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}")
+    return victim.user_id not in guild.members
+
+
+def _slash_attack(platform, protected: bool) -> bool:
+    owner, guild, application, victim, attacker = _world(platform)
+    registry = SlashCommandRegistry(platform)
+
+    def kick_handler(interaction):
+        bot_id = application.bot_user.user_id
+        platform.guilds[interaction.guild_id].kick(bot_id, int(interaction.args[0]))
+
+    registry.register(
+        application.client_id,
+        "kick",
+        kick_handler,
+        default_member_permissions=Permissions.of(Permission.KICK_MEMBERS) if protected else None,
+    )
+    channel = guild.text_channels()[0]
+    try:
+        registry.invoke(
+            attacker.user_id, guild.guild_id, channel.channel_id, application.client_id, "kick",
+            [str(victim.user_id)],
+        )
+    except PermissionDenied:
+        pass
+    return victim.user_id not in guild.members
+
+
+def test_bench_mitigation_matrix(benchmark):
+    def run_matrix():
+        return {
+            "no defence": _prefix_attack(make_platform("discord", captcha_seed=2), MODERATION_UNCHECKED),
+            "developer check": _prefix_attack(make_platform("discord", captcha_seed=2), MODERATION_CHECKED),
+            "runtime enforcer": _prefix_attack(make_platform("slack", captcha_seed=2), MODERATION_UNCHECKED),
+            "slash unprotected": _slash_attack(make_platform("discord", captcha_seed=2), protected=False),
+            "slash default_member_permissions": _slash_attack(
+                make_platform("discord", captcha_seed=2), protected=True
+            ),
+        }
+
+    outcomes = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    assert outcomes["no defence"] is True
+    assert outcomes["developer check"] is False
+    assert outcomes["runtime enforcer"] is False
+    assert outcomes["slash unprotected"] is True
+    assert outcomes["slash default_member_permissions"] is False
+    print("\nattack succeeded?", outcomes)

@@ -1,0 +1,21 @@
+"""The capstone benchmark: every paper metric, compared programmatically.
+
+`repro.analysis.paper` encodes all 20 statistics the paper reports; this
+benchmark scores the session's full-scale pipeline run against them and
+demands that every one lands within tolerance — the single-assert summary
+of the entire reproduction.
+"""
+
+from repro.analysis.paper import PAPER_METRICS, compare_with_paper
+
+
+def test_bench_full_scale_reproduction(benchmark, paper_scale_result):
+    report = benchmark(compare_with_paper, paper_scale_result)
+    assert len(report.rows) == len(PAPER_METRICS)
+    failures = [
+        (row.metric.description, row.metric.value, round(row.measured, 2))
+        for row in report.failures()
+    ]
+    assert report.all_within_tolerance, failures
+    print()
+    print(report.render())

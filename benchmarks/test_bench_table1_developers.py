@@ -1,0 +1,41 @@
+"""TAB1: bots distribution by number of developers.
+
+Paper (Table 1): 89.08% of the 12,427 developers published exactly one bot;
+8.76% two; the long tail tops out at 12 bots for a single developer
+(editid#6714).
+"""
+
+from repro.analysis.developer_stats import DeveloperDistribution
+from repro.analysis.tables import render_table
+
+from conftest import tolerance
+
+PAPER_ONE_BOT_PERCENT = 89.08
+PAPER_TWO_BOT_PERCENT = 8.76
+PAPER_MAX_BOTS = 12
+
+
+def test_bench_table1(benchmark, paper_scale_result):
+    bots = paper_scale_result.crawl.bots
+
+    dist = benchmark(DeveloperDistribution.from_bots, bots)
+    table = dist.table1()
+    by_count = {row[0]: row for row in table}
+
+    assert abs(by_count[1][2] - PAPER_ONE_BOT_PERCENT) < tolerance(1.5)
+    assert abs(by_count[2][2] - PAPER_TWO_BOT_PERCENT) < tolerance(1.5)
+    # Monotonically shrinking tail, capped near the paper's 12-bot maximum.
+    percents = [row[2] for row in table]
+    assert percents == sorted(percents, reverse=True)
+    assert dist.max_bots_by_one_developer <= PAPER_MAX_BOTS
+
+    print()
+    print(
+        render_table(
+            ("No of Bots", "Developers", "Percent"),
+            [(count, developers, f"{percent:.2f}%") for count, developers, percent in table],
+            title="Table 1 (reproduced)",
+        )
+    )
+    tag, bot_count = dist.most_prolific()
+    print(f"Most prolific developer: {tag} ({bot_count} bots)")

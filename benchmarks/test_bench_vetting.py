@@ -1,0 +1,69 @@
+"""Extension benchmark: what would rigorous vetting do to this ecosystem?
+
+Runs the Section-7 mitigation (static vetting gates) over the full active
+population and measures the rejection rate and its reasons — quantifying
+how far today's ecosystem is from a vetted one — plus the dynamic gate's
+catch/evade behaviour on the invasive behaviours.
+"""
+
+from repro.core.vetting import VettingPipeline, VettingPolicy, ground_truth_evasions
+from repro.discordsim import behaviors
+
+
+def test_bench_static_vetting_population(benchmark, paper_world):
+    pipeline = VettingPipeline(VettingPolicy(run_dynamic_review=False))
+    active = [bot for bot in paper_world.ecosystem.bots if bot.has_valid_permissions]
+
+    report = benchmark.pedantic(lambda: pipeline.vet_population(active), rounds=1, iterations=1)
+
+    rejection_rate = len(report.rejected) / len(report.verdicts)
+    # The measured ecosystem (55% admin, ~96% no policy) overwhelmingly
+    # fails the paper's own mitigation bar.
+    assert rejection_rate > 0.8
+    reasons = report.rejection_reasons()
+    assert reasons.get("permission misuse", 0) > 0.4 * len(active)  # the admin cohort
+    assert reasons.get("undisclosed data access", 0) > 0
+    print(f"\nvetting rejection rate: {rejection_rate:.1%}; reasons: {reasons}")
+
+
+def test_bench_dynamic_gate_catch_and_evade(benchmark, paper_world):
+    import dataclasses
+
+    from repro.discordsim.permissions import Permission, Permissions
+    from repro.ecosystem.generator import InviteStatus
+    from repro.ecosystem.policies import PolicySpec
+
+    base = next(
+        bot
+        for bot in paper_world.ecosystem.bots
+        if bot.invite_status is InviteStatus.VALID and bot.behavior == behaviors.BENIGN
+    )
+
+    def submission(behavior):
+        clone = dataclasses.replace(base)
+        clone.name = f"{base.name}-{behavior}"
+        clone.behavior = behavior
+        clone.permissions = Permissions.of(
+            Permission.SEND_MESSAGES, Permission.VIEW_CHANNEL, Permission.READ_MESSAGE_HISTORY
+        )
+        clone.policy = PolicySpec(present=True, categories=frozenset({"collect"}), link_valid=True)
+        clone.github = None
+        return clone
+
+    def run_gate():
+        pipeline = VettingPipeline(seed=12)
+        submissions = [
+            submission(behaviors.BENIGN),
+            submission(behaviors.NOSY_OPERATOR),
+            submission(behaviors.SLEEPER),
+        ]
+        return pipeline.vet_population(submissions), submissions
+
+    report, submissions = benchmark.pedantic(run_gate, rounds=1, iterations=1)
+    by_name_approved = {verdict.bot_name: verdict.approved for verdict in report.verdicts}
+    # Benign passes; the nosy operator is caught in the sandbox; the sleeper
+    # evades the one-day review (why vetting must be continuous).
+    assert by_name_approved[submissions[0].name]
+    assert not by_name_approved[submissions[1].name]
+    assert by_name_approved[submissions[2].name]
+    assert ground_truth_evasions(report, submissions) == [submissions[2].name]

@@ -1,0 +1,84 @@
+"""Guardian: a guild owner's defensive audit of installed bots.
+
+The paper recommends "stricter scrutiny" of bot data collection as the
+mitigation.  This example sets up a busy guild with four installed bots —
+a minimal ping bot, an over-permissioned music bot, a moderation bot, and
+an administrator-everything bot — lets them run for a while, then prints
+the Guardian audit: risk scores, redundant grants, data exposure, and the
+permissions each bot was granted but never used.
+
+Usage:
+    python examples/guild_guardian.py
+"""
+
+from repro.core.guardian import GuildGuardian
+from repro.discordsim.behaviors import BENIGN, MODERATION_CHECKED, build_runtime
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.platform import DiscordPlatform
+from repro.web.captcha import TwoCaptchaClient
+
+BOTS = (
+    ("PingBot", Permissions.of(Permission.SEND_MESSAGES), BENIGN),
+    (
+        "GrooveBox",
+        Permissions.of(
+            Permission.CONNECT,
+            Permission.SPEAK,
+            Permission.SEND_MESSAGES,
+            Permission.BAN_MEMBERS,  # why does a music bot want this?
+            Permission.MANAGE_WEBHOOKS,
+        ),
+        BENIGN,
+    ),
+    (
+        "ModSquad",
+        Permissions.of(
+            Permission.SEND_MESSAGES,
+            Permission.KICK_MEMBERS,
+            Permission.BAN_MEMBERS,
+            Permission.MANAGE_MESSAGES,
+        ),
+        MODERATION_CHECKED,
+    ),
+    ("OmniBot", Permissions.of(Permission.ADMINISTRATOR, Permission.SEND_MESSAGES, Permission.KICK_MEMBERS), BENIGN),
+)
+
+
+def main() -> None:
+    platform = DiscordPlatform()
+    solver = TwoCaptchaClient(platform.clock, accuracy=1.0)
+    owner = platform.create_user("guild-owner", phone_verified=True)
+    guild = platform.create_guild(owner, "busy-community")
+    channel = guild.text_channels()[0]
+    guardian = GuildGuardian(platform)
+
+    for name, permissions, behavior in BOTS:
+        developer = platform.create_user(f"dev-{name}", phone_verified=True)
+        application = platform.register_application(developer, name)
+        url = build_invite_url(application.client_id, permissions)
+        screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+        answer = solver.solve(screen.captcha_prompt)
+        platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+        runtime = build_runtime(platform, application.bot_user.user_id, behavior)
+        guardian.register_api_client(runtime.api)
+
+    # Some organic activity so usage stats mean something.
+    for content in ("!ping", "hello all", "!info", "!poll pizza or tacos", "!ping"):
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, content)
+
+    report = guardian.audit_guild(guild.guild_id)
+    print(report.render())
+    print()
+    for audit in report.high_risk_bots:
+        print(f"HIGH RISK: {audit.bot_name} (risk {audit.risk:.2f})")
+        if audit.redundant_with_admin:
+            print(f"  requests administrator plus redundant: {', '.join(audit.redundant_with_admin)}")
+        if audit.granted_but_unused:
+            print(f"  granted but never used: {', '.join(audit.granted_but_unused)}")
+        if audit.data_exposure:
+            print(f"  can reach: {', '.join(audit.data_exposure)}")
+
+
+if __name__ == "__main__":
+    main()

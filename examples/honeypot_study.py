@@ -1,0 +1,67 @@
+"""Honeypot study: catch an invasive chatbot with canary tokens.
+
+Recreates the paper's dynamic-analysis campaign at small scale: pick the
+most-voted bots from a synthetic ecosystem, provision one isolated guild
+per bot (5 personas, a 25-message OSN-style feed, URL/email/Word/PDF canary
+tokens), observe, and attribute any token triggers — then print the
+forensic trail for the one bot that snoops (the "Melonian" incident).
+
+Usage:
+    python examples/honeypot_study.py [n_bots_tested]
+"""
+
+import sys
+
+from repro.discordsim.platform import DiscordPlatform
+from repro.ecosystem import EcosystemConfig, generate_ecosystem
+from repro.honeypot import HoneypotExperiment
+from repro.web.network import VirtualInternet
+
+
+def main() -> None:
+    sample_size = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=1_000, seed=2022, honeypot_window=sample_size))
+    platform = DiscordPlatform()
+    internet = VirtualInternet(platform.clock, seed=2022)
+    experiment = HoneypotExperiment(platform, internet)
+
+    sample = ecosystem.top_voted(sample_size)
+    print(f"Testing the {len(sample)} most-voted bots, one isolated guild each...")
+    report = experiment.run(sample)
+
+    installable = report.bots_tested - report.install_failures
+    print(f"Installed {installable}/{report.bots_tested} bots "
+          f"({report.install_failures} had broken invite links).")
+    print(f"Manual mobile verifications needed: {report.manual_verifications}")
+    print(f"Captcha spend: ${report.captcha_cost:.2f}")
+    print(f"Total token triggers received: {len(report.triggers)}")
+    print()
+
+    explained = [o for o in report.outcomes if o.triggered and o.functionality_explained]
+    if explained:
+        print("Triggers explained by declared functionality (not flagged):")
+        for outcome in explained:
+            kinds = ", ".join(sorted(kind.value for kind in outcome.trigger_kinds))
+            print(f"  - {outcome.bot_name}: {kinds} (link-preview feature)")
+        print()
+
+    if not report.flagged_bots:
+        print("No unauthorized access detected.")
+        return
+
+    print("=== UNAUTHORIZED ACCESS DETECTED ===")
+    for outcome in report.flagged_bots:
+        kinds = ", ".join(sorted(kind.value for kind in outcome.trigger_kinds))
+        print(f"Bot: {outcome.bot_name}")
+        print(f"  Tokens triggered : {kinds}")
+        print(f"  Post-trigger bot messages: {list(outcome.suspicious_messages)}")
+        related = [record for record in report.triggers if record.context == outcome.bot_name]
+        for record in related:
+            print(f"  trigger t={record.time:10.1f}  kind={record.kind.value:5s}  from={record.client_id}")
+    print()
+    print(f"Detection precision: {report.precision:.2f}, recall: {report.recall:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Longitudinal study: watching the ecosystem drift between crawls.
+
+The paper notes that bot permissions "can also be changed at any time after
+the chatbot is installed" and plans longitudinal measurement as future
+work.  This example simulates six monthly crawls of the same ecosystem and
+reports churn, silent permission escalations (including bots that quietly
+acquired ADMINISTRATOR), policy adoption, and population-health trends.
+
+Usage:
+    python examples/longitudinal_study.py [n_bots] [epochs]
+"""
+
+import sys
+
+from repro.analysis.longitudinal import compare_snapshots, trend
+from repro.analysis.tables import render_table
+from repro.ecosystem.evolution import EvolutionConfig, evolve_ecosystem
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+
+
+def main() -> None:
+    n_bots = int(sys.argv[1]) if len(sys.argv) > 1 else 3_000
+    epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    print(f"Simulating {epochs} monthly crawls of a {n_bots}-bot ecosystem...\n")
+    snapshots = [generate_ecosystem(EcosystemConfig(n_bots=n_bots, seed=2022, honeypot_window=100))]
+    config = EvolutionConfig()
+    for epoch in range(epochs):
+        next_snapshot, _ = evolve_ecosystem(snapshots[-1], config, seed=3_000 + epoch)
+        snapshots.append(next_snapshot)
+
+    rows = []
+    total_escalations = 0
+    admin_gainers: list[str] = []
+    for epoch in range(len(snapshots) - 1):
+        delta = compare_snapshots(snapshots[epoch], snapshots[epoch + 1])
+        total_escalations += delta.escalation_count
+        admin_gainers.extend(delta.gained_administrator())
+        rows.append(
+            (
+                f"{epoch}->{epoch + 1}",
+                len(delta.added_bots),
+                len(delta.removed_bots),
+                delta.escalation_count,
+                len(delta.gained_administrator()),
+                len(delta.policy_adopters),
+                f"{delta.mean_risk_delta:+.3f}",
+            )
+        )
+    print(
+        render_table(
+            ("Epoch", "Added", "Removed", "Escalated", "Gained admin", "Adopted policy", "Mean risk delta"),
+            rows,
+            title="Month-over-month churn",
+        )
+    )
+
+    print(f"\nSilent permission escalations across the study: {total_escalations}")
+    if admin_gainers:
+        print(f"Bots that quietly acquired ADMINISTRATOR: {', '.join(admin_gainers[:8])}"
+              + (" ..." if len(admin_gainers) > 8 else ""))
+        print("Every guild that installed them earlier granted a much smaller set.")
+
+    print()
+    points = trend(snapshots)
+    print(
+        render_table(
+            ("Epoch", "Bots", "Admin rate", "Policy rate", "Mean risk"),
+            [
+                (p.epoch, p.total_bots, f"{p.admin_rate * 100:.2f}%", f"{p.policy_rate * 100:.2f}%", f"{p.mean_risk:.3f}")
+                for p in points
+            ],
+            title="Population health over time",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

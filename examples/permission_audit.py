@@ -1,0 +1,83 @@
+"""Permission audit of a workplace guild: the re-delegation attack, live.
+
+The paper's motivating scenario: a company runs its internal chat on a
+messaging platform and installs a privileged moderation chatbot.  This
+example builds that guild, installs two versions of the bot — one whose
+developer checks the invoking user's permissions and one who does not —
+and shows an ordinary employee weaponising the unchecked bot to kick a
+colleague.  It finishes with the consent-screen view of what the admin
+actually agreed to, including the redundant-with-administrator analysis.
+
+Usage:
+    python examples/permission_audit.py
+"""
+
+from repro.discordsim import DiscordPlatform, Permission, Permissions, build_invite_url
+from repro.discordsim.behaviors import MODERATION_CHECKED, MODERATION_UNCHECKED, build_runtime
+from repro.discordsim.oauth import ConsentScreen, parse_invite_url
+from repro.web.captcha import TwoCaptchaClient
+
+
+def install(platform, owner, guild, name, permissions):
+    developer = platform.create_user(f"dev-{name}", phone_verified=True)
+    application = platform.register_application(developer, name)
+    url = build_invite_url(application.client_id, permissions)
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    solver = TwoCaptchaClient(platform.clock, accuracy=1.0)
+    answer = solver.solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    return application, url
+
+
+def main() -> None:
+    platform = DiscordPlatform()
+    admin = platform.create_user("it-admin", phone_verified=True)
+    guild = platform.create_guild(admin, "acme-corp")
+    channel = guild.text_channels()[0]
+
+    alice = platform.create_user("alice")
+    bob = platform.create_user("bob")
+    platform.join_guild(alice.user_id, guild.guild_id)
+    platform.join_guild(bob.user_id, guild.guild_id)
+
+    # The bot requests administrator PLUS redundant extras — the
+    # misunderstanding pattern the paper flags in Section 5.
+    requested = Permissions.of(
+        Permission.ADMINISTRATOR, Permission.SEND_MESSAGES, Permission.KICK_MEMBERS
+    )
+    unchecked_app, unchecked_url = install(platform, admin, guild, "ModBotFree", requested)
+    build_runtime(platform, unchecked_app.bot_user.user_id, MODERATION_UNCHECKED)
+
+    print("== What the admin consented to ==")
+    invite = parse_invite_url(unchecked_url)
+    for name in invite.permissions.display_names():
+        print(f"  - {name}")
+    redundant = invite.permissions.redundant_with_administrator()
+    print(f"Redundant with administrator: {[flag.name for flag in redundant]}")
+    print()
+
+    print("== Attack: alice (no kick permission) kicks bob via the bot ==")
+    held = guild.base_permissions(alice.user_id)
+    print(f"alice holds KICK_MEMBERS herself? {held.has(Permission.KICK_MEMBERS)}")
+    platform.post_message(alice.user_id, guild.guild_id, channel.channel_id, f"!kick {bob.user_id}")
+    print(f"bob still in guild? {bob.user_id in guild.members}")
+    print(f"bot replied: {channel.messages[-1].content!r}")
+    print()
+
+    print("== Same attack against a bot that checks user permissions ==")
+    platform.join_guild(bob.user_id, guild.guild_id)  # bob rejoins
+    checked_app, _ = install(platform, admin, guild, "ModBotSafe", requested)
+    # The safe bot listens on "?" so the unchecked bot ignores this command.
+    build_runtime(platform, checked_app.bot_user.user_id, MODERATION_CHECKED, prefix="?")
+    platform.post_message(alice.user_id, guild.guild_id, channel.channel_id, f"?kick {bob.user_id}")
+    print(f"bob still in guild? {bob.user_id in guild.members}")
+    print(f"bot replied: {channel.messages[-1].content!r}")
+    print()
+
+    print("== Audit log (who did what) ==")
+    for entry in guild.read_audit_log(admin.user_id)[-6:]:
+        print(f"  t={entry.time:8.1f}  actor={entry.actor_id}  {entry.action}  {entry.target}")
+
+
+if __name__ == "__main__":
+    main()

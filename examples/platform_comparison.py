@@ -1,0 +1,66 @@
+"""Platform comparison: does a runtime policy enforcer stop re-delegation?
+
+The paper observes that Slack and MS Teams pair OAuth with a runtime policy
+enforcer, while Discord entrusts user-permission checks to third-party
+developers — "which widens the attack surface".  This example installs the
+same *unchecked* privileged moderation bot on all four simulated platform
+postures and runs the identical re-delegation attack on each.
+
+Usage:
+    python examples/platform_comparison.py
+"""
+
+from repro.discordsim.behaviors import MODERATION_UNCHECKED, build_runtime
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.platforms import PLATFORM_PROFILES, make_platform
+from repro.web.captcha import TwoCaptchaClient
+
+
+def run_attack(profile_name: str) -> tuple[bool, str]:
+    """Returns (attack_succeeded, bot_reply)."""
+    platform = make_platform(profile_name)
+    solver = TwoCaptchaClient(platform.clock, accuracy=1.0)
+
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "shared-workspace")
+    developer = platform.create_user("dev", phone_verified=True)
+    application = platform.register_application(developer, "ModBot")
+    if platform.policy.vetting_review:
+        platform.vet_application(application.client_id)
+
+    url = build_invite_url(application.client_id, Permissions.of(Permission.ADMINISTRATOR))
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = solver.solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    build_runtime(platform, application.bot_user.user_id, MODERATION_UNCHECKED)
+
+    victim = platform.create_user("victim")
+    platform.join_guild(victim.user_id, guild.guild_id)
+    attacker = platform.create_user("attacker")  # holds no moderation permission
+    platform.join_guild(attacker.user_id, guild.guild_id)
+
+    channel = guild.text_channels()[0]
+    platform.post_message(attacker.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}")
+    succeeded = victim.user_id not in guild.members
+    reply = channel.messages[-1].content
+    return succeeded, reply
+
+
+def main() -> None:
+    print("Permission re-delegation attack: unprivileged user -> privileged unchecked bot\n")
+    print(f"{'platform':10s} {'enforcer':9s} {'vetting':8s} {'attack result':15s} bot reply")
+    print("-" * 90)
+    for name, profile in PLATFORM_PROFILES.items():
+        succeeded, reply = run_attack(name)
+        verdict = "SUCCEEDED" if succeeded else "blocked"
+        enforcer = "yes" if profile.runtime_enforcer else "no"
+        vetting = "yes" if profile.marketplace_vetting else "no"
+        print(f"{name:10s} {enforcer:9s} {vetting:8s} {verdict:15s} {reply!r}")
+    print()
+    print("The developer never checked the invoking user's permission; only the")
+    print("platforms with a runtime policy enforcer contained the attack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Quickstart: run the full assessment pipeline on a synthetic ecosystem.
+
+Builds a 2,000-bot world (a scaled-down top.gg + Discord + GitHub + bot
+websites), runs all four methodology stages — data collection, traceability
+analysis, code analysis and the canary-token honeypot — and prints the
+paper's tables and figures for the measured population.
+
+Usage:
+    python examples/quickstart.py [n_bots]
+"""
+
+import sys
+
+from repro import AssessmentPipeline, PipelineConfig, render_full_report
+
+
+def main() -> None:
+    n_bots = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    config = PipelineConfig().scaled(n_bots, honeypot_sample_size=min(200, n_bots))
+
+    print(f"Building a {n_bots}-bot ecosystem and running the pipeline...")
+    pipeline = AssessmentPipeline(config)
+    result = pipeline.run()
+
+    print()
+    print(render_full_report(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Slash-command defence: Discord's own fix for re-delegation, evaluated.
+
+Prefix commands arrive as plain messages, so the platform cannot know which
+command is privileged — the paper's measured gap.  Application (slash)
+commands are routed *through* the platform, enabling per-command
+``default_member_permissions`` that are enforced before the bot runs.
+This example mounts the same kick command both ways and attacks each.
+
+Usage:
+    python examples/slash_defense.py
+"""
+
+from repro.discordsim.behaviors import MODERATION_UNCHECKED, build_runtime
+from repro.discordsim.guild import PermissionDenied
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.platform import DiscordPlatform
+from repro.discordsim.slash import SlashCommandRegistry
+from repro.web.captcha import TwoCaptchaClient
+
+
+def main() -> None:
+    platform = DiscordPlatform()
+    solver = TwoCaptchaClient(platform.clock, accuracy=1.0)
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "community")
+    developer = platform.create_user("dev", phone_verified=True)
+    application = platform.register_application(developer, "ModBot")
+    url = build_invite_url(application.client_id, Permissions.of(Permission.ADMINISTRATOR))
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    platform.complete_install(
+        owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, solver.solve(screen.captcha_prompt)
+    )
+    build_runtime(platform, application.bot_user.user_id, MODERATION_UNCHECKED)
+
+    victim = platform.create_user("victim")
+    attacker = platform.create_user("attacker")
+    platform.join_guild(victim.user_id, guild.guild_id)
+    platform.join_guild(attacker.user_id, guild.guild_id)
+    channel = guild.text_channels()[0]
+
+    print("1) Prefix command (!kick), unchecked bot — the measured gap:")
+    platform.post_message(attacker.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}")
+    print(f"   victim kicked? {victim.user_id not in guild.members}\n")
+    platform.join_guild(victim.user_id, guild.guild_id)  # victim returns
+
+    print("2) Slash command with default_member_permissions=KICK_MEMBERS:")
+    registry = SlashCommandRegistry(platform)
+
+    def kick_handler(interaction):
+        guild.kick(application.bot_user.user_id, int(interaction.args[0]))
+        interaction.respond("done")
+
+    registry.register(
+        application.client_id,
+        "kick",
+        kick_handler,
+        default_member_permissions=Permissions.of(Permission.KICK_MEMBERS),
+    )
+    try:
+        registry.invoke(
+            attacker.user_id, guild.guild_id, channel.channel_id, application.client_id, "kick",
+            [str(victim.user_id)],
+        )
+    except PermissionDenied as error:
+        print(f"   platform refused: {error}")
+    print(f"   victim kicked? {victim.user_id not in guild.members}")
+    print(f"   (the owner, who holds KICK_MEMBERS, can still use it:)")
+    registry.invoke(
+        owner.user_id, guild.guild_id, channel.channel_id, application.client_id, "kick",
+        [str(victim.user_id)],
+    )
+    print(f"   victim kicked by owner? {victim.user_id not in guild.members}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Vetting gate: would today's ecosystem survive the paper's mitigation?
+
+Section 7 recommends "stricter scrutiny when developers collect data and a
+continuous rigorous vetting process".  This example builds the measured
+ecosystem, pushes every active bot through a marketplace vetting pipeline
+(permission review, disclosure review, code review, sandbox honeypot) and
+reports what fraction survives — then demonstrates the sleeper-bot evasion
+that makes one-shot vetting insufficient.
+
+Usage:
+    python examples/vetting_gate.py [n_bots]
+"""
+
+import dataclasses
+import sys
+
+from repro.core.vetting import VettingPipeline, VettingPolicy
+from repro.discordsim import behaviors
+from repro.discordsim.permissions import Permission, Permissions
+from repro.ecosystem.generator import EcosystemConfig, InviteStatus, generate_ecosystem
+from repro.ecosystem.policies import PolicySpec
+
+
+def main() -> None:
+    n_bots = int(sys.argv[1]) if len(sys.argv) > 1 else 1_000
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=n_bots, seed=2022, honeypot_window=100))
+    active = [bot for bot in ecosystem.bots if bot.has_valid_permissions]
+
+    print(f"Static vetting of {len(active)} active bots (no sandbox, fast)...")
+    static_pipeline = VettingPipeline(VettingPolicy(run_dynamic_review=False))
+    report = static_pipeline.vet_population(active)
+    print(f"  approved: {len(report.approved)} ({len(report.approved) / len(active):.1%})")
+    print(f"  rejected: {len(report.rejected)} ({len(report.rejected) / len(active):.1%})")
+    for reason, count in sorted(report.rejection_reasons().items(), key=lambda item: -item[1]):
+        print(f"    {count:6d}  {reason}")
+
+    print("\nDynamic gate on three crafted submissions:")
+    base = next(b for b in active if b.behavior == behaviors.BENIGN)
+    pipeline = VettingPipeline(seed=7)
+    for behavior in (behaviors.BENIGN, behaviors.NOSY_OPERATOR, behaviors.SLEEPER):
+        submission = dataclasses.replace(base)
+        submission.name = f"Submission-{behavior}"
+        submission.behavior = behavior
+        submission.permissions = Permissions.of(
+            Permission.SEND_MESSAGES, Permission.VIEW_CHANNEL, Permission.READ_MESSAGE_HISTORY
+        )
+        submission.policy = PolicySpec(present=True, categories=frozenset({"collect"}), link_valid=True)
+        submission.github = None
+        verdict = pipeline.review(submission)
+        status = "APPROVED" if verdict.approved else "REJECTED"
+        print(f"  {behavior:16s} -> {status}  {verdict.reasons or ''}")
+    print("\nThe sleeper passed: it behaves during review and turns later —")
+    print("hence the paper's call for *continuous* vetting (see the")
+    print("longitudinal escalation detector in repro.analysis.longitudinal).")
+
+
+if __name__ == "__main__":
+    main()

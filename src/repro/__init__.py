@@ -1,0 +1,36 @@
+"""Reproduction of *Exploring the Security and Privacy Risks of Chatbots in
+Messaging Services* (Edu et al., IMC 2022).
+
+The package is organised in layers:
+
+- :mod:`repro.web` — a virtual internet, HTTP client, DOM/selector engine and
+  a Selenium-like browser used by the measurement scraper.
+- :mod:`repro.discordsim` — a Discord-like messaging platform: guilds, roles,
+  permission bitfields, OAuth installs, gateway events and a bot runtime.
+- :mod:`repro.botstore` — a top.gg-like chatbot repository site with
+  anti-scraping defences.
+- :mod:`repro.ecosystem` — a calibrated synthetic chatbot population
+  (developers, privacy policies, GitHub repositories, message corpus).
+- :mod:`repro.scraper` — the paper's data-collection component.
+- :mod:`repro.traceability` — keyword-based privacy-policy traceability.
+- :mod:`repro.honeypot` — canary-token dynamic analysis.
+- :mod:`repro.codeanalysis` — permission-check detection in bot source code.
+- :mod:`repro.analysis` — measurement aggregation (the paper's tables/figures).
+- :mod:`repro.core` — the end-to-end assessment pipeline (Figure 1).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AssessmentPipeline, PipelineWorld
+from repro.core.results import PipelineResult
+from repro.core.report import render_full_report
+
+__all__ = [
+    "AssessmentPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "PipelineWorld",
+    "render_full_report",
+    "__version__",
+]

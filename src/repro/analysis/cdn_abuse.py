@@ -1,0 +1,70 @@
+"""CDN abuse measurement: malware hosted on the platform's CDN.
+
+Reproduces the measurement behind the paper's motivating citation ([30],
+Sophos): count unique CDN URLs serving malicious payloads.  Detection uses
+an EICAR-style marker string — the standard way to exercise an AV pipeline
+with harmless test content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discordsim.cdn import DiscordCDN
+from repro.web.client import HttpClient
+from repro.web.network import NetworkError, VirtualInternet
+
+#: Harmless test-virus marker (EICAR-like), embedded by "malware" payloads.
+MALWARE_MARKER = "X5O!P%@AP-STANDARD-ANTIMALWARE-TEST-FILE"
+
+#: File extensions that raise scanner suspicion when combined with a hit.
+EXECUTABLE_EXTENSIONS = frozenset({"exe", "scr", "bat", "js", "jar", "dll"})
+
+
+def looks_malicious(content: str) -> bool:
+    """Signature scan: does the payload carry the test-malware marker?"""
+    return MALWARE_MARKER in content
+
+
+@dataclass
+class CdnScanReport:
+    """Result of sweeping the CDN inventory."""
+
+    urls_scanned: int = 0
+    malicious_urls: list[str] = field(default_factory=list)
+    fetch_failures: int = 0
+    executable_payloads: int = 0
+
+    @property
+    def malicious_count(self) -> int:
+        return len(self.malicious_urls)
+
+    @property
+    def malicious_fraction(self) -> float:
+        return self.malicious_count / self.urls_scanned if self.urls_scanned else 0.0
+
+
+class CdnAbuseScanner:
+    """Enumerate CDN-hosted files and scan each payload."""
+
+    def __init__(self, internet: VirtualInternet, client_id: str = "abuse-scanner") -> None:
+        self.client = HttpClient(internet, client_id=client_id)
+
+    def scan(self, cdn: DiscordCDN) -> CdnScanReport:
+        report = CdnScanReport()
+        for url in cdn.hosted_urls():
+            report.urls_scanned += 1
+            try:
+                response = self.client.get(url)
+            except NetworkError:
+                report.fetch_failures += 1
+                continue
+            if not response.ok:
+                report.fetch_failures += 1
+                continue
+            if looks_malicious(response.body):
+                report.malicious_urls.append(url)
+                extension = url.rpartition(".")[2].lower()
+                if extension in EXECUTABLE_EXTENSIONS:
+                    report.executable_payloads += 1
+        return report

@@ -1,0 +1,96 @@
+"""Section 4.2 code-analysis aggregates.
+
+Reproduces every number in the "Discord Chatbots Code Analysis" paragraphs:
+GitHub-link rate, valid-repository rate, source-availability rate, language
+shares, and per-language permission-check rates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.codeanalysis.analyzer import ANALYZED_LANGUAGES, RepoAnalysis
+
+
+@dataclass
+class CodeAnalysisSummary:
+    """Aggregate over per-repo analyses for an active-bot population."""
+
+    active_bots: int = 0
+    github_links: int = 0
+    analyses: list[RepoAnalysis] = field(default_factory=list)
+
+    @classmethod
+    def from_analyses(
+        cls,
+        active_bots: int,
+        github_links: int,
+        analyses: list[RepoAnalysis],
+    ) -> "CodeAnalysisSummary":
+        return cls(active_bots=active_bots, github_links=github_links, analyses=list(analyses))
+
+    # -- link funnel ------------------------------------------------------------
+
+    @property
+    def github_link_percent(self) -> float:
+        """Bots with GitHub links on their description page (23.86%)."""
+        return 100.0 * self.github_links / self.active_bots if self.active_bots else 0.0
+
+    @property
+    def valid_repos(self) -> int:
+        return sum(1 for analysis in self.analyses if analysis.link_valid)
+
+    @property
+    def valid_repo_percent_of_links(self) -> float:
+        """Links leading to valid repositories (60.46%)."""
+        return 100.0 * self.valid_repos / self.github_links if self.github_links else 0.0
+
+    @property
+    def with_source_code(self) -> int:
+        return sum(1 for analysis in self.analyses if analysis.has_source_code)
+
+    @property
+    def source_percent_of_active(self) -> float:
+        """Bots with publicly available source (14.39%)."""
+        return 100.0 * self.with_source_code / self.active_bots if self.active_bots else 0.0
+
+    # -- languages -----------------------------------------------------------------
+
+    def language_counts(self) -> dict[str, int]:
+        counter: Counter = Counter(
+            analysis.main_language for analysis in self.analyses if analysis.link_valid and analysis.main_language
+        )
+        return dict(counter)
+
+    def language_percent(self, language: str) -> float:
+        """Percent of valid repositories whose main language is ``language``."""
+        if not self.valid_repos:
+            return 0.0
+        return 100.0 * self.language_counts().get(language, 0) / self.valid_repos
+
+    # -- permission checks -------------------------------------------------------------
+
+    def repos_for_language(self, language: str) -> list[RepoAnalysis]:
+        return [
+            analysis
+            for analysis in self.analyses
+            if analysis.has_source_code and analysis.main_language == language
+        ]
+
+    def check_rate(self, language: str) -> float:
+        """Fraction of ``language`` repos containing a Table-3 check API."""
+        repos = self.repos_for_language(language)
+        if not repos:
+            return 0.0
+        return sum(1 for analysis in repos if analysis.performs_check) / len(repos)
+
+    def check_table(self) -> list[tuple[str, int, int, float]]:
+        """Rows of ``(language, analyzed, with_checks, percent)``."""
+        rows = []
+        for language in ANALYZED_LANGUAGES:
+            repos = self.repos_for_language(language)
+            with_checks = sum(1 for analysis in repos if analysis.performs_check)
+            percent = 100.0 * with_checks / len(repos) if repos else 0.0
+            rows.append((language, len(repos), with_checks, percent))
+        return rows

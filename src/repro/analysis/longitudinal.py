@@ -1,0 +1,123 @@
+"""Longitudinal analysis over ecosystem snapshots.
+
+Given two (or a series of) population snapshots — e.g. monthly crawls —
+quantify churn and, critically, **silent permission escalation**: bots whose
+requested permission set grew between crawls without any notice to the
+guilds that already installed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.risk import risk_score
+from repro.discordsim.permissions import DISPLAY_NAMES, Permission
+from repro.ecosystem.generator import BotProfile, Ecosystem
+
+
+@dataclass
+class EscalationRecord:
+    bot_name: str
+    added_permissions: tuple[str, ...]
+    risk_before: float
+    risk_after: float
+
+    @property
+    def risk_delta(self) -> float:
+        return self.risk_after - self.risk_before
+
+
+@dataclass
+class SnapshotDelta:
+    """Differences between two consecutive snapshots."""
+
+    added_bots: list[str] = field(default_factory=list)
+    removed_bots: list[str] = field(default_factory=list)
+    escalations: list[EscalationRecord] = field(default_factory=list)
+    reductions: list[str] = field(default_factory=list)
+    policy_adopters: list[str] = field(default_factory=list)
+    invites_newly_broken: list[str] = field(default_factory=list)
+
+    @property
+    def escalation_count(self) -> int:
+        return len(self.escalations)
+
+    @property
+    def mean_risk_delta(self) -> float:
+        if not self.escalations:
+            return 0.0
+        return sum(record.risk_delta for record in self.escalations) / len(self.escalations)
+
+    def gained_administrator(self) -> list[str]:
+        """Bots that silently acquired ADMINISTRATOR — the worst case."""
+        admin_label = DISPLAY_NAMES[Permission.ADMINISTRATOR]
+        return [
+            record.bot_name for record in self.escalations if admin_label in record.added_permissions
+        ]
+
+
+def compare_snapshots(before: Ecosystem, after: Ecosystem) -> SnapshotDelta:
+    """Diff two snapshots by bot name (names are stable across epochs)."""
+    before_by_name = {bot.name: bot for bot in before.bots}
+    after_by_name = {bot.name: bot for bot in after.bots}
+    delta = SnapshotDelta()
+    delta.added_bots = sorted(set(after_by_name) - set(before_by_name))
+    delta.removed_bots = sorted(set(before_by_name) - set(after_by_name))
+    for name in set(before_by_name) & set(after_by_name):
+        old, new = before_by_name[name], after_by_name[name]
+        _diff_bot(old, new, delta)
+    delta.escalations.sort(key=lambda record: record.risk_delta, reverse=True)
+    return delta
+
+
+def _diff_bot(old: BotProfile, new: BotProfile, delta: SnapshotDelta) -> None:
+    if old.has_valid_permissions and not new.has_valid_permissions:
+        delta.invites_newly_broken.append(new.name)
+        return
+    if old.has_valid_permissions and new.has_valid_permissions:
+        gained = new.permissions - old.permissions
+        lost = old.permissions - new.permissions
+        if gained.value:
+            delta.escalations.append(
+                EscalationRecord(
+                    bot_name=new.name,
+                    added_permissions=tuple(DISPLAY_NAMES[flag] for flag in gained.flags()),
+                    risk_before=risk_score(old.permissions),
+                    risk_after=risk_score(new.permissions),
+                )
+            )
+        elif lost.value:
+            delta.reductions.append(new.name)
+    if not old.policy.present and new.policy.present:
+        delta.policy_adopters.append(new.name)
+
+
+@dataclass
+class TrendPoint:
+    """Population-level metrics for one snapshot."""
+
+    epoch: int
+    total_bots: int
+    admin_rate: float
+    policy_rate: float
+    mean_risk: float
+
+
+def trend(snapshots: list[Ecosystem]) -> list[TrendPoint]:
+    """Per-snapshot series of the headline ecosystem health metrics."""
+    points: list[TrendPoint] = []
+    for epoch, snapshot in enumerate(snapshots):
+        valid = snapshot.with_valid_permissions()
+        admin = sum(1 for bot in valid if bot.permissions.is_administrator)
+        policies = sum(1 for bot in snapshot.bots if bot.policy.present and bot.policy.link_valid)
+        risks = [risk_score(bot.permissions) for bot in valid]
+        points.append(
+            TrendPoint(
+                epoch=epoch,
+                total_bots=len(snapshot.bots),
+                admin_rate=admin / len(valid) if valid else 0.0,
+                policy_rate=policies / len(snapshot.bots) if snapshot.bots else 0.0,
+                mean_risk=sum(risks) / len(risks) if risks else 0.0,
+            )
+        )
+    return points

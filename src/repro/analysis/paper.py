@@ -1,0 +1,178 @@
+"""The paper's reported numbers, as executable ground truth.
+
+EXPERIMENTS.md as code: every statistic the paper reports is encoded here
+with its provenance (exact text quote vs figure estimate), and
+:func:`compare_with_paper` scores a pipeline run against them — producing
+the paper-vs-measured table programmatically and flagging any metric that
+drifts outside tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.results import PipelineResult
+
+#: Provenance labels.
+EXACT = "exact"  # value quoted in the paper's text
+DERIVED = "derived"  # computed from quoted counts
+ESTIMATE = "estimate"  # read off a figure
+
+
+@dataclass(frozen=True)
+class PaperMetric:
+    """One number the paper reports."""
+
+    key: str
+    description: str
+    value: float
+    unit: str  # "%" or "count" or "ratio"
+    provenance: str
+    #: Allowed absolute deviation at full scale (percentage points for "%").
+    tolerance: float
+    #: "eq" (within tolerance of the value) or "le" (at most the value —
+    #: used for extremes like the 12-bot developer maximum, which smaller
+    #: samples can only undershoot).
+    comparison: str = "eq"
+
+
+#: Everything the evaluation section reports, in one list.
+PAPER_METRICS: tuple[PaperMetric, ...] = (
+    PaperMetric("valid_fraction", "bots with valid permissions", 74.0, "%", DERIVED, 2.0),
+    PaperMetric("send_messages", "SEND_MESSAGES request rate", 59.18, "%", EXACT, 2.0),
+    PaperMetric("administrator", "ADMINISTRATOR request rate", 54.86, "%", EXACT, 2.0),
+    PaperMetric("dev_one_bot", "developers with exactly one bot", 89.08, "%", EXACT, 2.0),
+    PaperMetric("dev_two_bots", "developers with exactly two bots", 8.76, "%", EXACT, 2.0),
+    PaperMetric("dev_max_bots", "most bots by one developer", 12, "count", EXACT, 0.0, comparison="le"),
+    PaperMetric("website_link", "active bots with a website link", 37.27, "%", EXACT, 2.0),
+    PaperMetric("policy_link", "active bots with a privacy-policy link", 4.35, "%", EXACT, 1.0),
+    PaperMetric("policy_valid", "active bots with a valid policy page", 4.33, "%", EXACT, 1.0),
+    PaperMetric("broken_traceability", "broken traceability", 95.67, "%", EXACT, 1.0),
+    PaperMetric("complete_traceability", "complete policies found", 0, "count", EXACT, 0.0),
+    PaperMetric("validation_misclassified", "manual-review misclassifications", 0, "count", EXACT, 0.0),
+    PaperMetric("github_links", "active bots with GitHub links", 23.86, "%", EXACT, 2.0),
+    PaperMetric("valid_repos", "links leading to valid repositories", 60.46, "%", EXACT, 5.0),
+    PaperMetric("public_source", "active bots with public source", 14.39, "%", EXACT, 2.0),
+    PaperMetric("js_share", "JavaScript share of valid repos", 41.0, "%", EXACT, 4.0),
+    PaperMetric("py_share", "Python share of valid repos", 32.0, "%", EXACT, 4.0),
+    PaperMetric("js_checks", "JS repos with permission checks", 72.97, "%", EXACT, 6.0),
+    PaperMetric("py_checks", "Python repos with permission checks", 2.65, "%", EXACT, 3.0),
+    PaperMetric("honeypot_flagged", "bots caught by the honeypot", 1, "count", EXACT, 0.0),
+)
+
+
+@dataclass
+class ComparisonRow:
+    metric: PaperMetric
+    measured: float
+    scale_factor: float = 1.0
+
+    @property
+    def deviation(self) -> float:
+        return abs(self.measured - self.metric.value)
+
+    @property
+    def allowed(self) -> float:
+        """Tolerance, widened at sub-paper scale by sqrt(paper/actual)."""
+        return self.metric.tolerance * self.scale_factor
+
+    @property
+    def within_tolerance(self) -> bool:
+        if self.metric.comparison == "le":
+            return self.measured <= self.metric.value
+        if self.metric.tolerance == 0.0:
+            # Zero-tolerance metrics are exact-match integers.
+            return round(self.measured) == round(self.metric.value)
+        return self.deviation <= self.allowed
+
+
+@dataclass
+class ComparisonReport:
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    @property
+    def all_within_tolerance(self) -> bool:
+        return all(row.within_tolerance for row in self.rows)
+
+    def failures(self) -> list[ComparisonRow]:
+        return [row for row in self.rows if not row.within_tolerance]
+
+    def render(self) -> str:
+        from repro.analysis.tables import render_table
+
+        return render_table(
+            ("Metric", "Paper", "Measured", "Δ", "Tol", "OK", "Provenance"),
+            [
+                (
+                    row.metric.description,
+                    f"{row.metric.value:g}{'%' if row.metric.unit == '%' else ''}",
+                    f"{row.measured:.2f}{'%' if row.metric.unit == '%' else ''}",
+                    f"{row.deviation:.2f}",
+                    f"{row.allowed:.2f}",
+                    "yes" if row.within_tolerance else "NO",
+                    row.metric.provenance,
+                )
+                for row in self.rows
+            ],
+            title="Paper vs. measured",
+        )
+
+
+PAPER_SCALE_BOTS = 20_915
+
+
+def compare_with_paper(result: PipelineResult) -> ComparisonReport:
+    """Score a pipeline run against every paper-reported number.
+
+    Tolerances widen by ``sqrt(paper_scale / run_scale)`` so reduced-scale
+    runs are judged fairly against their larger sampling noise.
+    """
+    scale = max(result.bots_collected, 1)
+    factor = max(1.0, math.sqrt(PAPER_SCALE_BOTS / scale))
+    report = ComparisonReport()
+
+    def add(key: str, measured: float | None) -> None:
+        metric = next((candidate for candidate in PAPER_METRICS if candidate.key == key), None)
+        if metric is None or measured is None:
+            return
+        report.rows.append(ComparisonRow(metric=metric, measured=measured, scale_factor=factor))
+
+    dist = result.permission_distribution
+    if dist is not None:
+        add("valid_fraction", dist.valid_fraction * 100)
+        add("send_messages", dist.send_messages_percent)
+        add("administrator", dist.administrator_percent)
+
+    developers = result.developer_distribution
+    if developers is not None:
+        table = {row[0]: row[2] for row in developers.table1()}
+        add("dev_one_bot", table.get(1, 0.0))
+        add("dev_two_bots", table.get(2, 0.0))
+        add("dev_max_bots", developers.max_bots_by_one_developer)
+
+    trace = result.traceability_summary
+    if trace is not None:
+        table2 = {row[0]: row[2] for row in trace.table2()}
+        add("website_link", table2["Website Link"])
+        add("policy_link", table2["Privacy Policy Link"])
+        add("policy_valid", table2["Privacy Policy"])
+        add("broken_traceability", trace.broken_fraction * 100)
+        add("complete_traceability", trace.complete_count)
+    if result.validation is not None:
+        add("validation_misclassified", result.validation.misclassified)
+
+    code = result.code_summary
+    if code is not None:
+        add("github_links", code.github_link_percent)
+        add("valid_repos", code.valid_repo_percent_of_links)
+        add("public_source", code.source_percent_of_active)
+        add("js_share", code.language_percent("JavaScript"))
+        add("py_share", code.language_percent("Python"))
+        add("js_checks", code.check_rate("JavaScript") * 100)
+        add("py_checks", code.check_rate("Python") * 100)
+
+    if result.honeypot is not None:
+        add("honeypot_flagged", len(result.honeypot.flagged_bots))
+
+    return report

@@ -1,0 +1,49 @@
+"""ASCII rendering helpers for tables and horizontal bar charts."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None) -> str:
+    """Render a fixed-width table (the shape the paper's tables take)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    separator = "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append("| " + " | ".join(header.ljust(width) for header, width in zip(headers, widths)) + " |")
+    lines.append(separator)
+    for row in materialized:
+        padded = [cell.ljust(width) for cell, width in zip(row, widths)]
+        lines.append("| " + " | ".join(padded) + " |")
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    series: Sequence[tuple[str, float]],
+    width: int = 50,
+    max_value: float | None = None,
+    unit: str = "%",
+    title: str | None = None,
+) -> str:
+    """Render a horizontal bar chart (Figure 3's shape)."""
+    if not series:
+        return title or ""
+    peak = max_value if max_value is not None else max(value for _, value in series) or 1.0
+    label_width = max(len(label) for label, _ in series)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in series:
+        filled = int(round((value / peak) * width)) if peak else 0
+        filled = min(max(filled, 0), width)
+        lines.append(f"{label.rjust(label_width)} | {'#' * filled}{' ' * (width - filled)} {value:6.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Table 2: Discord traceability results."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.traceability.analyzer import TraceabilityClass, TraceabilityResult
+
+
+@dataclass
+class TraceabilitySummary:
+    """Aggregate of per-bot traceability results (over active bots)."""
+
+    results: list[TraceabilityResult] = field(default_factory=list)
+
+    @classmethod
+    def from_results(cls, results: list[TraceabilityResult]) -> "TraceabilitySummary":
+        return cls(results=list(results))
+
+    # -- Table 2 rows ---------------------------------------------------------
+
+    @property
+    def active_bots(self) -> int:
+        return len(self.results)
+
+    @property
+    def with_website(self) -> int:
+        return sum(1 for result in self.results if result.has_website)
+
+    @property
+    def with_policy_link(self) -> int:
+        return sum(1 for result in self.results if result.has_policy_link)
+
+    @property
+    def with_valid_policy(self) -> int:
+        return sum(1 for result in self.results if result.policy_page_valid)
+
+    def _percent(self, count: int) -> float:
+        return 100.0 * count / self.active_bots if self.active_bots else 0.0
+
+    def table2(self) -> list[tuple[str, int, float]]:
+        """Rows of ``(feature, count, percent)`` matching the paper's Table 2."""
+        return [
+            ("Unique active chatbots", self.active_bots, 100.0),
+            ("Website Link", self.with_website, self._percent(self.with_website)),
+            ("Privacy Policy Link", self.with_policy_link, self._percent(self.with_policy_link)),
+            ("Privacy Policy", self.with_valid_policy, self._percent(self.with_valid_policy)),
+        ]
+
+    # -- classification breakdown ------------------------------------------------
+
+    def classification_counts(self) -> dict[str, int]:
+        counter: Counter = Counter(result.classification.value for result in self.results)
+        return {cls.value: counter.get(cls.value, 0) for cls in TraceabilityClass}
+
+    @property
+    def broken_fraction(self) -> float:
+        """The paper's 95.67% broken-traceability headline."""
+        if not self.results:
+            return 0.0
+        broken = self.classification_counts()[TraceabilityClass.BROKEN.value]
+        return broken / self.active_bots
+
+    @property
+    def complete_count(self) -> int:
+        return self.classification_counts()[TraceabilityClass.COMPLETE.value]
+
+    @property
+    def partial_count(self) -> int:
+        return self.classification_counts()[TraceabilityClass.PARTIAL.value]
+
+    @property
+    def generic_fraction_of_valid(self) -> float:
+        """Among valid policies, the share that are generic boilerplate."""
+        valid = [result for result in self.results if result.policy_page_valid]
+        if not valid:
+            return 0.0
+        return sum(1 for result in valid if result.generic_policy) / len(valid)

@@ -1,0 +1,21 @@
+"""``top.gg``-like chatbot repository site.
+
+The leading Discord bot listing the paper scraped: a paginated "top
+chatbot" list plus per-bot detail pages carrying ID, name, URL, tags,
+permissions (via the invite link), guild count, description and GitHub
+link — behind anti-scraping middleware.
+"""
+
+from repro.botstore.listings import Listing, ListingStore
+from repro.botstore.site import PAGE_SIZE, TOPGG_HOSTNAME, TopGGSite
+from repro.botstore.host import StoreDefenses, build_store_host
+
+__all__ = [
+    "Listing",
+    "ListingStore",
+    "PAGE_SIZE",
+    "StoreDefenses",
+    "TOPGG_HOSTNAME",
+    "TopGGSite",
+    "build_store_host",
+]

@@ -1,0 +1,64 @@
+"""Listing records: what the repository site knows about each bot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecosystem.generator import BotProfile, Ecosystem
+
+
+@dataclass(frozen=True)
+class Listing:
+    """One listing on the repository site (the scrape target)."""
+
+    listing_id: int
+    name: str
+    developer_tag: str
+    tags: tuple[str, ...]
+    description: str
+    guild_count: int
+    votes: int
+    invite_url: str
+    website_url: str | None
+    github_url: str | None
+    built_with: str | None
+
+    @classmethod
+    def from_profile(cls, bot: BotProfile) -> "Listing":
+        return cls(
+            listing_id=bot.index,
+            name=bot.name,
+            developer_tag=bot.developer_tag,
+            tags=tuple(bot.tags),
+            description=bot.description,
+            guild_count=bot.guild_count,
+            votes=bot.votes,
+            invite_url=bot.invite_url,
+            website_url=bot.website_url,
+            github_url=bot.github_url,
+            built_with=bot.built_with,
+        )
+
+
+class ListingStore:
+    """All listings, ordered by votes (the "top chatbot" list)."""
+
+    def __init__(self, ecosystem: Ecosystem) -> None:
+        self.listings: list[Listing] = [Listing.from_profile(bot) for bot in ecosystem.bots]
+        self._by_id = {listing.listing_id: listing for listing in self.listings}
+
+    def __len__(self) -> int:
+        return len(self.listings)
+
+    def get(self, listing_id: int) -> Listing | None:
+        return self._by_id.get(listing_id)
+
+    def page(self, page_number: int, page_size: int) -> list[Listing]:
+        """1-based page of the top list."""
+        if page_number < 1:
+            return []
+        start = (page_number - 1) * page_size
+        return self.listings[start : start + page_size]
+
+    def page_count(self, page_size: int) -> int:
+        return (len(self.listings) + page_size - 1) // page_size

@@ -1,0 +1,127 @@
+"""HTML rendering for the repository site.
+
+Two deliberately different page structures (variant "A" and "B") alternate
+across list pages and detail pages — the "varying page structures" the
+paper's scraper had to cope with.  The scraper must try multiple element
+locators and fall back gracefully.
+"""
+
+from __future__ import annotations
+
+from repro.botstore.listings import Listing, ListingStore
+from repro.web.http import Request, Response
+from repro.web.server import VirtualHost
+
+TOPGG_HOSTNAME = "top.gg.sim"
+
+#: Listings per page.  The paper traversed "over 800 pages" for ~21k bots,
+#: i.e. roughly 25 per page.
+PAGE_SIZE = 25
+
+
+class TopGGSite:
+    """Route handlers for the listing site (middleware added separately)."""
+
+    #: Robots policy the site publishes: crawlers may browse listings but
+    #: must pace themselves and stay out of the admin area.
+    ROBOTS_TXT = "User-agent: *\nCrawl-delay: 2\nDisallow: /admin\n"
+
+    def __init__(self, store: ListingStore) -> None:
+        self.store = store
+        self.host = VirtualHost(TOPGG_HOSTNAME)
+        self.host.add_route("/", self._home)
+        self.host.add_route("/robots.txt", lambda request: Response.text(self.ROBOTS_TXT))
+        self.host.add_route("/admin", lambda request: Response.text("staff only", status=403))
+        self.host.add_route("/list/top", self._top_list)
+        self.host.add_route("/bot/{listing_id}", self._bot_page)
+
+    # -- pages ----------------------------------------------------------------
+
+    def _home(self, request: Request) -> Response:
+        body = (
+            "<html><head><title>Top Bots</title></head><body>"
+            '<h1>Discover the best bots</h1><a id="top-list-link" href="/list/top?page=1">Top chatbots</a>'
+            "</body></html>"
+        )
+        return Response.html(body)
+
+    def _top_list(self, request: Request) -> Response:
+        try:
+            page_number = int(request.param("page", "1") or "1")
+        except ValueError:
+            page_number = 1
+        listings = self.store.page(page_number, PAGE_SIZE)
+        total_pages = self.store.page_count(PAGE_SIZE)
+        if not listings:
+            return Response.html(_page("No more bots", '<p id="empty">Nothing here.</p>'), status=404)
+        variant = "A" if page_number % 2 == 1 else "B"
+        cards = "".join(_render_card(listing, variant) for listing in listings)
+        nav = ""
+        if page_number < total_pages:
+            nav = f'<a id="next-page" href="/list/top?page={page_number + 1}">Next</a>'
+        content = f'<div id="bot-list" data-variant="{variant}">{cards}</div>{nav}'
+        return Response.html(_page(f"Top chatbots — page {page_number}", content))
+
+    def _bot_page(self, request: Request, listing_id: str) -> Response:
+        try:
+            listing = self.store.get(int(listing_id))
+        except ValueError:
+            listing = None
+        if listing is None:
+            return Response.html(_page("Bot not found", "<p>No such bot.</p>"), status=404)
+        variant = "A" if listing.listing_id % 2 == 0 else "B"
+        return Response.html(_page(listing.name, _render_detail(listing, variant)))
+
+
+def _render_card(listing: Listing, variant: str) -> str:
+    if variant == "A":
+        return (
+            f'<div class="bot-card"><a class="bot-link" href="/bot/{listing.listing_id}">'
+            f'<span class="bot-name">{listing.name}</span></a>'
+            f'<span class="bot-votes">{listing.votes}</span></div>'
+        )
+    return (
+        f'<li class="listing"><h3><a data-bot-id="{listing.listing_id}" '
+        f'href="/bot/{listing.listing_id}">{listing.name}</a></h3>'
+        f'<em class="votes">{listing.votes} votes</em></li>'
+    )
+
+
+def _render_detail(listing: Listing, variant: str) -> str:
+    tags = "".join(f'<span class="tag">{tag}</span>' for tag in listing.tags)
+    website = (
+        f'<a id="website-link" rel="website" href="{listing.website_url}">Website</a>'
+        if listing.website_url
+        else ""
+    )
+    github = (
+        f'<a id="github-link" rel="github" href="{listing.github_url}">GitHub</a>'
+        if listing.github_url
+        else ""
+    )
+    built_with = f'<p class="built-with">Built with {listing.built_with}</p>' if listing.built_with else ""
+    if variant == "A":
+        stats = (
+            f'<span id="guild-count">{listing.guild_count}</span>'
+            f'<span id="votes">{listing.votes}</span>'
+        )
+        invite = f'<a id="invite-button" href="{listing.invite_url}">Invite</a>'
+    else:
+        stats = (
+            f'<span class="stat-guilds">{listing.guild_count} servers</span>'
+            f'<span class="stat-votes">{listing.votes} votes</span>'
+        )
+        invite = f'<a class="invite-link" href="{listing.invite_url}">Add to Server</a>'
+    return (
+        f'<div class="bot-detail" data-variant="{variant}" data-listing-id="{listing.listing_id}">'
+        f'<h1 class="bot-title">{listing.name}</h1>'
+        f'<p class="developer">by <span class="dev-tag">{listing.developer_tag}</span></p>'
+        f'<div class="tags">{tags}</div>'
+        f'<p class="description">{listing.description}</p>'
+        f"{stats}{invite}{website}{github}{built_with}"
+        "</div>"
+    )
+
+
+def _page(title: str, content: str) -> str:
+    return f"<html><head><title>{title}</title></head><body>{content}</body></html>"

@@ -1,0 +1,222 @@
+"""Command-line interface for the assessment pipeline.
+
+Subcommands mirror the methodology stages::
+
+    repro run          # full pipeline + printed report (optionally --json out)
+    repro honeypot     # dynamic analysis only
+    repro traceability # website crawl + keyword traceability only
+    repro code         # GitHub crawl + check detection only
+    repro platforms    # list the simulated platform security profiles
+
+All work runs against the built-in synthetic world; ``--bots`` scales it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AssessmentPipeline
+from repro.core.report import render_full_report
+from repro.core.serialize import save_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    parser.add_argument("--bots", type=int, default=2_000, help="population size (default 2000)")
+    parser.add_argument("--seed", type=int, default=2022, help="world seed (default 2022)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="full pipeline, print the report")
+    run.add_argument("--honeypot-sample", type=int, default=None, help="bots to honeypot-test")
+    run.add_argument("--json", dest="json_path", default=None, help="also save results as JSON")
+    run.add_argument("--markdown", dest="markdown_path", default=None, help="also save a Markdown report")
+    run.add_argument("--include-bots", action="store_true", help="include per-bot records in JSON")
+
+    honeypot = subparsers.add_parser("honeypot", help="dynamic analysis only")
+    honeypot.add_argument("--sample", type=int, default=100, help="most-voted bots to test")
+
+    subparsers.add_parser("traceability", help="traceability analysis only")
+    subparsers.add_parser("code", help="code analysis only")
+    subparsers.add_parser("platforms", help="list simulated platform profiles")
+    subparsers.add_parser("plan", help="estimate campaign cost/duration")
+
+    longitudinal = subparsers.add_parser("longitudinal", help="multi-epoch drift study")
+    longitudinal.add_argument("--epochs", type=int, default=3, help="snapshots to evolve")
+
+    vet = subparsers.add_parser("vet", help="run the vetting gate over the population")
+    vet.add_argument("--dynamic", action="store_true", help="include the sandbox honeypot stage (slow)")
+
+    subparsers.add_parser("compare", help="run the pipeline and score it against the paper's numbers")
+    return parser
+
+
+def _config(args: argparse.Namespace, **overrides) -> PipelineConfig:
+    config = PipelineConfig(seed=args.seed).scaled(
+        args.bots, honeypot_sample_size=overrides.pop("honeypot_sample_size", min(200, args.bots))
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    sample = args.honeypot_sample if args.honeypot_sample is not None else min(200, args.bots)
+    config = _config(args, honeypot_sample_size=sample)
+    result = AssessmentPipeline(config).run()
+    print(render_full_report(result))
+    if args.json_path:
+        path = save_result(result, args.json_path, include_bots=args.include_bots)
+        print(f"\nResults saved to {path}")
+    if args.markdown_path:
+        from pathlib import Path
+
+        from repro.core.markdown_report import render_markdown_report
+
+        Path(args.markdown_path).write_text(render_markdown_report(result))
+        print(f"Markdown report saved to {args.markdown_path}")
+    return 0
+
+
+def _cmd_honeypot(args: argparse.Namespace) -> int:
+    config = _config(
+        args,
+        honeypot_sample_size=args.sample,
+        run_traceability=False,
+        run_code_analysis=False,
+        resolve_permissions=False,
+    )
+    pipeline = AssessmentPipeline(config)
+    report = pipeline.run_honeypot()
+    print(f"Tested {report.bots_tested} bots ({report.install_failures} install failures).")
+    print(f"Manual verifications: {report.manual_verifications}; captcha spend ${report.captcha_cost:.2f}")
+    if report.flagged_bots:
+        for outcome in report.flagged_bots:
+            kinds = ", ".join(sorted(kind.value for kind in outcome.trigger_kinds))
+            print(f"FLAGGED: {outcome.bot_name} — tokens: {kinds}; messages: {list(outcome.suspicious_messages)}")
+    else:
+        print("No unauthorized access detected.")
+    print(f"precision={report.precision:.2f} recall={report.recall:.2f}")
+    return 0
+
+
+def _cmd_traceability(args: argparse.Namespace) -> int:
+    config = _config(args, run_code_analysis=False, run_honeypot=False)
+    result = AssessmentPipeline(config).run()
+    summary = result.traceability_summary
+    assert summary is not None
+    for feature, count, percent in summary.table2():
+        print(f"{feature:26s} {count:7d}  {percent:6.2f}%")
+    counts = summary.classification_counts()
+    print(f"complete={counts['complete']} partial={counts['partial']} broken={counts['broken']}")
+    return 0
+
+
+def _cmd_code(args: argparse.Namespace) -> int:
+    config = _config(args, run_traceability=False, run_honeypot=False)
+    result = AssessmentPipeline(config).run()
+    code = result.code_summary
+    assert code is not None
+    print(f"github links: {code.github_links} ({code.github_link_percent:.2f}% of active)")
+    print(f"valid repos : {code.valid_repos} ({code.valid_repo_percent_of_links:.2f}% of links)")
+    for language, analyzed, checks, percent in code.check_table():
+        print(f"{language:11s} analyzed={analyzed:5d} with_checks={checks:5d} ({percent:.2f}%)")
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    from repro.platforms import PLATFORM_PROFILES
+
+    for name, profile in sorted(PLATFORM_PROFILES.items()):
+        enforcer = "runtime enforcer" if profile.runtime_enforcer else "developer-trusted checks"
+        vetting = "vetted marketplace" if profile.marketplace_vetting else "no review gate"
+        print(f"{name:10s} {enforcer:26s} {vetting:20s} — {profile.notes}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import estimate_campaign
+
+    config = _config(args)
+    estimate = estimate_campaign(config)
+    print(f"Campaign plan for {config.n_bots} bots "
+          f"(honeypot sample {config.honeypot_sample_size}):")
+    print("  " + estimate.summary())
+    return 0
+
+
+def _cmd_longitudinal(args: argparse.Namespace) -> int:
+    from repro.analysis.longitudinal import compare_snapshots, trend
+    from repro.ecosystem.evolution import evolve_ecosystem
+    from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+
+    snapshots = [generate_ecosystem(EcosystemConfig(n_bots=args.bots, seed=args.seed))]
+    for epoch in range(args.epochs):
+        next_snapshot, _ = evolve_ecosystem(snapshots[-1], seed=args.seed + 1 + epoch)
+        snapshots.append(next_snapshot)
+    for epoch in range(len(snapshots) - 1):
+        delta = compare_snapshots(snapshots[epoch], snapshots[epoch + 1])
+        print(
+            f"epoch {epoch}->{epoch + 1}: +{len(delta.added_bots)} bots, "
+            f"-{len(delta.removed_bots)}, {delta.escalation_count} escalations "
+            f"({len(delta.gained_administrator())} gained admin), "
+            f"{len(delta.policy_adopters)} adopted policies"
+        )
+    for point in trend(snapshots):
+        print(
+            f"epoch {point.epoch}: {point.total_bots} bots, admin {point.admin_rate * 100:.2f}%, "
+            f"policy {point.policy_rate * 100:.2f}%, mean risk {point.mean_risk:.3f}"
+        )
+    return 0
+
+
+def _cmd_vet(args: argparse.Namespace) -> int:
+    from repro.core.vetting import VettingPipeline, VettingPolicy
+    from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=args.bots, seed=args.seed))
+    active = [bot for bot in ecosystem.bots if bot.has_valid_permissions]
+    pipeline = VettingPipeline(VettingPolicy(run_dynamic_review=args.dynamic), seed=args.seed)
+    report = pipeline.vet_population(active)
+    total = len(report.verdicts)
+    print(f"Vetted {total} active bots: {len(report.approved)} approved, {len(report.rejected)} rejected "
+          f"({len(report.rejected) / total:.1%}).")
+    for reason, count in sorted(report.rejection_reasons().items(), key=lambda item: -item[1]):
+        print(f"  {count:6d}  {reason}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.paper import compare_with_paper
+
+    config = _config(args)
+    result = AssessmentPipeline(config).run()
+    report = compare_with_paper(result)
+    print(report.render())
+    verdict = "REPRODUCED" if report.all_within_tolerance else "DRIFTED"
+    print(f"\n{len(report.rows)} metrics compared at scale {config.n_bots}: {verdict}")
+    return 0 if report.all_within_tolerance else 1
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "vet": _cmd_vet,
+    "compare": _cmd_compare,
+    "honeypot": _cmd_honeypot,
+    "traceability": _cmd_traceability,
+    "code": _cmd_code,
+    "platforms": _cmd_platforms,
+    "plan": _cmd_plan,
+    "longitudinal": _cmd_longitudinal,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Static code analysis: permission-check detection (Section 3/4.2).
+
+Given the source files retrieved from a bot's repository, determine its main
+language and whether any file contains one of the permission/role-check APIs
+from the paper's Table 3.
+"""
+
+from repro.codeanalysis.patterns import CHECK_PATTERNS, PatternHit, find_check_hits
+from repro.codeanalysis.language import detect_language, language_of_path
+from repro.codeanalysis.analyzer import CodeAnalyzer, RepoAnalysis
+from repro.codeanalysis.pyast import AstAnalysis, AstHit, PythonAstAnalyzer
+
+__all__ = [
+    "AstAnalysis",
+    "AstHit",
+    "CHECK_PATTERNS",
+    "CodeAnalyzer",
+    "PatternHit",
+    "PythonAstAnalyzer",
+    "RepoAnalysis",
+    "detect_language",
+    "find_check_hits",
+    "language_of_path",
+]

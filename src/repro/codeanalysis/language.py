@@ -1,0 +1,51 @@
+"""Repository language detection.
+
+The scraper reads the repository page's language bar when present; this
+module provides the fallback used when only raw files are available, and
+the per-file classification the analyzer reports hit locations with.
+"""
+
+from __future__ import annotations
+
+_EXTENSION_LANGUAGES: dict[str, str] = {
+    ".js": "JavaScript",
+    ".mjs": "JavaScript",
+    ".cjs": "JavaScript",
+    ".jsx": "JavaScript",
+    ".ts": "TypeScript",
+    ".tsx": "TypeScript",
+    ".py": "Python",
+    ".java": "Java",
+    ".go": "Go",
+    ".cs": "C#",
+    ".rs": "Rust",
+    ".rb": "Ruby",
+    ".php": "PHP",
+    ".c": "C",
+    ".cpp": "C++",
+    ".kt": "Kotlin",
+}
+
+
+def language_of_path(path: str) -> str | None:
+    """Language of a single file, by extension."""
+    for extension, language in _EXTENSION_LANGUAGES.items():
+        if path.endswith(extension):
+            return language
+    return None
+
+
+def detect_language(files: dict[str, str]) -> str | None:
+    """Main language of a file set: the one with the most source bytes.
+
+    Returns ``None`` for repositories with no recognisable source files
+    (the paper's README-only repos).
+    """
+    sizes: dict[str, int] = {}
+    for path, content in files.items():
+        language = language_of_path(path)
+        if language is not None:
+            sizes[language] = sizes.get(language, 0) + len(content)
+    if not sizes:
+        return None
+    return max(sizes.items(), key=lambda item: (item[1], item[0]))[0]

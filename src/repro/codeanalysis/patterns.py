@@ -1,0 +1,76 @@
+"""Table 3: the permission/role-check APIs searched for in bot code.
+
++-----+------------------+-----+---------------------+
+| No. | Checks           | No. | Checks              |
++-----+------------------+-----+---------------------+
+| 1   | ``.hasPermission(`` | 3 | ``member.roles.cache`` |
+| 2   | ``.has(``        | 4   | ``userPermissions``  |
++-----+------------------+-----+---------------------+
+
+Matching is substring-based, like the paper's automated approach; an
+optional comment-stripping mode exists for the ablation benchmark that
+quantifies how much naive matching over-counts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: The four check APIs, verbatim from Table 3.
+CHECK_PATTERNS: tuple[str, ...] = (
+    ".hasPermission(",
+    ".has(",
+    "member.roles.cache",
+    "userPermissions",
+)
+
+_LINE_COMMENT = {
+    "JavaScript": "//",
+    "TypeScript": "//",
+    "Python": "#",
+}
+
+
+@dataclass(frozen=True)
+class PatternHit:
+    """One occurrence of a check API in a source file."""
+
+    pattern: str
+    path: str
+    line_number: int
+    line: str
+
+
+def _strip_comment(line: str, language: str | None) -> str:
+    marker = _LINE_COMMENT.get(language or "", None)
+    if marker is None:
+        return line
+    index = line.find(marker)
+    return line if index < 0 else line[:index]
+
+
+def find_check_hits(
+    files: dict[str, str],
+    language: str | None = None,
+    ignore_comments: bool = False,
+) -> list[PatternHit]:
+    """Scan source files for the Table-3 APIs.
+
+    ``ignore_comments`` enables the stricter variant (ablation); the paper's
+    default is plain substring search over the whole file.
+    """
+    hits: list[PatternHit] = []
+    for path, content in sorted(files.items()):
+        if path.endswith((".md", ".txt", ".json")):
+            continue  # documentation and manifests are not code
+        for line_number, line in enumerate(content.splitlines(), start=1):
+            haystack = _strip_comment(line, language) if ignore_comments else line
+            for pattern in CHECK_PATTERNS:
+                if pattern in haystack:
+                    hits.append(PatternHit(pattern=pattern, path=path, line_number=line_number, line=line.strip()))
+    return hits
+
+
+def contains_check(files: dict[str, str], language: str | None = None, ignore_comments: bool = False) -> bool:
+    return bool(find_check_hits(files, language, ignore_comments))

@@ -1,0 +1,132 @@
+"""AST-based permission-check detection for Python bot code.
+
+The paper's automated approach is substring matching over source text,
+which (as its Section 5 concedes for keywords generally) cannot tell a real
+``perms.has(...)`` call from the same characters inside a comment or string
+literal.  For Python we can do better: parse the module and look for the
+check *constructs* —
+
+- a call whose callee is an attribute named ``has`` (``permissions.has(x)``),
+- access to permission-carrying attributes (``member.guild_permissions``,
+  ``channel.permissions_for``),
+- the ``discord.py`` decorator family (``@commands.has_permissions(...)``,
+  ``@has_guild_permissions(...)``).
+
+Files that fail to parse are reported, not silently skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Attribute names that read a user's permissions.
+_PERMISSION_ATTRIBUTES = frozenset({"guild_permissions", "permissions_for", "channel_permissions"})
+
+#: Decorator callee names that enforce invoker permissions.
+_CHECK_DECORATORS = frozenset({"has_permissions", "has_guild_permissions", "has_any_role", "has_role"})
+
+
+@dataclass(frozen=True)
+class AstHit:
+    """One detected permission-check construct."""
+
+    path: str
+    line_number: int
+    construct: str  # "has_call" | "permission_attribute" | "check_decorator"
+    detail: str
+
+
+@dataclass
+class AstAnalysis:
+    hits: list[AstHit] = field(default_factory=list)
+    parse_failures: list[str] = field(default_factory=list)
+
+    @property
+    def performs_check(self) -> bool:
+        return bool(self.hits)
+
+
+class _CheckVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, analysis: AstAnalysis) -> None:
+        self.path = path
+        self.analysis = analysis
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = node.func
+        if isinstance(callee, ast.Attribute) and callee.attr == "has":
+            self.analysis.hits.append(
+                AstHit(
+                    path=self.path,
+                    line_number=node.lineno,
+                    construct="has_call",
+                    detail=ast.unparse(callee) if hasattr(ast, "unparse") else callee.attr,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _PERMISSION_ATTRIBUTES:
+            self.analysis.hits.append(
+                AstHit(
+                    path=self.path,
+                    line_number=node.lineno,
+                    construct="permission_attribute",
+                    detail=node.attr,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_decorators(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_decorators(node)
+        self.generic_visit(node)
+
+    def _check_decorators(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = None
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            elif isinstance(target, ast.Name):
+                name = target.id
+            if name in _CHECK_DECORATORS:
+                self.analysis.hits.append(
+                    AstHit(
+                        path=self.path,
+                        line_number=decorator.lineno,
+                        construct="check_decorator",
+                        detail=name,
+                    )
+                )
+
+
+class PythonAstAnalyzer:
+    """Structural permission-check detection for Python repositories."""
+
+    def analyze(self, files: dict[str, str]) -> AstAnalysis:
+        analysis = AstAnalysis()
+        for path, content in sorted(files.items()):
+            if not path.endswith(".py"):
+                continue
+            try:
+                tree = ast.parse(content)
+            except SyntaxError:
+                analysis.parse_failures.append(path)
+                continue
+            _CheckVisitor(path, analysis).visit(tree)
+        return analysis
+
+
+def compare_with_substring(files: dict[str, str]) -> dict[str, bool]:
+    """Run both detectors; lets callers quantify false positives/negatives."""
+    from repro.codeanalysis.patterns import contains_check
+
+    ast_result = PythonAstAnalyzer().analyze(files)
+    return {
+        "substring": contains_check(files, language="Python"),
+        "ast": ast_result.performs_check,
+    }

@@ -1,0 +1,20 @@
+"""The end-to-end assessment pipeline (the paper's contribution, Figure 1).
+
+Data collection → static analysis (traceability + code) → dynamic analysis
+(honeypot), over any messaging-platform world that exposes a listing site,
+consent pages and installable bots.  :class:`AssessmentPipeline` wires the
+whole reproduction together.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AssessmentPipeline, PipelineWorld
+from repro.core.results import PipelineResult
+from repro.core.report import render_full_report
+
+__all__ = [
+    "AssessmentPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "PipelineWorld",
+    "render_full_report",
+]

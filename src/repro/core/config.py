@@ -1,0 +1,56 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.botstore.host import StoreDefenses
+from repro.ecosystem.distributions import DEFAULT_TARGETS, Targets
+
+
+@dataclass
+class PipelineConfig:
+    """All knobs for one end-to-end assessment run.
+
+    The defaults reproduce the paper's full-scale measurement (20,915 bots,
+    500-bot honeypot); tests and examples shrink ``n_bots``.
+    """
+
+    # World generation.
+    n_bots: int = 20_915
+    seed: int = 2022
+    targets: Targets = field(default_factory=lambda: DEFAULT_TARGETS)
+    defenses: StoreDefenses = field(default_factory=StoreDefenses)
+
+    # Data collection.
+    resolve_permissions: bool = True
+    max_pages: int | None = None
+    scraper_timeout: float = 10.0
+
+    # Stage switches.
+    run_traceability: bool = True
+    run_code_analysis: bool = True
+    run_honeypot: bool = True
+
+    # Static analysis.
+    validation_sample_size: int = 100
+    ignore_comments_in_code_analysis: bool = False
+
+    # Dynamic analysis.
+    honeypot_sample_size: int = 500
+    personas_per_guild: int = 5
+    feed_messages: int = 25
+    observation_window: float = 86_400.0
+    #: Source feed text by scraping the OSN site (the paper's data path)
+    #: instead of generating it directly.
+    use_osn_feed: bool = True
+
+    # 2Captcha account.
+    captcha_balance: float = 100.0
+
+    def scaled(self, n_bots: int, honeypot_sample_size: int | None = None) -> "PipelineConfig":
+        """A copy at a smaller scale (for tests and quick examples)."""
+        from dataclasses import replace
+
+        sample = honeypot_sample_size if honeypot_sample_size is not None else min(self.honeypot_sample_size, n_bots)
+        return replace(self, n_bots=n_bots, honeypot_sample_size=sample)

@@ -1,0 +1,146 @@
+"""Guild guardian: audit the bots installed in a live guild.
+
+The paper closes by recommending "stricter scrutiny when developers collect
+data and a continuous rigorous vetting process".  Guardian is that scrutiny
+in tool form for guild owners: for every installed bot it reports the
+granted permission set, its risk score, administrator redundancy, the data
+types it can reach, and whether its granted envelope exceeds what the bot
+measurably uses (from the platform's API-call audit trail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.risk import risk_score
+from repro.analysis.tables import render_table
+from repro.discordsim.api import BotApiClient
+from repro.discordsim.guild import Guild
+from repro.discordsim.permissions import DISPLAY_NAMES, Permission, Permissions
+from repro.discordsim.platform import DiscordPlatform
+from repro.traceability.analyzer import DATA_PERMISSIONS
+
+#: Map from audited API methods to the permission they exercise.
+_METHOD_PERMISSIONS: dict[str, Permission] = {
+    "send_message": Permission.SEND_MESSAGES,
+    "read_history": Permission.READ_MESSAGE_HISTORY,
+    "add_reaction": Permission.ADD_REACTIONS,
+    "delete_message": Permission.MANAGE_MESSAGES,
+    "kick_member": Permission.KICK_MEMBERS,
+    "ban_member": Permission.BAN_MEMBERS,
+    "assign_role": Permission.MANAGE_ROLES,
+    "set_nickname": Permission.MANAGE_NICKNAMES,
+}
+
+
+@dataclass
+class BotAudit:
+    """Guardian's findings for one installed bot."""
+
+    bot_name: str
+    bot_user_id: int
+    granted: Permissions
+    risk: float
+    redundant_with_admin: tuple[str, ...]
+    data_exposure: tuple[str, ...]
+    permissions_exercised: frozenset[Permission] = frozenset()
+    granted_but_unused: tuple[str, ...] = ()
+
+    @property
+    def is_high_risk(self) -> bool:
+        return self.risk >= 0.5
+
+
+@dataclass
+class GuildAuditReport:
+    guild_name: str
+    audits: list[BotAudit] = field(default_factory=list)
+
+    @property
+    def high_risk_bots(self) -> list[BotAudit]:
+        return [audit for audit in self.audits if audit.is_high_risk]
+
+    def render(self) -> str:
+        rows = [
+            (
+                audit.bot_name,
+                f"{audit.risk:.2f}",
+                "yes" if audit.granted.is_administrator else "no",
+                len(audit.redundant_with_admin),
+                ", ".join(audit.data_exposure) or "-",
+                len(audit.granted_but_unused),
+            )
+            for audit in sorted(self.audits, key=lambda a: a.risk, reverse=True)
+        ]
+        return render_table(
+            ("Bot", "Risk", "Admin", "Redundant bits", "Data exposure", "Unused grants"),
+            rows or [("(no bots installed)", "", "", "", "", "")],
+            title=f"Guardian audit: {self.guild_name}",
+        )
+
+
+class GuildGuardian:
+    """Audits guilds on a platform."""
+
+    def __init__(self, platform: DiscordPlatform) -> None:
+        self.platform = platform
+        self._api_clients: dict[int, BotApiClient] = {}
+
+    def register_api_client(self, client: BotApiClient) -> None:
+        """Feed Guardian a bot's API client so usage can be compared to grants."""
+        self._api_clients[client.bot_user_id] = client
+
+    def audit_guild(self, guild_id: int) -> GuildAuditReport:
+        guild = self.platform.guilds[guild_id]
+        report = GuildAuditReport(guild_name=guild.name)
+        for member in guild.bot_members():
+            report.audits.append(self._audit_bot(guild, member.user_id, member.user.name))
+        return report
+
+    def _audit_bot(self, guild: Guild, bot_user_id: int, bot_name: str) -> BotAudit:
+        granted = guild.base_permissions(bot_user_id)
+        # Report the *requested* set (the managed role), not the resolved
+        # ALL that administrator implies, for redundancy analysis.
+        managed_roles = [
+            guild.roles[role_id]
+            for role_id in guild.member(bot_user_id).role_ids
+            if role_id in guild.roles and guild.roles[role_id].managed
+        ]
+        requested = managed_roles[0].permissions if managed_roles else granted
+        exposure = tuple(
+            sorted(
+                {
+                    data_type
+                    for permission, data_type in DATA_PERMISSIONS.items()
+                    if requested.has(permission)
+                }
+            )
+        )
+        exercised = self._exercised(bot_user_id)
+        unused = tuple(
+            DISPLAY_NAMES[flag]
+            for flag in requested.flags()
+            if flag in _METHOD_PERMISSIONS.values() and flag not in exercised
+        )
+        return BotAudit(
+            bot_name=bot_name,
+            bot_user_id=bot_user_id,
+            granted=requested,
+            risk=risk_score(requested),
+            redundant_with_admin=tuple(
+                DISPLAY_NAMES[flag] for flag in requested.redundant_with_administrator()
+            ),
+            data_exposure=exposure,
+            permissions_exercised=exercised,
+            granted_but_unused=unused,
+        )
+
+    def _exercised(self, bot_user_id: int) -> frozenset[Permission]:
+        client = self._api_clients.get(bot_user_id)
+        if client is None:
+            return frozenset()
+        used: set[Permission] = set()
+        for record in client.calls:
+            if record.allowed and record.method in _METHOD_PERMISSIONS:
+                used.add(_METHOD_PERMISSIONS[record.method])
+        return frozenset(used)

@@ -1,0 +1,158 @@
+"""Markdown report rendering: a publication-ready results document.
+
+Mirrors :func:`repro.core.report.render_full_report` but emits GitHub-
+flavoured Markdown — the format EXPERIMENTS.md uses — so a measurement run
+can drop its findings straight into a repository or paper appendix.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import PipelineResult
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown_report(result: PipelineResult, title: str = "Chatbot Security & Privacy Assessment") -> str:
+    """Render the full run as Markdown."""
+    sections: list[str] = [f"# {title}", ""]
+    sections.append("## Summary")
+    sections.append("")
+    for line in result.summary_lines():
+        sections.append(f"- {line}")
+    sections.append("")
+
+    dist = result.permission_distribution
+    if dist is not None:
+        sections.append("## Permission distribution (Figure 3)")
+        sections.append("")
+        sections.append(
+            _table(
+                ["Permission", "% of active bots"],
+                [[name, f"{percent:.2f}%"] for name, percent in dist.top_permissions(25)],
+            )
+        )
+        sections.append("")
+        sections.append(
+            _table(
+                ["Invite outcome", "Count"],
+                [["valid", dist.valid_bots]] + [[k, v] for k, v in sorted(dist.invalid_breakdown().items())],
+            )
+        )
+        extra = dist.extra_scope_series()
+        if extra:
+            sections.append("")
+            sections.append(
+                _table(["Extra OAuth scope", "% of active bots"], [[s, f"{p:.2f}%"] for s, p in extra])
+            )
+        sections.append("")
+
+    developers = result.developer_distribution
+    if developers is not None:
+        sections.append("## Bots per developer (Table 1)")
+        sections.append("")
+        sections.append(
+            _table(
+                ["Bots published", "Developers", "Percent"],
+                [[count, devs, f"{percent:.2f}%"] for count, devs, percent in developers.table1()],
+            )
+        )
+        tag, bots = developers.most_prolific()
+        sections.append("")
+        sections.append(f"Most prolific developer: `{tag}` with {bots} bots.")
+        sections.append("")
+
+    trace = result.traceability_summary
+    if trace is not None:
+        sections.append("## Traceability (Table 2)")
+        sections.append("")
+        sections.append(
+            _table(
+                ["Feature", "Count", "Percent"],
+                [[feature, count, f"{percent:.2f}%"] for feature, count, percent in trace.table2()],
+            )
+        )
+        counts = trace.classification_counts()
+        sections.append("")
+        sections.append(
+            f"Classes: **{counts['complete']} complete**, **{counts['partial']} partial**, "
+            f"**{counts['broken']} broken** ({trace.broken_fraction * 100:.2f}% broken)."
+        )
+        if result.validation is not None:
+            sections.append(
+                f"Keyword-vs-manual validation: {result.validation.sample_size} sampled, "
+                f"{result.validation.misclassified} misclassified."
+            )
+        sections.append("")
+
+    code = result.code_summary
+    if code is not None:
+        sections.append("## Code analysis")
+        sections.append("")
+        sections.append(
+            _table(
+                ["Language", "Repos analyzed", "With checks", "Percent"],
+                [
+                    [language, analyzed, checks, f"{percent:.2f}%"]
+                    for language, analyzed, checks, percent in code.check_table()
+                ],
+            )
+        )
+        sections.append("")
+        sections.append(
+            f"GitHub links: {code.github_links} ({code.github_link_percent:.2f}% of active); "
+            f"valid repos {code.valid_repo_percent_of_links:.2f}% of links; "
+            f"public source on {code.source_percent_of_active:.2f}% of active bots."
+        )
+        sections.append("")
+
+    honeypot = result.honeypot
+    if honeypot is not None:
+        sections.append("## Honeypot campaign")
+        sections.append("")
+        rows = [
+            [
+                outcome.bot_name,
+                ", ".join(sorted(kind.value for kind in outcome.trigger_kinds)),
+                "; ".join(outcome.suspicious_messages) or "-",
+            ]
+            for outcome in honeypot.flagged_bots
+        ] or [["(none flagged)", "-", "-"]]
+        sections.append(_table(["Flagged bot", "Tokens triggered", "Post-trigger messages"], rows))
+        sections.append("")
+        sections.append(
+            f"{honeypot.bots_tested} bots tested; precision {honeypot.precision:.2f}, "
+            f"recall {honeypot.recall:.2f}; {honeypot.manual_verifications} manual verifications; "
+            f"captcha spend ${honeypot.captcha_cost:.2f}."
+        )
+        sections.append("")
+
+    risk = result.risk_summary
+    if risk is not None and risk.scores:
+        sections.append("## Population risk")
+        sections.append("")
+        sections.append(
+            _table(
+                ["Metric", "Value"],
+                [
+                    ["Mean risk score", f"{risk.mean_risk:.3f}"],
+                    ["High-risk fraction (≥ 0.5)", f"{risk.high_risk_fraction * 100:.2f}%"],
+                    ["Mean over-privilege index", f"{risk.mean_over_privilege:.3f}"],
+                    ["Median risk", f"{risk.percentile(50):.3f}"],
+                ],
+            )
+        )
+        sections.append("")
+
+    sections.append("---")
+    sections.append(
+        f"*Run accounting: {result.scrape_stats.pages_fetched:,} pages fetched, "
+        f"{result.scrape_stats.captchas_solved} captchas solved, "
+        f"{result.virtual_seconds / 3600:.1f} virtual hours, "
+        f"${result.captcha_dollars:.2f} captcha spend.*"
+    )
+    return "\n".join(sections)

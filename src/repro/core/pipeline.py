@@ -1,0 +1,205 @@
+"""The assessment pipeline: Figure 1 end to end.
+
+``AssessmentPipeline`` first builds (or accepts) a *world* — the virtual
+internet with the listing site, consent pages, bot websites, the GitHub
+stand-in, and the messaging platform itself — then runs the paper's four
+stages against it:
+
+1. **Data collection** — crawl the listing site, resolve invite permissions.
+2. **Traceability analysis** — hunt privacy policies, classify disclosure.
+3. **Code analysis** — crawl GitHub links, detect permission-check APIs.
+4. **Dynamic analysis** — honeypot campaign over the most-voted bots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.code_stats import CodeAnalysisSummary
+from repro.analysis.developer_stats import DeveloperDistribution
+from repro.analysis.permission_stats import PermissionDistribution
+from repro.analysis.traceability_stats import TraceabilitySummary
+from repro.botstore.host import build_store_host
+from repro.codeanalysis.analyzer import CodeAnalyzer
+from repro.core.config import PipelineConfig
+from repro.core.results import PipelineResult
+from repro.discordsim.platform import DiscordPlatform
+from repro.ecosystem.generator import Ecosystem, EcosystemConfig, generate_ecosystem
+from repro.honeypot.experiment import HoneypotExperiment
+from repro.scraper.github import GitHubScraper
+from repro.scraper.topgg import ScrapedBot, TopGGScraper
+from repro.scraper.website import WebsiteScraper
+from repro.sites.botwebsites import BotWebsiteBuilder
+from repro.sites.discordweb import DiscordWebsite
+from repro.sites.github import GitHubSite
+from repro.traceability.analyzer import TraceabilityAnalyzer
+from repro.traceability.validation import ManualReviewValidator
+from repro.web.captcha import TwoCaptchaClient
+from repro.web.network import VirtualClock, VirtualInternet
+
+
+@dataclass
+class PipelineWorld:
+    """Everything the pipeline measures: the simulated internet + platform."""
+
+    ecosystem: Ecosystem
+    clock: VirtualClock
+    internet: VirtualInternet
+    platform: DiscordPlatform
+    solver: TwoCaptchaClient
+
+    @classmethod
+    def build(cls, config: PipelineConfig) -> "PipelineWorld":
+        ecosystem = generate_ecosystem(
+            EcosystemConfig(
+                n_bots=config.n_bots,
+                seed=config.seed,
+                targets=config.targets,
+                honeypot_window=config.honeypot_sample_size,
+            )
+        )
+        clock = VirtualClock()
+        internet = VirtualInternet(clock, seed=config.seed)
+        platform = DiscordPlatform(clock, captcha_seed=config.seed + 1)
+        build_store_host(ecosystem, internet, config.defenses)
+        DiscordWebsite(ecosystem).register(internet)
+        GitHubSite(ecosystem).register(internet)
+        BotWebsiteBuilder(ecosystem).register(internet)
+        from repro.sites.reddit import RedditSite
+
+        RedditSite(seed=config.seed + 5).register(internet)
+        solver = TwoCaptchaClient(clock, balance=config.captcha_balance, seed=config.seed + 2)
+        return cls(ecosystem=ecosystem, clock=clock, internet=internet, platform=platform, solver=solver)
+
+
+class AssessmentPipeline:
+    """Run the full methodology against a world."""
+
+    def __init__(self, config: PipelineConfig | None = None, world: PipelineWorld | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self.world = world or PipelineWorld.build(self.config)
+        self.traceability_analyzer = TraceabilityAnalyzer()
+        self.code_analyzer = CodeAnalyzer(ignore_comments=self.config.ignore_comments_in_code_analysis)
+
+    # -- stages ------------------------------------------------------------
+
+    def collect(self) -> tuple[TopGGScraper, "CrawlResult"]:
+        """Stage 1: crawl the listing site."""
+        scraper = TopGGScraper(self.world.internet, solver=self.world.solver)
+        crawl = scraper.crawl(max_pages=self.config.max_pages, resolve_permissions=self.config.resolve_permissions)
+        return scraper, crawl
+
+    def analyze_traceability(self, active_bots: list[ScrapedBot]) -> list:
+        """Stage 2: website crawl + keyword traceability per active bot."""
+        website_scraper = WebsiteScraper(self.world.internet, solver=self.world.solver, client_id="policy-scraper")
+        results = []
+        for bot in active_bots:
+            if bot.website_url:
+                fetch = website_scraper.fetch_policy(bot.website_url)
+            else:
+                from repro.scraper.website import PolicyFetchResult
+
+                fetch = PolicyFetchResult(False, False, False)
+            results.append(
+                self.traceability_analyzer.analyze(
+                    bot_name=bot.name,
+                    permissions=bot.permissions,
+                    has_website=fetch.website_reachable,
+                    has_policy_link=fetch.policy_link_found,
+                    policy_page_valid=fetch.policy_page_valid,
+                    policy_text=fetch.policy_text,
+                )
+            )
+        return results
+
+    def analyze_code(self, active_bots: list[ScrapedBot]) -> list:
+        """Stage 3: GitHub crawl + Table-3 pattern detection."""
+        github_scraper = GitHubScraper(self.world.internet, solver=self.world.solver, client_id="repo-scraper")
+        analyses = []
+        for bot in active_bots:
+            if not bot.github_url:
+                continue
+            fetched = github_scraper.fetch_repo(bot.github_url)
+            analyses.append(
+                self.code_analyzer.analyze_repo(
+                    bot_name=bot.name,
+                    files=fetched.files,
+                    link_valid=fetched.link_valid,
+                    main_language=fetched.main_language,
+                )
+            )
+        return analyses
+
+    def run_honeypot(self) -> "HoneypotReport":
+        """Stage 4: dynamic analysis over the most-voted sample."""
+        experiment = HoneypotExperiment(
+            self.world.platform,
+            self.world.internet,
+            solver=self.world.solver,
+            seed=self.config.seed + 3,
+        )
+        feed_source = None
+        if self.config.use_osn_feed:
+            from repro.honeypot.osn_source import OsnFeedSource
+
+            source = OsnFeedSource.scrape(self.world.internet, seed=self.config.seed + 6)
+            if len(source):
+                feed_source = source.next_message
+        sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
+        return experiment.run(
+            sample,
+            personas_per_guild=self.config.personas_per_guild,
+            feed_messages=self.config.feed_messages,
+            observation_window=self.config.observation_window,
+            feed_source=feed_source,
+        )
+
+    # -- orchestration ----------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Run every enabled stage and aggregate the paper's statistics."""
+        started_wall = time.monotonic()
+        started_virtual = self.world.clock.now()
+        spent_before = self.world.solver.total_spent
+
+        scraper, crawl = self.collect()
+        result = PipelineResult(crawl=crawl, scrape_stats=scraper.stats)
+        active = crawl.with_valid_permissions()
+
+        result.permission_distribution = PermissionDistribution.from_bots(crawl.bots)
+        result.developer_distribution = DeveloperDistribution.from_bots(crawl.bots)
+        from repro.analysis.risk import RiskSummary
+
+        result.risk_summary = RiskSummary.from_bots(crawl.bots)
+
+        if self.config.run_traceability:
+            result.traceability_results = self.analyze_traceability(active)
+            result.traceability_summary = TraceabilitySummary.from_results(result.traceability_results)
+            result.validation = self._validate_traceability()
+
+        if self.config.run_code_analysis:
+            result.repo_analyses = self.analyze_code(active)
+            result.code_summary = CodeAnalysisSummary.from_analyses(
+                active_bots=len(active),
+                github_links=sum(1 for bot in active if bot.github_url),
+                analyses=result.repo_analyses,
+            )
+
+        if self.config.run_honeypot:
+            result.honeypot = self.run_honeypot()
+
+        result.wall_seconds = time.monotonic() - started_wall
+        result.virtual_seconds = self.world.clock.now() - started_virtual
+        result.captcha_dollars = self.world.solver.total_spent - spent_before
+        return result
+
+    def _validate_traceability(self):
+        """The paper's 100-policy manual-review validation."""
+        validator = ManualReviewValidator(self.traceability_analyzer, seed=self.config.seed + 4)
+        policies = [
+            (bot.name, bot.policy, bot.policy_text)
+            for bot in self.world.ecosystem.bots
+            if bot.policy.present and bot.policy.link_valid
+        ]
+        return validator.validate(policies, sample_size=self.config.validation_sample_size)

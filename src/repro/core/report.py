@@ -1,0 +1,132 @@
+"""Human-readable report rendering: all the paper's tables and figures."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_bar_chart, render_table
+from repro.core.results import PipelineResult
+
+
+def render_full_report(result: PipelineResult) -> str:
+    """Render everything one run measured, in the paper's order."""
+    sections: list[str] = ["=== Chatbot Security & Privacy Assessment Report ===", ""]
+    sections.extend(result.summary_lines())
+    sections.append("")
+
+    dist = result.permission_distribution
+    if dist is not None:
+        sections.append(
+            render_bar_chart(
+                dist.fig3_series(),
+                title="Figure 3: permission request distribution (% of active bots)",
+            )
+        )
+        invalid = dist.invalid_breakdown()
+        sections.append("")
+        sections.append(
+            render_table(
+                ("Invite outcome", "Count"),
+                [("valid", dist.valid_bots)] + sorted(invalid.items()),
+                title="Invite link resolution",
+            )
+        )
+        extra_scopes = dist.extra_scope_series()
+        if extra_scopes:
+            sections.append("")
+            sections.append(
+                render_table(
+                    ("Extra OAuth scope", "% of active bots"),
+                    [(scope, f"{percent:.2f}%") for scope, percent in extra_scopes],
+                    title="Additional scopes requested beyond 'bot'",
+                )
+            )
+        sections.append("")
+
+    developers = result.developer_distribution
+    if developers is not None:
+        rows = [
+            (bot_count, dev_count, f"{percent:.2f}%")
+            for bot_count, dev_count, percent in developers.table1()
+        ]
+        sections.append(
+            render_table(
+                ("No of Bots", "Developers", "Percent"),
+                rows,
+                title="Table 1: bots distribution by number of developers",
+            )
+        )
+        prolific_tag, prolific_count = developers.most_prolific()
+        sections.append(f"Most prolific developer: {prolific_tag} with {prolific_count} bots.")
+        sections.append("")
+
+    trace = result.traceability_summary
+    if trace is not None:
+        rows = [(feature, count, f"{percent:.2f}%") for feature, count, percent in trace.table2()]
+        sections.append(
+            render_table(("Features", "Count", "Percent"), rows, title="Table 2: Discord traceability results")
+        )
+        counts = trace.classification_counts()
+        sections.append(
+            f"Traceability classes: {counts['complete']} complete / "
+            f"{counts['partial']} partial / {counts['broken']} broken."
+        )
+        if result.validation is not None:
+            sections.append(
+                f"Keyword-vs-manual validation: {result.validation.sample_size} sampled, "
+                f"{result.validation.misclassified} misclassified."
+            )
+        sections.append("")
+
+    code = result.code_summary
+    if code is not None:
+        sections.append(
+            render_table(
+                ("Language", "Repos analyzed", "With checks", "Percent"),
+                [
+                    (language, analyzed, with_checks, f"{percent:.2f}%")
+                    for language, analyzed, with_checks, percent in code.check_table()
+                ],
+                title="Permission checks by language (Table 3 APIs)",
+            )
+        )
+        sections.append(
+            f"GitHub links: {code.github_links} ({code.github_link_percent:.2f}% of active); "
+            f"valid repos: {code.valid_repos} ({code.valid_repo_percent_of_links:.2f}% of links); "
+            f"with source: {code.with_source_code} ({code.source_percent_of_active:.2f}% of active)."
+        )
+        languages = sorted(code.language_counts().items(), key=lambda item: item[1], reverse=True)
+        sections.append(
+            "Languages: " + ", ".join(f"{language} {code.language_percent(language):.1f}%" for language, _ in languages[:6])
+        )
+        sections.append("")
+
+    honeypot = result.honeypot
+    if honeypot is not None:
+        rows = [
+            (
+                outcome.bot_name,
+                ", ".join(sorted(kind.value for kind in outcome.trigger_kinds)),
+                "; ".join(outcome.suspicious_messages),
+            )
+            for outcome in honeypot.flagged_bots
+        ]
+        sections.append(
+            render_table(
+                ("Flagged bot", "Tokens triggered", "Post-trigger messages"),
+                rows or [("(none)", "", "")],
+                title=f"Honeypot campaign: {honeypot.bots_tested} bots tested",
+            )
+        )
+        sections.append(
+            f"Detection precision {honeypot.precision:.2f}, recall {honeypot.recall:.2f}; "
+            f"{honeypot.manual_verifications} manual account verifications; "
+            f"captcha spend ${honeypot.captcha_cost:.2f}."
+        )
+        sections.append("")
+
+    sections.append(
+        f"Run accounting: {result.scrape_stats.pages_fetched} pages fetched, "
+        f"{result.scrape_stats.captchas_solved} captchas solved, "
+        f"{result.virtual_seconds / 3600.0:.1f} virtual hours, "
+        f"{result.wall_seconds:.1f}s wall time, ${result.captcha_dollars:.2f} captcha spend."
+    )
+    return "\n".join(sections)

@@ -1,0 +1,135 @@
+"""Result serialization: persist a pipeline run as JSON.
+
+A measurement campaign's output should outlive the process — this module
+flattens a :class:`~repro.core.results.PipelineResult` into a JSON-able
+dict (all tables, headline stats, per-bot records on request) and back-
+loads the summary for later comparison runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.results import PipelineResult
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: PipelineResult, include_bots: bool = False) -> dict[str, Any]:
+    """Flatten a pipeline result.  ``include_bots`` adds per-bot records."""
+    payload: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "bots_collected": result.bots_collected,
+        "active_bots": result.active_bots,
+        "virtual_seconds": result.virtual_seconds,
+        "wall_seconds": result.wall_seconds,
+        "captcha_dollars": result.captcha_dollars,
+        "scrape_stats": {
+            "pages_fetched": result.scrape_stats.pages_fetched,
+            "rate_limited": result.scrape_stats.rate_limited,
+            "captchas_seen": result.scrape_stats.captchas_seen,
+            "captchas_solved": result.scrape_stats.captchas_solved,
+            "timeouts": result.scrape_stats.timeouts,
+        },
+        "summary_lines": result.summary_lines(),
+    }
+
+    dist = result.permission_distribution
+    if dist is not None:
+        payload["figure3"] = {
+            "valid_fraction": dist.valid_fraction,
+            "series": dist.fig3_series(),
+            "send_messages_percent": dist.send_messages_percent,
+            "administrator_percent": dist.administrator_percent,
+            "admin_with_extras_fraction": dist.admin_with_extras_fraction,
+            "invalid_breakdown": dist.invalid_breakdown(),
+        }
+
+    developers = result.developer_distribution
+    if developers is not None:
+        prolific_tag, prolific_count = developers.most_prolific()
+        payload["table1"] = {
+            "rows": developers.table1(),
+            "total_developers": developers.total_developers,
+            "most_prolific": {"developer": prolific_tag, "bots": prolific_count},
+        }
+
+    trace = result.traceability_summary
+    if trace is not None:
+        payload["table2"] = {
+            "rows": trace.table2(),
+            "classes": trace.classification_counts(),
+            "broken_fraction": trace.broken_fraction,
+            "generic_fraction_of_valid": trace.generic_fraction_of_valid,
+        }
+        if result.validation is not None:
+            payload["validation"] = {
+                "sample_size": result.validation.sample_size,
+                "misclassified": result.validation.misclassified,
+                "accuracy": result.validation.accuracy,
+            }
+
+    code = result.code_summary
+    if code is not None:
+        payload["code_analysis"] = {
+            "github_link_percent": code.github_link_percent,
+            "valid_repo_percent_of_links": code.valid_repo_percent_of_links,
+            "source_percent_of_active": code.source_percent_of_active,
+            "language_counts": code.language_counts(),
+            "check_table": code.check_table(),
+        }
+
+    honeypot = result.honeypot
+    if honeypot is not None:
+        payload["honeypot"] = {
+            "bots_tested": honeypot.bots_tested,
+            "install_failures": honeypot.install_failures,
+            "manual_verifications": honeypot.manual_verifications,
+            "captcha_cost": honeypot.captcha_cost,
+            "precision": honeypot.precision,
+            "recall": honeypot.recall,
+            "flagged": [
+                {
+                    "bot_name": outcome.bot_name,
+                    "trigger_kinds": sorted(kind.value for kind in outcome.trigger_kinds),
+                    "suspicious_messages": list(outcome.suspicious_messages),
+                }
+                for outcome in honeypot.flagged_bots
+            ],
+        }
+
+    if include_bots:
+        payload["bots"] = [
+            {
+                "listing_id": bot.listing_id,
+                "name": bot.name,
+                "developer": bot.developer_tag,
+                "tags": list(bot.tags),
+                "guild_count": bot.guild_count,
+                "votes": bot.votes,
+                "permission_status": bot.permission_status.value,
+                "permissions": list(bot.permission_names),
+                "website_url": bot.website_url,
+                "github_url": bot.github_url,
+            }
+            for bot in result.crawl.bots
+        ]
+    return payload
+
+
+def save_result(result: PipelineResult, path: str | Path, include_bots: bool = False) -> Path:
+    """Write the flattened result to ``path`` as pretty-printed JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(result_to_dict(result, include_bots=include_bots), indent=2))
+    return target
+
+
+def load_result_summary(path: str | Path) -> dict[str, Any]:
+    """Load a previously saved result dict, checking the schema version."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported result schema version: {version!r}")
+    return payload

@@ -1,0 +1,232 @@
+"""REST-style API surface for bots.
+
+The platform enforces the **bot's own** permissions on every call (a bot
+cannot act without the corresponding permission bit).  What it does *not* do
+— and this is the paper's central architectural point — is check whether the
+*user who triggered* a bot command holds the permission for the action the
+bot performs on their behalf.  That check is the developer's responsibility
+(see :func:`repro.discordsim.bot.requires_user_permissions`), and its absence
+enables permission re-delegation attacks.
+
+The client also provides :meth:`visit_url` and :meth:`open_attachment`,
+which reach out to the virtual internet — these are the actions that trip
+the honeypot's canary tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.discordsim.guild import Guild, GuildError, PermissionDenied
+from repro.discordsim.models import Attachment, Message
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.platform import DiscordPlatform
+from repro.web.client import HttpClient
+from repro.web.http import Response
+from repro.web.network import NetworkError, VirtualInternet
+
+
+class ApiError(Exception):
+    """A bot API call failed."""
+
+
+@dataclass
+class ApiCallRecord:
+    """Audit record of one API call made by a bot (for experiment forensics)."""
+
+    time: float
+    bot_id: int
+    method: str
+    detail: str
+    allowed: bool
+
+
+class BotApiClient:
+    """API client bound to one bot account.
+
+    ``internet`` is optional; without it, :meth:`visit_url` and
+    :meth:`open_attachment` raise :class:`ApiError` (a bot with no network
+    egress cannot exfiltrate).
+    """
+
+    def __init__(
+        self,
+        platform: DiscordPlatform,
+        bot_user_id: int,
+        internet: VirtualInternet | None = None,
+    ) -> None:
+        if bot_user_id not in platform.users:
+            raise ApiError(f"unknown bot user {bot_user_id}")
+        self.platform = platform
+        self.bot_user_id = bot_user_id
+        self.internet = internet
+        self._http = (
+            HttpClient(internet, client_id=f"bot-{bot_user_id}") if internet is not None else None
+        )
+        self.calls: list[ApiCallRecord] = []
+        #: When set, API calls carry the id of the user whose command the
+        #: bot is servicing.  On platforms with a runtime policy enforcer
+        #: (Slack/Teams posture) the platform checks *that user's*
+        #: permissions too; on Discord it is ignored.
+        self.acting_for: int | None = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _guild(self, guild_id: int) -> Guild:
+        guild = self.platform.guilds.get(guild_id)
+        if guild is None:
+            raise ApiError(f"unknown guild {guild_id}")
+        if self.bot_user_id not in guild.members:
+            raise ApiError(f"bot is not a member of guild {guild_id}")
+        return guild
+
+    def _record(self, method: str, detail: str, allowed: bool) -> None:
+        self.calls.append(
+            ApiCallRecord(
+                time=self.platform.clock.now(),
+                bot_id=self.bot_user_id,
+                method=method,
+                detail=detail,
+                allowed=allowed,
+            )
+        )
+
+    def _require(self, guild: Guild, channel_id: int | None, permission: Permission, method: str) -> None:
+        if channel_id is None:
+            held = guild.base_permissions(self.bot_user_id)
+        else:
+            held = guild.permissions_in(self.bot_user_id, channel_id)
+        if not held.has(permission):
+            self._record(method, f"denied: missing {permission.name}", allowed=False)
+            raise PermissionDenied(f"bot lacks {permission.name} for {method}")
+        self._record(method, f"granted via {permission.name}", allowed=True)
+
+    # -- messaging ------------------------------------------------------------
+
+    def send_message(self, guild_id: int, channel_id: int, content: str) -> Message:
+        guild = self._guild(guild_id)
+        self._require(guild, channel_id, Permission.SEND_MESSAGES, "send_message")
+        return self.platform.post_message(self.bot_user_id, guild_id, channel_id, content)
+
+    def read_history(self, guild_id: int, channel_id: int, limit: int | None = None) -> list[Message]:
+        """Fetch channel history (requires VIEW_CHANNEL + READ_MESSAGE_HISTORY)."""
+        guild = self._guild(guild_id)
+        self._require(guild, channel_id, Permission.VIEW_CHANNEL, "read_history")
+        self._require(guild, channel_id, Permission.READ_MESSAGE_HISTORY, "read_history")
+        return guild.channel(channel_id).history(limit)
+
+    def add_reaction(self, guild_id: int, channel_id: int, message_id: int, emoji: str) -> None:
+        guild = self._guild(guild_id)
+        self._require(guild, channel_id, Permission.ADD_REACTIONS, "add_reaction")
+
+    def delete_message(self, guild_id: int, channel_id: int, message_id: int) -> None:
+        guild = self._guild(guild_id)
+        self._enforce_user_permission(guild_id, Permission.MANAGE_MESSAGES, "delete_message")
+        self._require(guild, channel_id, Permission.MANAGE_MESSAGES, "delete_message")
+        channel = guild.channel(channel_id)
+        channel.messages = [message for message in channel.messages if message.message_id != message_id]
+
+    # -- moderation -----------------------------------------------------------
+
+    def _enforce_user_permission(self, guild_id: int, permission: Permission, method: str) -> None:
+        """Runtime policy enforcer hook (no-op under Discord's policy).
+
+        Slack/Teams-style platforms verify the *invoking user's* permission
+        before letting a bot act on their behalf — closing the permission
+        re-delegation hole even when the developer never checks.
+        """
+        if not self.platform.policy.runtime_user_permission_checks:
+            return
+        if self.acting_for is None:
+            return  # bot acting autonomously, not on a user's behalf
+        if not self.platform.authorize_user_action(guild_id, self.acting_for, permission):
+            self._record(method, f"enforcer denied user {self.acting_for}: {permission.name}", allowed=False)
+            raise PermissionDenied(
+                f"runtime enforcer: invoking user {self.acting_for} lacks {permission.name}"
+            )
+
+    def kick_member(self, guild_id: int, target_id: int, reason: str = "") -> None:
+        guild = self._guild(guild_id)
+        self._enforce_user_permission(guild_id, Permission.KICK_MEMBERS, "kick_member")
+        self._record("kick_member", str(target_id), allowed=True)
+        guild.kick(self.bot_user_id, target_id, reason)
+
+    def ban_member(self, guild_id: int, target_id: int, reason: str = "") -> None:
+        guild = self._guild(guild_id)
+        self._enforce_user_permission(guild_id, Permission.BAN_MEMBERS, "ban_member")
+        self._record("ban_member", str(target_id), allowed=True)
+        guild.ban(self.bot_user_id, target_id, reason)
+
+    def assign_role(self, guild_id: int, target_id: int, role_id: int) -> None:
+        guild = self._guild(guild_id)
+        self._enforce_user_permission(guild_id, Permission.MANAGE_ROLES, "assign_role")
+        self._record("assign_role", f"{role_id} -> {target_id}", allowed=True)
+        guild.assign_role(self.bot_user_id, target_id, role_id)
+
+    def set_nickname(self, guild_id: int, target_id: int, nickname: str | None) -> None:
+        guild = self._guild(guild_id)
+        self._enforce_user_permission(guild_id, Permission.MANAGE_NICKNAMES, "set_nickname")
+        self._record("set_nickname", str(target_id), allowed=True)
+        guild.set_nickname(self.bot_user_id, target_id, nickname)
+
+    # -- member/permission introspection (what check-performing bots use) -------
+
+    def member_permissions(self, guild_id: int, user_id: int, channel_id: int | None = None) -> Permissions:
+        """The API developers *should* call before acting for a user."""
+        guild = self._guild(guild_id)
+        if channel_id is None:
+            return guild.base_permissions(user_id)
+        return guild.permissions_in(user_id, channel_id)
+
+    def guild_count(self) -> int:
+        return sum(1 for guild in self.platform.guilds.values() if self.bot_user_id in guild.members)
+
+    # -- egress (the canary-trigger paths) -------------------------------------
+
+    def visit_url(self, url: str, timeout: float = 10.0) -> Response:
+        """Fetch a URL found in channel content.
+
+        This is the action that fires a canary *URL* token.
+        """
+        if self._http is None:
+            raise ApiError("bot has no network egress")
+        self._record("visit_url", url, allowed=True)
+        try:
+            return self._http.get(url, timeout=timeout)
+        except NetworkError as error:
+            raise ApiError(f"fetch failed: {error}") from error
+
+    def open_attachment(self, attachment: Attachment) -> list[Response]:
+        """Open a document: fetches every remote resource it embeds.
+
+        Canary Word/PDF tokens embed a unique remote URL in document
+        metadata; a client that *renders* the file requests it.  Merely
+        downloading the attachment bytes does not trigger anything.
+        """
+        if self._http is None:
+            raise ApiError("bot has no network egress")
+        self._record("open_attachment", attachment.filename, allowed=True)
+        responses: list[Response] = []
+        for resource in attachment.remote_resources:
+            try:
+                responses.append(self._http.get(resource))
+            except NetworkError:
+                continue
+        return responses
+
+    def send_email(self, to_address: str, subject: str, body: str = "") -> Response | None:
+        """Send mail to an address harvested from a channel.
+
+        Canary email addresses are mailboxes on the honeypot console's
+        domain; delivering to them fires the email token.
+        """
+        if self._http is None:
+            raise ApiError("bot has no network egress")
+        self._record("send_email", to_address, allowed=True)
+        _, _, domain = to_address.partition("@")
+        if not domain or self.internet is None or not self.internet.knows(f"mail.{domain}"):
+            return None
+        try:
+            return self._http.post(f"https://mail.{domain}/smtp", body=f"To: {to_address}\nSubject: {subject}\n\n{body}")
+        except NetworkError:
+            return None

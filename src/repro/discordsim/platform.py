@@ -1,0 +1,367 @@
+"""The platform: accounts, guilds, applications and the install flow.
+
+Two properties the paper leans on are reproduced here:
+
+1. **Installation is consent-gated but captcha-protected.**  Adding a bot to
+   a guild requires the MANAGE_GUILD permission, an OAuth consent screen and
+   a solved reCAPTCHA (the paper automated this with 2Captcha).
+2. **Anti-abuse friction on virtual accounts.**  A *normal* account that
+   joins many guilds in quick succession gets flagged and must complete
+   mobile verification — the manual step the paper complains about.  Bot
+   accounts have no guild limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discordsim.gateway import Event, EventBus, EventType
+from repro.discordsim.guild import Guild, PermissionDenied
+from repro.discordsim.models import Attachment, ChannelType, Member, Message, User
+from repro.discordsim.oauth import ConsentScreen, InviteLink, OAuthScope, parse_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.snowflake import SnowflakeGenerator
+from repro.web.captcha import CaptchaService
+from repro.web.network import VirtualClock
+
+
+class PlatformError(Exception):
+    """Base class for platform-level failures."""
+
+
+@dataclass(frozen=True)
+class PlatformPolicy:
+    """Platform-level security posture.
+
+    The paper's architectural comparison (Sections 2 and 6): business
+    collaboration platforms like Slack and MS Teams run a *two-level*
+    access-control system — OAuth **plus a runtime policy enforcer** —
+    while Discord stops at OAuth and "entrusts" the user-permission check
+    to third-party developers.  ``runtime_user_permission_checks`` models
+    that enforcer; ``vetting_review`` models a marketplace review gate
+    before an application may be installed at all.
+    """
+
+    name: str = "discord"
+    runtime_user_permission_checks: bool = False
+    vetting_review: bool = False
+
+
+#: Discord's posture: OAuth consent only, no runtime enforcer, no strict
+#: marketplace review (top.gg is community-run).
+DISCORD_POLICY = PlatformPolicy(name="discord")
+
+#: Slack/Teams-style posture: the platform checks the *invoking user's*
+#: permission at runtime before a bot may act on their behalf, and apps go
+#: through directory review before becoming installable.
+ENFORCED_POLICY = PlatformPolicy(
+    name="enforced", runtime_user_permission_checks=True, vetting_review=True
+)
+
+
+class InstallError(PlatformError):
+    """The OAuth install flow failed (bad link, missing permission, captcha)."""
+
+
+class VerificationRequired(PlatformError):
+    """Anti-abuse flag: the account must complete mobile verification."""
+
+
+@dataclass
+class BotApplication:
+    """A registered third-party application with its bot user."""
+
+    client_id: int
+    name: str
+    owner_id: int
+    bot_user: User
+    scopes: tuple[OAuthScope, ...] = (OAuthScope.BOT,)
+    whitelisted_scopes: frozenset[OAuthScope] = frozenset()
+
+
+@dataclass
+class InstallRecord:
+    """One completed bot installation."""
+
+    client_id: int
+    guild_id: int
+    installer_id: int
+    permissions: Permissions
+    time: float
+
+
+class DiscordPlatform:
+    """The simulated messaging platform.
+
+    Note what is *absent*: there is no runtime policy enforcer checking the
+    permissions of the **user who invokes a bot command** — Discord entrusts
+    that check to third-party developers, which is the architectural gap the
+    paper measures (Section 4.2, code analysis).
+    """
+
+    #: Joining more than this many guilds inside ``JOIN_WINDOW`` seconds
+    #: flags an unverified normal account.
+    JOIN_LIMIT = 10
+    JOIN_WINDOW = 3600.0
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        captcha_seed: int = 7,
+        policy: PlatformPolicy = DISCORD_POLICY,
+    ) -> None:
+        self.clock = clock or VirtualClock()
+        self.snowflakes = SnowflakeGenerator(self.clock)
+        self.events = EventBus()
+        self.captcha = CaptchaService(self.clock, seed=captcha_seed)
+        self.policy = policy
+        self.users: dict[int, User] = {}
+        self.guilds: dict[int, Guild] = {}
+        self.applications: dict[int, BotApplication] = {}
+        self.vetted_applications: set[int] = set()
+        self.installs: list[InstallRecord] = []
+        self._join_times: dict[int, list[float]] = {}
+        self.messages_posted = 0
+        self.enforcer_denials = 0
+
+    # -- accounts ------------------------------------------------------------
+
+    def create_user(self, name: str, email: str | None = None, phone_verified: bool = False) -> User:
+        user = User(
+            user_id=self.snowflakes.next_id(),
+            name=name,
+            discriminator=f"{(self.snowflakes.next_id() % 9000) + 1000:04d}",
+            email=email,
+            phone_verified=phone_verified,
+            created_at=self.clock.now(),
+        )
+        self.users[user.user_id] = user
+        return user
+
+    def vet_application(self, client_id: int) -> None:
+        """Marketplace review approval (used by vetting-enabled policies)."""
+        if client_id not in self.applications:
+            raise PlatformError(f"no application {client_id} to vet")
+        self.vetted_applications.add(client_id)
+
+    def authorize_user_action(self, guild_id: int, acting_user_id: int, permission: Permission) -> bool:
+        """The runtime policy enforcer's core question: may this *user*
+        perform this action?  Only consulted when the policy enables
+        runtime user-permission checks (Slack/Teams posture)."""
+        guild = self.guilds.get(guild_id)
+        if guild is None or acting_user_id not in guild.members:
+            return False
+        allowed = guild.base_permissions(acting_user_id).has(permission)
+        if not allowed:
+            self.enforcer_denials += 1
+        return allowed
+
+    def verify_phone(self, user_id: int) -> None:
+        """The manual mobile-verification step from the paper."""
+        user = self.users[user_id]
+        user.phone_verified = True
+        user.flagged_for_verification = False
+
+    def register_application(
+        self,
+        owner: User,
+        name: str,
+        scopes: tuple[OAuthScope, ...] = (OAuthScope.BOT,),
+        whitelisted_scopes: frozenset[OAuthScope] = frozenset(),
+        client_id: int | None = None,
+    ) -> BotApplication:
+        """Register a third-party application; mints its bot account.
+
+        ``client_id`` defaults to the bot user's snowflake; callers that
+        already advertise an id elsewhere (listing sites) may pin it.
+        """
+        bot_user = self.create_user(name=name)
+        bot_user.is_bot = True
+        resolved_client_id = client_id if client_id is not None else bot_user.user_id
+        if resolved_client_id in self.applications:
+            raise PlatformError(f"client_id {resolved_client_id} already registered")
+        application = BotApplication(
+            client_id=resolved_client_id,
+            name=name,
+            owner_id=owner.user_id,
+            bot_user=bot_user,
+            scopes=scopes,
+            whitelisted_scopes=whitelisted_scopes,
+        )
+        self.applications[application.client_id] = application
+        return application
+
+    # -- guilds --------------------------------------------------------------
+
+    def create_guild(self, owner: User, name: str, private: bool = True) -> Guild:
+        self._note_join(owner)
+        guild = Guild(
+            guild_id=self.snowflakes.next_id(),
+            name=name,
+            owner=owner,
+            snowflakes=self.snowflakes,
+            private=private,
+        )
+        guild.create_channel("general", ChannelType.TEXT)
+        guild.create_channel("voice", ChannelType.VOICE)
+        self.guilds[guild.guild_id] = guild
+        self.events.dispatch(Event(EventType.GUILD_CREATE, guild.guild_id, {"guild": guild}, self.clock.now()))
+        return guild
+
+    def join_guild(self, user_id: int, guild_id: int) -> Member:
+        """Join as a normal user (private guilds are invitation-equivalent here)."""
+        user = self.users[user_id]
+        self._note_join(user)
+        guild = self.guilds[guild_id]
+        member = guild.add_member(user)
+        self.events.dispatch(
+            Event(EventType.GUILD_MEMBER_ADD, guild_id, {"member": member}, self.clock.now())
+        )
+        return member
+
+    def _note_join(self, user: User) -> None:
+        """Anti-abuse: rapid guild-joining flags unverified normal accounts."""
+        if user.is_bot or user.phone_verified:
+            return
+        times = self._join_times.setdefault(user.user_id, [])
+        now = self.clock.now()
+        cutoff = now - self.JOIN_WINDOW
+        times[:] = [stamp for stamp in times if stamp >= cutoff]
+        times.append(now)
+        if len(times) > self.JOIN_LIMIT:
+            user.flagged_for_verification = True
+            raise VerificationRequired(
+                f"account {user.name} joined {len(times)} guilds in {self.JOIN_WINDOW:.0f}s; "
+                "mobile verification required"
+            )
+
+    # -- bot installation -----------------------------------------------------------
+
+    def begin_install(self, installer_id: int, invite_url: str, guild_id: int) -> ConsentScreen:
+        """Resolve the invite link and return the consent screen (with captcha)."""
+        try:
+            invite = parse_invite_url(invite_url)
+        except Exception as error:
+            raise InstallError(f"invalid invite link: {error}") from error
+        application = self.applications.get(invite.client_id)
+        if application is None:
+            raise InstallError(f"no application with client_id {invite.client_id}")
+        guild = self.guilds.get(guild_id)
+        if guild is None:
+            raise InstallError(f"no guild {guild_id}")
+        installer = self.users.get(installer_id)
+        if installer is None or installer_id not in guild.members:
+            raise InstallError("installer must be a member of the target guild")
+        challenge = self.captcha.issue()
+        return ConsentScreen(
+            bot_name=application.name,
+            invite=invite,
+            captcha_challenge_id=challenge.challenge_id,
+            captcha_prompt=challenge.prompt,
+            guild_names=[guild.name],
+        )
+
+    def complete_install(
+        self,
+        installer_id: int,
+        guild_id: int,
+        invite_url: str,
+        captcha_id: str,
+        captcha_answer: str,
+    ) -> Member:
+        """Finish the OAuth flow: captcha, MANAGE_GUILD, scope whitelist, role."""
+        invite = parse_invite_url(invite_url)
+        application = self.applications.get(invite.client_id)
+        if application is None:
+            raise InstallError(f"no application with client_id {invite.client_id}")
+        guild = self.guilds.get(guild_id)
+        if guild is None:
+            raise InstallError(f"no guild {guild_id}")
+        if not self.captcha.verify(captcha_id, captcha_answer):
+            raise InstallError("captcha verification failed")
+        if self.policy.vetting_review and application.client_id not in self.vetted_applications:
+            raise InstallError(f"application {application.name} has not passed directory review")
+        try:
+            installer_permissions = guild.base_permissions(installer_id)
+        except Exception as error:
+            raise InstallError(f"installer not in guild: {error}") from error
+        if not installer_permissions.has(Permission.MANAGE_GUILD):
+            raise InstallError("installing a chatbot requires the MANAGE_GUILD permission")
+        for scope in invite.scopes:
+            if scope.requires_whitelist and scope not in application.whitelisted_scopes:
+                raise InstallError(f"scope {scope.value} requires whitelisting by platform staff")
+            if scope.testing_only:
+                raise InstallError(f"scope {scope.value} is only available for testing")
+        bot_role = guild.create_role(
+            name=application.name,
+            permissions=invite.permissions,
+            managed=True,
+        )
+        member = guild.add_member(application.bot_user)
+        member.role_ids.append(bot_role.role_id)
+        record = InstallRecord(
+            client_id=application.client_id,
+            guild_id=guild_id,
+            installer_id=installer_id,
+            permissions=invite.permissions,
+            time=self.clock.now(),
+        )
+        self.installs.append(record)
+        self.events.dispatch(
+            Event(EventType.GUILD_MEMBER_ADD, guild_id, {"member": member, "install": record}, self.clock.now())
+        )
+        return member
+
+    # -- messaging ------------------------------------------------------------------
+
+    def post_message(
+        self,
+        author_id: int,
+        guild_id: int,
+        channel_id: int,
+        content: str,
+        attachments: list[Attachment] | None = None,
+    ) -> Message:
+        """Post a message, enforcing channel permissions of the *author*."""
+        guild = self.guilds[guild_id]
+        channel = guild.channel(channel_id)
+        if channel.type is not ChannelType.TEXT:
+            raise PlatformError("cannot post text to a voice channel")
+        permissions = guild.permissions_in(author_id, channel_id)
+        if not permissions.has(Permission.SEND_MESSAGES):
+            raise PermissionDenied("posting requires SEND_MESSAGES in this channel")
+        if attachments and not permissions.has(Permission.ATTACH_FILES):
+            raise PermissionDenied("posting files requires ATTACH_FILES in this channel")
+        author = self.users[author_id]
+        message = Message(
+            message_id=self.snowflakes.next_id(),
+            channel_id=channel_id,
+            guild_id=guild_id,
+            author_id=author_id,
+            content=content,
+            timestamp=self.clock.now(),
+            attachments=list(attachments or []),
+            author_is_bot=author.is_bot,
+        )
+        channel.messages.append(message)
+        self.messages_posted += 1
+        self.events.dispatch(
+            Event(EventType.MESSAGE_CREATE, guild_id, {"message": message, "channel": channel}, self.clock.now())
+        )
+        return message
+
+    # -- gateway visibility ---------------------------------------------------------
+
+    def subscribe_bot(self, bot_user_id: int, callback) -> None:
+        """Subscribe a bot to MESSAGE_CREATE for channels it can view."""
+
+        def visible(event: Event) -> bool:
+            guild = self.guilds.get(event.guild_id)
+            if guild is None or bot_user_id not in guild.members:
+                return False
+            message: Message = event.payload["message"]
+            if message.author_id == bot_user_id:
+                return False
+            return guild.permissions_in(bot_user_id, message.channel_id).has(Permission.VIEW_CHANNEL)
+
+        self.events.subscribe(callback, EventType.MESSAGE_CREATE, visible)

@@ -1,0 +1,154 @@
+"""Application (slash) commands: the platform-routed invocation path.
+
+Prefix commands (``!kick``) reach the bot as ordinary messages, so only the
+developer can check the invoking user — the gap the paper measures.  Slash
+commands are different: the *platform* routes the interaction, which gives
+it a choke point.  Discord's eventual remediation (rolled out around the
+paper's publication) was exactly this: per-command
+``default_member_permissions`` that the platform enforces before the bot
+ever sees the interaction.  This module implements that mechanism so the
+fix can be evaluated against the same attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.discordsim.guild import PermissionDenied, UnknownEntityError
+from repro.discordsim.models import Message
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.platform import DiscordPlatform
+
+
+@dataclass
+class SlashCommand:
+    """One registered application command."""
+
+    client_id: int
+    name: str
+    description: str
+    handler: Callable[["Interaction"], None]
+    #: When set, the platform requires the invoking member to hold these
+    #: permissions — enforced *before* dispatch, regardless of bot code.
+    default_member_permissions: Permissions | None = None
+
+
+@dataclass
+class Interaction:
+    """What a handler receives for one slash invocation."""
+
+    platform: DiscordPlatform
+    guild_id: int
+    channel_id: int
+    user_id: int
+    command: SlashCommand
+    args: list[str] = field(default_factory=list)
+    responses: list[str] = field(default_factory=list)
+
+    def respond(self, content: str) -> Message:
+        """Reply as the bot (interaction replies bypass SEND_MESSAGES —
+        the platform grants the response slot)."""
+        self.responses.append(content)
+        application = self.platform.applications[self.command.client_id]
+        guild = self.platform.guilds[self.guild_id]
+        channel = guild.channel(self.channel_id)
+        message = Message(
+            message_id=self.platform.snowflakes.next_id(),
+            channel_id=self.channel_id,
+            guild_id=self.guild_id,
+            author_id=application.bot_user.user_id,
+            content=content,
+            timestamp=self.platform.clock.now(),
+            author_is_bot=True,
+        )
+        channel.messages.append(message)
+        return message
+
+
+class SlashCommandRegistry:
+    """Registers and routes application commands for one platform."""
+
+    def __init__(self, platform: DiscordPlatform) -> None:
+        self.platform = platform
+        self._commands: dict[tuple[int, str], SlashCommand] = {}
+        self.invocations = 0
+        self.platform_denials = 0
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        client_id: int,
+        name: str,
+        handler: Callable[[Interaction], None],
+        description: str = "",
+        default_member_permissions: Permissions | None = None,
+    ) -> SlashCommand:
+        """Register a command for an application (requires the app to exist
+        and its install to have included the applications.commands scope —
+        approximated here by app existence)."""
+        if client_id not in self.platform.applications:
+            raise UnknownEntityError(f"no application {client_id}")
+        command = SlashCommand(
+            client_id=client_id,
+            name=name,
+            description=description,
+            handler=handler,
+            default_member_permissions=default_member_permissions,
+        )
+        self._commands[(client_id, name)] = command
+        return command
+
+    def commands_for(self, client_id: int) -> list[SlashCommand]:
+        return [command for (owner, _), command in self._commands.items() if owner == client_id]
+
+    # -- invocation -----------------------------------------------------------
+
+    def invoke(
+        self,
+        user_id: int,
+        guild_id: int,
+        channel_id: int,
+        client_id: int,
+        name: str,
+        args: list[str] | None = None,
+    ) -> Interaction:
+        """Route one slash invocation, applying the platform's checks.
+
+        1. The invoker must be a guild member able to use application
+           commands in the channel.
+        2. If the command declares ``default_member_permissions``, the
+           invoker must hold them — the platform-enforced fix for the
+           re-delegation gap.
+        """
+        command = self._commands.get((client_id, name))
+        if command is None:
+            raise UnknownEntityError(f"no command /{name} for application {client_id}")
+        guild = self.platform.guilds.get(guild_id)
+        if guild is None or user_id not in guild.members:
+            raise PermissionDenied("invoker is not a member of the guild")
+        application = self.platform.applications[client_id]
+        if application.bot_user.user_id not in guild.members:
+            raise PermissionDenied("the application is not installed in this guild")
+        held = guild.permissions_in(user_id, channel_id)
+        if not held.has(Permission.USE_APPLICATION_COMMANDS):
+            self.platform_denials += 1
+            raise PermissionDenied("using slash commands requires USE_APPLICATION_COMMANDS")
+        required = command.default_member_permissions
+        if required is not None and not required.is_subset(held) and not held.is_administrator:
+            self.platform_denials += 1
+            raise PermissionDenied(
+                f"/{name} requires {', '.join(required.display_names())} (platform-enforced)"
+            )
+        interaction = Interaction(
+            platform=self.platform,
+            guild_id=guild_id,
+            channel_id=channel_id,
+            user_id=user_id,
+            command=command,
+            args=list(args or []),
+        )
+        self.invocations += 1
+        command.handler(interaction)
+        return interaction

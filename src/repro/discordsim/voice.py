@@ -1,0 +1,141 @@
+"""Voice channels: sessions and the voice *metadata* they shed.
+
+Discord's privacy policy — quoted by the paper — says bot developers have
+access to "message content, message metadata, and **voice metadata**".
+This module models the metadata layer (who was in which voice channel,
+when, and when they spoke — not audio itself): users join/leave voice
+channels under CONNECT, speaking requires SPEAK, and any bot that can view
+the channel observes the session log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discordsim.guild import Guild, PermissionDenied, UnknownEntityError
+from repro.discordsim.models import ChannelType
+from repro.discordsim.permissions import Permission
+from repro.discordsim.platform import DiscordPlatform
+
+
+@dataclass
+class VoiceEvent:
+    """One voice-metadata record."""
+
+    time: float
+    user_id: int
+    channel_id: int
+    kind: str  # "join" | "leave" | "speak"
+    duration: float = 0.0  # for "speak" events
+
+
+@dataclass
+class VoiceState:
+    """A user's live presence in a voice channel."""
+
+    user_id: int
+    channel_id: int
+    joined_at: float
+    muted: bool = False
+    speak_seconds: float = 0.0
+
+
+class VoiceManager:
+    """Tracks voice sessions and metadata for one platform."""
+
+    def __init__(self, platform: DiscordPlatform) -> None:
+        self.platform = platform
+        self._states: dict[tuple[int, int], VoiceState] = {}  # (guild, user) -> state
+        self.metadata: dict[int, list[VoiceEvent]] = {}  # guild -> events
+
+    # -- session control -----------------------------------------------------
+
+    def join(self, guild_id: int, user_id: int, channel_id: int) -> VoiceState:
+        guild = self._guild(guild_id)
+        channel = guild.channel(channel_id)
+        if channel.type is not ChannelType.VOICE:
+            raise PermissionDenied("cannot join a text channel as voice")
+        held = guild.permissions_in(user_id, channel_id)
+        if not held.has(Permission.CONNECT):
+            raise PermissionDenied("joining voice requires CONNECT")
+        key = (guild_id, user_id)
+        if key in self._states:
+            self.leave(guild_id, user_id)
+        state = VoiceState(user_id=user_id, channel_id=channel_id, joined_at=self.platform.clock.now())
+        self._states[key] = state
+        self._log(guild_id, VoiceEvent(self.platform.clock.now(), user_id, channel_id, "join"))
+        return state
+
+    def speak(self, guild_id: int, user_id: int, seconds: float) -> None:
+        state = self._state(guild_id, user_id)
+        guild = self._guild(guild_id)
+        if not guild.permissions_in(user_id, state.channel_id).has(Permission.SPEAK):
+            raise PermissionDenied("speaking requires SPEAK")
+        if state.muted:
+            raise PermissionDenied("user is muted")
+        self.platform.clock.sleep(seconds)
+        state.speak_seconds += seconds
+        self._log(
+            guild_id,
+            VoiceEvent(self.platform.clock.now(), user_id, state.channel_id, "speak", duration=seconds),
+        )
+
+    def mute(self, guild_id: int, actor_id: int, target_id: int) -> None:
+        guild = self._guild(guild_id)
+        state = self._state(guild_id, target_id)
+        if actor_id != guild.owner_id and not guild.permissions_in(actor_id, state.channel_id).has(
+            Permission.MUTE_MEMBERS
+        ):
+            raise PermissionDenied("muting requires MUTE_MEMBERS")
+        state.muted = True
+
+    def leave(self, guild_id: int, user_id: int) -> None:
+        state = self._states.pop((guild_id, user_id), None)
+        if state is not None:
+            self._log(guild_id, VoiceEvent(self.platform.clock.now(), user_id, state.channel_id, "leave"))
+
+    def occupants(self, guild_id: int, channel_id: int) -> list[VoiceState]:
+        return [
+            state
+            for (state_guild, _), state in self._states.items()
+            if state_guild == guild_id and state.channel_id == channel_id
+        ]
+
+    # -- the privacy surface ----------------------------------------------------
+
+    def voice_metadata(self, guild_id: int, observer_id: int) -> list[VoiceEvent]:
+        """Voice metadata visible to ``observer_id`` (bot or user).
+
+        Visibility requires VIEW_CHANNEL on the channel each event occurred
+        in — which, for the 55% of bots holding ADMINISTRATOR, means all of
+        it.  This is exactly the "voice metadata" exposure the paper's
+        traceability analysis asks developers to disclose.
+        """
+        guild = self._guild(guild_id)
+        if observer_id not in guild.members:
+            raise PermissionDenied("observer is not a member")
+        visible: list[VoiceEvent] = []
+        for event in self.metadata.get(guild_id, []):
+            try:
+                if guild.permissions_in(observer_id, event.channel_id).has(Permission.VIEW_CHANNEL):
+                    visible.append(event)
+            except UnknownEntityError:
+                continue
+        return visible
+
+    # -- internals -----------------------------------------------------------------
+
+    def _guild(self, guild_id: int) -> Guild:
+        guild = self.platform.guilds.get(guild_id)
+        if guild is None:
+            raise UnknownEntityError(f"no guild {guild_id}")
+        return guild
+
+    def _state(self, guild_id: int, user_id: int) -> VoiceState:
+        state = self._states.get((guild_id, user_id))
+        if state is None:
+            raise UnknownEntityError(f"user {user_id} is not in voice")
+        return state
+
+    def _log(self, guild_id: int, event: VoiceEvent) -> None:
+        self.metadata.setdefault(guild_id, []).append(event)

@@ -1,0 +1,134 @@
+"""Webhooks: token-authenticated posting that bypasses user identity.
+
+Webhooks are part of Discord's attack surface the paper's risk weighting
+reflects (MANAGE_WEBHOOKS carries a high weight): creating one requires the
+permission, but *executing* one needs only the URL token — no account, no
+permission check, no attribution beyond the webhook's own name.  Leaked
+webhook URLs are how the "Spidey Bot" class of malware exfiltrated stolen
+credentials.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.discordsim.guild import Guild, PermissionDenied, UnknownEntityError
+from repro.discordsim.models import Message
+from repro.discordsim.permissions import Permission
+from repro.discordsim.platform import DiscordPlatform
+
+
+class WebhookError(Exception):
+    """Webhook lookup or execution failed."""
+
+
+@dataclass(frozen=True)
+class Webhook:
+    """One channel webhook.  The (id, token) pair is the whole credential."""
+
+    webhook_id: int
+    token: str
+    guild_id: int
+    channel_id: int
+    name: str
+    created_by: int
+
+    @property
+    def url(self) -> str:
+        return f"https://discord.sim/api/webhooks/{self.webhook_id}/{self.token}"
+
+
+class WebhookRegistry:
+    """Creates and executes webhooks against a platform."""
+
+    def __init__(self, platform: DiscordPlatform, secret: str = "webhook-secret") -> None:
+        self.platform = platform
+        self._secret = secret
+        self._webhooks: dict[int, Webhook] = {}
+        self.executions = 0
+        self.rejected_executions = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(self, actor_id: int, guild_id: int, channel_id: int, name: str) -> Webhook:
+        """Create a webhook (requires MANAGE_WEBHOOKS in the channel)."""
+        guild = self._guild(guild_id)
+        guild.channel(channel_id)  # raises for unknown channels
+        if actor_id != guild.owner_id:
+            held = guild.permissions_in(actor_id, channel_id)
+            if not held.has(Permission.MANAGE_WEBHOOKS):
+                raise PermissionDenied("creating a webhook requires MANAGE_WEBHOOKS")
+        webhook_id = self.platform.snowflakes.next_id()
+        token = hashlib.sha256(f"{self._secret}|{webhook_id}".encode()).hexdigest()[:32]
+        webhook = Webhook(
+            webhook_id=webhook_id,
+            token=token,
+            guild_id=guild_id,
+            channel_id=channel_id,
+            name=name,
+            created_by=actor_id,
+        )
+        self._webhooks[webhook_id] = webhook
+        return webhook
+
+    def delete(self, actor_id: int, webhook_id: int) -> None:
+        webhook = self._webhooks.get(webhook_id)
+        if webhook is None:
+            raise WebhookError(f"no webhook {webhook_id}")
+        guild = self._guild(webhook.guild_id)
+        if actor_id != guild.owner_id:
+            held = guild.permissions_in(actor_id, webhook.channel_id)
+            if not held.has(Permission.MANAGE_WEBHOOKS):
+                raise PermissionDenied("deleting a webhook requires MANAGE_WEBHOOKS")
+        del self._webhooks[webhook_id]
+
+    def for_channel(self, channel_id: int) -> list[Webhook]:
+        return [webhook for webhook in self._webhooks.values() if webhook.channel_id == channel_id]
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, webhook_id: int, token: str, content: str) -> Message:
+        """Post via the webhook.  Note what is *not* checked: who calls it.
+
+        Possession of the URL is full authority — the property that makes
+        leaked webhook URLs an exfiltration and spam channel.
+        """
+        webhook = self._webhooks.get(webhook_id)
+        if webhook is None or webhook.token != token:
+            self.rejected_executions += 1
+            raise WebhookError("unknown webhook or bad token")
+        guild = self._guild(webhook.guild_id)
+        channel = guild.channel(webhook.channel_id)
+        message = Message(
+            message_id=self.platform.snowflakes.next_id(),
+            channel_id=channel.channel_id,
+            guild_id=guild.guild_id,
+            author_id=webhook.webhook_id,  # attributed to the hook, not a user
+            content=content,
+            timestamp=self.platform.clock.now(),
+            author_is_bot=True,
+        )
+        channel.messages.append(message)
+        self.executions += 1
+        from repro.discordsim.gateway import Event, EventType
+
+        self.platform.events.dispatch(
+            Event(EventType.MESSAGE_CREATE, guild.guild_id, {"message": message, "channel": channel}, self.platform.clock.now())
+        )
+        return message
+
+    def execute_url(self, url: str, content: str) -> Message:
+        """Execute from a bare webhook URL (the leaked-credential path)."""
+        parts = url.rstrip("/").split("/")
+        try:
+            webhook_id, token = int(parts[-2]), parts[-1]
+        except (IndexError, ValueError):
+            raise WebhookError(f"not a webhook URL: {url!r}") from None
+        return self.execute(webhook_id, token, content)
+
+    def _guild(self, guild_id: int) -> Guild:
+        guild = self.platform.guilds.get(guild_id)
+        if guild is None:
+            raise UnknownEntityError(f"no guild {guild_id}")
+        return guild

@@ -1,0 +1,32 @@
+"""Calibrated synthetic chatbot ecosystem.
+
+The paper measured 20,915 real top.gg listings.  Offline, we generate a
+population whose *marginals* are calibrated to every statistic the paper
+reports (see :mod:`repro.ecosystem.distributions` for the table of targets
+and their provenance) and re-measure them through the full pipeline, so the
+benchmarks compare pipeline output against the paper's numbers.
+"""
+
+from repro.ecosystem.distributions import (
+    CodeAnalysisTargets,
+    Fig3Targets,
+    HoneypotTargets,
+    PopulationTargets,
+    TraceabilityTargets,
+    DEFAULT_TARGETS,
+)
+from repro.ecosystem.generator import BotProfile, Developer, Ecosystem, EcosystemConfig, generate_ecosystem
+
+__all__ = [
+    "BotProfile",
+    "CodeAnalysisTargets",
+    "DEFAULT_TARGETS",
+    "Developer",
+    "Ecosystem",
+    "EcosystemConfig",
+    "Fig3Targets",
+    "HoneypotTargets",
+    "PopulationTargets",
+    "TraceabilityTargets",
+    "generate_ecosystem",
+]

@@ -1,0 +1,97 @@
+"""OSN-style conversational corpus for the honeypot feed.
+
+The paper seeds honeypot guilds with "publicly available messages from
+social networks (OSN) like Reddit" because IM conversation is "shorter and
+less formal than email".  We generate messages with the same surface
+properties: short, informal, slangy, topic-drifting, occasionally reacting
+to the previous message.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_OPENERS = (
+    "ok so", "ngl", "tbh", "lol", "bro", "yo", "wait", "honestly", "fr",
+    "lmaooo", "dude", "omg", "nah", "yeah", "hmm", "btw", "also", "imo",
+)
+
+_TOPICS = (
+    "that new patch", "the ranked queue", "my build", "the finals last night",
+    "this pizza place", "the new season", "that meme", "the update",
+    "my internet", "the server lag", "that boss fight", "the trailer",
+    "my setup", "the playlist", "that stream", "the weekend plans",
+)
+
+_REMARKS = (
+    "is actually insane", "kinda slaps", "is so mid", "broke everything again",
+    "was worth it", "makes no sense", "is overrated af", "caught me off guard",
+    "needs a nerf", "deserves more hype", "ruined my whole run", "is lowkey fire",
+)
+
+_REACTIONS = (
+    "lol same", "no way", "facts", "big if true", "rip", "oof", "so true",
+    "couldn't agree more", "that's rough buddy", "skill issue tbh", "W take",
+    "L take ngl", "sounds fake but ok", "real", "this ^",
+)
+
+_QUESTIONS = (
+    "anyone up for a match later?", "what time are we raiding?",
+    "did you see the announcement?", "who broke the build?",
+    "is the event still on?", "can someone invite me?",
+    "what's the move tonight?", "we grinding this weekend or what?",
+)
+
+_EMOJI = ("", "", "", " :joy:", " :fire:", " :skull:", " :eyes:", " xD", " lmao")
+
+
+@dataclass
+class FeedMessage:
+    """One corpus message, pre-attribution (personas assigned by the feed)."""
+
+    text: str
+    is_reaction: bool = False
+
+
+class ConversationGenerator:
+    """Generates an endless stream of plausible chat messages."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._last_was_statement = False
+
+    def next_message(self) -> FeedMessage:
+        rng = self._rng
+        roll = rng.random()
+        if self._last_was_statement and roll < 0.35:
+            self._last_was_statement = False
+            return FeedMessage(text=rng.choice(_REACTIONS) + rng.choice(_EMOJI), is_reaction=True)
+        if roll < 0.2:
+            self._last_was_statement = False
+            return FeedMessage(text=rng.choice(_QUESTIONS))
+        self._last_was_statement = True
+        text = f"{rng.choice(_OPENERS)} {rng.choice(_TOPICS)} {rng.choice(_REMARKS)}{rng.choice(_EMOJI)}"
+        return FeedMessage(text=text)
+
+    def batch(self, count: int) -> list[FeedMessage]:
+        return [self.next_message() for _ in range(count)]
+
+
+def style_metrics(messages: list[str]) -> dict[str, float]:
+    """Crude style metrics used to assert OSN-likeness in tests.
+
+    Returns mean word count and the fraction of messages containing
+    informal markers — IM chat should be short (< ~15 words) and informal.
+    """
+    if not messages:
+        return {"mean_words": 0.0, "informal_fraction": 0.0}
+    informal_markers = set(_OPENERS) | {"lol", "lmao", "af", "ngl", "tbh", "fr"}
+    word_counts = [len(message.split()) for message in messages]
+    informal = sum(
+        1 for message in messages if any(marker in message.lower() for marker in informal_markers)
+    )
+    return {
+        "mean_words": sum(word_counts) / len(word_counts),
+        "informal_fraction": informal / len(messages),
+    }

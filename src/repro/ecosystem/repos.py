@@ -1,0 +1,223 @@
+"""Synthetic GitHub repositories and bot source-code generation.
+
+Generates the repository landscape the paper's code analysis walked:
+valid repos with real source (JavaScript / Python / other languages),
+README-only repos with no code, links that resolve to user profiles or
+empty accounts, and dead links.  Generated JS/Python code either does or
+does not contain the permission-check APIs of the paper's Table 3 —
+that flag is the ground truth the code analyzer is measured against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class RepoKind(Enum):
+    VALID_CODE = "valid_code"
+    README_ONLY = "readme_only"
+    USER_PROFILE = "user_profile"
+    NO_REPOSITORIES = "no_repositories"
+    NO_PUBLIC_REPOSITORIES = "no_public_repositories"
+    INVALID_LINK = "invalid_link"
+
+
+#: Kinds that resolve to a browsable repository page.
+VALID_REPO_KINDS = frozenset({RepoKind.VALID_CODE, RepoKind.README_ONLY})
+
+
+@dataclass
+class RepoSpec:
+    """Ground truth for one bot's GitHub presence."""
+
+    kind: RepoKind
+    owner: str
+    name: str
+    language: str | None = None  # main language; None for readme_only
+    has_check_api: bool = False
+    files: dict[str, str] = field(default_factory=dict)
+    language_breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def url(self) -> str:
+        if self.kind in (RepoKind.USER_PROFILE, RepoKind.NO_REPOSITORIES, RepoKind.NO_PUBLIC_REPOSITORIES):
+            return f"https://github.sim/{self.owner}"
+        return f"https://github.sim/{self.owner}/{self.name}"
+
+    @property
+    def has_source_code(self) -> bool:
+        return self.kind is RepoKind.VALID_CODE
+
+
+_JS_COMMANDS = ("kick", "ban", "mute", "purge", "warn", "slowmode", "role")
+_PY_COMMANDS = ("kick", "ban", "mute", "purge", "warn", "slowmode", "role")
+
+#: The four check patterns of Table 3, by language, used when generating
+#: *checked* code.  (The analyzer independently defines its own patterns.)
+_JS_CHECK_SNIPPETS = (
+    "if (!message.member.hasPermission('KICK_MEMBERS')) return message.reply('no permission');",
+    "if (!message.member.permissions.has('BAN_MEMBERS')) return message.reply('no permission');",
+    "const staff = message.member.roles.cache.some(r => r.name === 'Staff');\n  if (!staff) return;",
+    "// userPermissions: ['MANAGE_MESSAGES']\n  if (!checkUserPermissions(message.member, userPermissions)) return;",
+)
+
+_PY_CHECK_SNIPPETS = (
+    "perms = ctx.api.member_permissions(ctx.guild_id, ctx.author_id)\n"
+    "    if not perms.has(Permission.KICK_MEMBERS):\n        return await ctx.reply('missing permission')",
+    "if not ctx.author_permissions().has(Permission.BAN_MEMBERS):\n        return await ctx.reply('no')",
+)
+
+
+def _readme(bot_name: str, language: str | None, rng: random.Random) -> str:
+    sections = [
+        f"# {bot_name}",
+        "",
+        f"{bot_name} is a Discord bot. Invite it to your server and enjoy!",
+        "",
+        "## Commands",
+        "",
+    ]
+    for command in rng.sample(_JS_COMMANDS, 3):
+        sections.append(f"- `!{command}` — {command} things")
+    sections += ["", "## License", "", "MIT"]
+    if language:
+        sections.insert(3, f"Built with {language}.")
+    return "\n".join(sections)
+
+
+def _generate_js_files(bot_name: str, checked: bool, rng: random.Random) -> dict[str, str]:
+    files: dict[str, str] = {}
+    files["package.json"] = (
+        '{\n  "name": "%s",\n  "version": "1.0.0",\n  "main": "index.js",\n'
+        '  "dependencies": { "discord.js": "^13.6.0" }\n}\n' % bot_name.lower()
+    )
+    prefix = rng.choice(("!", "?", ".", "-"))
+    files["index.js"] = (
+        "const { Client, Intents } = require('discord.js');\n"
+        "const client = new Client({ intents: [Intents.FLAGS.GUILDS, Intents.FLAGS.GUILD_MESSAGES] });\n"
+        f"const PREFIX = '{prefix}';\n"
+        "const commands = require('./commands');\n\n"
+        "client.on('messageCreate', message => {\n"
+        "  if (!message.content.startsWith(PREFIX) || message.author.bot) return;\n"
+        "  const [name, ...args] = message.content.slice(PREFIX.length).split(/\\s+/);\n"
+        "  const command = commands[name];\n"
+        "  if (command) command(message, args);\n"
+        "});\n\n"
+        "client.login(process.env.TOKEN);\n"
+    )
+    command_names = rng.sample(_JS_COMMANDS, rng.randint(2, 5))
+    exports = []
+    for index, command in enumerate(command_names):
+        guard = ""
+        if checked and index == 0:
+            guard = "  " + rng.choice(_JS_CHECK_SNIPPETS) + "\n"
+        files[f"commands/{command}.js"] = (
+            f"module.exports = function {command}(message, args) {{\n"
+            f"{guard}"
+            f"  // {command} implementation\n"
+            f"  const target = message.mentions.members.first();\n"
+            f"  if (!target) return message.reply('mention someone');\n"
+            f"  target.{command if command in ('kick', 'ban') else 'send'}().catch(() => {{}});\n"
+            f"}};\n"
+        )
+        exports.append(f"  {command}: require('./{command}'),")
+    files["commands/index.js"] = "module.exports = {\n" + "\n".join(exports) + "\n};\n"
+    return files
+
+
+def _generate_py_files(bot_name: str, checked: bool, rng: random.Random) -> dict[str, str]:
+    files: dict[str, str] = {}
+    files["requirements.txt"] = "discord.py==1.7.3\naiohttp\n"
+    prefix = rng.choice(("!", "?", ".", "-"))
+    command_names = rng.sample(_PY_COMMANDS, rng.randint(2, 5))
+    handlers = []
+    for index, command in enumerate(command_names):
+        guard = ""
+        if checked and index == 0:
+            guard = "    " + rng.choice(_PY_CHECK_SNIPPETS) + "\n"
+        handlers.append(
+            f"@bot.command(name='{command}')\n"
+            f"async def {command}(ctx, *args):\n"
+            f"{guard}"
+            f"    # {command} implementation\n"
+            f"    await ctx.reply('{command} done')\n"
+        )
+    files["bot.py"] = (
+        "import os\n"
+        "import discord\n"
+        "from discord.ext import commands\n\n"
+        f"bot = commands.Bot(command_prefix='{prefix}')\n\n" + "\n\n".join(handlers) + "\n\n"
+        "bot.run(os.environ['TOKEN'])\n"
+    )
+    files["config.py"] = "DEFAULT_PREFIX = '%s'\nOWNER_IDS = [%d]\n" % (prefix, rng.randint(10**8, 10**9))
+    return files
+
+
+_OTHER_LANGUAGE_FILES = {
+    "TypeScript": ("src/index.ts", "import { Client } from 'discord.js';\nconst client = new Client({ intents: [] });\nclient.login(process.env.TOKEN);\n"),
+    "Java": ("src/main/java/Bot.java", "public class Bot {\n  public static void main(String[] args) {\n    JDABuilder.createDefault(System.getenv(\"TOKEN\")).build();\n  }\n}\n"),
+    "Go": ("main.go", "package main\n\nimport \"github.com/bwmarrin/discordgo\"\n\nfunc main() {\n  dg, _ := discordgo.New(\"Bot \" + token)\n  dg.Open()\n}\n"),
+    "C#": ("Program.cs", "using Discord.WebSocket;\n\nvar client = new DiscordSocketClient();\nawait client.LoginAsync(TokenType.Bot, token);\n"),
+    "Rust": ("src/main.rs", "use serenity::Client;\n\n#[tokio::main]\nasync fn main() {\n    let client = Client::builder(&token).await;\n}\n"),
+}
+
+_LANGUAGE_EXTENSIONS = {
+    "JavaScript": ".js",
+    "Python": ".py",
+    "TypeScript": ".ts",
+    "Java": ".java",
+    "Go": ".go",
+    "C#": ".cs",
+    "Rust": ".rs",
+}
+
+
+def generate_repo(
+    kind: RepoKind,
+    owner: str,
+    bot_name: str,
+    language: str | None,
+    has_check_api: bool,
+    rng: random.Random,
+) -> RepoSpec:
+    """Materialise one repository spec with generated files."""
+    repo_name = bot_name.lower().replace(" ", "-")
+    spec = RepoSpec(kind=kind, owner=owner, name=repo_name, language=None, has_check_api=False)
+    if kind is RepoKind.README_ONLY:
+        spec.files = {
+            "README.md": _readme(bot_name, None, rng),
+            "CHANGELOG.md": "## 1.0.0\n- initial release\n",
+            "LICENSE": "MIT License\n",
+        }
+        return spec
+    if kind is not RepoKind.VALID_CODE:
+        return spec
+    spec.language = language
+    spec.has_check_api = has_check_api and language in ("JavaScript", "Python")
+    if language == "JavaScript":
+        spec.files = _generate_js_files(bot_name, spec.has_check_api, rng)
+    elif language == "Python":
+        spec.files = _generate_py_files(bot_name, spec.has_check_api, rng)
+    elif language in _OTHER_LANGUAGE_FILES:
+        path, content = _OTHER_LANGUAGE_FILES[language]
+        spec.files = {path: content}
+    else:
+        raise ValueError(f"unsupported language: {language!r}")
+    spec.files["README.md"] = _readme(bot_name, language, rng)
+    spec.language_breakdown = _breakdown(spec)
+    return spec
+
+
+def _breakdown(spec: RepoSpec) -> dict[str, float]:
+    """Byte share per language, as GitHub's language bar reports."""
+    by_language: dict[str, int] = {}
+    for path, content in spec.files.items():
+        for language, extension in _LANGUAGE_EXTENSIONS.items():
+            if path.endswith(extension):
+                by_language[language] = by_language.get(language, 0) + len(content)
+    total = sum(by_language.values())
+    if not total:
+        return {}
+    return {language: size / total for language, size in by_language.items()}

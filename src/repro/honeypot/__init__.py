@@ -1,0 +1,38 @@
+"""Dynamic analysis: honeypot guilds instrumented with canary tokens.
+
+Each tested bot gets an isolated guild named after it, seeded with four
+canary tokens (URL, email, Word document, PDF) and a realistic OSN-style
+conversation between virtual personas.  Token triggers arrive at the canary
+console and are attributed to bots by guild name.
+"""
+
+from repro.honeypot.tokens import CanaryToken, TokenFactory, TokenKind
+from repro.honeypot.console import CanaryConsole, TriggerRecord, CANARY_HOSTNAME
+from repro.honeypot.personas import PersonaSet, create_personas
+from repro.honeypot.feed import post_feed
+from repro.honeypot.environment import GuildEnvironment, provision_environment
+from repro.honeypot.experiment import (
+    BotTestOutcome,
+    HoneypotExperiment,
+    HoneypotReport,
+)
+from repro.honeypot.osn_source import OsnFeedSource, RedditScraper
+
+__all__ = [
+    "BotTestOutcome",
+    "CANARY_HOSTNAME",
+    "CanaryConsole",
+    "CanaryToken",
+    "GuildEnvironment",
+    "HoneypotExperiment",
+    "HoneypotReport",
+    "OsnFeedSource",
+    "PersonaSet",
+    "RedditScraper",
+    "TokenFactory",
+    "TokenKind",
+    "TriggerRecord",
+    "create_personas",
+    "post_feed",
+    "provision_environment",
+]

@@ -1,0 +1,297 @@
+"""The honeypot campaign: test a bot sample end to end.
+
+For every bot in the sample: provision an isolated guild named after it,
+install the bot, attach its (ground-truth) behaviour runtime, post the feed
+and the four canary tokens, let the world run, then attribute any token
+triggers back to bots by guild name — including post-trigger message
+forensics (the "wtf is this bro" moment).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.discordsim import behaviors
+from repro.discordsim.bot import BotRuntime
+from repro.discordsim.platform import DiscordPlatform, InstallError
+from repro.ecosystem.generator import BotProfile
+from repro.honeypot.console import CanaryConsole, TriggerRecord
+from repro.honeypot.environment import GuildEnvironment, provision_environment
+from repro.honeypot.tokens import TokenFactory, TokenKind
+from repro.web.captcha import CaptchaError, TwoCaptchaClient
+from repro.web.http import Response
+from repro.web.network import VirtualInternet
+from repro.web.server import VirtualHost
+
+#: Attacker-side collector infrastructure used by exfiltrating bots.
+EXFIL_HOSTNAME = "collector.evil.sim"
+
+
+@dataclass
+class BotTestOutcome:
+    """One bot's result in the campaign."""
+
+    bot_name: str
+    behavior: str  # ground truth, never visible to the detector
+    installed: bool
+    tokens_deployed: int = 0
+    trigger_kinds: frozenset[TokenKind] = frozenset()
+    suspicious_messages: tuple[str, ...] = ()
+    functionality_explained: bool = False
+
+    @property
+    def triggered(self) -> bool:
+        return bool(self.trigger_kinds)
+
+    @property
+    def flagged(self) -> bool:
+        """Detector verdict: triggered and not explained by functionality."""
+        return self.triggered and not self.functionality_explained
+
+
+@dataclass
+class HoneypotReport:
+    """Campaign-level results plus detection quality vs ground truth."""
+
+    outcomes: list[BotTestOutcome] = field(default_factory=list)
+    triggers: list[TriggerRecord] = field(default_factory=list)
+    manual_verifications: int = 0
+    install_failures: int = 0
+    captcha_cost: float = 0.0
+
+    @property
+    def bots_tested(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def flagged_bots(self) -> list[BotTestOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.flagged]
+
+    # -- detection quality (uses ground-truth behaviour labels) -------------
+
+    @property
+    def true_positives(self) -> int:
+        return sum(1 for o in self.outcomes if o.flagged and o.behavior in behaviors.INVASIVE_BEHAVIORS)
+
+    @property
+    def false_positives(self) -> int:
+        return sum(1 for o in self.outcomes if o.flagged and o.behavior not in behaviors.INVASIVE_BEHAVIORS)
+
+    @property
+    def false_negatives(self) -> int:
+        return sum(1 for o in self.outcomes if not o.flagged and o.behavior in behaviors.INVASIVE_BEHAVIORS)
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        invasive = self.true_positives + self.false_negatives
+        return self.true_positives / invasive if invasive else 1.0
+
+
+@dataclass
+class _ProvisionedTest:
+    """Internal: one successfully provisioned guild awaiting observation."""
+
+    bot: BotProfile
+    environment: GuildEnvironment
+    runtime: BotRuntime | None
+    bot_user_id: int
+    armed_at: float
+
+
+class HoneypotExperiment:
+    """Run the dynamic-analysis campaign over a bot sample."""
+
+    def __init__(
+        self,
+        platform: DiscordPlatform,
+        internet: VirtualInternet,
+        solver: TwoCaptchaClient | None = None,
+        seed: int = 4242,
+    ) -> None:
+        self.platform = platform
+        self.internet = internet
+        self.console = CanaryConsole()
+        self.console.register(internet)
+        self.factory = TokenFactory()
+        self.solver = solver or TwoCaptchaClient(internet.clock, seed=seed)
+        self._rng = random.Random(seed)
+        self._register_exfil_collector()
+
+    def _register_exfil_collector(self) -> None:
+        """The attacker's collection endpoint (exfiltrators post here)."""
+        collector = VirtualHost(EXFIL_HOSTNAME)
+        collector.add_route("/collect", lambda request: Response.text("ok"))
+        self.internet.register(EXFIL_HOSTNAME, collector)
+
+    # -- campaign ------------------------------------------------------------
+
+    def run(
+        self,
+        sample: list[BotProfile],
+        personas_per_guild: int = 5,
+        feed_messages: int = 25,
+        observation_window: float = 86_400.0,
+        posts_during_observation: int = 4,
+        reuse_personas: bool = True,
+        operator_activity_threshold: int = 10,
+        feed_source=None,
+    ) -> HoneypotReport:
+        """Test every bot in ``sample`` in its own guild.
+
+        With ``reuse_personas`` (the paper's setup: 5 virtual users joining
+        every honeypot guild), the anti-abuse flag fires as the accounts
+        rack up joins, and the "manual" mobile verification count climbs.
+
+        ``operator_activity_threshold``: a nosy operator only bothers
+        skimming a guild that *looks* lived-in (at least this many
+        messages) — which is exactly why the honeypot needs its
+        conversational feed.  Set to 0 to model a reckless operator.
+        """
+        report = HoneypotReport()
+        spent_before = self.solver.total_spent
+        shared_personas = None
+        if reuse_personas:
+            from repro.honeypot.personas import create_personas
+
+            shared_personas = create_personas(self.platform, personas_per_guild, self._rng)
+
+        # Phase 1: provision every guild (install bot, attach runtime, post
+        # feed + tokens).  Automated invasive bots trigger during this phase
+        # the moment content lands in front of their listeners.
+        provisioned: list[_ProvisionedTest] = []
+        for bot in sample:
+            test = self._provision_bot(
+                bot, personas_per_guild, feed_messages, personas=shared_personas, feed_source=feed_source
+            )
+            if test is None:
+                report.outcomes.append(BotTestOutcome(bot_name=bot.name, behavior=bot.behavior, installed=False))
+            else:
+                provisioned.append(test)
+
+        # Phase 2: observation window.  Time passes in slices; nosy
+        # operators drop in partway through, as Melonian's did.
+        slices = max(posts_during_observation, 1)
+        for step in range(slices):
+            self.internet.clock.sleep(observation_window / slices)
+            # Bots run their own backend schedulers; give each a tick.
+            for test in provisioned:
+                if test.runtime is not None:
+                    test.runtime.tick()
+            if step == slices // 2:
+                for test in provisioned:
+                    if test.bot.behavior != behaviors.NOSY_OPERATOR or test.runtime is None:
+                        continue
+                    guild = test.environment.guild
+                    activity = sum(len(channel.messages) for channel in guild.text_channels())
+                    if activity >= operator_activity_threshold:
+                        behaviors.operator_inspection(test.runtime, guild.guild_id, self._rng)
+
+        # Phase 3: attribution by guild name (the paper's identifier scheme).
+        for test in provisioned:
+            report.outcomes.append(self._attribute(test))
+
+        report.triggers = list(self.console.triggers)
+        report.captcha_cost = self.solver.total_spent - spent_before
+        if shared_personas is not None:
+            report.manual_verifications = shared_personas.manual_verifications
+        else:
+            report.manual_verifications = sum(
+                test.environment.personas.manual_verifications for test in provisioned
+            )
+        report.install_failures = sum(1 for outcome in report.outcomes if not outcome.installed)
+        return report
+
+    def _provision_bot(
+        self,
+        bot: BotProfile,
+        personas_per_guild: int,
+        feed_messages: int,
+        personas=None,
+        feed_source=None,
+    ) -> "_ProvisionedTest | None":
+        from repro.ecosystem.generator import InviteStatus
+
+        if bot.invite_status in (InviteStatus.MALFORMED, InviteStatus.REMOVED):
+            # Broken invite: the bot cannot be added to a guild at all.
+            return None
+        application = self.platform.applications.get(bot.client_id)
+        if application is None:
+            operator = self.platform.create_user(f"dev-{bot.developer_tag.split('#')[0]}", phone_verified=True)
+            application = self.platform.register_application(operator, bot.name, client_id=bot.client_id)
+
+        runtime_holder: list[BotRuntime] = []
+
+        def attach_runtime(environment: GuildEnvironment) -> None:
+            runtime = behaviors.build_runtime(
+                self.platform,
+                application.bot_user.user_id,
+                bot.behavior,
+                internet=self.internet,
+                exfil_host=EXFIL_HOSTNAME,
+            )
+            runtime_holder.append(runtime)
+
+        try:
+            environment = provision_environment(
+                self.platform,
+                bot,
+                self.console,
+                self.factory,
+                self.solver,
+                self._rng,
+                personas_per_guild=personas_per_guild,
+                feed_messages=feed_messages,
+                on_installed=attach_runtime,
+                personas=personas,
+                message_source=feed_source,
+            )
+        except (InstallError, CaptchaError):
+            return None
+        return _ProvisionedTest(
+            bot=bot,
+            environment=environment,
+            runtime=runtime_holder[0] if runtime_holder else None,
+            bot_user_id=application.bot_user.user_id,
+            armed_at=self.internet.clock.now(),
+        )
+
+    def _attribute(self, test: "_ProvisionedTest") -> BotTestOutcome:
+        guild = test.environment.guild
+        triggers = [record for record in self.console.triggers if record.context == guild.name]
+        trigger_kinds = frozenset(record.kind for record in triggers)
+        suspicious = self._post_trigger_messages(guild, test.bot_user_id, test.armed_at)
+        functionality_explained = (
+            test.bot.behavior == behaviors.LINK_PREVIEW and trigger_kinds <= {TokenKind.URL}
+        )
+        return BotTestOutcome(
+            bot_name=test.bot.name,
+            behavior=test.bot.behavior,
+            installed=True,
+            tokens_deployed=len(test.environment.tokens),
+            trigger_kinds=trigger_kinds,
+            suspicious_messages=tuple(suspicious),
+            functionality_explained=functionality_explained,
+        )
+
+    def _post_trigger_messages(self, guild, bot_user_id: int, armed_at: float) -> list[str]:
+        """Messages the bot account posted that do not look automated.
+
+        After Melonian's trigger "a user posted a message as the guild's
+        chatbot that reads '[w]tf is this bro', which is clearly not an
+        automated message generated by a bot."
+        """
+        automated_markers = ("pong", "Poll started:", "I am serving", "Preview:", "kicked", "banned", "usage:", "cannot ")
+        found: list[str] = []
+        for channel in guild.text_channels():
+            for message in channel.messages:
+                if message.author_id != bot_user_id or message.timestamp < armed_at:
+                    continue
+                if not any(marker in message.content for marker in automated_markers):
+                    found.append(message.content)
+        return found

@@ -1,0 +1,69 @@
+"""The conversational feed: make a honeypot guild look lived-in.
+
+"For the honeypot environment to appear active and in use, we provide a
+feed of frequent exchange of messages from multiple (automated) users ...
+our system ensures that the virtual accounts post alternating messages so
+that interactions resemble legitimate conversations between actual users."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.discordsim.guild import Guild
+from repro.discordsim.models import Message
+from repro.discordsim.platform import DiscordPlatform
+from repro.ecosystem.corpus import ConversationGenerator
+from repro.honeypot.personas import PersonaSet
+
+
+def post_feed(
+    platform: DiscordPlatform,
+    guild: Guild,
+    channel_id: int,
+    personas: PersonaSet,
+    message_count: int,
+    rng: random.Random,
+    inter_message_delay: float = 8.0,
+    message_source: "Callable[[], str] | None" = None,
+) -> list[Message]:
+    """Post ``message_count`` corpus messages from alternating personas.
+
+    Consecutive messages never come from the same persona, and a small
+    randomised delay separates posts so timestamps look organic.
+    ``message_source`` overrides where the text comes from — e.g. an
+    :class:`~repro.honeypot.osn_source.OsnFeedSource` of scraped OSN
+    comments, the paper's actual data path.
+    """
+    if not personas.users:
+        raise ValueError("need at least one persona to post a feed")
+    if message_source is None:
+        generator = ConversationGenerator(rng)
+        message_source = lambda: generator.next_message().text  # noqa: E731
+    messages: list[Message] = []
+    previous_index: int | None = None
+    for _ in range(message_count):
+        candidates = [index for index in range(len(personas.users)) if index != previous_index]
+        author_index = rng.choice(candidates) if candidates else 0
+        previous_index = author_index
+        author = personas.users[author_index]
+        platform.clock.sleep(rng.uniform(0.5, inter_message_delay))
+        messages.append(
+            platform.post_message(
+                author.user_id,
+                guild.guild_id,
+                channel_id,
+                message_source(),
+            )
+        )
+    return messages
+
+
+def alternation_violations(messages: list[Message]) -> int:
+    """Count adjacent same-author pairs (should be zero for a proper feed)."""
+    violations = 0
+    for earlier, later in zip(messages, messages[1:]):
+        if earlier.author_id == later.author_id:
+            violations += 1
+    return violations

@@ -1,0 +1,62 @@
+"""OSN-sourced feed messages: scrape them like the paper did.
+
+:class:`OsnFeedSource` crawls ``reddit.sim`` comment threads and serves
+them as honeypot feed messages, replacing the direct corpus generator with
+the paper's actual data path (public OSN messages -> guild feed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.scraper.base import PoliteScraper
+from repro.sites.reddit import REDDIT_HOSTNAME, SUBREDDITS
+from repro.web.browser import By, TimeoutException, WebDriverException
+from repro.web.network import VirtualInternet
+
+
+class RedditScraper(PoliteScraper):
+    """Collect comment bodies from subreddit pages."""
+
+    def fetch_comments(self, subreddit: str) -> list[str]:
+        try:
+            response = self.fetch(f"https://{REDDIT_HOSTNAME}/r/{subreddit}")
+        except (TimeoutException, WebDriverException):
+            return []
+        if response.status != 200:
+            return []
+        return [element.text for element in self.browser.find_elements(By.CSS_SELECTOR, "p.comment-body")]
+
+
+@dataclass
+class OsnFeedSource:
+    """A shuffled pool of scraped OSN messages, cycled as a feed source."""
+
+    messages: list[str] = field(default_factory=list)
+    _cursor: int = 0
+
+    @classmethod
+    def scrape(
+        cls,
+        internet: VirtualInternet,
+        subreddits: tuple[str, ...] = SUBREDDITS,
+        seed: int = 0,
+        client_id: str = "osn-collector",
+    ) -> "OsnFeedSource":
+        scraper = RedditScraper(internet, client_id=client_id)
+        pool: list[str] = []
+        for subreddit in subreddits:
+            pool.extend(scraper.fetch_comments(subreddit))
+        random.Random(seed).shuffle(pool)
+        return cls(messages=pool)
+
+    def next_message(self) -> str:
+        if not self.messages:
+            raise ValueError("the OSN pool is empty — was reddit.sim registered?")
+        message = self.messages[self._cursor % len(self.messages)]
+        self._cursor += 1
+        return message
+
+    def __len__(self) -> int:
+        return len(self.messages)

@@ -1,0 +1,62 @@
+"""Virtual personas for honeypot guilds.
+
+"We note that to post a seemingly real conversation we create fake personas
+by registering virtual users into Discord.  In practice, we found that when
+a new account quickly joins many guilds, it is flagged by Discord, and
+mobile verification is required.  As such, we completed this step manually."
+
+The platform's anti-abuse flag fires here too; :func:`create_personas`
+performs the "manual" verification and counts how often it was needed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.discordsim.guild import Guild
+from repro.discordsim.models import User
+from repro.discordsim.platform import DiscordPlatform, VerificationRequired
+
+_PERSONA_NAMES = (
+    "jordan", "casey", "riley", "alex", "morgan", "skyler", "avery",
+    "quinn", "reese", "dakota", "emery", "finley", "harper", "kendall",
+)
+
+
+@dataclass
+class PersonaSet:
+    """A reusable pool of virtual users plus provisioning bookkeeping."""
+
+    users: list[User] = field(default_factory=list)
+    manual_verifications: int = 0
+
+    def __iter__(self):
+        return iter(self.users)
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+def create_personas(platform: DiscordPlatform, count: int, rng: random.Random) -> PersonaSet:
+    """Register ``count`` fresh virtual accounts."""
+    personas = PersonaSet()
+    for index in range(count):
+        name = f"{rng.choice(_PERSONA_NAMES)}{rng.randint(10, 99)}"
+        personas.users.append(platform.create_user(name, email=f"{name}@example.sim"))
+    return personas
+
+
+def join_guild_with_verification(
+    platform: DiscordPlatform,
+    personas: PersonaSet,
+    guild: Guild,
+) -> None:
+    """Join every persona, handling the mobile-verification flag manually."""
+    for user in personas.users:
+        try:
+            platform.join_guild(user.user_id, guild.guild_id)
+        except VerificationRequired:
+            platform.verify_phone(user.user_id)
+            personas.manual_verifications += 1
+            platform.join_guild(user.user_id, guild.guild_id)

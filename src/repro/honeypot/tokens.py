@@ -1,0 +1,96 @@
+"""Canary token minting.
+
+Four token kinds, as in the paper: a URL, an email address, a Word document
+and a PDF.  "Canary tokens consist of unique identifiers embedded in URLs or
+placed in a document meta-data.  Requesting the URL or opening the document
+allows us to receive a signal tied to the token."
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.discordsim.models import Attachment
+
+CANARY_DOMAIN = "canary.sim"
+
+
+class TokenKind(Enum):
+    URL = "url"
+    EMAIL = "email"
+    WORD = "word"
+    PDF = "pdf"
+
+
+@dataclass(frozen=True)
+class CanaryToken:
+    """One minted token, bound to its deployment context (the guild)."""
+
+    token_id: str
+    kind: TokenKind
+    context: str  # guild name == bot under test
+
+    @property
+    def trigger_url(self) -> str:
+        """The beacon URL embedded in (or constituting) the artifact."""
+        return f"https://{CANARY_DOMAIN}/t/{self.token_id}?kind={self.kind.value}"
+
+    @property
+    def email_address(self) -> str:
+        return f"{self.token_id}@{CANARY_DOMAIN}"
+
+
+class TokenFactory:
+    """Mints unique tokens and the channel artifacts that carry them."""
+
+    def __init__(self, secret: str = "repro-canary") -> None:
+        self._secret = secret
+        self._counter = 0
+
+    def _mint_id(self, kind: TokenKind, context: str) -> str:
+        self._counter += 1
+        digest = hashlib.sha256(f"{self._secret}|{kind.value}|{context}|{self._counter}".encode()).hexdigest()
+        return digest[:20]
+
+    def mint(self, kind: TokenKind, context: str) -> CanaryToken:
+        return CanaryToken(token_id=self._mint_id(kind, context), kind=kind, context=context)
+
+    # -- artifacts -------------------------------------------------------------
+
+    def url_message(self, token: CanaryToken) -> str:
+        """Chat message carrying the canary URL."""
+        return f"check this out {token.trigger_url}"
+
+    def email_message(self, token: CanaryToken) -> str:
+        """Chat message carrying the canary email address."""
+        return f"hmu at {token.email_address} if you want in"
+
+    def word_attachment(self, token: CanaryToken, attachment_id: int) -> Attachment:
+        """A .docx whose metadata references a remote template (the beacon).
+
+        Opening the document in a rendering client fetches the template URL;
+        merely downloading the bytes does not.
+        """
+        return Attachment(
+            attachment_id=attachment_id,
+            filename="meeting-notes.docx",
+            content_type="application/vnd.openxmlformats-officedocument.wordprocessingml.document",
+            size=18_432,
+            content="PK\x03\x04 [word/document.xml] quarterly planning notes ...",
+            metadata={"template": token.trigger_url, "author": "jordan"},
+            remote_resources=[token.trigger_url],
+        )
+
+    def pdf_attachment(self, token: CanaryToken, attachment_id: int) -> Attachment:
+        """A PDF whose metadata embeds a remote resource beacon."""
+        return Attachment(
+            attachment_id=attachment_id,
+            filename="invoice-0042.pdf",
+            content_type="application/pdf",
+            size=24_117,
+            content="%PDF-1.7 ... /URI ...",
+            metadata={"uri": token.trigger_url, "producer": "repro-pdf"},
+            remote_resources=[token.trigger_url],
+        )

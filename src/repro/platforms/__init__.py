@@ -1,0 +1,18 @@
+"""Messaging-platform security profiles.
+
+The paper situates Discord against the other large chatbot platforms
+(Section 2 and Related Work): they share the same architecture — cloud-
+hosted third-party bots, OAuth access delegation, closed source — but
+differ in whether a **runtime policy enforcer** backs up OAuth, and in how
+strictly the marketplace vets apps.  These profiles make the comparison
+executable: build the same guild + bot on each posture and watch the
+permission re-delegation attack succeed or die.
+"""
+
+from repro.platforms.profiles import (
+    PLATFORM_PROFILES,
+    PlatformProfile,
+    make_platform,
+)
+
+__all__ = ["PLATFORM_PROFILES", "PlatformProfile", "make_platform"]

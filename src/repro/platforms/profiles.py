@@ -1,0 +1,89 @@
+"""Concrete platform postures and a factory for simulated instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.discordsim.platform import DiscordPlatform, PlatformPolicy
+from repro.web.network import VirtualClock
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """One platform's security-relevant traits, as the paper describes them.
+
+    - ``runtime_enforcer``: a second, platform-side access-control level
+      that checks the invoking user's permissions at runtime ([13]'s
+      "two-level access control system consisting of the OAuth protocol
+      and a runtime policy enforcer").
+    - ``marketplace_vetting``: whether apps pass review before users can
+      install them (Slack App Directory / Teams store), versus Discord's
+      community-run listing with no official marketplace.
+    - ``official_marketplace``: whether the platform itself hosts the
+      listing the measurement would crawl.
+    """
+
+    name: str
+    runtime_enforcer: bool
+    marketplace_vetting: bool
+    official_marketplace: bool
+    notes: str
+
+    def policy(self) -> PlatformPolicy:
+        return PlatformPolicy(
+            name=self.name,
+            runtime_user_permission_checks=self.runtime_enforcer,
+            vetting_review=self.marketplace_vetting,
+        )
+
+
+PLATFORM_PROFILES: dict[str, PlatformProfile] = {
+    "discord": PlatformProfile(
+        name="discord",
+        runtime_enforcer=False,
+        marketplace_vetting=False,
+        official_marketplace=False,
+        notes=(
+            "No official marketplace (bots found on top.gg); permission "
+            "checks on command invocations are entrusted to developers."
+        ),
+    ),
+    "slack": PlatformProfile(
+        name="slack",
+        runtime_enforcer=True,
+        marketplace_vetting=True,
+        official_marketplace=True,
+        notes="App Directory review plus a runtime policy enforcer.",
+    ),
+    "teams": PlatformProfile(
+        name="teams",
+        runtime_enforcer=True,
+        marketplace_vetting=True,
+        official_marketplace=True,
+        notes="Store review plus a runtime policy enforcer.",
+    ),
+    "telegram": PlatformProfile(
+        name="telegram",
+        runtime_enforcer=False,
+        marketplace_vetting=False,
+        official_marketplace=False,
+        notes="Open Bot API; no review gate, no runtime user checks.",
+    ),
+}
+
+
+def make_platform(profile_name: str, clock: VirtualClock | None = None, captcha_seed: int = 7) -> DiscordPlatform:
+    """Build a simulated platform instance with the named posture.
+
+    The guild/role/message substrate is shared; only the access-control
+    posture differs — which is precisely the paper's point that these
+    platforms "have a very similar architecture" yet diverge on
+    enforcement.
+    """
+    try:
+        profile = PLATFORM_PROFILES[profile_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform profile {profile_name!r}; options: {sorted(PLATFORM_PROFILES)}"
+        ) from None
+    return DiscordPlatform(clock, captcha_seed=captcha_seed, policy=profile.policy())

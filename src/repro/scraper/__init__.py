@@ -1,0 +1,26 @@
+"""The measurement scraper (the paper's Data Collection stage).
+
+Built on the Selenium-like :mod:`repro.web.browser`: a polite base scraper
+that rate-limits itself, mimics human pacing, solves captcha walls with the
+2Captcha client, and reacts to ``NoSuchElementException`` /
+``TimeoutException``; plus three site-specific crawlers (listing site,
+bot websites, GitHub).
+"""
+
+from repro.scraper.base import PoliteScraper, ScrapeStats, try_locators
+from repro.scraper.topgg import PermissionStatus, ScrapedBot, TopGGScraper
+from repro.scraper.website import PolicyFetchResult, WebsiteScraper
+from repro.scraper.github import RepoFetchResult, GitHubScraper
+
+__all__ = [
+    "GitHubScraper",
+    "PermissionStatus",
+    "PoliteScraper",
+    "PolicyFetchResult",
+    "RepoFetchResult",
+    "ScrapeStats",
+    "ScrapedBot",
+    "TopGGScraper",
+    "WebsiteScraper",
+    "try_locators",
+]

@@ -1,0 +1,169 @@
+"""Polite scraping base: pacing, retries, rate limits and captcha walls.
+
+Implements the methodology items verbatim: (i) limit the request rate,
+(ii) defeat captchas with 2Captcha, (iii) mimic human behaviour (jittered
+think time), (iv) handle and react to exceptions such as
+``NoSuchElementException`` and ``TimeoutException``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.web.browser import (
+    Browser,
+    By,
+    NoSuchElementException,
+    TimeoutException,
+    WebDriverException,
+    WebElement,
+)
+from repro.web.captcha import CaptchaError, TwoCaptchaClient
+from repro.web.http import Response
+from repro.web.network import VirtualInternet
+
+
+class RobotsDisallowedError(WebDriverException):
+    """The target path is disallowed by the host's robots.txt."""
+
+
+@dataclass
+class ScrapeStats:
+    """Counters for auditing a crawl."""
+
+    pages_fetched: int = 0
+    rate_limited: int = 0
+    captchas_seen: int = 0
+    captchas_solved: int = 0
+    transient_retries: int = 0
+    timeouts: int = 0
+    element_misses: int = 0
+
+
+@dataclass
+class ScraperConfig:
+    """Pacing and retry policy."""
+
+    min_think_time: float = 0.4
+    max_think_time: float = 1.6
+    page_load_timeout: float = 10.0
+    max_captcha_attempts: int = 3
+    max_transient_retries: int = 3
+    retry_backoff: float = 2.0
+    seed: int = 99
+    #: Fetch each host's robots.txt once and honour Crawl-delay/Disallow.
+    respect_robots: bool = True
+
+
+class PoliteScraper:
+    """Shared machinery for all site-specific scrapers."""
+
+    def __init__(
+        self,
+        internet: VirtualInternet,
+        solver: TwoCaptchaClient | None = None,
+        config: ScraperConfig | None = None,
+        client_id: str = "measurement-scraper",
+    ) -> None:
+        self.internet = internet
+        self.config = config or ScraperConfig()
+        self.browser = Browser(internet, client_id=client_id, page_load_timeout=self.config.page_load_timeout)
+        self.solver = solver
+        self.stats = ScrapeStats()
+        self._rng = random.Random(self.config.seed)
+        from repro.scraper.robots import RobotsCache
+
+        self._robots = RobotsCache()
+
+    # -- fetching --------------------------------------------------------------
+
+    def fetch(self, url: str) -> Response:
+        """Politely fetch ``url``, absorbing rate limits, captchas and 5xx.
+
+        Raises :class:`TimeoutException` for slow pages (callers classify
+        those), :class:`RobotsDisallowedError` for paths the host's
+        robots.txt forbids, and :class:`WebDriverException` for
+        unrecoverable failures.
+        """
+        from repro.web.http import Url
+
+        parsed = Url.parse(url)
+        extra_delay = 0.0
+        if self.config.respect_robots and parsed.is_absolute:
+            policy = self._robots.policy_for(self.browser.client, parsed.host)
+            if not policy.allows(parsed.path):
+                raise RobotsDisallowedError(f"robots.txt disallows {parsed.path} on {parsed.host}")
+            extra_delay = policy.crawl_delay
+        self._think(extra_delay)
+        response = self._navigate(url)
+        for _ in range(self.config.max_transient_retries + self.config.max_captcha_attempts):
+            if response.status == 429:
+                self.stats.rate_limited += 1
+                retry_after = float(response.headers.get("Retry-After") or self.config.retry_backoff)
+                self.internet.clock.sleep(retry_after + 0.1)
+                response = self._navigate(url)
+            elif response.status == 403 and self._looks_like_captcha():
+                response = self._clear_captcha(url)
+            elif response.status in (502, 503, 504):
+                self.stats.transient_retries += 1
+                self.internet.clock.sleep(self.config.retry_backoff)
+                response = self._navigate(url)
+            else:
+                break
+        self.stats.pages_fetched += 1
+        return response
+
+    def _navigate(self, url: str) -> Response:
+        try:
+            return self.browser.get(url)
+        except TimeoutException:
+            self.stats.timeouts += 1
+            raise
+
+    def _think(self, minimum: float = 0.0) -> None:
+        """Human-like pause between page loads (at least ``minimum``)."""
+        delay = self._rng.uniform(self.config.min_think_time, self.config.max_think_time)
+        self.internet.clock.sleep(max(delay, minimum))
+
+    # -- captcha handling ---------------------------------------------------------
+
+    def _looks_like_captcha(self) -> bool:
+        try:
+            self.browser.find_element(By.ID, "captcha-challenge")
+            return True
+        except NoSuchElementException:
+            return False
+
+    def _clear_captcha(self, url: str) -> Response:
+        """Extract the challenge, solve it with 2Captcha, retry the URL."""
+        self.stats.captchas_seen += 1
+        if self.solver is None:
+            raise WebDriverException("hit a captcha wall with no solver configured")
+        element = self.browser.find_element(By.ID, "captcha-challenge")
+        challenge_id = element.get_attribute("data-challenge-id") or ""
+        prompt = element.find_element(By.CSS_SELECTOR, "p.prompt").text
+        try:
+            answer = self.solver.solve_with_retries(prompt, attempts=self.config.max_captcha_attempts)
+        except CaptchaError as error:
+            raise WebDriverException(f"captcha solving failed: {error}") from error
+        self.stats.captchas_solved += 1
+        from repro.web.http import Url
+
+        retry_url = Url.parse(url).with_params(captcha_id=challenge_id, captcha_answer=answer)
+        return self._navigate(str(retry_url))
+
+
+def try_locators(browser_or_element, locators: list[tuple[str, str]]) -> WebElement | None:
+    """Return the first element matched by any locator, else ``None``.
+
+    This is how the scraper copes with the varying page structures: try the
+    variant-A locator, fall back to variant B, treat total absence as "the
+    attribute is not on this page".
+    """
+    for by, value in locators:
+        try:
+            return browser_or_element.find_element(by, value)
+        except NoSuchElementException:
+            continue
+    return None

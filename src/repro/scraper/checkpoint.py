@@ -1,0 +1,101 @@
+"""Crawl checkpointing: survive crashes mid-measurement.
+
+A full listing crawl covers >800 pages and tens of thousands of detail
+fetches; real campaigns get interrupted (bans, machine restarts, captcha
+budget exhaustion).  The checkpoint records completed pages and their
+scraped bots after every page, so a re-run resumes instead of re-crawling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.scraper.topgg import PermissionStatus, ScrapedBot
+
+CHECKPOINT_VERSION = 1
+
+
+def scraped_bot_to_dict(bot: ScrapedBot) -> dict:
+    return {
+        "listing_id": bot.listing_id,
+        "name": bot.name,
+        "developer_tag": bot.developer_tag,
+        "tags": list(bot.tags),
+        "description": bot.description,
+        "guild_count": bot.guild_count,
+        "votes": bot.votes,
+        "invite_url": bot.invite_url,
+        "website_url": bot.website_url,
+        "github_url": bot.github_url,
+        "built_with": bot.built_with,
+        "permission_status": bot.permission_status.value,
+        "permission_names": list(bot.permission_names),
+        "scope_names": list(bot.scope_names),
+    }
+
+
+def scraped_bot_from_dict(payload: dict) -> ScrapedBot:
+    return ScrapedBot(
+        listing_id=payload["listing_id"],
+        name=payload["name"],
+        developer_tag=payload["developer_tag"],
+        tags=tuple(payload["tags"]),
+        description=payload["description"],
+        guild_count=payload["guild_count"],
+        votes=payload["votes"],
+        invite_url=payload["invite_url"],
+        website_url=payload["website_url"],
+        github_url=payload["github_url"],
+        built_with=payload["built_with"],
+        permission_status=PermissionStatus(payload["permission_status"]),
+        permission_names=tuple(payload["permission_names"]),
+        scope_names=tuple(payload.get("scope_names", ())),
+    )
+
+
+@dataclass
+class CrawlCheckpoint:
+    """Persistent crawl progress."""
+
+    completed_pages: list[int] = field(default_factory=list)
+    bots: list[ScrapedBot] = field(default_factory=list)
+
+    def record_page(self, page_number: int, bots: list[ScrapedBot]) -> None:
+        self.completed_pages.append(page_number)
+        self.bots.extend(bots)
+
+    @property
+    def next_page(self) -> int:
+        return max(self.completed_pages, default=0) + 1
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "completed_pages": self.completed_pages,
+            "bots": [scraped_bot_to_dict(bot) for bot in self.bots],
+        }
+        # Write-then-rename so a crash mid-save never corrupts progress.
+        temporary = target.with_suffix(target.suffix + ".tmp")
+        temporary.write_text(json.dumps(payload))
+        temporary.replace(target)
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CrawlCheckpoint":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version: {payload.get('version')!r}")
+        return cls(
+            completed_pages=list(payload["completed_pages"]),
+            bots=[scraped_bot_from_dict(entry) for entry in payload["bots"]],
+        )
+
+    @classmethod
+    def load_or_empty(cls, path: str | Path) -> "CrawlCheckpoint":
+        target = Path(path)
+        if target.exists():
+            return cls.load(target)
+        return cls()

@@ -1,0 +1,75 @@
+"""GitHub crawler: code-section detection, language and source retrieval.
+
+Per the paper: "We built a Web scraper that visits the GitHub links ... to
+check for the presence of the GitHub code section.  If this is found, we
+then analyze the repository.  The scraper will then check for languages
+used for the code and extracts the first (main) language provided for the
+repository."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scraper.base import PoliteScraper
+from repro.web.browser import By, NoSuchElementException, TimeoutException, WebDriverException
+
+
+@dataclass
+class RepoFetchResult:
+    """Outcome of crawling one GitHub link."""
+
+    link_valid: bool  # resolved to a repository page with a code section
+    main_language: str | None = None
+    files: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def has_source_code(self) -> bool:
+        """True when the repo contains files in an identified language."""
+        return self.link_valid and self.main_language is not None
+
+
+class GitHubScraper(PoliteScraper):
+    """Crawl one repository link end to end."""
+
+    def fetch_repo(self, repo_url: str, download_files: bool = True) -> RepoFetchResult:
+        try:
+            response = self.fetch(repo_url)
+        except (TimeoutException, WebDriverException):
+            return RepoFetchResult(link_valid=False)
+        if response.status != 200:
+            return RepoFetchResult(link_valid=False)
+        # The code section is what distinguishes a repository page from a
+        # user profile / empty account page.
+        try:
+            self.browser.find_element(By.ID, "code-section")
+        except NoSuchElementException:
+            return RepoFetchResult(link_valid=False)
+        main_language = self._main_language()
+        result = RepoFetchResult(link_valid=True, main_language=main_language)
+        if download_files:
+            result.files = self._download_files(repo_url)
+        return result
+
+    def _main_language(self) -> str | None:
+        """The first (main) language in the repository's language bar."""
+        elements = self.browser.find_elements(By.CSS_SELECTOR, "span.language-name")
+        return elements[0].text if elements else None
+
+    def _download_files(self, repo_url: str) -> dict[str, str]:
+        links = [
+            (element.text, element.get_attribute("href"))
+            for element in self.browser.find_elements(By.CSS_SELECTOR, "a.file-link")
+        ]
+        files: dict[str, str] = {}
+        base = self.browser.current_url
+        for path, href in links:
+            if not href:
+                continue
+            try:
+                response = self.fetch(str(base.join(href)))
+            except (TimeoutException, WebDriverException):
+                continue
+            if response.status == 200:
+                files[path] = response.body
+        return files

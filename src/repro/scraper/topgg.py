@@ -1,0 +1,234 @@
+"""Listing-site crawler: the "top chatbot" traversal.
+
+Walks every page of the top list, opens every bot's detail page, extracts
+the metadata tuple the paper records (ID, name, URL, tags, permissions,
+guild count, description, GitHub link) and resolves each invite link to a
+consent page to read the requested permissions — classifying invalid
+invites exactly as the paper does (bad links, removed bots, slow-redirect
+timeouts).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.discordsim.permissions import Permissions
+from repro.scraper.base import PoliteScraper, try_locators
+from repro.web.browser import By, NoSuchElementException, TimeoutException
+
+TOPGG_BASE = "https://top.gg.sim"
+
+_NUMBER_PATTERN = re.compile(r"\d[\d,]*")
+
+
+class PermissionStatus(Enum):
+    """Outcome of resolving one invite link."""
+
+    VALID = "valid"
+    INVALID_LINK = "invalid_link"
+    REMOVED = "removed"
+    TIMEOUT = "timeout"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is PermissionStatus.VALID
+
+
+@dataclass
+class ScrapedBot:
+    """One bot's scraped metadata (the unit of all downstream analysis)."""
+
+    listing_id: int
+    name: str
+    developer_tag: str
+    tags: tuple[str, ...]
+    description: str
+    guild_count: int
+    votes: int
+    invite_url: str | None
+    website_url: str | None
+    github_url: str | None
+    built_with: str | None
+    permission_status: PermissionStatus = PermissionStatus.INVALID_LINK
+    permission_names: tuple[str, ...] = ()
+    scope_names: tuple[str, ...] = ()
+
+    @property
+    def permissions(self) -> Permissions:
+        return Permissions.from_names(self.permission_names)
+
+    @property
+    def has_valid_permissions(self) -> bool:
+        return self.permission_status.is_valid
+
+
+@dataclass
+class CrawlResult:
+    bots: list[ScrapedBot] = field(default_factory=list)
+    pages_traversed: int = 0
+
+    def with_valid_permissions(self) -> list[ScrapedBot]:
+        return [bot for bot in self.bots if bot.has_valid_permissions]
+
+
+class TopGGScraper(PoliteScraper):
+    """Crawl the listing site end to end."""
+
+    def crawl(
+        self,
+        max_pages: int | None = None,
+        resolve_permissions: bool = True,
+        checkpoint_path: str | None = None,
+    ) -> CrawlResult:
+        """Traverse the top list; optionally resolve invite permissions.
+
+        With ``checkpoint_path``, progress is persisted after every page and
+        an interrupted crawl resumes from the last completed page.
+        """
+        checkpoint = None
+        result = CrawlResult()
+        page_number = 1
+        if checkpoint_path is not None:
+            from repro.scraper.checkpoint import CrawlCheckpoint
+
+            checkpoint = CrawlCheckpoint.load_or_empty(checkpoint_path)
+            result.bots.extend(checkpoint.bots)
+            result.pages_traversed = len(checkpoint.completed_pages)
+            page_number = checkpoint.next_page
+        while True:
+            if max_pages is not None and page_number > max_pages:
+                break
+            listing_ids = self._scrape_list_page(page_number)
+            if listing_ids is None:
+                break
+            result.pages_traversed += 1
+            page_bots: list[ScrapedBot] = []
+            for listing_id in listing_ids:
+                bot = self.scrape_bot(listing_id)
+                if bot is None:
+                    continue
+                if resolve_permissions:
+                    self.resolve_permissions(bot)
+                page_bots.append(bot)
+            result.bots.extend(page_bots)
+            if checkpoint is not None and checkpoint_path is not None:
+                checkpoint.record_page(page_number, page_bots)
+                checkpoint.save(checkpoint_path)
+            page_number += 1
+        return result
+
+    # -- list pages -------------------------------------------------------------
+
+    def _scrape_list_page(self, page_number: int) -> list[int] | None:
+        """Return listing ids on one page, or None when pagination ends."""
+        response = self.fetch(f"{TOPGG_BASE}/list/top?page={page_number}")
+        if response.status == 404:
+            return None
+        ids: list[int] = []
+        # Variant A: <a class="bot-link" href="/bot/{id}">
+        for element in self.browser.find_elements(By.CSS_SELECTOR, "a.bot-link"):
+            href = element.get_attribute("href") or ""
+            match = re.search(r"/bot/(\d+)", href)
+            if match:
+                ids.append(int(match.group(1)))
+        # Variant B: <a data-bot-id="{id}">
+        for element in self.browser.find_elements(By.CSS_SELECTOR, "a[data-bot-id]"):
+            value = element.get_attribute("data-bot-id")
+            if value and value.isdigit():
+                ids.append(int(value))
+        if not ids:
+            self.stats.element_misses += 1
+            return None
+        return ids
+
+    # -- detail pages --------------------------------------------------------------
+
+    def scrape_bot(self, listing_id: int) -> ScrapedBot | None:
+        """Extract one bot's metadata from its detail page."""
+        response = self.fetch(f"{TOPGG_BASE}/bot/{listing_id}")
+        if response.status != 200:
+            return None
+        browser = self.browser
+        try:
+            name = browser.find_element(By.CSS_SELECTOR, "h1.bot-title").text
+        except NoSuchElementException:
+            self.stats.element_misses += 1
+            return None
+        developer = try_locators(browser, [(By.CSS_SELECTOR, "span.dev-tag")])
+        description = try_locators(browser, [(By.CSS_SELECTOR, "p.description")])
+        guilds = try_locators(
+            browser,
+            [(By.ID, "guild-count"), (By.CSS_SELECTOR, "span.stat-guilds")],
+        )
+        votes = try_locators(
+            browser,
+            [(By.ID, "votes"), (By.CSS_SELECTOR, "span.stat-votes")],
+        )
+        invite = try_locators(
+            browser,
+            [(By.ID, "invite-button"), (By.CSS_SELECTOR, "a.invite-link")],
+        )
+        website = try_locators(browser, [(By.ID, "website-link"), (By.CSS_SELECTOR, "a[rel=website]")])
+        github = try_locators(browser, [(By.ID, "github-link"), (By.CSS_SELECTOR, "a[rel=github]")])
+        built_with = try_locators(browser, [(By.CSS_SELECTOR, "p.built-with")])
+        tags = tuple(element.text for element in browser.find_elements(By.CSS_SELECTOR, "span.tag"))
+        return ScrapedBot(
+            listing_id=listing_id,
+            name=name,
+            developer_tag=developer.text if developer else "",
+            tags=tags,
+            description=description.text if description else "",
+            guild_count=_parse_number(guilds.text if guilds else ""),
+            votes=_parse_number(votes.text if votes else ""),
+            invite_url=invite.get_attribute("href") if invite else None,
+            website_url=website.get_attribute("href") if website else None,
+            github_url=github.get_attribute("href") if github else None,
+            built_with=_parse_built_with(built_with.text if built_with else ""),
+        )
+
+    # -- invite resolution ------------------------------------------------------------
+
+    def resolve_permissions(self, bot: ScrapedBot) -> PermissionStatus:
+        """Follow the invite link and read permissions off the consent page."""
+        if not bot.invite_url:
+            bot.permission_status = PermissionStatus.INVALID_LINK
+            return bot.permission_status
+        try:
+            response = self.fetch(bot.invite_url)
+        except TimeoutException:
+            bot.permission_status = PermissionStatus.TIMEOUT
+            return bot.permission_status
+        if response.status == 404:
+            bot.permission_status = PermissionStatus.REMOVED
+            return bot.permission_status
+        if response.status != 200:
+            bot.permission_status = PermissionStatus.INVALID_LINK
+            return bot.permission_status
+        items = self.browser.find_elements(By.CSS_SELECTOR, "ul#permission-list li.permission-item")
+        bot.permission_names = tuple(item.text for item in items)
+        bot.scope_names = self._parse_scopes()
+        bot.permission_status = PermissionStatus.VALID
+        return bot.permission_status
+
+    def _parse_scopes(self) -> tuple[str, ...]:
+        """Read the OAuth scopes off the consent page ("Scopes: bot, ...")."""
+        element = try_locators(self.browser, [(By.CSS_SELECTOR, "p.scopes")])
+        if element is None:
+            return ()
+        text = element.text
+        _, _, listing = text.partition(":")
+        return tuple(scope.strip() for scope in listing.split(",") if scope.strip())
+
+
+def _parse_number(text: str) -> int:
+    match = _NUMBER_PATTERN.search(text)
+    return int(match.group(0).replace(",", "")) if match else 0
+
+
+def _parse_built_with(text: str) -> str | None:
+    prefix = "Built with "
+    if text.startswith(prefix):
+        return text[len(prefix):]
+    return text or None

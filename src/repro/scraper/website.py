@@ -1,0 +1,89 @@
+"""Bot-website crawler: privacy-policy discovery.
+
+The paper automates policy discovery "using the Selenium Python framework
+and leveraging element locators": visit the bot's website, hunt for a
+privacy-policy link across the structural variants, follow it, and record
+whether a valid policy page exists.  "If the website link is not available
+and a privacy policy is not found, we assume broken traceability."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scraper.base import PoliteScraper
+from repro.web.browser import By, NoSuchElementException, TimeoutException, WebDriverException
+
+
+@dataclass
+class PolicyFetchResult:
+    """Outcome of hunting one bot's privacy policy."""
+
+    website_reachable: bool
+    policy_link_found: bool
+    policy_page_valid: bool
+    policy_text: str = ""
+
+
+#: Anchor texts that advertise a privacy policy.
+_POLICY_LINK_TEXTS = ("Privacy Policy", "privacy", "Privacy")
+#: Anchor texts that lead to an intermediate legal page.
+_LEGAL_LINK_TEXTS = ("Legal", "legal")
+
+
+class WebsiteScraper(PoliteScraper):
+    """Find and fetch privacy policies from bot websites."""
+
+    def fetch_policy(self, website_url: str) -> PolicyFetchResult:
+        try:
+            response = self.fetch(website_url)
+        except (TimeoutException, WebDriverException):
+            return PolicyFetchResult(False, False, False)
+        if response.status != 200:
+            return PolicyFetchResult(False, False, False)
+        policy_href = self._find_policy_href()
+        if policy_href is None:
+            legal_href = self._find_link_by_texts(_LEGAL_LINK_TEXTS)
+            if legal_href is not None:
+                try:
+                    self.fetch(str(self.browser.current_url.join(legal_href)))
+                except (TimeoutException, WebDriverException):
+                    return PolicyFetchResult(True, False, False)
+                policy_href = self._find_policy_href()
+        if policy_href is None:
+            return PolicyFetchResult(True, False, False)
+        policy_url = str(self.browser.current_url.join(policy_href))
+        try:
+            response = self.fetch(policy_url)
+        except (TimeoutException, WebDriverException):
+            return PolicyFetchResult(True, True, False)
+        if response.status != 200:
+            return PolicyFetchResult(True, True, False)
+        text = self._extract_policy_text()
+        return PolicyFetchResult(True, True, bool(text), policy_text=text)
+
+    # -- element location ----------------------------------------------------
+
+    def _find_policy_href(self) -> str | None:
+        return self._find_link_by_texts(_POLICY_LINK_TEXTS)
+
+    def _find_link_by_texts(self, texts: tuple[str, ...]) -> str | None:
+        for text in texts:
+            try:
+                element = self.browser.find_element(By.LINK_TEXT, text)
+            except NoSuchElementException:
+                continue
+            href = element.get_attribute("href")
+            if href:
+                return href
+        return None
+
+    def _extract_policy_text(self) -> str:
+        try:
+            return self.browser.find_element(By.ID, "policy").text
+        except NoSuchElementException:
+            # Fall back to the whole body for unconventional layouts.
+            try:
+                return self.browser.find_element(By.CSS_SELECTOR, "body").text
+            except NoSuchElementException:
+                return ""

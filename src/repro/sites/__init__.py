@@ -1,0 +1,22 @@
+"""Virtual web properties the measurement pipeline visits.
+
+- :mod:`repro.sites.discordweb` — ``discord.sim``: OAuth consent pages
+  (where invite-link permissions are read), including the broken/slow
+  invite behaviours behind the paper's "26% invalid permissions".
+- :mod:`repro.sites.github` — ``github.sim``: repository pages, language
+  stats, raw file access, user profiles.
+- :mod:`repro.sites.botwebsites` — per-bot developer websites hosting
+  privacy policies behind varying page structures.
+"""
+
+from repro.sites.discordweb import DiscordWebsite, SLOW_CDN_HOSTNAME
+from repro.sites.github import GitHubSite
+from repro.sites.botwebsites import BotWebsiteBuilder, WEBSITE_VARIANTS
+
+__all__ = [
+    "BotWebsiteBuilder",
+    "DiscordWebsite",
+    "GitHubSite",
+    "SLOW_CDN_HOSTNAME",
+    "WEBSITE_VARIANTS",
+]

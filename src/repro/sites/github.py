@@ -1,0 +1,110 @@
+"""``github.sim`` — the source-hosting site the code analysis crawls.
+
+Serves, per repository: a repo page with a *code section* (file list) and a
+language bar; raw file contents; and user-profile pages for links that do
+not point at a repository at all (the paper's invalid-link classes).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ecosystem.generator import Ecosystem
+from repro.ecosystem.repos import RepoKind, RepoSpec
+from repro.web.http import Request, Response
+from repro.web.network import VirtualInternet
+from repro.web.server import VirtualHost
+
+GITHUB_HOSTNAME = "github.sim"
+
+
+class GitHubSite:
+    """Builds and registers the ``github.sim`` host for an ecosystem."""
+
+    def __init__(self, ecosystem: Ecosystem) -> None:
+        self._repos: dict[tuple[str, str], RepoSpec] = {}
+        self._profiles: dict[str, list[RepoSpec]] = defaultdict(list)
+        self._profile_kinds: dict[str, RepoKind] = {}
+        for bot in ecosystem.bots:
+            spec = bot.github
+            if spec is None:
+                continue
+            if spec.kind in (RepoKind.VALID_CODE, RepoKind.README_ONLY):
+                self._repos[(spec.owner, spec.name)] = spec
+                self._profiles[spec.owner].append(spec)
+            elif spec.kind in (RepoKind.USER_PROFILE, RepoKind.NO_REPOSITORIES, RepoKind.NO_PUBLIC_REPOSITORIES):
+                self._profile_kinds.setdefault(spec.owner, spec.kind)
+        self.host = VirtualHost(GITHUB_HOSTNAME)
+        self.host.add_route("/{owner}/{repo}/raw/main/{*path}", self._raw_file)
+        self.host.add_route("/{owner}/{repo}", self._repo_page)
+        self.host.add_route("/{owner}", self._profile_page)
+
+    def register(self, internet: VirtualInternet) -> None:
+        internet.register(GITHUB_HOSTNAME, self.host)
+
+    # -- routes -----------------------------------------------------------
+
+    def _repo_page(self, request: Request, owner: str, repo: str) -> Response:
+        spec = self._repos.get((owner, repo))
+        if spec is None:
+            return Response.html(_not_found_page(), status=404)
+        file_rows = "".join(
+            f'<div class="file-row"><a class="file-link" href="/{owner}/{repo}/raw/main/{path}">{path}</a></div>'
+            for path in sorted(spec.files)
+        )
+        language_rows = ""
+        if spec.language_breakdown:
+            ordered = sorted(spec.language_breakdown.items(), key=lambda item: item[1], reverse=True)
+            language_rows = "".join(
+                f'<li class="language"><span class="language-name">{language}</span>'
+                f'<span class="language-percent">{share * 100:.1f}%</span></li>'
+                for language, share in ordered
+            )
+        languages_section = (
+            f'<div id="languages"><h2>Languages</h2><ul>{language_rows}</ul></div>' if language_rows else ""
+        )
+        body = (
+            f"<html><head><title>{owner}/{repo}</title></head><body>"
+            f'<h1 id="repo-title">{owner}/{repo}</h1>'
+            f'<div id="code-section"><h2>Files</h2>{file_rows}</div>'
+            f"{languages_section}"
+            "</body></html>"
+        )
+        return Response.html(body)
+
+    def _raw_file(self, request: Request, owner: str, repo: str, path: str) -> Response:
+        spec = self._repos.get((owner, repo))
+        if spec is None or path not in spec.files:
+            return Response.text("404: Not Found", status=404)
+        return Response.text(spec.files[path])
+
+    def _profile_page(self, request: Request, owner: str) -> Response:
+        repos = self._profiles.get(owner)
+        kind = self._profile_kinds.get(owner)
+        if repos:
+            rows = "".join(
+                f'<li class="repo"><a class="repo-link" href="/{spec.owner}/{spec.name}">{spec.name}</a></li>'
+                for spec in repos
+            )
+            body = (
+                f"<html><head><title>{owner}</title></head><body>"
+                f'<h1 class="profile-name">{owner}</h1><ul id="repo-list">{rows}</ul></body></html>'
+            )
+            return Response.html(body)
+        if kind is RepoKind.NO_PUBLIC_REPOSITORIES:
+            message = f"{owner} has no public repositories."
+        elif kind is RepoKind.NO_REPOSITORIES:
+            message = f"{owner} doesn't have any repositories yet."
+        elif kind is RepoKind.USER_PROFILE:
+            message = f"{owner} — just a profile."
+        else:
+            return Response.html(_not_found_page(), status=404)
+        body = (
+            f"<html><head><title>{owner}</title></head><body>"
+            f'<h1 class="profile-name">{owner}</h1><p class="empty-profile">{message}</p></body></html>'
+        )
+        return Response.html(body)
+
+
+def _not_found_page() -> str:
+    return "<html><head><title>Page not found</title></head><body><h1>404</h1></body></html>"

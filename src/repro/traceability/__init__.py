@@ -1,0 +1,39 @@
+"""Keyword-based privacy-policy traceability analysis (Section 3).
+
+Classifies each chatbot's disclosure practice as *complete* (all four data
+practices — Collect, Use, Retain, Disclose — are described), *partial* (some
+are), or *broken* (no policy at all, or a policy describing none).
+"""
+
+from repro.traceability.keywords import (
+    CATEGORIES,
+    KEYWORD_FAMILIES,
+    KeywordFamily,
+    categories_in_text,
+)
+from repro.traceability.analyzer import (
+    TraceabilityAnalyzer,
+    TraceabilityClass,
+    TraceabilityResult,
+)
+from repro.traceability.validation import ManualReviewValidator, ValidationReport
+from repro.traceability.mlmodel import (
+    NaiveBayesTraceability,
+    build_labelled_corpus,
+    keyword_baseline_evaluation,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "KEYWORD_FAMILIES",
+    "KeywordFamily",
+    "ManualReviewValidator",
+    "NaiveBayesTraceability",
+    "TraceabilityAnalyzer",
+    "TraceabilityClass",
+    "TraceabilityResult",
+    "ValidationReport",
+    "build_labelled_corpus",
+    "categories_in_text",
+    "keyword_baseline_evaluation",
+]

@@ -1,0 +1,118 @@
+"""Traceability classification: complete / partial / broken.
+
+"When a privacy policy explains how data is collected, used, retained and
+disclosed we say that the policy is complete.  When any of the keyword-set
+is described, we say that the policy is partial, and broken when none."
+A missing website, missing policy link, or dead policy page is broken
+traceability by definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.discordsim.permissions import Permission, Permissions
+from repro.traceability.keywords import (
+    CATEGORIES,
+    categories_in_text,
+    keyword_hits,
+    mentions_ecosystem_data,
+)
+
+
+class TraceabilityClass(Enum):
+    COMPLETE = "complete"
+    PARTIAL = "partial"
+    BROKEN = "broken"
+
+
+#: Permissions that grant access to user data, with the data type they
+#: expose — used to report which data grants a policy leaves undisclosed.
+DATA_PERMISSIONS: dict[Permission, str] = {
+    Permission.VIEW_CHANNEL: "message content",
+    Permission.READ_MESSAGE_HISTORY: "message history",
+    Permission.CONNECT: "voice metadata",
+    Permission.SPEAK: "voice metadata",
+    Permission.VIEW_AUDIT_LOG: "moderation activity",
+    Permission.MANAGE_NICKNAMES: "member identity",
+    Permission.ADMINISTRATOR: "all channel and member data",
+    Permission.VIEW_GUILD_INSIGHTS: "guild analytics",
+}
+
+
+@dataclass
+class TraceabilityResult:
+    """Classification of one bot's disclosure practice."""
+
+    bot_name: str
+    classification: TraceabilityClass
+    categories_found: frozenset[str] = frozenset()
+    has_website: bool = False
+    has_policy_link: bool = False
+    policy_page_valid: bool = False
+    generic_policy: bool = False
+    undisclosed_data_permissions: tuple[str, ...] = ()
+    keyword_evidence: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def is_broken(self) -> bool:
+        return self.classification is TraceabilityClass.BROKEN
+
+
+class TraceabilityAnalyzer:
+    """Keyword-based traceability, as in the paper's Section 3."""
+
+    def classify_text(self, policy_text: str) -> tuple[TraceabilityClass, frozenset[str]]:
+        """Classify raw policy text (empty text is broken)."""
+        if not policy_text.strip():
+            return TraceabilityClass.BROKEN, frozenset()
+        found = frozenset(categories_in_text(policy_text))
+        if found == frozenset(CATEGORIES):
+            return TraceabilityClass.COMPLETE, found
+        if found:
+            return TraceabilityClass.PARTIAL, found
+        return TraceabilityClass.BROKEN, found
+
+    def analyze(
+        self,
+        bot_name: str,
+        permissions: Permissions,
+        has_website: bool,
+        has_policy_link: bool,
+        policy_page_valid: bool,
+        policy_text: str = "",
+    ) -> TraceabilityResult:
+        """Full per-bot analysis combining crawl outcome and text analysis."""
+        if not (has_website and has_policy_link and policy_page_valid):
+            classification, found = TraceabilityClass.BROKEN, frozenset()
+            evidence: dict[str, list[str]] = {}
+            generic = False
+        else:
+            classification, found = self.classify_text(policy_text)
+            evidence = keyword_hits(policy_text)
+            generic = not mentions_ecosystem_data(policy_text)
+        undisclosed = self._undisclosed(permissions, found)
+        return TraceabilityResult(
+            bot_name=bot_name,
+            classification=classification,
+            categories_found=found,
+            has_website=has_website,
+            has_policy_link=has_policy_link,
+            policy_page_valid=policy_page_valid,
+            generic_policy=generic,
+            undisclosed_data_permissions=undisclosed,
+            keyword_evidence=evidence,
+        )
+
+    @staticmethod
+    def _undisclosed(permissions: Permissions, categories_found: frozenset[str]) -> tuple[str, ...]:
+        """Data-granting permissions with no collection disclosure at all."""
+        if "collect" in categories_found:
+            return ()
+        exposed = {
+            data_type
+            for permission, data_type in DATA_PERMISSIONS.items()
+            if permissions.has_exactly(permission)
+        }
+        return tuple(sorted(exposed))

@@ -1,0 +1,123 @@
+"""The keyword taxonomy for data-practice detection.
+
+Following the paper's method: four practice families — **Collect**, **Use**,
+**Retain**, **Disclose** — each expanded with synonyms and with terms "akin
+to the chatbot ecosystem obtained from existing chatbot permissions and
+privacy policies".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: Canonical category names, in the order the paper lists them.
+CATEGORIES: tuple[str, ...] = ("collect", "use", "retain", "disclose")
+
+
+@dataclass(frozen=True)
+class KeywordFamily:
+    """One data-practice category and the keywords that signal it.
+
+    ``keywords`` match with any suffix (``retain`` hits ``retains`` /
+    ``retained`` / ``retention``); ``exact_keywords`` only admit verb
+    inflections (``use`` hits ``uses``/``used``/``using`` but **not**
+    ``user`` or ``usage`` — the kind of stemming false positive the paper's
+    Section 5 warns about).
+    """
+
+    category: str
+    keywords: tuple[str, ...]
+    exact_keywords: tuple[str, ...] = ()
+
+    def pattern(self) -> re.Pattern[str]:
+        parts: list[str] = []
+        if self.keywords:
+            alternatives = "|".join(
+                re.escape(keyword) for keyword in sorted(self.keywords, key=len, reverse=True)
+            )
+            parts.append(rf"\b(?:{alternatives})\w*\b")
+        if self.exact_keywords:
+            alternatives = "|".join(
+                re.escape(keyword) for keyword in sorted(self.exact_keywords, key=len, reverse=True)
+            )
+            parts.append(rf"\b(?:{alternatives})(?:s|d|ed|ing)?\b")
+        return re.compile("|".join(parts), re.IGNORECASE)
+
+
+KEYWORD_FAMILIES: dict[str, KeywordFamily] = {
+    "collect": KeywordFamily(
+        "collect",
+        (
+            "collect", "gather", "acquire", "obtain", "receive", "record",
+            "capture", "harvest", "request access to",
+        ),
+        exact_keywords=("log",),
+    ),
+    "use": KeywordFamily(
+        "use",
+        (
+            "process", "analyze", "analyse", "utilize", "utilise",
+            "personalize", "personalise", "improve our service", "operate",
+        ),
+        exact_keywords=("use",),
+    ),
+    "retain": KeywordFamily(
+        "retain",
+        (
+            "retain", "store", "save", "keep", "remember", "archive",
+            "persist", "database", "retention period", "delete after",
+        ),
+    ),
+    "disclose": KeywordFamily(
+        "disclose",
+        (
+            "disclose", "share", "transfer", "sell", "third party",
+            "third-party", "third parties", "provide to", "partner",
+            "affiliate",
+        ),
+    ),
+}
+
+#: Data types specific to the messaging-chatbot ecosystem (used to judge
+#: whether a policy is tailored to it or generic boilerplate).
+ECOSYSTEM_DATA_TERMS: tuple[str, ...] = (
+    "message content", "message metadata", "voice metadata", "guild",
+    "server id", "channel", "user id", "username", "discriminator",
+    "role", "command usage", "email address", "avatar",
+)
+
+_ECOSYSTEM_PATTERN = re.compile(
+    "|".join(re.escape(term) for term in sorted(ECOSYSTEM_DATA_TERMS, key=len, reverse=True)),
+    re.IGNORECASE,
+)
+
+_COMPILED = {name: family.pattern() for name, family in KEYWORD_FAMILIES.items()}
+
+
+def categories_in_text(text: str) -> set[str]:
+    """Which of the four data-practice categories ``text`` describes."""
+    found: set[str] = set()
+    for name, pattern in _COMPILED.items():
+        if pattern.search(text):
+            found.add(name)
+    return found
+
+
+def keyword_hits(text: str) -> dict[str, list[str]]:
+    """Per-category list of matched keyword occurrences (for reports)."""
+    hits: dict[str, list[str]] = {}
+    for name, pattern in _COMPILED.items():
+        matches = pattern.findall(text)
+        if matches:
+            hits[name] = matches
+    return hits
+
+
+def mentions_ecosystem_data(text: str) -> bool:
+    """True if the policy names chatbot-ecosystem data types.
+
+    The paper observed that most present policies are generic and "not
+    tailored to this ecosystem" — this predicate operationalises that.
+    """
+    return bool(_ECOSYSTEM_PATTERN.search(text))

@@ -1,0 +1,212 @@
+"""Learned traceability classification (the paper's proposed ML direction).
+
+Section 5: "Exploring ML techniques for the analysis would be an
+interesting research direction, as it has been done for voice assistants."
+This module implements that direction with a dependency-free multi-label
+Naive Bayes text classifier: one binary NB per data-practice category,
+trained on labelled policy texts.  Unlike the keyword method it can learn
+synonyms outside the hand-curated families (see
+:data:`repro.ecosystem.policies.UNLISTED_SYNONYM_SENTENCES`), which is what
+the ablation benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.traceability.keywords import CATEGORIES
+
+_TOKEN_RE = re.compile(r"[a-z][a-z']+")
+
+#: Words too common to carry signal.
+_STOPWORDS = frozenset(
+    "the a an and or of to in on for with your you our we is are be may this that it its".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased word tokens, stopwords removed."""
+    return [token for token in _TOKEN_RE.findall(text.lower()) if token not in _STOPWORDS]
+
+
+@dataclass
+class _BinaryNB:
+    """Bernoulli-ish Naive Bayes with Laplace smoothing (token presence)."""
+
+    positive_docs: int = 0
+    negative_docs: int = 0
+    positive_counts: dict[str, int] = field(default_factory=dict)
+    negative_counts: dict[str, int] = field(default_factory=dict)
+    vocabulary: set[str] = field(default_factory=set)
+
+    def observe(self, tokens: set[str], label: bool) -> None:
+        if label:
+            self.positive_docs += 1
+            counts = self.positive_counts
+        else:
+            self.negative_docs += 1
+            counts = self.negative_counts
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+            self.vocabulary.add(token)
+
+    def log_odds(self, tokens: set[str]) -> float:
+        total = self.positive_docs + self.negative_docs
+        if not total or not self.positive_docs or not self.negative_docs:
+            # Degenerate training set: fall back to the prior.
+            return 1.0 if self.positive_docs and not self.negative_docs else -1.0
+        score = math.log(self.positive_docs / total) - math.log(self.negative_docs / total)
+        # Full Bernoulli NB: absent-but-discriminative tokens count too —
+        # without the absence terms the class prior swamps the evidence.
+        for token in self.vocabulary:
+            p_pos = (self.positive_counts.get(token, 0) + 1) / (self.positive_docs + 2)
+            p_neg = (self.negative_counts.get(token, 0) + 1) / (self.negative_docs + 2)
+            if token in tokens:
+                score += math.log(p_pos) - math.log(p_neg)
+            else:
+                score += math.log(1.0 - p_pos) - math.log(1.0 - p_neg)
+        return score
+
+    def predict(self, tokens: set[str]) -> bool:
+        return self.log_odds(tokens) > 0.0
+
+
+@dataclass
+class CategoryMetrics:
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass
+class EvaluationReport:
+    per_category: dict[str, CategoryMetrics]
+    exact_matches: int
+    total: int
+
+    @property
+    def subset_accuracy(self) -> float:
+        """Fraction of policies whose full category set was predicted."""
+        return self.exact_matches / self.total if self.total else 1.0
+
+    def macro_f1(self) -> float:
+        if not self.per_category:
+            return 0.0
+        return sum(metrics.f1 for metrics in self.per_category.values()) / len(self.per_category)
+
+
+class NaiveBayesTraceability:
+    """Multi-label policy classifier: one binary NB per category."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, _BinaryNB] = {category: _BinaryNB() for category in CATEGORIES}
+        self.trained_on = 0
+
+    def train(self, samples: list[tuple[str, frozenset[str] | set[str]]]) -> None:
+        """Fit on ``(policy_text, ground-truth categories)`` pairs."""
+        for text, categories in samples:
+            tokens = set(tokenize(text))
+            for category in CATEGORIES:
+                self._models[category].observe(tokens, category in categories)
+            self.trained_on += 1
+
+    def predict(self, text: str) -> frozenset[str]:
+        tokens = set(tokenize(text))
+        return frozenset(
+            category for category in CATEGORIES if self.trained_on and self._models[category].predict(tokens)
+        )
+
+    def classify(self, text: str) -> str:
+        """complete / partial / broken, mirroring the keyword analyzer."""
+        if not text.strip():
+            return "broken"
+        found = self.predict(text)
+        if found == frozenset(CATEGORIES):
+            return "complete"
+        return "partial" if found else "broken"
+
+    def evaluate(self, samples: list[tuple[str, frozenset[str] | set[str]]]) -> EvaluationReport:
+        per_category = {category: CategoryMetrics() for category in CATEGORIES}
+        exact = 0
+        for text, expected in samples:
+            predicted = self.predict(text)
+            if predicted == frozenset(expected):
+                exact += 1
+            for category in CATEGORIES:
+                in_expected, in_predicted = category in expected, category in predicted
+                if in_expected and in_predicted:
+                    per_category[category].true_positives += 1
+                elif in_predicted:
+                    per_category[category].false_positives += 1
+                elif in_expected:
+                    per_category[category].false_negatives += 1
+        return EvaluationReport(per_category=per_category, exact_matches=exact, total=len(samples))
+
+
+def keyword_baseline_evaluation(samples: list[tuple[str, frozenset[str] | set[str]]]) -> EvaluationReport:
+    """Evaluate the keyword method on the same footing (for comparisons)."""
+    from repro.traceability.keywords import categories_in_text
+
+    per_category = {category: CategoryMetrics() for category in CATEGORIES}
+    exact = 0
+    for text, expected in samples:
+        predicted = categories_in_text(text)
+        if frozenset(predicted) == frozenset(expected):
+            exact += 1
+        for category in CATEGORIES:
+            in_expected, in_predicted = category in expected, category in predicted
+            if in_expected and in_predicted:
+                per_category[category].true_positives += 1
+            elif in_predicted:
+                per_category[category].false_positives += 1
+            elif in_expected:
+                per_category[category].false_negatives += 1
+    return EvaluationReport(per_category=per_category, exact_matches=exact, total=len(samples))
+
+
+def build_labelled_corpus(
+    count: int,
+    seed: int,
+    unlisted_fraction: float = 0.0,
+) -> list[tuple[str, frozenset[str]]]:
+    """Generate a labelled policy corpus for training/evaluation.
+
+    ``unlisted_fraction`` controls how many policies use synonyms outside
+    the keyword families — the regime where the learned model earns its
+    keep.
+    """
+    import random
+
+    from repro.ecosystem.policies import PolicySpec, render_policy
+
+    rng = random.Random(seed)
+    corpus: list[tuple[str, frozenset[str]]] = []
+    for _ in range(count):
+        size = rng.choice([1, 2, 3, 4])
+        categories = frozenset(rng.sample(list(CATEGORIES), size))
+        spec = PolicySpec(
+            present=True,
+            categories=categories,
+            generic=rng.random() < 0.4,
+            tailored=rng.random() < 0.3,
+            unlisted_synonyms=rng.random() < unlisted_fraction,
+        )
+        corpus.append((render_policy(spec, "CorpusBot", rng), categories))
+    return corpus

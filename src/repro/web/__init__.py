@@ -1,0 +1,67 @@
+"""Virtual internet and scraping substrate.
+
+The paper's data collection is built on Selenium driving a real browser over
+the real internet.  Offline, we reproduce the same *shape* of stack:
+
+- :mod:`repro.web.http` — URLs, headers, requests and responses.
+- :mod:`repro.web.network` — a :class:`VirtualInternet` that routes requests
+  to registered :class:`~repro.web.server.VirtualHost` instances under a
+  :class:`VirtualClock`, with latency and failure injection.
+- :mod:`repro.web.client` — an HTTP client with timeouts, retries, redirects
+  and cookies.
+- :mod:`repro.web.dom` — an HTML parser and CSS selector engine.
+- :mod:`repro.web.browser` — a Selenium-like driver (element locators,
+  explicit waits, the exception types the paper's scraper reacts to).
+- :mod:`repro.web.captcha` — captcha challenges plus a "2Captcha"-like
+  solving service.
+- :mod:`repro.web.antiscrape` — middleware implementing the anti-scraping
+  strategies the paper had to defeat.
+"""
+
+from repro.web.http import Headers, Request, Response, Url
+from repro.web.network import (
+    ConnectionFailedError,
+    NetworkError,
+    UnknownHostError,
+    VirtualClock,
+    VirtualInternet,
+)
+from repro.web.server import Route, VirtualHost
+from repro.web.client import HttpClient, RequestTimeoutError, TooManyRedirectsError
+from repro.web.dom import Element, parse_html, select
+from repro.web.browser import (
+    Browser,
+    By,
+    NoSuchElementException,
+    StaleElementReferenceException,
+    TimeoutException,
+    WebDriverException,
+    WebDriverWait,
+)
+
+__all__ = [
+    "Browser",
+    "By",
+    "ConnectionFailedError",
+    "Element",
+    "Headers",
+    "HttpClient",
+    "NetworkError",
+    "NoSuchElementException",
+    "Request",
+    "RequestTimeoutError",
+    "Response",
+    "Route",
+    "StaleElementReferenceException",
+    "TimeoutException",
+    "TooManyRedirectsError",
+    "UnknownHostError",
+    "Url",
+    "VirtualClock",
+    "VirtualHost",
+    "VirtualInternet",
+    "WebDriverException",
+    "WebDriverWait",
+    "parse_html",
+    "select",
+]

@@ -1,0 +1,185 @@
+"""Captcha challenges and a paid solving service.
+
+The paper's scraper meets two captcha deployments: the bot repository's
+anti-scraping wall and Google reCAPTCHA on Discord's bot-install flow.  Both
+were defeated with the commercial "2Captcha" service chosen for "its
+affordability and quick solving time".  We model captchas as small arithmetic
+challenges — enough structure for a solver to be genuinely *solving*
+something — and a :class:`TwoCaptchaClient` that charges per solve, takes
+simulated time, and occasionally fails.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.web.network import VirtualClock
+
+
+class CaptchaError(Exception):
+    """Base class for captcha failures."""
+
+
+class CaptchaSolveError(CaptchaError):
+    """The solving service returned a wrong answer or gave up."""
+
+
+class InsufficientBalanceError(CaptchaError):
+    """The solving-service account ran out of funds."""
+
+
+@dataclass
+class CaptchaChallenge:
+    """One issued challenge. ``prompt`` is what a page embeds."""
+
+    challenge_id: str
+    prompt: str
+    answer: str
+    issued_at: float
+
+
+@dataclass
+class CaptchaStats:
+    issued: int = 0
+    verified: int = 0
+    rejected: int = 0
+
+
+class CaptchaService:
+    """Issues and verifies arithmetic challenges (server side).
+
+    Challenges are single-use: verification consumes them, so replaying a
+    solved captcha does not grant a second clearance.
+    """
+
+    _OPERATORS = (("+", lambda a, b: a + b), ("-", lambda a, b: a - b), ("*", lambda a, b: a * b))
+
+    def __init__(self, clock: VirtualClock, seed: int = 0) -> None:
+        self.clock = clock
+        self._rng = random.Random(seed)
+        self._pending: dict[str, CaptchaChallenge] = {}
+        self._counter = 0
+        self.stats = CaptchaStats()
+
+    def issue(self) -> CaptchaChallenge:
+        self._counter += 1
+        a, b = self._rng.randint(2, 19), self._rng.randint(2, 9)
+        symbol, operation = self._rng.choice(self._OPERATORS)
+        challenge = CaptchaChallenge(
+            challenge_id=f"ch-{self._counter:08d}",
+            prompt=f"What is {a} {symbol} {b}?",
+            answer=str(operation(a, b)),
+            issued_at=self.clock.now(),
+        )
+        self._pending[challenge.challenge_id] = challenge
+        self.stats.issued += 1
+        return challenge
+
+    def verify(self, challenge_id: str, answer: str) -> bool:
+        challenge = self._pending.pop(challenge_id, None)
+        if challenge is not None and challenge.answer == str(answer).strip():
+            self.stats.verified += 1
+            return True
+        self.stats.rejected += 1
+        return False
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+@dataclass
+class SolveRecord:
+    prompt: str
+    answer: str
+    cost: float
+    duration: float
+    succeeded: bool
+
+
+class TwoCaptchaClient:
+    """Client for a commercial captcha-solving service.
+
+    Solving costs money (``price_per_solve``) and simulated time
+    (``solve_time`` seconds on the virtual clock).  With probability
+    ``1 - accuracy`` the human worker misreads the challenge and the client
+    raises :class:`CaptchaSolveError` after still charging the account —
+    exactly the economics a measurement team budgets for.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        balance: float = 50.0,
+        price_per_solve: float = 0.003,
+        solve_time: float = 8.0,
+        accuracy: float = 0.98,
+        seed: int = 0,
+    ) -> None:
+        self.clock = clock
+        self.balance = balance
+        self.price_per_solve = price_per_solve
+        self.solve_time = solve_time
+        self.accuracy = accuracy
+        self._rng = random.Random(seed)
+        self.history: list[SolveRecord] = []
+
+    @property
+    def total_spent(self) -> float:
+        return sum(record.cost for record in self.history)
+
+    @property
+    def solves_attempted(self) -> int:
+        return len(self.history)
+
+    def solve(self, prompt: str) -> str:
+        """Return the answer for an arithmetic ``prompt``.
+
+        Raises :class:`InsufficientBalanceError` when funds run out and
+        :class:`CaptchaSolveError` on a (charged) failed solve.
+        """
+        if self.balance < self.price_per_solve:
+            raise InsufficientBalanceError(f"balance {self.balance:.3f} below price {self.price_per_solve:.3f}")
+        self.balance -= self.price_per_solve
+        self.clock.sleep(self.solve_time)
+        answer = self._read_prompt(prompt)
+        succeeded = self._rng.random() < self.accuracy and answer is not None
+        self.history.append(
+            SolveRecord(
+                prompt=prompt,
+                answer=answer or "",
+                cost=self.price_per_solve,
+                duration=self.solve_time,
+                succeeded=succeeded,
+            )
+        )
+        if not succeeded:
+            raise CaptchaSolveError(f"worker failed to solve: {prompt!r}")
+        assert answer is not None
+        return answer
+
+    def solve_with_retries(self, prompt: str, attempts: int = 3) -> str:
+        """Retry failed solves; each attempt is charged."""
+        last: CaptchaSolveError | None = None
+        for _ in range(max(attempts, 1)):
+            try:
+                return self.solve(prompt)
+            except CaptchaSolveError as error:
+                last = error
+        assert last is not None
+        raise last
+
+    @staticmethod
+    def _read_prompt(prompt: str) -> str | None:
+        import re
+
+        match = re.search(r"(-?\d+)\s*([+\-*])\s*(-?\d+)", prompt)
+        if not match:
+            return None
+        a, symbol, b = int(match.group(1)), match.group(2), int(match.group(3))
+        if symbol == "+":
+            return str(a + b)
+        if symbol == "-":
+            return str(a - b)
+        return str(a * b)

@@ -1,0 +1,260 @@
+"""HTTP primitives for the virtual internet.
+
+These mirror the subset of HTTP semantics the measurement pipeline relies on:
+URL parsing/joining, case-insensitive headers, request/response records and
+the status codes used by the simulated sites (200, 3xx redirects, 403 captcha
+walls, 404, 429 rate limits, 5xx failures).
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+#: Reason phrases for the status codes the simulation uses.
+REASON_PHRASES: dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    307: "Temporary Redirect",
+    308: "Permanent Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    410: "Gone",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+REDIRECT_STATUSES = frozenset({301, 302, 303, 307, 308})
+
+
+class Url:
+    """A parsed URL.
+
+    Only ``http``/``https`` URLs appear on the virtual internet; the scheme is
+    carried through but does not change routing behaviour.
+    """
+
+    __slots__ = ("scheme", "host", "port", "path", "query", "fragment")
+
+    def __init__(
+        self,
+        scheme: str = "https",
+        host: str = "",
+        port: int | None = None,
+        path: str = "/",
+        query: str = "",
+        fragment: str = "",
+    ) -> None:
+        self.scheme = scheme
+        self.host = host
+        self.port = port
+        self.path = path or "/"
+        self.query = query
+        self.fragment = fragment
+
+    @classmethod
+    def parse(cls, raw: str) -> "Url":
+        """Parse an absolute or scheme-relative URL string."""
+        parts = urllib.parse.urlsplit(raw)
+        if not parts.netloc and not parts.scheme:
+            # A bare path such as "/bots/1" — host resolved at join time.
+            return cls(scheme="", host="", path=parts.path, query=parts.query, fragment=parts.fragment)
+        return cls(
+            scheme=parts.scheme or "https",
+            host=parts.hostname or "",
+            port=parts.port,
+            path=parts.path or "/",
+            query=parts.query,
+            fragment=parts.fragment,
+        )
+
+    def join(self, reference: str) -> "Url":
+        """Resolve ``reference`` against this URL (RFC 3986 resolution)."""
+        return Url.parse(urllib.parse.urljoin(str(self), reference))
+
+    @property
+    def is_absolute(self) -> bool:
+        return bool(self.host)
+
+    def query_params(self) -> dict[str, str]:
+        """Decode the query string into a flat ``dict`` (last value wins)."""
+        return dict(urllib.parse.parse_qsl(self.query, keep_blank_values=True))
+
+    def with_params(self, **params: str) -> "Url":
+        """Return a copy with ``params`` merged into the query string."""
+        merged = self.query_params()
+        merged.update({key: str(value) for key, value in params.items()})
+        return Url(
+            scheme=self.scheme,
+            host=self.host,
+            port=self.port,
+            path=self.path,
+            query=urllib.parse.urlencode(merged),
+            fragment=self.fragment,
+        )
+
+    def origin(self) -> str:
+        """Return ``scheme://host[:port]`` for same-origin comparisons."""
+        port = f":{self.port}" if self.port else ""
+        return f"{self.scheme}://{self.host}{port}"
+
+    def __str__(self) -> str:
+        port = f":{self.port}" if self.port else ""
+        query = f"?{self.query}" if self.query else ""
+        fragment = f"#{self.fragment}" if self.fragment else ""
+        scheme = f"{self.scheme}://" if self.scheme else ""
+        return f"{scheme}{self.host}{port}{self.path}{query}{fragment}"
+
+    def __repr__(self) -> str:
+        return f"Url({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Url):
+            return str(self) == str(other)
+        if isinstance(other, str):
+            return str(self) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+class Headers:
+    """Case-insensitive header map (single-valued, like the scraper needs)."""
+
+    def __init__(self, initial: Mapping[str, str] | None = None) -> None:
+        self._items: dict[str, tuple[str, str]] = {}
+        if initial:
+            for key, value in initial.items():
+                self[key] = value
+
+    def __getitem__(self, key: str) -> str:
+        return self._items[key.lower()][1]
+
+    def __setitem__(self, key: str, value: str) -> None:
+        self._items[key.lower()] = (key, str(value))
+
+    def __delitem__(self, key: str) -> None:
+        del self._items[key.lower()]
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and key.lower() in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return (original for original, _ in self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        entry = self._items.get(key.lower())
+        return entry[1] if entry else default
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        return ((original, value) for original, value in self._items.values())
+
+    def copy(self) -> "Headers":
+        clone = Headers()
+        clone._items = dict(self._items)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Headers({dict(self.items())!r})"
+
+
+@dataclass
+class Request:
+    """An HTTP request on the virtual internet.
+
+    ``client_id`` identifies the requesting agent (an IP-address stand-in)
+    and is what the anti-scraping middleware keys rate limits and captcha
+    state on.
+    """
+
+    method: str
+    url: Url
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+    client_id: str = "anonymous"
+
+    @property
+    def path(self) -> str:
+        return self.url.path
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """Return a query-string parameter."""
+        return self.url.query_params().get(name, default)
+
+    def cookie(self, name: str, default: str | None = None) -> str | None:
+        """Return a cookie value from the ``Cookie`` header."""
+        raw = self.headers.get("Cookie", "")
+        for chunk in raw.split(";"):
+            key, _, value = chunk.strip().partition("=")
+            if key == name:
+                return value
+        return default
+
+
+@dataclass
+class Response:
+    """An HTTP response.
+
+    ``url`` is filled in by the client with the *final* URL after redirects,
+    which is how the scraper detects slow/invalid invite redirects.
+    """
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body: str = ""
+    url: Url | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in REDIRECT_STATUSES and "Location" in self.headers
+
+    @property
+    def reason(self) -> str:
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    @property
+    def content_type(self) -> str:
+        return (self.headers.get("Content-Type") or "").split(";")[0].strip()
+
+    def set_cookie(self, name: str, value: str) -> None:
+        """Attach a ``Set-Cookie`` header (one cookie per response suffices)."""
+        self.headers["Set-Cookie"] = f"{name}={value}"
+
+    @classmethod
+    def html(cls, body: str, status: int = 200) -> "Response":
+        return cls(status=status, headers=Headers({"Content-Type": "text/html; charset=utf-8"}), body=body)
+
+    @classmethod
+    def text(cls, body: str, status: int = 200) -> "Response":
+        return cls(status=status, headers=Headers({"Content-Type": "text/plain; charset=utf-8"}), body=body)
+
+    @classmethod
+    def json(cls, body: str, status: int = 200) -> "Response":
+        return cls(status=status, headers=Headers({"Content-Type": "application/json"}), body=body)
+
+    @classmethod
+    def redirect(cls, location: str, status: int = 302) -> "Response":
+        return cls(status=status, headers=Headers({"Location": location}))
+
+    @classmethod
+    def not_found(cls, message: str = "Not Found") -> "Response":
+        return cls.text(message, status=404)

@@ -1,0 +1,180 @@
+"""The virtual internet: clock, host registry, latency and failure injection.
+
+The measurement pipeline never touches the real network.  Every site it
+visits — the bot repository, bot websites, the GitHub stand-in, the canary
+console — is a :class:`~repro.web.server.VirtualHost` registered here.
+
+Time is simulated by :class:`VirtualClock` so that timeout, rate-limit and
+latency behaviour is deterministic and tests run instantly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.web.http import Request, Response
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.web.server import VirtualHost
+
+
+class NetworkError(Exception):
+    """Base class for transport-level failures."""
+
+
+class UnknownHostError(NetworkError):
+    """DNS failure: no host registered under the requested name."""
+
+
+class ConnectionFailedError(NetworkError):
+    """The host is registered but refused or dropped the connection."""
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("the clock cannot run backwards")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Alias of :meth:`advance`; lets callers read naturally."""
+        self.advance(seconds)
+
+
+@dataclass
+class HostConditions:
+    """Per-host transport conditions, applied before the host sees a request.
+
+    ``base_latency`` is added to every exchange; ``latency_jitter`` adds a
+    uniform random component; ``failure_rate`` drops connections outright,
+    and ``extra_latency`` lets tests model persistently slow hosts (the
+    paper's "timed out due to slow redirect links").
+    """
+
+    base_latency: float = 0.05
+    latency_jitter: float = 0.0
+    failure_rate: float = 0.0
+    extra_latency: float = 0.0
+
+    def sample_latency(self, rng: random.Random) -> float:
+        jitter = rng.uniform(0.0, self.latency_jitter) if self.latency_jitter else 0.0
+        return self.base_latency + self.extra_latency + jitter
+
+
+@dataclass
+class ExchangeRecord:
+    """One request/response exchange, kept for politeness auditing."""
+
+    time: float
+    client_id: str
+    method: str
+    url: str
+    status: int
+    latency: float
+
+
+@dataclass
+class _HostEntry:
+    host: "VirtualHost"
+    conditions: HostConditions = field(default_factory=HostConditions)
+
+
+class VirtualInternet:
+    """Routes requests to registered hosts under simulated conditions.
+
+    The ethics note in the paper (crawl "at a rate that does not create any
+    disruption") is auditable here: :attr:`log` records every exchange with
+    its simulated timestamp.
+    """
+
+    def __init__(self, clock: VirtualClock | None = None, seed: int = 0) -> None:
+        self.clock = clock or VirtualClock()
+        self._hosts: dict[str, _HostEntry] = {}
+        self._rng = random.Random(seed)
+        self.log: list[ExchangeRecord] = []
+        self._observers: list[Callable[[ExchangeRecord], None]] = []
+
+    # -- registry ----------------------------------------------------------
+
+    def register(self, hostname: str, host: "VirtualHost", conditions: HostConditions | None = None) -> None:
+        """Register ``host`` under ``hostname`` (replaces any previous host)."""
+        self._hosts[hostname.lower()] = _HostEntry(host, conditions or HostConditions())
+
+    def unregister(self, hostname: str) -> None:
+        self._hosts.pop(hostname.lower(), None)
+
+    def knows(self, hostname: str) -> bool:
+        return hostname.lower() in self._hosts
+
+    def host(self, hostname: str) -> "VirtualHost":
+        try:
+            return self._hosts[hostname.lower()].host
+        except KeyError:
+            raise UnknownHostError(hostname) from None
+
+    def conditions(self, hostname: str) -> HostConditions:
+        try:
+            return self._hosts[hostname.lower()].conditions
+        except KeyError:
+            raise UnknownHostError(hostname) from None
+
+    def hostnames(self) -> list[str]:
+        return sorted(self._hosts)
+
+    # -- observation -------------------------------------------------------
+
+    def add_observer(self, callback: Callable[[ExchangeRecord], None]) -> None:
+        """Invoke ``callback`` for every completed exchange."""
+        self._observers.append(callback)
+
+    # -- exchange ----------------------------------------------------------
+
+    def exchange(self, request: Request) -> tuple[Response, float]:
+        """Deliver ``request`` and return ``(response, latency_seconds)``.
+
+        Raises :class:`UnknownHostError` or :class:`ConnectionFailedError`
+        on transport failure; the clock still advances in the failure case
+        (a dropped connection costs the caller time — this is what makes
+        client-side retry budgets meaningful).
+        """
+        hostname = request.url.host.lower()
+        if hostname not in self._hosts:
+            raise UnknownHostError(hostname or "<empty-host>")
+        entry = self._hosts[hostname]
+        latency = entry.conditions.sample_latency(self._rng)
+        self.clock.advance(latency)
+        if entry.conditions.failure_rate and self._rng.random() < entry.conditions.failure_rate:
+            raise ConnectionFailedError(hostname)
+        response = entry.host.handle(request, self)
+        record = ExchangeRecord(
+            time=self.clock.now(),
+            client_id=request.client_id,
+            method=request.method,
+            url=str(request.url),
+            status=response.status,
+            latency=latency,
+        )
+        self.log.append(record)
+        for observer in self._observers:
+            observer(record)
+        return response, latency
+
+    # -- auditing helpers ----------------------------------------------------
+
+    def request_rate(self, client_id: str, window: float) -> float:
+        """Requests per second issued by ``client_id`` over the trailing window."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        cutoff = self.clock.now() - window
+        count = sum(1 for record in self.log if record.client_id == client_id and record.time >= cutoff)
+        return count / window

@@ -1,0 +1,113 @@
+"""Virtual HTTP hosts: routing and middleware.
+
+A :class:`VirtualHost` is what gets registered on the
+:class:`~repro.web.network.VirtualInternet`.  Routes use ``{param}`` path
+segments; middleware wraps the route chain and is how
+:mod:`repro.web.antiscrape` injects rate limits and captcha walls.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from repro.web.http import Request, Response
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.web.network import VirtualInternet
+
+Handler = Callable[..., Response]
+
+
+class Middleware(Protocol):
+    """Middleware signature: may short-circuit or call ``next_handler``."""
+
+    def __call__(self, request: Request, next_handler: Callable[[Request], Response]) -> Response: ...
+
+
+@dataclass
+class Route:
+    """A compiled route: method + ``{param}`` pattern + handler."""
+
+    method: str
+    pattern: str
+    handler: Handler
+    regex: re.Pattern[str]
+
+    @classmethod
+    def compile(cls, method: str, pattern: str, handler: Handler) -> "Route":
+        """Compile a pattern.  ``{name}`` matches one segment; ``{*name}``
+        matches the rest of the path (slashes included)."""
+        parts: list[str] = []
+        for segment in re.split(r"(\{\*?[a-zA-Z_][a-zA-Z0-9_]*\})", pattern):
+            if segment.startswith("{*") and segment.endswith("}"):
+                parts.append(f"(?P<{segment[2:-1]}>.+)")
+            elif segment.startswith("{") and segment.endswith("}"):
+                parts.append(f"(?P<{segment[1:-1]}>[^/]+)")
+            else:
+                parts.append(re.escape(segment))
+        return cls(method=method.upper(), pattern=pattern, handler=handler, regex=re.compile("^" + "".join(parts) + "$"))
+
+    def match(self, method: str, path: str) -> dict[str, str] | None:
+        if method.upper() != self.method:
+            return None
+        found = self.regex.match(path)
+        return found.groupdict() if found else None
+
+
+class VirtualHost:
+    """A routable HTTP host with a middleware chain.
+
+    Subclasses (or callers) register handlers with :meth:`route`; handlers
+    receive ``(request, **path_params)`` and return a
+    :class:`~repro.web.http.Response`.
+    """
+
+    def __init__(self, name: str = "host") -> None:
+        self.name = name
+        self._routes: list[Route] = []
+        self._middleware: list[Middleware] = []
+        self.requests_served = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def route(self, pattern: str, method: str = "GET") -> Callable[[Handler], Handler]:
+        """Decorator form: ``@host.route("/bots/{bot_id}")``."""
+
+        def register(handler: Handler) -> Handler:
+            self.add_route(pattern, handler, method=method)
+            return handler
+
+        return register
+
+    def add_route(self, pattern: str, handler: Handler, method: str = "GET") -> None:
+        self._routes.append(Route.compile(method, pattern, handler))
+
+    def add_middleware(self, middleware: Middleware) -> None:
+        """Append middleware; the first added runs outermost."""
+        self._middleware.append(middleware)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle(self, request: Request, internet: "VirtualInternet | None" = None) -> Response:
+        """Run the middleware chain and dispatch to the matching route."""
+        self.requests_served += 1
+        handler: Callable[[Request], Response] = self._dispatch
+        for middleware in reversed(self._middleware):
+            handler = _wrap(middleware, handler)
+        return handler(request)
+
+    def _dispatch(self, request: Request) -> Response:
+        for route in self._routes:
+            params = route.match(request.method, request.path)
+            if params is not None:
+                return route.handler(request, **params)
+        return Response.not_found(f"{self.name}: no route for {request.method} {request.path}")
+
+
+def _wrap(middleware: Middleware, inner: Callable[[Request], Response]) -> Callable[[Request], Response]:
+    def wrapped(request: Request) -> Response:
+        return middleware(request, inner)
+
+    return wrapped

@@ -1,0 +1,218 @@
+"""Tests for the aggregation layer: Fig 3, Tables 1-2, code stats, rendering."""
+
+import pytest
+
+from repro.analysis import (
+    CodeAnalysisSummary,
+    DeveloperDistribution,
+    PermissionDistribution,
+    TraceabilitySummary,
+    render_bar_chart,
+    render_table,
+)
+from repro.codeanalysis.analyzer import RepoAnalysis
+from repro.scraper.topgg import PermissionStatus, ScrapedBot
+from repro.traceability.analyzer import TraceabilityClass, TraceabilityResult
+
+
+def _bot(name, developer="dev#1", status=PermissionStatus.VALID, permissions=(), **kwargs):
+    return ScrapedBot(
+        listing_id=hash(name) % 10_000,
+        name=name,
+        developer_tag=developer,
+        tags=("fun",),
+        description="",
+        guild_count=10,
+        votes=5,
+        invite_url="https://discord.sim/oauth2/authorize?client_id=1&scope=bot",
+        website_url=kwargs.get("website_url"),
+        github_url=kwargs.get("github_url"),
+        built_with=None,
+        permission_status=status,
+        permission_names=tuple(permissions),
+    )
+
+
+class TestPermissionDistribution:
+    def test_percentages_over_valid_bots(self):
+        bots = [
+            _bot("a", permissions=("administrator", "send messages")),
+            _bot("b", permissions=("send messages",)),
+            _bot("c", status=PermissionStatus.REMOVED),
+        ]
+        dist = PermissionDistribution.from_bots(bots)
+        assert dist.total_bots == 3
+        assert dist.valid_bots == 2
+        assert dist.send_messages_percent == pytest.approx(100.0)
+        assert dist.administrator_percent == pytest.approx(50.0)
+        assert dist.valid_fraction == pytest.approx(2 / 3)
+
+    def test_admin_with_extras(self):
+        bots = [
+            _bot("a", permissions=("administrator", "send messages")),
+            _bot("b", permissions=("administrator",)),
+        ]
+        dist = PermissionDistribution.from_bots(bots)
+        assert dist.admin_with_extras == 1
+        assert dist.admin_with_extras_fraction == pytest.approx(0.5)
+
+    def test_top_permissions_ranked(self):
+        bots = [
+            _bot("a", permissions=("send messages", "speak")),
+            _bot("b", permissions=("send messages",)),
+        ]
+        top = PermissionDistribution.from_bots(bots).top_permissions(1)
+        assert top == [("send messages", 100.0)]
+
+    def test_fig3_series_alphabetical(self):
+        bots = [_bot("a", permissions=("speak", "administrator", "connect"))]
+        series = PermissionDistribution.from_bots(bots).fig3_series()
+        labels = [label for label, _ in series]
+        assert labels == sorted(labels)
+
+    def test_invalid_breakdown(self):
+        bots = [
+            _bot("a"),
+            _bot("b", status=PermissionStatus.TIMEOUT),
+            _bot("c", status=PermissionStatus.INVALID_LINK),
+            _bot("d", status=PermissionStatus.REMOVED),
+        ]
+        breakdown = PermissionDistribution.from_bots(bots).invalid_breakdown()
+        assert breakdown == {"invalid_link": 1, "removed": 1, "timeout": 1}
+
+    def test_empty_population(self):
+        dist = PermissionDistribution.from_bots([])
+        assert dist.valid_fraction == 0.0
+        assert dist.percent("speak") == 0.0
+
+
+class TestDeveloperDistribution:
+    def test_table1_shape(self):
+        bots = [
+            _bot("a", developer="x#1"),
+            _bot("b", developer="x#1"),
+            _bot("c", developer="y#2"),
+            _bot("d", developer="z#3"),
+        ]
+        table = DeveloperDistribution.from_bots(bots).table1()
+        assert table == [(1, 2, pytest.approx(200 / 3)), (2, 1, pytest.approx(100 / 3))]
+
+    def test_most_prolific(self):
+        bots = [_bot("a", developer="x#1"), _bot("b", developer="x#1"), _bot("c", developer="y#2")]
+        dist = DeveloperDistribution.from_bots(bots)
+        assert dist.most_prolific() == ("x#1", 2)
+        assert dist.max_bots_by_one_developer == 2
+
+    def test_percent_with_one_bot(self):
+        bots = [_bot("a", developer="x#1"), _bot("b", developer="y#2")]
+        assert DeveloperDistribution.from_bots(bots).percent_with_one_bot() == 100.0
+
+    def test_missing_developer_tags_skipped(self):
+        bots = [_bot("a", developer="")]
+        assert DeveloperDistribution.from_bots(bots).total_developers == 0
+
+
+class TestTraceabilitySummary:
+    def _result(self, name, classification, website=False, link=False, valid=False, generic=False):
+        return TraceabilityResult(
+            bot_name=name,
+            classification=classification,
+            has_website=website,
+            has_policy_link=link,
+            policy_page_valid=valid,
+            generic_policy=generic,
+        )
+
+    def test_table2_counts(self):
+        results = [
+            self._result("a", TraceabilityClass.BROKEN),
+            self._result("b", TraceabilityClass.BROKEN, website=True),
+            self._result("c", TraceabilityClass.PARTIAL, website=True, link=True, valid=True),
+        ]
+        summary = TraceabilitySummary.from_results(results)
+        table = dict((row[0], (row[1], row[2])) for row in summary.table2())
+        assert table["Unique active chatbots"] == (3, 100.0)
+        assert table["Website Link"][0] == 2
+        assert table["Privacy Policy Link"][0] == 1
+        assert table["Privacy Policy"][0] == 1
+
+    def test_broken_fraction(self):
+        results = [
+            self._result("a", TraceabilityClass.BROKEN),
+            self._result("b", TraceabilityClass.PARTIAL, website=True, link=True, valid=True),
+        ]
+        assert TraceabilitySummary.from_results(results).broken_fraction == pytest.approx(0.5)
+
+    def test_generic_fraction(self):
+        results = [
+            self._result("a", TraceabilityClass.PARTIAL, website=True, link=True, valid=True, generic=True),
+            self._result("b", TraceabilityClass.PARTIAL, website=True, link=True, valid=True, generic=False),
+        ]
+        assert TraceabilitySummary.from_results(results).generic_fraction_of_valid == pytest.approx(0.5)
+
+
+class TestCodeSummary:
+    def _analysis(self, name, valid=True, language=None, check=False):
+        return RepoAnalysis(
+            bot_name=name,
+            link_valid=valid,
+            main_language=language,
+            has_source_code=language is not None,
+            performs_check=check,
+        )
+
+    def test_funnel_percentages(self):
+        analyses = [
+            self._analysis("a", language="JavaScript", check=True),
+            self._analysis("b", language="Python"),
+            self._analysis("c", valid=False),
+        ]
+        summary = CodeAnalysisSummary.from_analyses(active_bots=10, github_links=3, analyses=analyses)
+        assert summary.github_link_percent == pytest.approx(30.0)
+        assert summary.valid_repos == 2
+        assert summary.valid_repo_percent_of_links == pytest.approx(200 / 3)
+        assert summary.with_source_code == 2
+        assert summary.source_percent_of_active == pytest.approx(20.0)
+
+    def test_check_rates(self):
+        analyses = [
+            self._analysis("a", language="JavaScript", check=True),
+            self._analysis("b", language="JavaScript", check=False),
+            self._analysis("c", language="Python", check=False),
+        ]
+        summary = CodeAnalysisSummary.from_analyses(10, 3, analyses)
+        assert summary.check_rate("JavaScript") == pytest.approx(0.5)
+        assert summary.check_rate("Python") == 0.0
+        table = {row[0]: row for row in summary.check_table()}
+        assert table["JavaScript"] == ("JavaScript", 2, 1, pytest.approx(50.0))
+
+    def test_language_percent(self):
+        analyses = [
+            self._analysis("a", language="JavaScript"),
+            self._analysis("b", language="Python"),
+        ]
+        summary = CodeAnalysisSummary.from_analyses(10, 2, analyses)
+        assert summary.language_percent("JavaScript") == pytest.approx(50.0)
+
+
+class TestRendering:
+    def test_table_contains_cells(self):
+        text = render_table(("A", "B"), [(1, "x"), (2, "y")], title="T")
+        assert "T" in text and "| 1" in text and "| y" in text
+
+    def test_table_alignment(self):
+        text = render_table(("Name",), [("short",), ("a-much-longer-value",)])
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert len({len(line) for line in lines}) == 1
+
+    def test_bar_chart_scales(self):
+        text = render_bar_chart([("a", 50.0), ("b", 100.0)], width=10)
+        line_a, line_b = text.splitlines()
+        assert line_a.count("#") == 5 and line_b.count("#") == 10
+
+    def test_bar_chart_empty(self):
+        assert render_bar_chart([], title="Nothing") == "Nothing"
+
+    def test_bar_chart_clamps(self):
+        text = render_bar_chart([("a", 120.0)], width=10, max_value=100.0)
+        assert text.count("#") == 10

@@ -1,0 +1,116 @@
+"""Tests for permission risk scoring and over-privilege analysis."""
+
+import pytest
+
+from repro.analysis.risk import (
+    BASELINE_PERMISSIONS,
+    RISK_WEIGHTS,
+    RiskSummary,
+    excess_permissions,
+    expected_permissions,
+    over_privilege_index,
+    risk_score,
+)
+from repro.discordsim.permissions import Permission, Permissions
+from repro.scraper.topgg import PermissionStatus, ScrapedBot
+
+
+class TestRiskScore:
+    def test_every_permission_weighted(self):
+        for flag in Permission:
+            assert flag in RISK_WEIGHTS
+
+    def test_admin_maxes_out(self):
+        assert risk_score(Permissions.administrator()) == 1.0
+
+    def test_empty_is_zero(self):
+        assert risk_score(Permissions.none()) == 0.0
+
+    def test_monotone_in_permissions(self):
+        small = Permissions.of(Permission.SEND_MESSAGES)
+        bigger = small | Permission.BAN_MEMBERS
+        assert risk_score(bigger) > risk_score(small)
+
+    def test_bounded(self):
+        assert 0.0 <= risk_score(Permissions.all()) <= 1.0
+
+    def test_dangerous_beats_benign(self):
+        dangerous = Permissions.of(Permission.MANAGE_GUILD, Permission.BAN_MEMBERS)
+        benign = Permissions.of(Permission.SEND_MESSAGES, Permission.ADD_REACTIONS)
+        assert risk_score(dangerous) > risk_score(benign)
+
+
+class TestOverPrivilege:
+    def test_moderation_tag_justifies_kick(self):
+        permissions = Permissions.of(Permission.KICK_MEMBERS, Permission.SEND_MESSAGES)
+        assert excess_permissions(permissions, ["moderation"]) == []
+        assert over_privilege_index(permissions, ["moderation"]) == 0.0
+
+    def test_music_bot_with_ban_is_excessive(self):
+        permissions = Permissions.of(Permission.CONNECT, Permission.SPEAK, Permission.BAN_MEMBERS)
+        excess = excess_permissions(permissions, ["music"])
+        assert excess == [Permission.BAN_MEMBERS]
+        assert over_privilege_index(permissions, ["music"]) > 0.5
+
+    def test_admin_always_fully_over_privileged(self):
+        assert over_privilege_index(Permissions.administrator(), ["moderation"]) == 1.0
+
+    def test_baseline_always_allowed(self):
+        permissions = Permissions.of(*BASELINE_PERMISSIONS)
+        assert over_privilege_index(permissions, []) == 0.0
+
+    def test_unknown_tag_falls_back_to_baseline(self):
+        envelope = expected_permissions(["astrology"])
+        assert envelope == BASELINE_PERMISSIONS
+
+    def test_empty_request(self):
+        assert over_privilege_index(Permissions.none(), ["music"]) == 0.0
+
+
+class TestRiskSummary:
+    def _bot(self, name, names=(), tags=("fun",), status=PermissionStatus.VALID):
+        return ScrapedBot(
+            listing_id=1,
+            name=name,
+            developer_tag="d#1",
+            tags=tuple(tags),
+            description="",
+            guild_count=1,
+            votes=1,
+            invite_url=None,
+            website_url=None,
+            github_url=None,
+            built_with=None,
+            permission_status=status,
+            permission_names=tuple(names),
+        )
+
+    def test_population_aggregates(self):
+        bots = [
+            self._bot("admin", names=("administrator",)),
+            self._bot("chat", names=("send messages",)),
+            self._bot("dead", status=PermissionStatus.REMOVED),
+        ]
+        summary = RiskSummary.from_bots(bots)
+        assert len(summary.scores) == 2
+        assert summary.high_risk_names == ["admin"]
+        assert summary.high_risk_fraction == pytest.approx(0.5)
+        assert 0.0 < summary.mean_risk <= 1.0
+
+    def test_percentiles(self):
+        bots = [self._bot(f"b{i}", names=("send messages",)) for i in range(9)]
+        bots.append(self._bot("admin", names=("administrator",)))
+        summary = RiskSummary.from_bots(bots)
+        assert summary.percentile(0) <= summary.percentile(50) <= summary.percentile(100)
+        assert summary.percentile(100) == 1.0
+
+    def test_empty_population(self):
+        summary = RiskSummary.from_bots([])
+        assert summary.mean_risk == 0.0
+        assert summary.high_risk_fraction == 0.0
+        assert summary.percentile(50) == 0.0
+
+    def test_over_privilege_tracked(self):
+        bots = [self._bot("music-ban", names=("connect", "speak", "ban members"), tags=("music",))]
+        summary = RiskSummary.from_bots(bots)
+        assert summary.mean_over_privilege > 0.0

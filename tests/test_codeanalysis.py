@@ -1,0 +1,119 @@
+"""Tests for pattern matching, language detection and repo analysis."""
+
+import pytest
+
+from repro.codeanalysis import (
+    CHECK_PATTERNS,
+    CodeAnalyzer,
+    detect_language,
+    find_check_hits,
+    language_of_path,
+)
+from repro.codeanalysis.patterns import contains_check
+
+
+class TestPatterns:
+    def test_table3_patterns_verbatim(self):
+        assert CHECK_PATTERNS == (".hasPermission(", ".has(", "member.roles.cache", "userPermissions")
+
+    def test_has_permission_detected(self):
+        files = {"index.js": "if (!message.member.hasPermission('KICK_MEMBERS')) return;"}
+        hits = find_check_hits(files)
+        assert [hit.pattern for hit in hits] == [".hasPermission("]
+
+    def test_dot_has_detected(self):
+        files = {"bot.py": "if not perms.has(Permission.BAN_MEMBERS):\n    return"}
+        assert contains_check(files)
+
+    def test_roles_cache_detected(self):
+        files = {"mod.js": "const ok = member.roles.cache.some(r => r.name === 'Staff');"}
+        hits = find_check_hits(files)
+        assert any(hit.pattern == "member.roles.cache" for hit in hits)
+
+    def test_user_permissions_detected(self):
+        files = {"cmd.js": "module.exports.userPermissions = ['MANAGE_MESSAGES'];"}
+        assert contains_check(files)
+
+    def test_clean_code_not_flagged(self):
+        files = {"index.js": "client.on('messageCreate', m => console.log(m.content));"}
+        assert not contains_check(files)
+
+    def test_has_permission_does_not_double_count_dot_has(self):
+        # ".hasPermission(" does not contain ".has(" as substring.
+        files = {"x.js": "m.member.hasPermission('X')"}
+        patterns = {hit.pattern for hit in find_check_hits(files)}
+        assert patterns == {".hasPermission("}
+
+    def test_markdown_and_manifests_skipped(self):
+        files = {
+            "README.md": "call member.roles.cache to check roles",
+            "package.json": '{"userPermissions": true}',
+        }
+        assert not contains_check(files)
+
+    def test_hit_location_reported(self):
+        files = {"a.js": "line one\nif (x.has(y)) {}\n"}
+        hit = find_check_hits(files)[0]
+        assert hit.path == "a.js" and hit.line_number == 2
+
+    def test_comment_stripping_mode(self):
+        files = {"a.js": "// if (m.member.hasPermission('X')) legacy\nreal();\n"}
+        assert contains_check(files)  # paper's naive matching counts it
+        assert not contains_check(files, language="JavaScript", ignore_comments=True)
+
+    def test_comment_stripping_python(self):
+        files = {"a.py": "# perms.has(x) was removed\npass\n"}
+        assert not contains_check(files, language="Python", ignore_comments=True)
+
+
+class TestLanguageDetection:
+    def test_by_extension(self):
+        assert language_of_path("src/index.js") == "JavaScript"
+        assert language_of_path("bot.py") == "Python"
+        assert language_of_path("Main.java") == "Java"
+        assert language_of_path("README.md") is None
+
+    def test_main_language_by_bytes(self):
+        files = {"a.py": "x" * 100, "b.js": "y" * 10}
+        assert detect_language(files) == "Python"
+
+    def test_no_source_returns_none(self):
+        assert detect_language({"README.md": "docs"}) is None
+
+    def test_tie_breaks_deterministically(self):
+        files = {"a.py": "xx", "b.js": "yy"}
+        assert detect_language(files) == detect_language(dict(reversed(list(files.items()))))
+
+
+class TestCodeAnalyzer:
+    def test_invalid_link_short_circuit(self):
+        analysis = CodeAnalyzer().analyze_repo("b", {}, link_valid=False)
+        assert not analysis.link_valid and not analysis.analyzed
+
+    def test_js_repo_with_check(self):
+        files = {"index.js": "if (!m.member.permissions.has('X')) return;"}
+        analysis = CodeAnalyzer().analyze_repo("b", files)
+        assert analysis.main_language == "JavaScript"
+        assert analysis.analyzed and analysis.performs_check
+
+    def test_python_repo_without_check(self):
+        files = {"bot.py": "print('hello')"}
+        analysis = CodeAnalyzer().analyze_repo("b", files)
+        assert analysis.main_language == "Python"
+        assert analysis.analyzed and not analysis.performs_check
+
+    def test_scraped_language_takes_precedence(self):
+        files = {"weird.txt": ""}
+        analysis = CodeAnalyzer().analyze_repo("b", files, main_language="Go")
+        assert analysis.main_language == "Go"
+        assert analysis.has_source_code
+
+    def test_other_language_not_analyzed(self):
+        files = {"main.go": "package main"}
+        analysis = CodeAnalyzer().analyze_repo("b", files)
+        assert analysis.has_source_code and not analysis.analyzed
+        assert not analysis.performs_check  # not modelled for Go
+
+    def test_readme_only_no_source(self):
+        analysis = CodeAnalyzer().analyze_repo("b", {"README.md": "hi"})
+        assert analysis.link_valid and not analysis.has_source_code

@@ -1,0 +1,98 @@
+"""Tests for the AST-based Python permission-check analyzer."""
+
+import pytest
+
+from repro.codeanalysis.pyast import PythonAstAnalyzer, compare_with_substring
+
+
+class TestAstDetection:
+    def setup_method(self):
+        self.analyzer = PythonAstAnalyzer()
+
+    def test_has_call_detected(self):
+        files = {"bot.py": "def cmd(ctx):\n    if not ctx.perms.has(KICK):\n        return\n"}
+        analysis = self.analyzer.analyze(files)
+        assert analysis.performs_check
+        hit = analysis.hits[0]
+        assert hit.construct == "has_call" and hit.line_number == 2
+
+    def test_permission_attribute_detected(self):
+        files = {"bot.py": "def cmd(ctx):\n    p = ctx.author.guild_permissions\n    return p\n"}
+        analysis = self.analyzer.analyze(files)
+        assert any(hit.construct == "permission_attribute" for hit in analysis.hits)
+
+    def test_permissions_for_detected(self):
+        files = {"bot.py": "x = channel.permissions_for(member)\n"}
+        assert self.analyzer.analyze(files).performs_check
+
+    def test_decorator_detected_sync_and_async(self):
+        files = {
+            "a.py": "@commands.has_permissions(kick_members=True)\ndef kick(ctx):\n    pass\n",
+            "b.py": "@has_guild_permissions(ban_members=True)\nasync def ban(ctx):\n    pass\n",
+        }
+        analysis = self.analyzer.analyze(files)
+        constructs = {hit.construct for hit in analysis.hits}
+        assert constructs == {"check_decorator"}
+        assert len(analysis.hits) == 2
+
+    def test_clean_code_not_flagged(self):
+        files = {"bot.py": "async def ping(ctx):\n    await ctx.reply('pong')\n"}
+        assert not self.analyzer.analyze(files).performs_check
+
+    def test_pattern_in_string_ignored(self):
+        """The substring method's false positive; AST sees a literal."""
+        files = {"bot.py": "HELP = 'use perms.has( to check permissions'\n"}
+        assert not self.analyzer.analyze(files).performs_check
+
+    def test_pattern_in_comment_ignored(self):
+        files = {"bot.py": "# TODO: call perms.has( here someday\npass\n"}
+        assert not self.analyzer.analyze(files).performs_check
+
+    def test_dict_has_key_like_method_still_counts(self):
+        """A known over-trigger shared with the paper's method: any `.has(`
+        call matches, e.g. a set wrapper — documented behaviour."""
+        files = {"bot.py": "if cache.has(key):\n    pass\n"}
+        assert self.analyzer.analyze(files).performs_check
+
+    def test_syntax_errors_reported(self):
+        files = {"broken.py": "def oops(:\n", "ok.py": "x = 1\n"}
+        analysis = self.analyzer.analyze(files)
+        assert analysis.parse_failures == ["broken.py"]
+
+    def test_non_python_files_skipped(self):
+        files = {"index.js": "member.roles.cache.has(role)"}
+        assert not self.analyzer.analyze(files).performs_check
+
+
+class TestComparisonWithSubstring:
+    def test_agreement_on_real_check(self):
+        files = {"bot.py": "if not perms.has(x):\n    pass\n"}
+        verdict = compare_with_substring(files)
+        assert verdict == {"substring": True, "ast": True}
+
+    def test_substring_false_positive_exposed(self):
+        files = {"bot.py": "DOCS = 'perms.has( is the API to use'\n"}
+        verdict = compare_with_substring(files)
+        assert verdict["substring"] is True  # naive matching over-counts
+        assert verdict["ast"] is False
+
+    def test_ast_catches_decorator_substring_misses(self):
+        """The discord.py idiom carries none of the four Table-3 strings."""
+        files = {"bot.py": "@commands.has_permissions(kick_members=True)\nasync def kick(ctx):\n    pass\n"}
+        verdict = compare_with_substring(files)
+        assert verdict["substring"] is False  # paper's method: false negative
+        assert verdict["ast"] is True
+
+    def test_generated_python_repos_agree(self):
+        """On the generator's idiomatic code the two methods coincide."""
+        import random
+
+        from repro.ecosystem.repos import RepoKind, generate_repo
+
+        for seed in range(20):
+            for checked in (True, False):
+                spec = generate_repo(
+                    RepoKind.VALID_CODE, "dev", f"B{seed}{checked}", "Python", checked, random.Random(seed)
+                )
+                verdict = compare_with_substring(spec.files)
+                assert verdict["substring"] == verdict["ast"] == checked

@@ -1,0 +1,119 @@
+"""Integration tests: the full pipeline end to end (shared 600-bot world)."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AssessmentPipeline, PipelineWorld
+from repro.core.report import render_full_report
+from repro.traceability.analyzer import TraceabilityClass
+
+
+class TestPipelineRun:
+    def test_collects_whole_population(self, pipeline_result, pipeline_config):
+        assert pipeline_result.bots_collected == pipeline_config.n_bots
+
+    def test_valid_fraction_near_paper(self, pipeline_result):
+        fraction = pipeline_result.active_bots / pipeline_result.bots_collected
+        assert abs(fraction - 0.742) < 0.05
+
+    def test_headline_permission_rates(self, pipeline_result):
+        dist = pipeline_result.permission_distribution
+        assert abs(dist.administrator_percent - 54.86) < 6.0
+        assert abs(dist.send_messages_percent - 59.18) < 6.0
+        assert dist.send_messages_percent >= dist.administrator_percent - 2.0
+
+    def test_most_bots_with_admin_ask_for_more(self, pipeline_result):
+        """Section 5: admin + extra permissions implies misunderstanding."""
+        dist = pipeline_result.permission_distribution
+        assert dist.admin_with_extras_fraction > 0.45
+
+    def test_developer_distribution(self, pipeline_result):
+        developers = pipeline_result.developer_distribution
+        assert developers.percent_with_one_bot() > 80.0
+        assert developers.max_bots_by_one_developer <= 12
+
+    def test_traceability_table(self, pipeline_result):
+        summary = pipeline_result.traceability_summary
+        table = {row[0]: row for row in summary.table2()}
+        website_percent = table["Website Link"][2]
+        policy_percent = table["Privacy Policy"][2]
+        assert abs(website_percent - 37.27) < 7.0
+        assert policy_percent < 12.0
+        assert summary.broken_fraction > 0.85
+        assert summary.complete_count == 0
+
+    def test_traceability_validation_clean(self, pipeline_result):
+        """The paper's manual review found zero misclassifications; our
+        keyword analyzer is exact on the generated corpus."""
+        assert pipeline_result.validation is not None
+        assert pipeline_result.validation.misclassified == 0
+
+    def test_code_analysis_shape(self, pipeline_result):
+        code = pipeline_result.code_summary
+        assert abs(code.github_link_percent - 23.86) < 6.0
+        assert abs(code.valid_repo_percent_of_links - 60.46) < 10.0
+        assert code.language_percent("JavaScript") > code.language_percent("Python")
+        # The headline gap: JS bots mostly check, Python bots almost never.
+        assert code.check_rate("JavaScript") > 0.5
+        assert code.check_rate("Python") < 0.15
+
+    def test_honeypot_flags_only_melonian(self, pipeline_result):
+        honeypot = pipeline_result.honeypot
+        assert honeypot is not None
+        assert [outcome.bot_name for outcome in honeypot.flagged_bots] == ["Melonian"]
+        assert honeypot.precision == 1.0 and honeypot.recall == 1.0
+
+    def test_scrape_accounting(self, pipeline_result):
+        stats = pipeline_result.scrape_stats
+        assert stats.pages_fetched > pipeline_result.bots_collected  # list+detail+invites
+        assert stats.captchas_solved == stats.captchas_seen
+        assert pipeline_result.virtual_seconds > 0
+        assert pipeline_result.captcha_dollars > 0
+
+    def test_summary_lines_mention_key_findings(self, pipeline_result):
+        text = "\n".join(pipeline_result.summary_lines())
+        assert "administrator" in text
+        assert "broken traceability" in text
+        assert "Melonian" in text
+
+
+class TestReportRendering:
+    def test_report_contains_all_sections(self, pipeline_result):
+        report = render_full_report(pipeline_result)
+        assert "Figure 3" in report
+        assert "Table 1" in report
+        assert "Table 2" in report
+        assert "Honeypot campaign" in report
+        assert "Melonian" in report
+        assert "wtf is this bro" in report
+
+
+class TestStageToggles:
+    def test_stages_can_be_disabled(self):
+        config = PipelineConfig(
+            n_bots=60,
+            seed=3,
+            run_traceability=False,
+            run_code_analysis=False,
+            run_honeypot=False,
+            honeypot_sample_size=10,
+        )
+        result = AssessmentPipeline(config).run()
+        assert result.traceability_summary is None
+        assert result.code_summary is None
+        assert result.honeypot is None
+        assert result.permission_distribution is not None
+
+    def test_scaled_copy(self):
+        config = PipelineConfig().scaled(100)
+        assert config.n_bots == 100
+        assert config.honeypot_sample_size == 100
+
+    def test_world_reuse_between_pipelines(self):
+        config = PipelineConfig(
+            n_bots=50, seed=4, honeypot_sample_size=5, run_traceability=False, run_code_analysis=False, run_honeypot=False
+        )
+        world = PipelineWorld.build(config)
+        first = AssessmentPipeline(config, world=world).run()
+        second = AssessmentPipeline(config, world=world).run()
+        assert first.bots_collected == second.bots_collected == 50

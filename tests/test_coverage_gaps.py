@@ -1,0 +1,129 @@
+"""Focused tests for less-travelled paths across the stack."""
+
+import pytest
+
+from repro.discordsim.api import BotApiClient
+from repro.discordsim.bot import BotRuntime
+from repro.discordsim.guild import GuildError, PermissionDenied
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.honeypot.experiment import HoneypotReport
+from repro.web.captcha import TwoCaptchaClient
+from repro.web.client import HttpClient
+from repro.web.http import Response
+from repro.web.server import VirtualHost
+
+
+def _install(platform, clock, guild, owner, name="Bot", permissions=None):
+    developer = platform.create_user(f"dev-{name}", phone_verified=True)
+    application = platform.register_application(developer, name)
+    requested = permissions if permissions is not None else Permissions.of(Permission.ADMINISTRATOR)
+    url = build_invite_url(application.client_id, requested)
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = TwoCaptchaClient(clock, accuracy=1.0).solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    return application
+
+
+class TestClientRedirectSemantics:
+    def test_post_becomes_get_after_redirect(self, internet):
+        host = VirtualHost("h")
+        seen_methods = []
+
+        def submit(request):
+            seen_methods.append(request.method)
+            return Response.redirect("/landing", status=303)
+
+        def landing(request):
+            seen_methods.append(request.method)
+            return Response.text("ok")
+
+        host.add_route("/submit", submit, method="POST")
+        host.add_route("/landing", landing)
+        internet.register("h.sim", host)
+        response = HttpClient(internet).post("https://h.sim/submit", body="payload")
+        assert response.body == "ok"
+        assert seen_methods == ["POST", "GET"]
+
+
+class TestApiOdds(object):
+    @pytest.fixture
+    def world(self, platform, clock):
+        owner = platform.create_user("owner", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        application = _install(platform, clock, guild, owner)
+        return platform, owner, guild, application
+
+    def test_delete_message_removes(self, world):
+        platform, owner, guild, application = world
+        api = BotApiClient(platform, application.bot_user.user_id)
+        channel = guild.text_channels()[0]
+        message = platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "oops")
+        api.delete_message(guild.guild_id, channel.channel_id, message.message_id)
+        assert all(m.message_id != message.message_id for m in channel.messages)
+
+    def test_add_reaction_requires_permission(self, platform, clock):
+        owner = platform.create_user("owner", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        application = _install(platform, clock, guild, owner, permissions=Permissions.none())
+        api = BotApiClient(platform, application.bot_user.user_id)
+        channel = guild.text_channels()[0]
+        from repro.discordsim.permissions import PermissionOverwrite
+
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(
+                target_id=application.bot_user.user_id,
+                deny=Permissions.of(Permission.ADD_REACTIONS),
+            ),
+        )
+        with pytest.raises(PermissionDenied):
+            api.add_reaction(guild.guild_id, channel.channel_id, 1, ":+1:")
+
+    def test_guild_count(self, world):
+        platform, owner, guild, application = world
+        api = BotApiClient(platform, application.bot_user.user_id)
+        assert api.guild_count() == 1
+
+    def test_send_email_to_unroutable_domain(self, world, internet):
+        platform, owner, guild, application = world
+        api = BotApiClient(platform, application.bot_user.user_id, internet=internet)
+        assert api.send_email("nobody@nowhere.sim", "hi") is None
+
+
+class TestRuntimeTickErrors:
+    def test_tick_records_guild_errors(self, platform, clock):
+        owner = platform.create_user("owner", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        application = _install(platform, clock, guild, owner)
+        runtime = BotRuntime(platform, application.bot_user.user_id)
+
+        def bad_tick(bot):
+            raise GuildError("scheduled job exploded")
+
+        runtime.add_tick_handler(bad_tick)
+        runtime.tick()  # must not raise
+        assert runtime.errors and runtime.errors[0][0] == "tick"
+
+
+class TestHoneypotReportEdges:
+    def test_empty_report_metrics(self):
+        report = HoneypotReport()
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.bots_tested == 0
+        assert report.flagged_bots == []
+
+
+class TestPermissionsMisc:
+    def test_bool_semantics(self):
+        assert not Permissions.none()
+        assert Permissions.of(Permission.SPEAK)
+
+    def test_default_everyone_can_use_slash_commands(self):
+        assert Permissions.default_everyone().has(Permission.USE_APPLICATION_COMMANDS)
+
+    def test_repr_lists_flags(self):
+        text = repr(Permissions.of(Permission.SPEAK))
+        assert "SPEAK" in text

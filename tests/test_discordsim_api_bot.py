@@ -1,0 +1,303 @@
+"""Tests for the bot API client and the bot runtime (incl. re-delegation)."""
+
+import random
+
+import pytest
+
+from repro.discordsim.api import ApiError, BotApiClient
+from repro.discordsim.behaviors import (
+    BENIGN,
+    EXFILTRATOR,
+    LINK_PREVIEW,
+    MODERATION_CHECKED,
+    MODERATION_UNCHECKED,
+    NOSY_OPERATOR,
+    OperatorProfile,
+    build_runtime,
+    operator_inspection,
+)
+from repro.discordsim.bot import BotRuntime, requires_user_permissions
+from repro.discordsim.guild import PermissionDenied
+from repro.discordsim.models import Attachment
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.web.captcha import TwoCaptchaClient
+from repro.web.http import Response
+from repro.web.server import VirtualHost
+
+
+def install_bot(platform, clock, guild, owner, name="Bot", permissions=None, client_id=None):
+    """Install a bot through the real OAuth flow and return its application."""
+    developer = platform.create_user(f"dev-{name}", phone_verified=True)
+    application = platform.register_application(developer, name, client_id=client_id)
+    url = build_invite_url(application.client_id, permissions or Permissions.of(Permission.ADMINISTRATOR))
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = TwoCaptchaClient(clock, accuracy=1.0, seed=1).solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    return application
+
+
+@pytest.fixture
+def world(platform, clock):
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "W")
+    return platform, clock, owner, guild
+
+
+class TestBotApi:
+    def test_send_and_read(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        api = BotApiClient(platform, application.bot_user.user_id)
+        channel = guild.text_channels()[0]
+        api.send_message(guild.guild_id, channel.channel_id, "hello")
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "hi back")
+        history = api.read_history(guild.guild_id, channel.channel_id)
+        assert [message.content for message in history] == ["hi back", "hello"]
+
+    def test_read_requires_history_permission(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(
+            platform, clock, guild, owner, permissions=Permissions.of(Permission.SEND_MESSAGES)
+        )
+        api = BotApiClient(platform, application.bot_user.user_id)
+        channel = guild.text_channels()[0]
+        # Bot role grants SEND only, but @everyone baseline includes history;
+        # deny it for the bot explicitly to prove the check.
+        from repro.discordsim.permissions import PermissionOverwrite
+
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(
+                target_id=application.bot_user.user_id,
+                deny=Permissions.of(Permission.READ_MESSAGE_HISTORY),
+            ),
+        )
+        with pytest.raises(PermissionDenied):
+            api.read_history(guild.guild_id, channel.channel_id)
+
+    def test_calls_are_recorded(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        api = BotApiClient(platform, application.bot_user.user_id)
+        channel = guild.text_channels()[0]
+        api.send_message(guild.guild_id, channel.channel_id, "x")
+        assert any(record.method == "send_message" and record.allowed for record in api.calls)
+
+    def test_not_a_member(self, world):
+        platform, clock, owner, guild = world
+        developer = platform.create_user("d")
+        application = platform.register_application(developer, "Stranger")
+        api = BotApiClient(platform, application.bot_user.user_id)
+        with pytest.raises(ApiError):
+            api.read_history(guild.guild_id, guild.text_channels()[0].channel_id)
+
+    def test_visit_url_without_internet(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        api = BotApiClient(platform, application.bot_user.user_id, internet=None)
+        with pytest.raises(ApiError):
+            api.visit_url("https://somewhere.sim/")
+
+    def test_open_attachment_fetches_remote_resources(self, world, internet):
+        platform, clock, owner, guild = world
+        hits = []
+        beacon = VirtualHost("beacon")
+        beacon.add_route("/ping", lambda request: (hits.append(request.client_id), Response.text("ok"))[1])
+        internet.register("beacon.sim", beacon)
+        application = install_bot(platform, clock, guild, owner)
+        api = BotApiClient(platform, application.bot_user.user_id, internet=internet)
+        attachment = Attachment(
+            1, "doc.docx", "application/x", 10, remote_resources=["https://beacon.sim/ping"]
+        )
+        api.open_attachment(attachment)
+        assert hits == [f"bot-{application.bot_user.user_id}"]
+
+    def test_member_permissions_introspection(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        api = BotApiClient(platform, application.bot_user.user_id)
+        regular = platform.create_user("r")
+        platform.join_guild(regular.user_id, guild.guild_id)
+        held = api.member_permissions(guild.guild_id, regular.user_id)
+        assert not held.has(Permission.KICK_MEMBERS)
+        assert api.member_permissions(guild.guild_id, owner.user_id).has(Permission.KICK_MEMBERS)
+
+
+class TestRuntimeDispatch:
+    def test_prefix_command_dispatch(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        runtime = BotRuntime(platform, application.bot_user.user_id)
+
+        @runtime.command("echo")
+        def echo(context):
+            context.reply(" ".join(context.args))
+
+        runtime.start()
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "!echo a b")
+        assert channel.messages[-1].content == "a b"
+        assert runtime.invocations == 1
+
+    def test_non_prefixed_ignored(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        runtime = BotRuntime(platform, application.bot_user.user_id)
+        runtime.command("x")(lambda context: context.reply("no"))
+        runtime.start()
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "just chatting")
+        assert runtime.invocations == 0
+
+    def test_unknown_command_ignored(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        runtime = BotRuntime(platform, application.bot_user.user_id)
+        runtime.start()
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "!nothing here")
+        assert runtime.invocations == 0
+
+    def test_start_idempotent(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        runtime = BotRuntime(platform, application.bot_user.user_id)
+        runtime.command("ping")(lambda context: context.reply("pong"))
+        runtime.start()
+        runtime.start()
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "!ping")
+        # One reply, not two.
+        assert sum(1 for message in channel.messages if message.content == "pong") == 1
+
+
+class TestPermissionReDelegation:
+    """The paper's central vulnerability: privileged bots acting for
+    unprivileged users when the developer skips the permission check."""
+
+    def _setup(self, world, behavior):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner, name="ModBot")
+        runtime = build_runtime(platform, application.bot_user.user_id, behavior)
+        victim = platform.create_user("victim")
+        platform.join_guild(victim.user_id, guild.guild_id)
+        attacker = platform.create_user("attacker")
+        platform.join_guild(attacker.user_id, guild.guild_id)
+        return platform, guild, runtime, victim, attacker
+
+    def test_unchecked_bot_enables_attack(self, world):
+        platform, guild, runtime, victim, attacker = self._setup(world, MODERATION_UNCHECKED)
+        channel = guild.text_channels()[0]
+        platform.post_message(attacker.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}")
+        assert victim.user_id not in guild.members  # attack succeeded
+
+    def test_checked_bot_blocks_attack(self, world):
+        platform, guild, runtime, victim, attacker = self._setup(world, MODERATION_CHECKED)
+        channel = guild.text_channels()[0]
+        platform.post_message(attacker.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}")
+        assert victim.user_id in guild.members  # check held the line
+        assert "do not have permission" in channel.messages[-1].content
+
+    def test_checked_bot_allows_privileged_user(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner, name="ModBot")
+        runtime = build_runtime(platform, application.bot_user.user_id, MODERATION_CHECKED)
+        victim = platform.create_user("victim")
+        platform.join_guild(victim.user_id, guild.guild_id)
+        channel = guild.text_channels()[0]
+        # The owner holds KICK_MEMBERS, so the check passes.
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}")
+        assert victim.user_id not in guild.members
+
+    def test_decorator_marks_handler(self):
+        @requires_user_permissions(Permission.KICK_MEMBERS)
+        def handler(context):
+            pass
+
+        assert handler.performs_permission_check
+
+
+class TestBehaviors:
+    def test_benign_bot_answers_info(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        build_runtime(platform, application.bot_user.user_id, BENIGN)
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "!info")
+        assert "guild" in channel.messages[-1].content
+
+    def test_link_preview_visits_urls(self, world, internet):
+        platform, clock, owner, guild = world
+        visited = []
+        site = VirtualHost("news")
+        site.add_route(
+            "/story",
+            lambda request: (visited.append(1), Response.html("<html><title>Big Story</title></html>"))[1],
+        )
+        internet.register("news.sim", site)
+        application = install_bot(platform, clock, guild, owner)
+        build_runtime(platform, application.bot_user.user_id, LINK_PREVIEW, internet=internet)
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "read https://news.sim/story")
+        assert visited
+        assert any("Big Story" in message.content for message in channel.messages)
+
+    def test_exfiltrator_posts_to_collector(self, world, internet):
+        platform, clock, owner, guild = world
+        collected = []
+        collector = VirtualHost("evil")
+        collector.add_route("/collect", lambda request: (collected.append(request.url.query), Response.text("ok"))[1])
+        internet.register("collector.evil.sim", collector)
+        application = install_bot(platform, clock, guild, owner)
+        build_runtime(platform, application.bot_user.user_id, EXFILTRATOR, internet=internet)
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "company secrets here")
+        assert collected and "company" in collected[0]
+
+    def test_exfiltrator_quiet_without_collector(self, world, internet):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        runtime = build_runtime(platform, application.bot_user.user_id, EXFILTRATOR, internet=internet)
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "hello")
+        assert runtime.api.calls == []  # no egress target registered
+
+    def test_operator_inspection_melonian_pattern(self, world, internet):
+        platform, clock, owner, guild = world
+        hits = []
+        beacon = VirtualHost("beacon")
+        beacon.add_route("/t", lambda request: (hits.append(request.path), Response.text("ok"))[1])
+        internet.register("beacon.sim", beacon)
+        application = install_bot(platform, clock, guild, owner)
+        runtime = build_runtime(platform, application.bot_user.user_id, NOSY_OPERATOR, internet=internet)
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "link https://beacon.sim/t")
+        attachment = Attachment(1, "doc.docx", "application/x", 5, remote_resources=["https://beacon.sim/t"])
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "file", [attachment])
+        pdf = Attachment(2, "inv.pdf", "application/pdf", 5, remote_resources=["https://beacon.sim/t"])
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "pdf", [pdf])
+
+        log = operator_inspection(runtime, guild.guild_id, random.Random(0))
+        assert log.urls_visited == ["https://beacon.sim/t"]
+        assert log.files_opened == ["doc.docx"]  # docx yes, pdf no (default profile)
+        assert log.posted == ["wtf is this bro"]
+        assert channel.messages[-1].content == "wtf is this bro"
+
+    def test_operator_profile_pdf_curiosity(self, world, internet):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        runtime = build_runtime(platform, application.bot_user.user_id, NOSY_OPERATOR, internet=internet)
+        channel = guild.text_channels()[0]
+        pdf = Attachment(2, "inv.pdf", "application/pdf", 5)
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "pdf", [pdf])
+        profile = OperatorProfile(pdf_curiosity=1.0)
+        log = operator_inspection(runtime, guild.guild_id, random.Random(0), profile=profile, post_comment=False)
+        assert log.files_opened == ["inv.pdf"]
+
+    def test_unknown_behavior_rejected(self, world):
+        platform, clock, owner, guild = world
+        application = install_bot(platform, clock, guild, owner)
+        with pytest.raises(ValueError):
+            build_runtime(platform, application.bot_user.user_id, "mystery")

@@ -1,0 +1,339 @@
+"""Tests for the guild model and the five hierarchy rules (Section 4.1)."""
+
+import pytest
+
+from repro.discordsim.guild import Guild, HierarchyError, PermissionDenied, UnknownEntityError
+from repro.discordsim.models import ChannelType
+from repro.discordsim.permissions import Permission, PermissionOverwrite, Permissions
+from repro.discordsim.snowflake import SnowflakeGenerator
+
+
+@pytest.fixture
+def world(platform):
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "Test Guild")
+    return platform, owner, guild
+
+
+def _add_user(platform, guild, name):
+    user = platform.create_user(name)
+    guild.add_member(user)
+    return user
+
+
+def _role(guild, name, *flags, actor=None):
+    return guild.create_role(name, Permissions.of(*flags), actor_id=actor)
+
+
+class TestMembership:
+    def test_owner_is_member(self, world):
+        platform, owner, guild = world
+        assert owner.user_id in guild.members
+
+    def test_everyone_role_at_position_zero(self, world):
+        _, _, guild = world
+        assert guild.everyone_role.position == 0
+        assert guild.everyone_role.name == "@everyone"
+
+    def test_add_member_idempotent(self, world):
+        platform, _, guild = world
+        user = _add_user(platform, guild, "u")
+        assert guild.add_member(user) is guild.members[user.user_id]
+
+    def test_banned_user_cannot_rejoin(self, world):
+        platform, owner, guild = world
+        target = _add_user(platform, guild, "t")
+        guild.ban(owner.user_id, target.user_id)
+        with pytest.raises(PermissionDenied):
+            guild.add_member(target)
+
+    def test_unknown_member_lookup(self, world):
+        _, _, guild = world
+        with pytest.raises(UnknownEntityError):
+            guild.member(999)
+
+
+class TestRuleOne_GrantRoles:
+    def test_grant_below_own_top_role(self, world):
+        platform, owner, guild = world
+        moderator = _add_user(platform, guild, "mod")
+        low = _role(guild, "low", Permission.SPEAK)
+        high = _role(guild, "high", Permission.MANAGE_ROLES)
+        guild.assign_role(owner.user_id, moderator.user_id, high.role_id)
+        target = _add_user(platform, guild, "target")
+        guild.assign_role(moderator.user_id, target.user_id, low.role_id)
+        assert low.role_id in guild.member(target.user_id).role_ids
+
+    def test_cannot_grant_role_at_or_above_own(self, world):
+        platform, owner, guild = world
+        moderator = _add_user(platform, guild, "mod")
+        mid = _role(guild, "mid", Permission.MANAGE_ROLES)
+        top = _role(guild, "top", Permission.SPEAK)
+        guild.assign_role(owner.user_id, moderator.user_id, mid.role_id)
+        target = _add_user(platform, guild, "target")
+        with pytest.raises(HierarchyError):
+            guild.assign_role(moderator.user_id, target.user_id, top.role_id)
+
+    def test_requires_manage_roles(self, world):
+        platform, owner, guild = world
+        nobody = _add_user(platform, guild, "nobody")
+        low = _role(guild, "low", Permission.SPEAK)
+        target = _add_user(platform, guild, "target")
+        with pytest.raises(PermissionDenied):
+            guild.assign_role(nobody.user_id, target.user_id, low.role_id)
+
+    def test_owner_bypasses_hierarchy(self, world):
+        platform, owner, guild = world
+        top = _role(guild, "top", Permission.SPEAK)
+        target = _add_user(platform, guild, "target")
+        guild.assign_role(owner.user_id, target.user_id, top.role_id)
+        assert top.role_id in guild.member(target.user_id).role_ids
+
+
+class TestRuleTwo_EditRoles:
+    def test_edit_lower_role_with_held_permissions(self, world):
+        platform, owner, guild = world
+        editor = _add_user(platform, guild, "editor")
+        low = _role(guild, "low", Permission.SPEAK)
+        high = _role(guild, "high", Permission.MANAGE_ROLES, Permission.KICK_MEMBERS)
+        guild.assign_role(owner.user_id, editor.user_id, high.role_id)
+        guild.edit_role(editor.user_id, low.role_id, Permissions.of(Permission.KICK_MEMBERS))
+        assert guild.role(low.role_id).permissions.has_exactly(Permission.KICK_MEMBERS)
+
+    def test_cannot_grant_permission_actor_lacks(self, world):
+        platform, owner, guild = world
+        editor = _add_user(platform, guild, "editor")
+        low = _role(guild, "low", Permission.SPEAK)
+        high = _role(guild, "high", Permission.MANAGE_ROLES)
+        guild.assign_role(owner.user_id, editor.user_id, high.role_id)
+        with pytest.raises(HierarchyError):
+            guild.edit_role(editor.user_id, low.role_id, Permissions.of(Permission.BAN_MEMBERS))
+
+    def test_cannot_edit_higher_role(self, world):
+        platform, owner, guild = world
+        editor = _add_user(platform, guild, "editor")
+        mid = _role(guild, "mid", Permission.MANAGE_ROLES)
+        top = _role(guild, "top", Permission.SPEAK)
+        guild.assign_role(owner.user_id, editor.user_id, mid.role_id)
+        with pytest.raises(HierarchyError):
+            guild.edit_role(editor.user_id, top.role_id, Permissions.none())
+
+    def test_admin_actor_can_grant_anything_below(self, world):
+        platform, owner, guild = world
+        admin = _add_user(platform, guild, "admin")
+        low = _role(guild, "low", Permission.SPEAK)
+        admin_role = _role(guild, "admin", Permission.ADMINISTRATOR)
+        guild.assign_role(owner.user_id, admin.user_id, admin_role.role_id)
+        guild.edit_role(admin.user_id, low.role_id, Permissions.of(Permission.BAN_MEMBERS))
+        assert guild.role(low.role_id).permissions.has_exactly(Permission.BAN_MEMBERS)
+
+
+class TestRuleThree_SortRoles:
+    def test_move_below_top(self, world):
+        platform, owner, guild = world
+        mover = _add_user(platform, guild, "mover")
+        a = _role(guild, "a", Permission.SPEAK)  # position 1
+        b = _role(guild, "b", Permission.SPEAK)  # position 2
+        high = _role(guild, "high", Permission.MANAGE_ROLES)  # position 3
+        guild.assign_role(owner.user_id, mover.user_id, high.role_id)
+        guild.move_role(mover.user_id, b.role_id, 1)
+        assert guild.role(b.role_id).position == 1
+
+    def test_cannot_move_role_to_or_above_top(self, world):
+        platform, owner, guild = world
+        mover = _add_user(platform, guild, "mover")
+        a = _role(guild, "a", Permission.SPEAK)
+        high = _role(guild, "high", Permission.MANAGE_ROLES)
+        guild.assign_role(owner.user_id, mover.user_id, high.role_id)
+        with pytest.raises(HierarchyError):
+            guild.move_role(mover.user_id, a.role_id, high.position + 1)
+
+    def test_position_zero_reserved(self, world):
+        platform, owner, guild = world
+        a = _role(guild, "a", Permission.SPEAK)
+        with pytest.raises(HierarchyError):
+            guild.move_role(owner.user_id, a.role_id, 0)
+
+
+class TestRuleFour_Moderation:
+    def _moderator_and_target(self, platform, owner, guild, *mod_perms):
+        moderator = _add_user(platform, guild, "mod")
+        role = _role(guild, "mods", *mod_perms)
+        guild.assign_role(owner.user_id, moderator.user_id, role.role_id)
+        target = _add_user(platform, guild, "target")
+        return moderator, target
+
+    def test_kick_lower_target(self, world):
+        platform, owner, guild = world
+        moderator, target = self._moderator_and_target(platform, owner, guild, Permission.KICK_MEMBERS)
+        guild.kick(moderator.user_id, target.user_id)
+        assert target.user_id not in guild.members
+
+    def test_cannot_kick_equal_or_higher(self, world):
+        platform, owner, guild = world
+        moderator, target = self._moderator_and_target(platform, owner, guild, Permission.KICK_MEMBERS)
+        peer_role = _role(guild, "peers", Permission.SPEAK)
+        guild.move_role(owner.user_id, peer_role.role_id, guild.top_role(moderator.user_id).position + 1)
+        guild.assign_role(owner.user_id, target.user_id, peer_role.role_id)
+        with pytest.raises(HierarchyError):
+            guild.kick(moderator.user_id, target.user_id)
+
+    def test_kick_requires_permission_bit(self, world):
+        platform, owner, guild = world
+        moderator, target = self._moderator_and_target(platform, owner, guild, Permission.SPEAK)
+        with pytest.raises(PermissionDenied):
+            guild.kick(moderator.user_id, target.user_id)
+
+    def test_ban_removes_and_records(self, world):
+        platform, owner, guild = world
+        moderator, target = self._moderator_and_target(platform, owner, guild, Permission.BAN_MEMBERS)
+        guild.ban(moderator.user_id, target.user_id, reason="spam")
+        assert target.user_id in guild.bans
+        assert guild.bans[target.user_id].reason == "spam"
+
+    def test_nobody_can_kick_owner(self, world):
+        platform, owner, guild = world
+        admin = _add_user(platform, guild, "admin")
+        role = _role(guild, "admins", Permission.ADMINISTRATOR)
+        guild.assign_role(owner.user_id, admin.user_id, role.role_id)
+        with pytest.raises(HierarchyError):
+            guild.kick(admin.user_id, owner.user_id)
+
+    def test_nickname_edit_follows_hierarchy(self, world):
+        platform, owner, guild = world
+        moderator, target = self._moderator_and_target(platform, owner, guild, Permission.MANAGE_NICKNAMES)
+        guild.set_nickname(moderator.user_id, target.user_id, "renamed")
+        assert guild.member(target.user_id).display_name == "renamed"
+
+    def test_own_nickname_needs_change_nickname(self, world):
+        platform, owner, guild = world
+        user = _add_user(platform, guild, "u")
+        guild.set_nickname(user.user_id, user.user_id, "me")  # default everyone allows it
+        assert guild.member(user.user_id).nickname == "me"
+
+
+class TestRuleFive_PermissionsIgnoreHierarchy:
+    def test_low_role_admin_still_has_all_permissions(self, world):
+        """Rule v: permission *checks* don't consult positions."""
+        platform, owner, guild = world
+        user = _add_user(platform, guild, "u")
+        low_admin = _role(guild, "lowadmin", Permission.ADMINISTRATOR)
+        guild.assign_role(owner.user_id, user.user_id, low_admin.role_id)
+        _role(guild, "decoy", Permission.SPEAK)  # higher position, no admin
+        assert guild.base_permissions(user.user_id) == Permissions.all()
+
+
+class TestChannelsAndOverwrites:
+    def test_create_channel_requires_permission(self, world):
+        platform, owner, guild = world
+        user = _add_user(platform, guild, "u")
+        with pytest.raises(PermissionDenied):
+            guild.create_channel("secret", actor_id=user.user_id)
+
+    def test_channel_overwrite_denies(self, world):
+        platform, owner, guild = world
+        user = _add_user(platform, guild, "u")
+        channel = guild.text_channels()[0]
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(
+                target_id=guild.everyone_role.role_id,
+                deny=Permissions.of(Permission.SEND_MESSAGES),
+            ),
+        )
+        assert not guild.permissions_in(user.user_id, channel.channel_id).has(Permission.SEND_MESSAGES)
+
+    def test_member_overwrite_restores(self, world):
+        platform, owner, guild = world
+        user = _add_user(platform, guild, "u")
+        channel = guild.text_channels()[0]
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(target_id=guild.everyone_role.role_id, deny=Permissions.of(Permission.SEND_MESSAGES)),
+        )
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(target_id=user.user_id, allow=Permissions.of(Permission.SEND_MESSAGES)),
+        )
+        assert guild.permissions_in(user.user_id, channel.channel_id).has(Permission.SEND_MESSAGES)
+
+    def test_text_channels_filter(self, world):
+        _, _, guild = world
+        assert all(channel.type is ChannelType.TEXT for channel in guild.text_channels())
+
+
+class TestAuditLog:
+    def test_actions_recorded(self, world):
+        platform, owner, guild = world
+        _role(guild, "r", Permission.SPEAK)
+        actions = [entry.action for entry in guild.audit_log]
+        assert "role.create" in actions
+
+    def test_read_requires_view_audit_log(self, world):
+        platform, owner, guild = world
+        user = _add_user(platform, guild, "u")
+        with pytest.raises(PermissionDenied):
+            guild.read_audit_log(user.user_id)
+        assert guild.read_audit_log(owner.user_id)
+
+
+class TestUnbanAndRoleDeletion:
+    def test_unban_allows_rejoin(self, world):
+        platform, owner, guild = world
+        target = _add_user(platform, guild, "t")
+        guild.ban(owner.user_id, target.user_id)
+        guild.unban(owner.user_id, target.user_id)
+        guild.add_member(target)  # no PermissionDenied anymore
+        assert target.user_id in guild.members
+
+    def test_unban_requires_ban_members(self, world):
+        platform, owner, guild = world
+        target = _add_user(platform, guild, "t")
+        pleb = _add_user(platform, guild, "pleb")
+        guild.ban(owner.user_id, target.user_id)
+        with pytest.raises(PermissionDenied):
+            guild.unban(pleb.user_id, target.user_id)
+
+    def test_unban_unknown_target(self, world):
+        platform, owner, guild = world
+        with pytest.raises(UnknownEntityError):
+            guild.unban(owner.user_id, 424242)
+
+    def test_delete_role_unassigns_members(self, world):
+        platform, owner, guild = world
+        user = _add_user(platform, guild, "u")
+        role = _role(guild, "temp", Permission.SPEAK)
+        guild.assign_role(owner.user_id, user.user_id, role.role_id)
+        guild.delete_role(owner.user_id, role.role_id)
+        assert role.role_id not in guild.roles
+        assert role.role_id not in guild.member(user.user_id).role_ids
+
+    def test_delete_everyone_forbidden(self, world):
+        platform, owner, guild = world
+        with pytest.raises(HierarchyError):
+            guild.delete_role(owner.user_id, guild.everyone_role.role_id)
+
+    def test_delete_managed_role_forbidden(self, world):
+        platform, owner, guild = world
+        managed = guild.create_role("bot-role", Permissions.of(Permission.SPEAK), managed=True)
+        with pytest.raises(HierarchyError):
+            guild.delete_role(owner.user_id, managed.role_id)
+
+    def test_delete_respects_hierarchy(self, world):
+        platform, owner, guild = world
+        actor = _add_user(platform, guild, "actor")
+        mid = _role(guild, "mid", Permission.MANAGE_ROLES)
+        top = _role(guild, "top", Permission.SPEAK)
+        guild.assign_role(owner.user_id, actor.user_id, mid.role_id)
+        with pytest.raises(HierarchyError):
+            guild.delete_role(actor.user_id, top.role_id)
+
+    def test_delete_requires_manage_roles(self, world):
+        platform, owner, guild = world
+        pleb = _add_user(platform, guild, "pleb")
+        role = _role(guild, "temp", Permission.SPEAK)
+        with pytest.raises(PermissionDenied):
+            guild.delete_role(pleb.user_id, role.role_id)

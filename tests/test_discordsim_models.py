@@ -1,0 +1,192 @@
+"""Tests for models, snowflakes, gateway and OAuth."""
+
+import pytest
+
+from repro.discordsim.gateway import Event, EventBus, EventType
+from repro.discordsim.models import Attachment, Channel, ChannelType, Message, User
+from repro.discordsim.oauth import (
+    ConsentScreen,
+    InviteLink,
+    InviteLinkError,
+    OAuthScope,
+    build_invite_url,
+    parse_invite_url,
+)
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.snowflake import (
+    SnowflakeGenerator,
+    snowflake_sequence,
+    snowflake_timestamp_ms,
+    snowflake_worker,
+)
+from repro.web.dom import parse_html
+from repro.web.network import VirtualClock
+
+
+class TestSnowflakes:
+    def test_unique_ids(self, clock):
+        generator = SnowflakeGenerator(clock)
+        ids = [generator.next_id() for _ in range(5000)]
+        assert len(set(ids)) == 5000
+
+    def test_time_ordered(self, clock):
+        generator = SnowflakeGenerator(clock)
+        first = generator.next_id()
+        clock.advance(1.0)
+        second = generator.next_id()
+        assert second > first
+
+    def test_components_roundtrip(self):
+        clock = VirtualClock(12.345)
+        generator = SnowflakeGenerator(clock, worker_id=7)
+        snowflake = generator.next_id()
+        assert snowflake_timestamp_ms(snowflake) == 12345
+        assert snowflake_worker(snowflake) == 7
+        assert snowflake_sequence(snowflake) == 0
+
+    def test_sequence_increments_within_millisecond(self, clock):
+        generator = SnowflakeGenerator(clock)
+        a = generator.next_id()
+        b = generator.next_id()
+        assert snowflake_sequence(b) == snowflake_sequence(a) + 1
+
+    def test_worker_id_bounds(self, clock):
+        with pytest.raises(ValueError):
+            SnowflakeGenerator(clock, worker_id=1024)
+
+
+class TestMessageExtraction:
+    def _message(self, content: str) -> Message:
+        return Message(1, 2, 3, 4, content, 0.0)
+
+    def test_urls_extracted(self):
+        message = self._message("see https://a.sim/x and http://b.sim/y?z=1 now")
+        assert message.urls() == ["https://a.sim/x", "http://b.sim/y?z=1"]
+
+    def test_emails_extracted(self):
+        message = self._message("mail me at token123@canary.sim ok?")
+        assert message.email_addresses() == ["token123@canary.sim"]
+
+    def test_no_matches(self):
+        message = self._message("nothing interesting here")
+        assert message.urls() == [] and message.email_addresses() == []
+
+
+class TestChannelHistory:
+    def test_history_most_recent_first(self):
+        channel = Channel(1, 2, "general")
+        for index in range(5):
+            channel.messages.append(Message(index, 1, 2, 3, f"m{index}", float(index)))
+        history = channel.history()
+        assert [message.content for message in history] == ["m4", "m3", "m2", "m1", "m0"]
+
+    def test_history_limit(self):
+        channel = Channel(1, 2, "general")
+        for index in range(5):
+            channel.messages.append(Message(index, 1, 2, 3, f"m{index}", float(index)))
+        assert len(channel.history(limit=2)) == 2
+
+
+class TestAttachment:
+    def test_extension(self):
+        attachment = Attachment(1, "notes.DOCX", "application/x", 10)
+        assert attachment.extension == "docx"
+
+    def test_user_tag(self):
+        user = User(user_id=1, name="editid", discriminator="6714")
+        assert user.tag == "editid#6714"
+
+
+class TestEventBus:
+    def test_type_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, EventType.MESSAGE_CREATE)
+        bus.dispatch(Event(EventType.GUILD_CREATE, 1))
+        bus.dispatch(Event(EventType.MESSAGE_CREATE, 1))
+        assert len(seen) == 1
+
+    def test_predicate_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, predicate=lambda event: event.guild_id == 7)
+        bus.dispatch(Event(EventType.MESSAGE_CREATE, 7))
+        bus.dispatch(Event(EventType.MESSAGE_CREATE, 8))
+        assert [event.guild_id for event in seen] == [7]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        unsubscribe()
+        bus.dispatch(Event(EventType.MESSAGE_CREATE, 1))
+        assert seen == []
+        unsubscribe()  # idempotent
+
+    def test_delivery_count(self):
+        bus = EventBus()
+        bus.subscribe(lambda event: None)
+        bus.subscribe(lambda event: None)
+        assert bus.dispatch(Event(EventType.MESSAGE_CREATE, 1)) == 2
+        assert bus.events_dispatched == 1
+        assert bus.deliveries == 2
+
+
+class TestInviteLinks:
+    def test_roundtrip(self):
+        permissions = Permissions.of(Permission.ADMINISTRATOR, Permission.SEND_MESSAGES)
+        url = build_invite_url(123, permissions)
+        invite = parse_invite_url(url)
+        assert invite.client_id == 123
+        assert invite.permissions == permissions
+        assert invite.scopes == (OAuthScope.BOT,)
+
+    def test_missing_client_id(self):
+        with pytest.raises(InviteLinkError):
+            parse_invite_url("https://discord.sim/oauth2/authorize?permissions=8&scope=bot")
+
+    def test_malformed_permissions(self):
+        with pytest.raises(InviteLinkError):
+            parse_invite_url("https://discord.sim/oauth2/authorize?client_id=1&permissions=oops&scope=bot")
+
+    def test_bot_scope_required(self):
+        with pytest.raises(InviteLinkError):
+            parse_invite_url("https://discord.sim/oauth2/authorize?client_id=1&permissions=0&scope=identify")
+
+    def test_unknown_scope(self):
+        with pytest.raises(InviteLinkError):
+            parse_invite_url("https://discord.sim/oauth2/authorize?client_id=1&permissions=0&scope=bot%20magic")
+
+    def test_not_an_oauth_path(self):
+        with pytest.raises(InviteLinkError):
+            parse_invite_url("https://discord.sim/totally/else")
+
+    def test_multi_scope(self):
+        url = build_invite_url(5, Permissions.none(), scopes=(OAuthScope.BOT, OAuthScope.IDENTIFY))
+        invite = parse_invite_url(url)
+        assert OAuthScope.IDENTIFY in invite.scopes
+
+    def test_whitelist_flags(self):
+        assert OAuthScope.MESSAGES_READ.requires_whitelist
+        assert OAuthScope.RPC.testing_only
+        assert not OAuthScope.BOT.requires_whitelist
+
+
+class TestConsentScreen:
+    def test_renders_permission_list(self):
+        invite = InviteLink(client_id=1, permissions=Permissions.of(Permission.ADMINISTRATOR, Permission.SPEAK))
+        screen = ConsentScreen(bot_name="MegaBot", invite=invite, guild_names=["My Server"])
+        page = parse_html(screen.render_html())
+        items = [node.text for node in page.select("ul#permission-list li.permission-item")]
+        assert items == ["administrator", "speak"]
+        assert page.select_one("#bot-name").text == "MegaBot"
+
+    def test_renders_captcha_when_present(self):
+        invite = InviteLink(client_id=1, permissions=Permissions.none())
+        screen = ConsentScreen(
+            bot_name="B", invite=invite, captcha_challenge_id="ch-1", captcha_prompt="What is 1 + 1?"
+        )
+        page = parse_html(screen.render_html())
+        challenge = page.select_one("#captcha-challenge")
+        assert challenge.get("data-challenge-id") == "ch-1"
+        assert "1 + 1" in challenge.select_one("p.prompt").text

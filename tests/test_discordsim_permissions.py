@@ -1,0 +1,160 @@
+"""Tests for the Discord permission bitfield model."""
+
+import pytest
+
+from repro.discordsim.permissions import (
+    ALL_PERMISSIONS,
+    DISPLAY_NAMES,
+    Permission,
+    PermissionOverwrite,
+    Permissions,
+    compute_base_permissions,
+    compute_channel_permissions,
+    permission_from_name,
+)
+
+
+class TestBitfieldLayout:
+    def test_documented_bit_positions(self):
+        # Spot-check the positions the paper's analysis relies on.
+        assert Permission.ADMINISTRATOR.value == 1 << 3
+        assert Permission.MANAGE_GUILD.value == 1 << 5
+        assert Permission.VIEW_CHANNEL.value == 1 << 10
+        assert Permission.SEND_MESSAGES.value == 1 << 11
+        assert Permission.READ_MESSAGE_HISTORY.value == 1 << 16
+
+    def test_every_permission_has_display_name(self):
+        for flag in Permission:
+            assert flag in DISPLAY_NAMES
+
+    def test_display_names_unique(self):
+        names = list(DISPLAY_NAMES.values())
+        assert len(names) == len(set(names))
+
+    def test_administrator_bitfield_is_8(self):
+        # permissions=8 in an invite URL means administrator.
+        assert Permissions.administrator().value == 8
+
+
+class TestConstruction:
+    def test_of_combines_flags(self):
+        permissions = Permissions.of(Permission.KICK_MEMBERS, Permission.BAN_MEMBERS)
+        assert permissions.value == (1 << 1) | (1 << 2)
+
+    def test_from_api_names(self):
+        permissions = Permissions.from_names(["SEND_MESSAGES", "kick_members"])
+        assert permissions.has_exactly(Permission.SEND_MESSAGES)
+        assert permissions.has_exactly(Permission.KICK_MEMBERS)
+
+    def test_from_display_names(self):
+        permissions = Permissions.from_names(["send messages", "mention @everyone"])
+        assert permissions.has_exactly(Permission.MENTION_EVERYONE)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            permission_from_name("fly to the moon")
+
+    def test_unknown_bits_masked_off(self):
+        permissions = Permissions(1 << 60)
+        assert permissions.value == 0
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Permissions(1).value = 2  # type: ignore[misc]
+
+
+class TestAdministratorSemantics:
+    def test_admin_implies_everything_via_has(self):
+        admin = Permissions.administrator()
+        assert admin.has(Permission.BAN_MEMBERS)
+        assert admin.has(Permission.MANAGE_WEBHOOKS)
+
+    def test_has_exactly_ignores_admin_shortcut(self):
+        admin = Permissions.administrator()
+        assert not admin.has_exactly(Permission.BAN_MEMBERS)
+        assert admin.has_exactly(Permission.ADMINISTRATOR)
+
+    def test_redundant_with_administrator(self):
+        combo = Permissions.of(Permission.ADMINISTRATOR, Permission.SEND_MESSAGES, Permission.KICK_MEMBERS)
+        redundant = combo.redundant_with_administrator()
+        assert set(redundant) == {Permission.SEND_MESSAGES, Permission.KICK_MEMBERS}
+
+    def test_no_redundancy_without_admin(self):
+        assert Permissions.of(Permission.SEND_MESSAGES).redundant_with_administrator() == []
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = Permissions.of(Permission.SPEAK)
+        b = Permissions.of(Permission.CONNECT)
+        assert (a | b).has_exactly(Permission.SPEAK)
+        assert (a | b).has_exactly(Permission.CONNECT)
+
+    def test_intersection(self):
+        a = Permissions.of(Permission.SPEAK, Permission.CONNECT)
+        b = Permissions.of(Permission.CONNECT)
+        assert (a & b) == Permissions.of(Permission.CONNECT)
+
+    def test_difference(self):
+        a = Permissions.of(Permission.SPEAK, Permission.CONNECT)
+        assert (a - Permissions.of(Permission.SPEAK)) == Permissions.of(Permission.CONNECT)
+
+    def test_subset(self):
+        small = Permissions.of(Permission.SPEAK)
+        big = Permissions.of(Permission.SPEAK, Permission.CONNECT)
+        assert small.is_subset(big)
+        assert not big.is_subset(small)
+
+    def test_iter_and_len(self):
+        permissions = Permissions.of(Permission.SPEAK, Permission.CONNECT)
+        assert len(permissions) == 2
+        assert set(permissions) == {Permission.SPEAK, Permission.CONNECT}
+
+    def test_display_names_match_flags(self):
+        permissions = Permissions.of(Permission.SEND_TTS_MESSAGES)
+        assert permissions.display_names() == ["send tts messages"]
+
+    def test_all_contains_every_flag(self):
+        for flag in Permission:
+            assert ALL_PERMISSIONS.has_exactly(flag)
+
+
+class TestOverwriteMath:
+    def test_base_union_of_roles(self):
+        base = compute_base_permissions(
+            [Permissions.of(Permission.SPEAK), Permissions.of(Permission.CONNECT)]
+        )
+        assert base.has_exactly(Permission.SPEAK) and base.has_exactly(Permission.CONNECT)
+
+    def test_owner_gets_all(self):
+        assert compute_base_permissions([], is_owner=True) == Permissions.all()
+
+    def test_admin_role_resolves_to_all(self):
+        base = compute_base_permissions([Permissions.administrator()])
+        assert base == Permissions.all()
+
+    def test_deny_then_allow_order(self):
+        base = Permissions.of(Permission.SEND_MESSAGES, Permission.VIEW_CHANNEL)
+        everyone = PermissionOverwrite(target_id=1, deny=Permissions.of(Permission.SEND_MESSAGES))
+        role = PermissionOverwrite(target_id=2, allow=Permissions.of(Permission.SEND_MESSAGES))
+        result = compute_channel_permissions(base, everyone, [role], None)
+        assert result.has_exactly(Permission.SEND_MESSAGES)
+
+    def test_member_overwrite_wins_last(self):
+        base = Permissions.of(Permission.SEND_MESSAGES)
+        member = PermissionOverwrite(target_id=3, deny=Permissions.of(Permission.SEND_MESSAGES))
+        result = compute_channel_permissions(base, None, [], member)
+        assert not result.has_exactly(Permission.SEND_MESSAGES)
+
+    def test_admin_bypasses_overwrites(self):
+        base = Permissions.administrator()
+        everyone = PermissionOverwrite(target_id=1, deny=Permissions.all())
+        result = compute_channel_permissions(base, everyone, [], None)
+        assert result == Permissions.all()
+
+    def test_role_overwrites_aggregate(self):
+        base = Permissions.none()
+        role_a = PermissionOverwrite(target_id=1, allow=Permissions.of(Permission.SPEAK))
+        role_b = PermissionOverwrite(target_id=2, allow=Permissions.of(Permission.CONNECT))
+        result = compute_channel_permissions(base, None, [role_a, role_b], None)
+        assert result.has_exactly(Permission.SPEAK) and result.has_exactly(Permission.CONNECT)

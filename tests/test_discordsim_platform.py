@@ -1,0 +1,224 @@
+"""Tests for the platform: accounts, installs, anti-abuse, messaging."""
+
+import pytest
+
+from repro.discordsim.guild import PermissionDenied
+from repro.discordsim.models import Attachment
+from repro.discordsim.oauth import OAuthScope, build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.platform import DiscordPlatform, InstallError, VerificationRequired
+from repro.web.captcha import TwoCaptchaClient
+
+
+@pytest.fixture
+def installed(platform, clock):
+    """owner + guild + an installed admin bot, via the real OAuth flow."""
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "G")
+    developer = platform.create_user("dev", phone_verified=True)
+    application = platform.register_application(developer, "HelperBot")
+    url = build_invite_url(application.client_id, Permissions.of(Permission.ADMINISTRATOR))
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = TwoCaptchaClient(clock, accuracy=1.0).solve(screen.captcha_prompt)
+    member = platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    return platform, owner, guild, application, member
+
+
+class TestAccounts:
+    def test_create_user_ids_unique(self, platform):
+        a = platform.create_user("a")
+        b = platform.create_user("b")
+        assert a.user_id != b.user_id
+
+    def test_custom_client_id(self, platform):
+        developer = platform.create_user("dev")
+        application = platform.register_application(developer, "X", client_id=42)
+        assert platform.applications[42] is application
+
+    def test_duplicate_client_id_rejected(self, platform):
+        developer = platform.create_user("dev")
+        platform.register_application(developer, "X", client_id=42)
+        with pytest.raises(Exception):
+            platform.register_application(developer, "Y", client_id=42)
+
+    def test_bot_user_flag(self, platform):
+        developer = platform.create_user("dev")
+        application = platform.register_application(developer, "X")
+        assert application.bot_user.is_bot
+
+
+class TestInstallFlow:
+    def test_full_flow_creates_managed_role(self, installed):
+        platform, owner, guild, application, member = installed
+        assert member.user.is_bot
+        role = guild.top_role(member.user_id)
+        assert role.managed
+        assert role.permissions.is_administrator
+        assert platform.installs[-1].client_id == application.client_id
+
+    def test_captcha_required(self, platform, clock):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        developer = platform.create_user("d")
+        application = platform.register_application(developer, "B")
+        url = build_invite_url(application.client_id, Permissions.none())
+        screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+        with pytest.raises(InstallError):
+            platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, "wrong")
+
+    def test_installer_needs_manage_guild(self, platform, clock):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        regular = platform.create_user("r")
+        platform.join_guild(regular.user_id, guild.guild_id)
+        developer = platform.create_user("d")
+        application = platform.register_application(developer, "B")
+        url = build_invite_url(application.client_id, Permissions.none())
+        screen = platform.begin_install(regular.user_id, url, guild.guild_id)
+        answer = TwoCaptchaClient(clock, accuracy=1.0).solve(screen.captcha_prompt)
+        with pytest.raises(InstallError, match="MANAGE_GUILD"):
+            platform.complete_install(regular.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+
+    def test_unknown_application(self, platform):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        url = build_invite_url(999999, Permissions.none())
+        with pytest.raises(InstallError):
+            platform.begin_install(owner.user_id, url, guild.guild_id)
+
+    def test_malformed_invite(self, platform):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        with pytest.raises(InstallError):
+            platform.begin_install(owner.user_id, "https://discord.sim/oauth2/authorize?client_id=&scope=bot", guild.guild_id)
+
+    def test_whitelisted_scope_rejected_without_whitelist(self, platform, clock):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        developer = platform.create_user("d")
+        application = platform.register_application(developer, "B")
+        url = build_invite_url(
+            application.client_id, Permissions.none(), scopes=(OAuthScope.BOT, OAuthScope.MESSAGES_READ)
+        )
+        screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+        answer = TwoCaptchaClient(clock, accuracy=1.0).solve(screen.captcha_prompt)
+        with pytest.raises(InstallError, match="whitelist"):
+            platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+
+    def test_whitelisted_scope_allowed_when_whitelisted(self, platform, clock):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        developer = platform.create_user("d")
+        application = platform.register_application(
+            developer, "B", whitelisted_scopes=frozenset({OAuthScope.MESSAGES_READ})
+        )
+        url = build_invite_url(
+            application.client_id, Permissions.none(), scopes=(OAuthScope.BOT, OAuthScope.MESSAGES_READ)
+        )
+        screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+        answer = TwoCaptchaClient(clock, accuracy=1.0).solve(screen.captcha_prompt)
+        member = platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+        assert member.user.is_bot
+
+
+class TestAntiAbuse:
+    def test_rapid_joins_flag_unverified_account(self, platform):
+        user = platform.create_user("joiner")
+        owners = [platform.create_user(f"o{i}", phone_verified=True) for i in range(12)]
+        guilds = [platform.create_guild(owner, f"G{i}") for i, owner in enumerate(owners)]
+        with pytest.raises(VerificationRequired):
+            for guild in guilds:
+                platform.join_guild(user.user_id, guild.guild_id)
+        assert user.flagged_for_verification
+
+    def test_verified_accounts_join_freely(self, platform):
+        user = platform.create_user("joiner", phone_verified=True)
+        for index in range(15):
+            owner = platform.create_user(f"o{index}", phone_verified=True)
+            guild = platform.create_guild(owner, f"G{index}")
+            platform.join_guild(user.user_id, guild.guild_id)
+        assert len(user.guild_ids) == 15
+
+    def test_verify_phone_clears_flag(self, platform):
+        user = platform.create_user("joiner")
+        user.flagged_for_verification = True
+        platform.verify_phone(user.user_id)
+        assert user.phone_verified and not user.flagged_for_verification
+
+    def test_bots_have_no_guild_limit(self, installed):
+        """Unlike normal users, chatbots can join without limits."""
+        platform, owner, guild, application, member = installed
+        for index in range(20):
+            extra_owner = platform.create_user(f"eo{index}", phone_verified=True)
+            extra = platform.create_guild(extra_owner, f"Extra{index}")
+            extra.add_member(application.bot_user)  # direct add: no flag raised
+        assert len(application.bot_user.guild_ids) >= 20
+
+
+class TestMessaging:
+    def test_post_requires_send_messages(self, installed):
+        platform, owner, guild, application, member = installed
+        muted = platform.create_user("muted")
+        platform.join_guild(muted.user_id, guild.guild_id)
+        channel = guild.text_channels()[0]
+        from repro.discordsim.permissions import PermissionOverwrite
+
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(target_id=muted.user_id, deny=Permissions.of(Permission.SEND_MESSAGES)),
+        )
+        with pytest.raises(PermissionDenied):
+            platform.post_message(muted.user_id, guild.guild_id, channel.channel_id, "hi")
+
+    def test_attachments_require_attach_files(self, installed):
+        platform, owner, guild, application, member = installed
+        poster = platform.create_user("p")
+        platform.join_guild(poster.user_id, guild.guild_id)
+        channel = guild.text_channels()[0]
+        from repro.discordsim.permissions import PermissionOverwrite
+
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(target_id=poster.user_id, deny=Permissions.of(Permission.ATTACH_FILES)),
+        )
+        attachment = Attachment(1, "x.txt", "text/plain", 1)
+        with pytest.raises(PermissionDenied):
+            platform.post_message(poster.user_id, guild.guild_id, channel.channel_id, "f", [attachment])
+
+    def test_gateway_visibility_excludes_own_messages(self, installed):
+        platform, owner, guild, application, member = installed
+        seen = []
+        platform.subscribe_bot(application.bot_user.user_id, seen.append)
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "hello bot")
+        platform.post_message(application.bot_user.user_id, guild.guild_id, channel.channel_id, "reply")
+        assert len(seen) == 1
+        assert seen[0].payload["message"].content == "hello bot"
+
+    def test_gateway_visibility_requires_view_channel(self, platform, clock):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        developer = platform.create_user("d")
+        application = platform.register_application(developer, "BlindBot")
+        # Install with no permissions at all.
+        url = build_invite_url(application.client_id, Permissions.none())
+        screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+        answer = TwoCaptchaClient(clock, accuracy=1.0).solve(screen.captcha_prompt)
+        platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+        channel = guild.text_channels()[0]
+        from repro.discordsim.permissions import PermissionOverwrite
+
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(
+                target_id=application.bot_user.user_id,
+                deny=Permissions.of(Permission.VIEW_CHANNEL),
+            ),
+        )
+        seen = []
+        platform.subscribe_bot(application.bot_user.user_id, seen.append)
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "secret")
+        assert seen == []

@@ -1,0 +1,152 @@
+"""Tests for slash commands and the platform-enforced permission fix."""
+
+import pytest
+
+from repro.discordsim.guild import PermissionDenied, UnknownEntityError
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, PermissionOverwrite, Permissions
+from repro.discordsim.slash import SlashCommandRegistry
+from repro.web.captcha import TwoCaptchaClient
+
+
+@pytest.fixture
+def slash_world(platform, clock):
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "G")
+    developer = platform.create_user("dev", phone_verified=True)
+    application = platform.register_application(developer, "SlashBot")
+    url = build_invite_url(application.client_id, Permissions.of(Permission.ADMINISTRATOR))
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = TwoCaptchaClient(clock, accuracy=1.0).solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    registry = SlashCommandRegistry(platform)
+    channel = guild.text_channels()[0]
+    return platform, owner, guild, application, registry, channel
+
+
+def _kick_handler(interaction):
+    guild = interaction.platform.guilds[interaction.guild_id]
+    target_id = int(interaction.args[0])
+    bot_id = interaction.platform.applications[interaction.command.client_id].bot_user.user_id
+    guild.kick(bot_id, target_id)
+    interaction.respond(f"kicked {target_id}")
+
+
+class TestRegistration:
+    def test_register_and_list(self, slash_world):
+        platform, owner, guild, application, registry, channel = slash_world
+        registry.register(application.client_id, "ping", lambda i: i.respond("pong"))
+        assert [command.name for command in registry.commands_for(application.client_id)] == ["ping"]
+
+    def test_unknown_application_rejected(self, slash_world):
+        platform, owner, guild, application, registry, channel = slash_world
+        with pytest.raises(UnknownEntityError):
+            registry.register(999999, "x", lambda i: None)
+
+    def test_unknown_command_invocation(self, slash_world):
+        platform, owner, guild, application, registry, channel = slash_world
+        with pytest.raises(UnknownEntityError):
+            registry.invoke(owner.user_id, guild.guild_id, channel.channel_id, application.client_id, "ghost")
+
+
+class TestInvocation:
+    def test_basic_invoke_and_response(self, slash_world):
+        platform, owner, guild, application, registry, channel = slash_world
+        registry.register(application.client_id, "ping", lambda i: i.respond("pong"))
+        interaction = registry.invoke(
+            owner.user_id, guild.guild_id, channel.channel_id, application.client_id, "ping"
+        )
+        assert interaction.responses == ["pong"]
+        assert channel.messages[-1].content == "pong"
+        assert channel.messages[-1].author_is_bot
+
+    def test_requires_use_application_commands(self, slash_world):
+        platform, owner, guild, application, registry, channel = slash_world
+        registry.register(application.client_id, "ping", lambda i: i.respond("pong"))
+        restricted = platform.create_user("restricted")
+        platform.join_guild(restricted.user_id, guild.guild_id)
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(
+                target_id=restricted.user_id,
+                deny=Permissions.of(Permission.USE_APPLICATION_COMMANDS),
+            ),
+        )
+        with pytest.raises(PermissionDenied):
+            registry.invoke(
+                restricted.user_id, guild.guild_id, channel.channel_id, application.client_id, "ping"
+            )
+
+    def test_non_member_rejected(self, slash_world):
+        platform, owner, guild, application, registry, channel = slash_world
+        registry.register(application.client_id, "ping", lambda i: i.respond("pong"))
+        outsider = platform.create_user("outsider")
+        with pytest.raises(PermissionDenied):
+            registry.invoke(
+                outsider.user_id, guild.guild_id, channel.channel_id, application.client_id, "ping"
+            )
+
+
+class TestDefaultMemberPermissions:
+    """Discord's platform-enforced fix for permission re-delegation."""
+
+    def _setup_kick(self, slash_world, enforced: bool):
+        platform, owner, guild, application, registry, channel = slash_world
+        registry.register(
+            application.client_id,
+            "kick",
+            _kick_handler,
+            default_member_permissions=Permissions.of(Permission.KICK_MEMBERS) if enforced else None,
+        )
+        victim = platform.create_user("victim")
+        platform.join_guild(victim.user_id, guild.guild_id)
+        attacker = platform.create_user("attacker")
+        platform.join_guild(attacker.user_id, guild.guild_id)
+        return platform, owner, guild, application, registry, channel, victim, attacker
+
+    def test_unprotected_command_reenacts_redelegation(self, slash_world):
+        platform, owner, guild, application, registry, channel, victim, attacker = self._setup_kick(
+            slash_world, enforced=False
+        )
+        registry.invoke(
+            attacker.user_id, guild.guild_id, channel.channel_id, application.client_id, "kick",
+            [str(victim.user_id)],
+        )
+        assert victim.user_id not in guild.members  # attack still works
+
+    def test_default_member_permissions_block_attack(self, slash_world):
+        platform, owner, guild, application, registry, channel, victim, attacker = self._setup_kick(
+            slash_world, enforced=True
+        )
+        with pytest.raises(PermissionDenied, match="platform-enforced"):
+            registry.invoke(
+                attacker.user_id, guild.guild_id, channel.channel_id, application.client_id, "kick",
+                [str(victim.user_id)],
+            )
+        assert victim.user_id in guild.members
+        assert registry.platform_denials == 1
+
+    def test_privileged_invoker_still_allowed(self, slash_world):
+        platform, owner, guild, application, registry, channel, victim, attacker = self._setup_kick(
+            slash_world, enforced=True
+        )
+        registry.invoke(
+            owner.user_id, guild.guild_id, channel.channel_id, application.client_id, "kick",
+            [str(victim.user_id)],
+        )
+        assert victim.user_id not in guild.members
+
+    def test_admin_invoker_bypasses_requirement(self, slash_world):
+        platform, owner, guild, application, registry, channel, victim, attacker = self._setup_kick(
+            slash_world, enforced=True
+        )
+        admin = platform.create_user("admin2")
+        platform.join_guild(admin.user_id, guild.guild_id)
+        role = guild.create_role("admins", Permissions.administrator())
+        guild.assign_role(owner.user_id, admin.user_id, role.role_id)
+        registry.invoke(
+            admin.user_id, guild.guild_id, channel.channel_id, application.client_id, "kick",
+            [str(victim.user_id)],
+        )
+        assert victim.user_id not in guild.members

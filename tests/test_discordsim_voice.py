@@ -1,0 +1,134 @@
+"""Tests for voice sessions and voice-metadata visibility."""
+
+import pytest
+
+from repro.discordsim.guild import PermissionDenied, UnknownEntityError
+from repro.discordsim.models import ChannelType
+from repro.discordsim.permissions import Permission, PermissionOverwrite, Permissions
+from repro.discordsim.voice import VoiceManager
+
+
+@pytest.fixture
+def voice_world(platform):
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "G")
+    voice_channel = next(
+        channel for channel in guild.channels.values() if channel.type is ChannelType.VOICE
+    )
+    manager = VoiceManager(platform)
+    return platform, owner, guild, voice_channel, manager
+
+
+def _member(platform, guild, name):
+    user = platform.create_user(name)
+    platform.join_guild(user.user_id, guild.guild_id)
+    return user
+
+
+class TestSessions:
+    def test_join_and_occupancy(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        manager.join(guild.guild_id, user.user_id, channel.channel_id)
+        assert [state.user_id for state in manager.occupants(guild.guild_id, channel.channel_id)] == [
+            user.user_id
+        ]
+
+    def test_cannot_join_text_channel(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        text = guild.text_channels()[0]
+        with pytest.raises(PermissionDenied):
+            manager.join(guild.guild_id, owner.user_id, text.channel_id)
+
+    def test_join_requires_connect(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(target_id=user.user_id, deny=Permissions.of(Permission.CONNECT)),
+        )
+        with pytest.raises(PermissionDenied):
+            manager.join(guild.guild_id, user.user_id, channel.channel_id)
+
+    def test_speak_accumulates_and_logs(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        state = manager.join(guild.guild_id, user.user_id, channel.channel_id)
+        manager.speak(guild.guild_id, user.user_id, seconds=12.0)
+        assert state.speak_seconds == 12.0
+        events = manager.metadata[guild.guild_id]
+        assert [event.kind for event in events] == ["join", "speak"]
+        assert events[-1].duration == 12.0
+
+    def test_muted_user_cannot_speak(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        manager.join(guild.guild_id, user.user_id, channel.channel_id)
+        manager.mute(guild.guild_id, owner.user_id, user.user_id)
+        with pytest.raises(PermissionDenied):
+            manager.speak(guild.guild_id, user.user_id, 1.0)
+
+    def test_mute_requires_permission(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        rando = _member(platform, guild, "r")
+        manager.join(guild.guild_id, user.user_id, channel.channel_id)
+        with pytest.raises(PermissionDenied):
+            manager.mute(guild.guild_id, rando.user_id, user.user_id)
+
+    def test_leave_logged(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        manager.join(guild.guild_id, user.user_id, channel.channel_id)
+        manager.leave(guild.guild_id, user.user_id)
+        assert manager.occupants(guild.guild_id, channel.channel_id) == []
+        assert manager.metadata[guild.guild_id][-1].kind == "leave"
+
+    def test_rejoin_switches_channels(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        second = guild.create_channel("voice-2", ChannelType.VOICE)
+        user = _member(platform, guild, "u")
+        manager.join(guild.guild_id, user.user_id, channel.channel_id)
+        manager.join(guild.guild_id, user.user_id, second.channel_id)
+        kinds = [event.kind for event in manager.metadata[guild.guild_id]]
+        assert kinds == ["join", "leave", "join"]
+
+    def test_speak_requires_session(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        with pytest.raises(UnknownEntityError):
+            manager.speak(guild.guild_id, user.user_id, 1.0)
+
+
+class TestMetadataVisibility:
+    def test_admin_bot_sees_everything(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        manager.join(guild.guild_id, user.user_id, channel.channel_id)
+        manager.speak(guild.guild_id, user.user_id, 5.0)
+        bot = platform.create_user("SpyBot")
+        bot.is_bot = True
+        guild.add_member(bot)
+        role = guild.create_role("bot", Permissions.administrator(), managed=True)
+        guild.members[bot.user_id].role_ids.append(role.role_id)
+        events = manager.voice_metadata(guild.guild_id, bot.user_id)
+        assert len(events) == 2  # join + speak: full exposure
+
+    def test_channel_denied_observer_sees_nothing(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        user = _member(platform, guild, "u")
+        observer = _member(platform, guild, "observer")
+        guild.set_channel_overwrite(
+            owner.user_id,
+            channel.channel_id,
+            PermissionOverwrite(target_id=observer.user_id, deny=Permissions.of(Permission.VIEW_CHANNEL)),
+        )
+        manager.join(guild.guild_id, user.user_id, channel.channel_id)
+        assert manager.voice_metadata(guild.guild_id, observer.user_id) == []
+
+    def test_non_member_rejected(self, voice_world):
+        platform, owner, guild, channel, manager = voice_world
+        outsider = platform.create_user("out")
+        with pytest.raises(PermissionDenied):
+            manager.voice_metadata(guild.guild_id, outsider.user_id)

@@ -1,0 +1,156 @@
+"""Tests for ecosystem building blocks: names, policies, repos, corpus."""
+
+import random
+
+import pytest
+
+from repro.ecosystem import names as naming
+from repro.ecosystem.corpus import ConversationGenerator, style_metrics
+from repro.ecosystem.policies import (
+    GENERIC_POLICY_VARIANTS,
+    PolicySpec,
+    render_policy,
+    sample_policy_spec,
+)
+from repro.ecosystem.repos import RepoKind, generate_repo
+from repro.traceability.keywords import categories_in_text
+
+
+class TestNames:
+    def test_bot_names_unique(self):
+        rng = random.Random(1)
+        taken: set[str] = set()
+        names = [naming.bot_name(rng, taken) for _ in range(12000)]
+        assert len(set(names)) == 12000
+
+    def test_developer_tags_have_discriminator(self):
+        rng = random.Random(1)
+        tag = naming.developer_tag(rng, set())
+        name, _, discriminator = tag.partition("#")
+        assert name and discriminator.isdigit() and len(discriminator) == 4
+
+    def test_tags_sampled_from_taxonomy(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            tags = naming.bot_tags(rng)
+            assert 1 <= len(tags) <= 4
+            assert all(tag in naming.TAGS for tag in tags)
+
+    def test_description_mentions_purpose(self):
+        rng = random.Random(1)
+        text = naming.bot_description(rng, "MegaBot", ["music"])
+        assert "music" in text or "MegaBot" in text
+
+
+class TestPolicies:
+    def test_expected_class_rules(self):
+        absent = PolicySpec(present=False)
+        assert absent.expected_class == "broken"
+        dead_link = PolicySpec(present=True, categories=frozenset({"use"}), link_valid=False)
+        assert dead_link.expected_class == "broken"
+        partial = PolicySpec(present=True, categories=frozenset({"use"}))
+        assert partial.expected_class == "partial"
+        complete = PolicySpec(present=True, categories=frozenset({"collect", "use", "retain", "disclose"}))
+        assert complete.expected_class == "complete"
+
+    def test_render_matches_ground_truth(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            size = rng.choice([1, 2, 3])
+            categories = frozenset(rng.sample(["collect", "use", "retain", "disclose"], size))
+            spec = PolicySpec(
+                present=True,
+                categories=categories,
+                generic=rng.random() < 0.5,
+                tailored=rng.random() < 0.3,
+            )
+            text = render_policy(spec, "TestBot", rng)
+            assert categories_in_text(text) == categories
+
+    def test_generic_variants_internally_consistent(self):
+        for categories, text in GENERIC_POLICY_VARIANTS:
+            assert categories_in_text(text) == categories
+
+    def test_absent_policy_renders_empty(self):
+        assert render_policy(PolicySpec(present=False), "X", random.Random(0)) == ""
+
+    def test_sampler_respects_absence(self):
+        spec = sample_policy_spec(random.Random(0), False, False, 0.0, {1: 1.0}, 0.5)
+        assert not spec.present and spec.expected_class == "broken"
+
+    def test_sampler_complete_fraction_one(self):
+        spec = sample_policy_spec(random.Random(0), True, True, 1.0, {1: 1.0}, 0.5)
+        assert spec.expected_class == "complete"
+
+
+class TestRepos:
+    def test_js_checked_contains_table3_pattern(self):
+        rng = random.Random(1)
+        found_any = False
+        for seed in range(10):
+            spec = generate_repo(RepoKind.VALID_CODE, "dev", f"Bot{seed}", "JavaScript", True, random.Random(seed))
+            joined = "\n".join(content for path, content in spec.files.items() if path.endswith(".js"))
+            assert any(
+                pattern in joined
+                for pattern in (".hasPermission(", ".has(", "member.roles.cache", "userPermissions")
+            )
+            found_any = True
+        assert found_any
+
+    def test_js_unchecked_clean(self):
+        for seed in range(10):
+            spec = generate_repo(RepoKind.VALID_CODE, "dev", f"Bot{seed}", "JavaScript", False, random.Random(seed))
+            joined = "\n".join(spec.files.values())
+            for pattern in (".hasPermission(", ".has(", "member.roles.cache", "userPermissions"):
+                assert pattern not in joined
+
+    def test_python_checked_and_unchecked(self):
+        checked = generate_repo(RepoKind.VALID_CODE, "dev", "PyBot", "Python", True, random.Random(1))
+        assert ".has(" in "\n".join(checked.files.values())
+        unchecked = generate_repo(RepoKind.VALID_CODE, "dev", "PyBot2", "Python", False, random.Random(1))
+        joined = "\n".join(unchecked.files.values())
+        for pattern in (".hasPermission(", ".has(", "member.roles.cache", "userPermissions"):
+            assert pattern not in joined
+
+    def test_readme_only_has_no_source(self):
+        spec = generate_repo(RepoKind.README_ONLY, "dev", "DocBot", None, False, random.Random(1))
+        assert not spec.has_source_code
+        assert set(spec.files) == {"README.md", "CHANGELOG.md", "LICENSE"}
+
+    def test_other_language_check_flag_ignored(self):
+        spec = generate_repo(RepoKind.VALID_CODE, "dev", "GoBot", "Go", True, random.Random(1))
+        assert not spec.has_check_api  # only JS/Python are modelled
+
+    def test_language_breakdown_dominant(self):
+        spec = generate_repo(RepoKind.VALID_CODE, "dev", "JsBot", "JavaScript", False, random.Random(1))
+        assert max(spec.language_breakdown, key=spec.language_breakdown.get) == "JavaScript"
+
+    def test_profile_kinds_have_profile_urls(self):
+        spec = generate_repo(RepoKind.USER_PROFILE, "dev", "ProfBot", None, False, random.Random(1))
+        assert spec.url == "https://github.sim/dev"
+
+    def test_unsupported_language_raises(self):
+        with pytest.raises(ValueError):
+            generate_repo(RepoKind.VALID_CODE, "dev", "X", "COBOL", False, random.Random(1))
+
+
+class TestCorpus:
+    def test_messages_short_and_informal(self):
+        generator = ConversationGenerator(random.Random(5))
+        texts = [message.text for message in generator.batch(300)]
+        metrics = style_metrics(texts)
+        assert metrics["mean_words"] < 12  # IM chat, not email
+        assert metrics["informal_fraction"] > 0.4
+
+    def test_reactions_follow_statements(self):
+        generator = ConversationGenerator(random.Random(5))
+        batch = generator.batch(500)
+        assert any(message.is_reaction for message in batch)
+
+    def test_deterministic(self):
+        a = [m.text for m in ConversationGenerator(random.Random(9)).batch(50)]
+        b = [m.text for m in ConversationGenerator(random.Random(9)).batch(50)]
+        assert a == b
+
+    def test_style_metrics_empty(self):
+        assert style_metrics([]) == {"mean_words": 0.0, "informal_fraction": 0.0}

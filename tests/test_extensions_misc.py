@@ -1,0 +1,116 @@
+"""Tests for extension features: sleeper behaviour, scopes end-to-end,
+report sections, and pipeline-level risk."""
+
+import pytest
+
+from repro.discordsim import behaviors
+from repro.discordsim.models import Attachment
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.web.captcha import TwoCaptchaClient
+from repro.web.http import Response
+from repro.web.server import VirtualHost
+
+
+def _install(platform, owner, guild, name="Bot", permissions=None):
+    developer = platform.create_user(f"dev-{name}", phone_verified=True)
+    application = platform.register_application(developer, name)
+    url = build_invite_url(application.client_id, permissions or Permissions.of(Permission.ADMINISTRATOR))
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = TwoCaptchaClient(platform.clock, accuracy=1.0).solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    return application
+
+
+class TestSleeperBehavior:
+    @pytest.fixture
+    def sleeper_world(self, platform, internet):
+        collected = []
+        collector = VirtualHost("evil")
+        collector.add_route(
+            "/collect", lambda request: (collected.append(request.url.query), Response.text("ok"))[1]
+        )
+        internet.register("collector.evil.sim", collector)
+        owner = platform.create_user("owner", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        application = _install(platform, owner, guild, "SleepyBot")
+        runtime = behaviors.build_runtime(
+            platform, application.bot_user.user_id, behaviors.SLEEPER, internet=internet
+        )
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "company secrets")
+        return platform, runtime, collected
+
+    def test_dormant_before_wake(self, sleeper_world):
+        platform, runtime, collected = sleeper_world
+        platform.clock.sleep(3600.0)  # one hour: far from the wake point
+        runtime.tick()
+        assert collected == []
+
+    def test_wakes_and_sweeps_after_delay(self, sleeper_world):
+        platform, runtime, collected = sleeper_world
+        platform.clock.sleep(behaviors.SLEEPER_WAKE_AFTER + 1.0)
+        runtime.tick()
+        assert any("company" in chunk for chunk in collected)
+
+    def test_sweep_happens_once_per_guild(self, sleeper_world):
+        platform, runtime, collected = sleeper_world
+        platform.clock.sleep(behaviors.SLEEPER_WAKE_AFTER + 1.0)
+        runtime.tick()
+        first = len(collected)
+        runtime.tick()
+        assert len(collected) == first
+
+    def test_sleeper_is_invasive_ground_truth(self):
+        assert behaviors.SLEEPER in behaviors.INVASIVE_BEHAVIORS
+
+
+class TestScopesEndToEnd:
+    def test_scraped_scopes_match_ground_truth(self, pipeline_result):
+        # Every active bot carries at least the 'bot' scope, read off the page.
+        active = pipeline_result.crawl.with_valid_permissions()
+        assert active
+        for bot in active[:50]:
+            assert "bot" in bot.scope_names
+
+    def test_scope_distribution_in_expected_range(self, pipeline_result):
+        dist = pipeline_result.permission_distribution
+        assert dist.scope_percent("bot") == pytest.approx(100.0)
+        commands = dist.scope_percent("applications.commands")
+        assert 35.0 < commands < 75.0  # target 55%, small-sample tolerance
+        assert dist.scope_percent("email") < 12.0
+
+    def test_extra_scope_series_excludes_bot(self, pipeline_result):
+        series = pipeline_result.permission_distribution.extra_scope_series()
+        assert all(scope != "bot" for scope, _ in series)
+        percents = [percent for _, percent in series]
+        assert percents == sorted(percents, reverse=True)
+
+
+class TestReportSections:
+    def test_report_includes_scope_table(self, pipeline_result):
+        from repro.core.report import render_full_report
+
+        report = render_full_report(pipeline_result)
+        assert "Additional scopes requested beyond 'bot'" in report
+        assert "applications.commands" in report
+
+    def test_summary_mentions_risk(self, pipeline_result):
+        text = "\n".join(pipeline_result.summary_lines())
+        assert "permission risk" in text
+        assert "over-privilege" in text
+
+
+class TestPipelineRisk:
+    def test_risk_summary_populated(self, pipeline_result):
+        risk = pipeline_result.risk_summary
+        assert risk is not None
+        assert len(risk.scores) == pipeline_result.active_bots
+        # Admin cohort (~55%) dominates the high-risk share.
+        assert 0.4 < risk.high_risk_fraction < 0.7
+        assert 0.0 < risk.mean_over_privilege <= 1.0
+
+    def test_percentiles_ordered(self, pipeline_result):
+        risk = pipeline_result.risk_summary
+        quartiles = [risk.percentile(q) for q in (0, 25, 50, 75, 100)]
+        assert quartiles == sorted(quartiles)

@@ -1,0 +1,92 @@
+"""Tests for the guild guardian audit tool."""
+
+import pytest
+
+from repro.core.guardian import GuildGuardian
+from repro.discordsim.behaviors import BENIGN, build_runtime
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.web.captcha import TwoCaptchaClient
+
+
+def _install(platform, owner, guild, name, permissions):
+    developer = platform.create_user(f"dev-{name}", phone_verified=True)
+    application = platform.register_application(developer, name)
+    url = build_invite_url(application.client_id, permissions)
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = TwoCaptchaClient(platform.clock, accuracy=1.0).solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    return application
+
+
+@pytest.fixture
+def audited_world(platform):
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "audited-guild")
+    return platform, owner, guild
+
+
+class TestGuardian:
+    def test_empty_guild(self, audited_world):
+        platform, owner, guild = audited_world
+        report = GuildGuardian(platform).audit_guild(guild.guild_id)
+        assert report.audits == []
+        assert "no bots installed" in report.render()
+
+    def test_admin_bot_flagged_high_risk(self, audited_world):
+        platform, owner, guild = audited_world
+        _install(platform, owner, guild, "AdminBot", Permissions.of(Permission.ADMINISTRATOR, Permission.SEND_MESSAGES))
+        report = GuildGuardian(platform).audit_guild(guild.guild_id)
+        audit = report.audits[0]
+        assert audit.is_high_risk and audit.risk == 1.0
+        assert audit.redundant_with_admin == ("send messages",)
+        assert report.high_risk_bots == [audit]
+
+    def test_modest_bot_low_risk(self, audited_world):
+        platform, owner, guild = audited_world
+        _install(platform, owner, guild, "PingBot", Permissions.of(Permission.SEND_MESSAGES))
+        audit = GuildGuardian(platform).audit_guild(guild.guild_id).audits[0]
+        assert not audit.is_high_risk
+        assert audit.redundant_with_admin == ()
+
+    def test_data_exposure_reported(self, audited_world):
+        platform, owner, guild = audited_world
+        _install(
+            platform,
+            owner,
+            guild,
+            "ReaderBot",
+            Permissions.of(Permission.VIEW_CHANNEL, Permission.READ_MESSAGE_HISTORY),
+        )
+        audit = GuildGuardian(platform).audit_guild(guild.guild_id).audits[0]
+        assert "message content" in audit.data_exposure
+        assert "message history" in audit.data_exposure
+
+    def test_unused_grants_detected(self, audited_world):
+        platform, owner, guild = audited_world
+        application = _install(
+            platform,
+            owner,
+            guild,
+            "ModBot",
+            Permissions.of(Permission.SEND_MESSAGES, Permission.KICK_MEMBERS, Permission.BAN_MEMBERS),
+        )
+        runtime = build_runtime(platform, application.bot_user.user_id, BENIGN)
+        channel = guild.text_channels()[0]
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "!ping")
+
+        guardian = GuildGuardian(platform)
+        guardian.register_api_client(runtime.api)
+        audit = guardian.audit_guild(guild.guild_id).audits[0]
+        # It replied (send used) but never kicked/banned.
+        assert Permission.SEND_MESSAGES in audit.permissions_exercised
+        assert "kick members" in audit.granted_but_unused
+        assert "ban members" in audit.granted_but_unused
+        assert "send messages" not in audit.granted_but_unused
+
+    def test_render_orders_by_risk(self, audited_world):
+        platform, owner, guild = audited_world
+        _install(platform, owner, guild, "SmallBot", Permissions.of(Permission.SEND_MESSAGES))
+        _install(platform, owner, guild, "BigBot", Permissions.of(Permission.ADMINISTRATOR))
+        text = GuildGuardian(platform).audit_guild(guild.guild_id).render()
+        assert text.index("BigBot") < text.index("SmallBot")

@@ -1,0 +1,247 @@
+"""Tests for the honeypot: tokens, console, feed, environments, campaign."""
+
+import random
+
+import pytest
+
+from repro.discordsim import behaviors
+from repro.discordsim.platform import DiscordPlatform
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+from repro.honeypot import (
+    CanaryConsole,
+    HoneypotExperiment,
+    TokenFactory,
+    TokenKind,
+    create_personas,
+    post_feed,
+)
+from repro.honeypot.environment import provision_environment
+from repro.honeypot.feed import alternation_violations
+from repro.honeypot.personas import join_guild_with_verification
+from repro.web.captcha import TwoCaptchaClient
+from repro.web.client import HttpClient
+
+
+class TestTokens:
+    def test_token_ids_unique(self):
+        factory = TokenFactory()
+        ids = {factory.mint(TokenKind.URL, "ctx").token_id for _ in range(200)}
+        assert len(ids) == 200
+
+    def test_trigger_url_carries_kind(self):
+        token = TokenFactory().mint(TokenKind.PDF, "guild-x")
+        assert token.token_id in token.trigger_url
+        assert "kind=pdf" in token.trigger_url
+
+    def test_email_address_format(self):
+        token = TokenFactory().mint(TokenKind.EMAIL, "g")
+        assert token.email_address.endswith("@canary.sim")
+
+    def test_word_attachment_embeds_beacon(self):
+        factory = TokenFactory()
+        token = factory.mint(TokenKind.WORD, "g")
+        attachment = factory.word_attachment(token, 1)
+        assert attachment.extension == "docx"
+        assert attachment.remote_resources == [token.trigger_url]
+        assert attachment.metadata["template"] == token.trigger_url
+
+    def test_pdf_attachment_embeds_beacon(self):
+        factory = TokenFactory()
+        token = factory.mint(TokenKind.PDF, "g")
+        attachment = factory.pdf_attachment(token, 2)
+        assert attachment.extension == "pdf"
+        assert token.trigger_url in attachment.remote_resources
+
+
+class TestConsole:
+    def test_beacon_trigger_recorded(self, internet):
+        console = CanaryConsole()
+        console.register(internet)
+        factory = TokenFactory()
+        token = factory.mint(TokenKind.URL, "guild-a")
+        console.deploy(token)
+        HttpClient(internet, client_id="bot-9").get(token.trigger_url)
+        assert len(console.triggers) == 1
+        record = console.triggers[0]
+        assert record.context == "guild-a"
+        assert record.kind is TokenKind.URL
+        assert record.client_id == "bot-9"
+
+    def test_unknown_token_not_attributed(self, internet):
+        console = CanaryConsole()
+        console.register(internet)
+        HttpClient(internet).get("https://canary.sim/t/deadbeef")
+        assert console.triggers == []
+        assert console.unknown_hits == 1
+
+    def test_email_trigger_via_smtp(self, internet):
+        console = CanaryConsole()
+        console.register(internet)
+        token = TokenFactory().mint(TokenKind.EMAIL, "guild-b")
+        console.deploy(token)
+        HttpClient(internet, client_id="bot-1").post(
+            "https://mail.canary.sim/smtp", body=f"To: {token.email_address}\nSubject: hi\n\nhello"
+        )
+        assert console.triggers[0].kind is TokenKind.EMAIL
+        assert console.triggers[0].context == "guild-b"
+
+    def test_foreign_domain_mail_refused(self, internet):
+        console = CanaryConsole()
+        console.register(internet)
+        response = HttpClient(internet).post("https://mail.canary.sim/smtp", body="To: a@other.sim\n\nx")
+        assert response.status == 403
+
+    def test_triggers_grouped_by_context(self, internet):
+        console = CanaryConsole()
+        console.register(internet)
+        factory = TokenFactory()
+        for context in ("g1", "g1", "g2"):
+            token = factory.mint(TokenKind.URL, context)
+            console.deploy(token)
+            HttpClient(internet).get(token.trigger_url)
+        grouped = console.triggers_by_context()
+        assert len(grouped["g1"]) == 2 and len(grouped["g2"]) == 1
+
+
+class TestFeed:
+    def test_alternating_authors(self, platform):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        personas = create_personas(platform, 5, random.Random(1))
+        join_guild_with_verification(platform, personas, guild)
+        channel = guild.text_channels()[0]
+        messages = post_feed(platform, guild, channel.channel_id, personas, 25, random.Random(2))
+        assert len(messages) == 25
+        assert alternation_violations(messages) == 0
+
+    def test_feed_advances_time(self, platform, clock):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        personas = create_personas(platform, 3, random.Random(1))
+        join_guild_with_verification(platform, personas, guild)
+        start = clock.now()
+        post_feed(platform, guild, guild.text_channels()[0].channel_id, personas, 10, random.Random(2))
+        assert clock.now() > start
+
+    def test_feed_requires_personas(self, platform):
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        from repro.honeypot.personas import PersonaSet
+
+        with pytest.raises(ValueError):
+            post_feed(platform, guild, guild.text_channels()[0].channel_id, PersonaSet(), 5, random.Random(1))
+
+
+@pytest.fixture
+def campaign_world(clock, internet):
+    platform = DiscordPlatform(clock)
+    eco = generate_ecosystem(EcosystemConfig(n_bots=250, seed=31, honeypot_window=40))
+    return platform, eco
+
+
+class TestEnvironmentProvisioning:
+    def test_guild_named_after_bot(self, campaign_world, internet):
+        platform, eco = campaign_world
+        console = CanaryConsole()
+        console.register(internet)
+        bot = next(b for b in eco.top_voted(40) if b.has_valid_permissions)
+        operator = platform.create_user("op", phone_verified=True)
+        platform.register_application(operator, bot.name, client_id=bot.client_id)
+        solver = TwoCaptchaClient(clock=internet.clock, accuracy=1.0)
+        environment = provision_environment(
+            platform, bot, console, TokenFactory(), solver, random.Random(3)
+        )
+        assert environment.guild.name == bot.name
+        assert environment.guild.private
+        assert len(environment.tokens) == 4
+        assert len(environment.feed_messages) == 25
+        assert len(environment.personas) == 5
+        # All four token artifacts were actually posted.
+        contents = [message.content for message in environment.token_messages]
+        assert any("canary.sim" in content for content in contents)
+        attachments = [a for message in environment.token_messages for a in message.attachments]
+        assert {attachment.extension for attachment in attachments} == {"docx", "pdf"}
+
+
+class TestCampaign:
+    def test_melonian_is_the_single_flag(self, campaign_world, internet):
+        platform, eco = campaign_world
+        experiment = HoneypotExperiment(platform, internet)
+        report = experiment.run(eco.top_voted(40))
+        assert report.bots_tested == 40
+        flagged = report.flagged_bots
+        assert [outcome.bot_name for outcome in flagged] == ["Melonian"]
+        assert flagged[0].trigger_kinds == {TokenKind.URL, TokenKind.WORD}
+        assert "wtf is this bro" in flagged[0].suspicious_messages
+
+    def test_detection_quality_perfect_on_plant(self, campaign_world, internet):
+        platform, eco = campaign_world
+        experiment = HoneypotExperiment(platform, internet)
+        report = experiment.run(eco.top_voted(40))
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+
+    def test_link_preview_triggers_explained(self, campaign_world, internet):
+        platform, eco = campaign_world
+        sample = [bot for bot in eco.top_voted(60) if bot.behavior == behaviors.LINK_PREVIEW][:3]
+        if not sample:
+            pytest.skip("no link-preview bots in window")
+        experiment = HoneypotExperiment(platform, internet)
+        report = experiment.run(sample)
+        for outcome in report.outcomes:
+            if outcome.triggered:
+                assert outcome.functionality_explained
+                assert not outcome.flagged
+
+    def test_invalid_invites_counted_as_install_failures(self, campaign_world, internet):
+        platform, eco = campaign_world
+        broken = [bot for bot in eco.bots if not bot.has_valid_permissions][:5]
+        experiment = HoneypotExperiment(platform, internet)
+        report = experiment.run(broken)
+        expected = sum(1 for bot in broken if bot.invite_status.value in ("malformed", "removed"))
+        assert report.install_failures == expected
+
+    def test_exfiltrator_detected(self, campaign_world, internet):
+        import dataclasses
+
+        from repro.discordsim.permissions import Permission, Permissions
+        from repro.honeypot.tokens import TokenKind
+
+        platform, eco = campaign_world
+        base = next(
+            bot
+            for bot in eco.bots
+            if bot.has_valid_permissions and bot.behavior == behaviors.BENIGN
+        )
+        exfil = dataclasses.replace(base)
+        exfil.name = f"{base.name}-exfil"
+        exfil.behavior = behaviors.EXFILTRATOR
+        exfil.permissions = Permissions.of(
+            Permission.SEND_MESSAGES, Permission.VIEW_CHANNEL, Permission.READ_MESSAGE_HISTORY
+        )
+        experiment = HoneypotExperiment(platform, internet)
+        report = experiment.run([exfil])
+        outcome = report.outcomes[0]
+        assert outcome.installed and outcome.flagged
+        # An exfiltrator acts on everything it sees: all four tokens fire.
+        assert outcome.trigger_kinds == {TokenKind.URL, TokenKind.EMAIL, TokenKind.WORD, TokenKind.PDF}
+
+    def test_manual_verifications_with_shared_personas(self, campaign_world, internet):
+        platform, eco = campaign_world
+        experiment = HoneypotExperiment(platform, internet)
+        report = experiment.run(eco.top_voted(30), reuse_personas=True)
+        # Five shared accounts each get flagged once while joining 30 guilds.
+        assert report.manual_verifications == 5
+
+    def test_fresh_personas_avoid_flagging(self, campaign_world, internet):
+        platform, eco = campaign_world
+        experiment = HoneypotExperiment(platform, internet)
+        report = experiment.run(eco.top_voted(12), reuse_personas=False)
+        assert report.manual_verifications == 0
+
+    def test_captcha_cost_accounted(self, campaign_world, internet):
+        platform, eco = campaign_world
+        experiment = HoneypotExperiment(platform, internet)
+        report = experiment.run(eco.top_voted(10))
+        installs = sum(1 for outcome in report.outcomes if outcome.installed)
+        assert report.captcha_cost == pytest.approx(installs * experiment.solver.price_per_solve)

@@ -1,0 +1,130 @@
+"""End-to-end governance lifecycle: the mitigations working together.
+
+A marketplace vets submissions; approved bots get installed into a guild;
+the guild owner audits them with Guardian; the ecosystem then drifts for an
+epoch and the longitudinal detector finds the silent escalations, feeding a
+re-vetting pass.  This is the "continuous rigorous vetting" loop the paper
+recommends, exercised as one story.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.longitudinal import compare_snapshots
+from repro.core.guardian import GuildGuardian
+from repro.core.vetting import VettingPipeline, VettingPolicy
+from repro.discordsim.behaviors import BENIGN, build_runtime
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.platform import DiscordPlatform
+from repro.ecosystem.evolution import EvolutionConfig, evolve_ecosystem
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+from repro.ecosystem.policies import PolicySpec
+from repro.web.captcha import TwoCaptchaClient
+
+
+@pytest.fixture(scope="module")
+def lifecycle():
+    """Run the whole story once; individual tests assert its stages."""
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=500, seed=101, honeypot_window=50))
+
+    # --- Stage 1: vetting gate over the active population (static). -------
+    pipeline = VettingPipeline(VettingPolicy(run_dynamic_review=False))
+    active = [bot for bot in ecosystem.bots if bot.has_valid_permissions]
+    vetting = pipeline.vet_population(active)
+    approved_names = {verdict.bot_name for verdict in vetting.approved}
+    approved = [bot for bot in active if bot.name in approved_names]
+
+    # --- Stage 2: a guild owner installs a few approved bots. -------------
+    platform = DiscordPlatform(captcha_seed=101)
+    solver = TwoCaptchaClient(platform.clock, accuracy=1.0, seed=101)
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "governed-guild")
+    guardian = GuildGuardian(platform)
+    installed = []
+    for bot in approved[:5]:
+        developer = platform.create_user(f"dev-{bot.name}"[:28], phone_verified=True)
+        application = platform.register_application(developer, bot.name, client_id=bot.client_id)
+        url = build_invite_url(application.client_id, bot.permissions)
+        screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+        platform.complete_install(
+            owner.user_id, guild.guild_id, url, screen.captcha_challenge_id,
+            solver.solve(screen.captcha_prompt),
+        )
+        runtime = build_runtime(platform, application.bot_user.user_id, BENIGN)
+        guardian.register_api_client(runtime.api)
+        installed.append(bot)
+
+    audit = guardian.audit_guild(guild.guild_id)
+
+    # --- Stage 3: the ecosystem drifts one epoch. --------------------------
+    evolved, log = evolve_ecosystem(
+        ecosystem, EvolutionConfig(permission_escalation_rate=0.08), seed=202
+    )
+    delta = compare_snapshots(ecosystem, evolved)
+
+    # --- Stage 4: continuous vetting — re-review the escalated bots. ------
+    escalated_names = {record.bot_name for record in delta.escalations}
+    evolved_by_name = {bot.name: bot for bot in evolved.bots}
+    revetting = pipeline.vet_population(
+        [evolved_by_name[name] for name in sorted(escalated_names)]
+    )
+    return {
+        "ecosystem": ecosystem,
+        "vetting": vetting,
+        "approved": approved,
+        "installed": installed,
+        "audit": audit,
+        "delta": delta,
+        "log": log,
+        "revetting": revetting,
+    }
+
+
+class TestVettingStage:
+    def test_gate_filters_hard(self, lifecycle):
+        vetting = lifecycle["vetting"]
+        assert len(vetting.rejected) > len(vetting.approved)
+
+    def test_approved_bots_are_modest(self, lifecycle):
+        for bot in lifecycle["approved"]:
+            assert not bot.permissions.redundant_with_administrator()
+
+
+class TestInstallAndAuditStage:
+    def test_all_approved_installed(self, lifecycle):
+        assert len(lifecycle["installed"]) == len(lifecycle["audit"].audits)
+
+    def test_vetted_guild_has_no_admin_bots(self, lifecycle):
+        for audit in lifecycle["audit"].audits:
+            assert not audit.granted.is_administrator
+
+    def test_vetted_guild_risk_is_low(self, lifecycle):
+        """A guild stocked only with vetted bots carries modest risk —
+        the mitigation's payoff, quantified."""
+        audits = lifecycle["audit"].audits
+        assert audits
+        assert max(audit.risk for audit in audits) < 0.5
+
+
+class TestDriftStage:
+    def test_escalations_detected_exactly(self, lifecycle):
+        delta, log = lifecycle["delta"], lifecycle["log"]
+        surviving = {name for name in log.escalated if name not in log.invites_broken}
+        assert {record.bot_name for record in delta.escalations} == surviving
+        assert delta.escalation_count > 0
+
+    def test_revetting_rejects_most_escalators(self, lifecycle):
+        """Permission growth is overwhelmingly unjustified growth: most
+        escalated bots flunk re-review — continuous vetting has teeth."""
+        revetting = lifecycle["revetting"]
+        assert revetting.verdicts
+        rejection_rate = len(revetting.rejected) / len(revetting.verdicts)
+        assert rejection_rate > 0.6
+
+    def test_admin_gainers_always_rejected_on_rereview(self, lifecycle):
+        delta, revetting = lifecycle["delta"], lifecycle["revetting"]
+        verdicts = {verdict.bot_name: verdict for verdict in revetting.verdicts}
+        for name in delta.gained_administrator():
+            assert not verdicts[name].approved

@@ -1,0 +1,128 @@
+"""Tests for ecosystem evolution and longitudinal analysis."""
+
+import pytest
+
+from repro.analysis.longitudinal import compare_snapshots, trend
+from repro.ecosystem.evolution import EvolutionConfig, evolve_ecosystem
+from repro.ecosystem.generator import EcosystemConfig, InviteStatus, generate_ecosystem
+
+
+@pytest.fixture(scope="module")
+def base_eco():
+    return generate_ecosystem(EcosystemConfig(n_bots=800, seed=77, honeypot_window=50))
+
+
+@pytest.fixture(scope="module")
+def evolved(base_eco):
+    return evolve_ecosystem(base_eco, EvolutionConfig(), seed=5)
+
+
+class TestEvolution:
+    def test_original_untouched(self, base_eco):
+        snapshot = {bot.name: bot.permissions.value for bot in base_eco.bots}
+        evolve_ecosystem(base_eco, seed=9)
+        assert {bot.name: bot.permissions.value for bot in base_eco.bots} == snapshot
+
+    def test_churn_rates_applied(self, base_eco, evolved):
+        after, log = evolved
+        assert len(log.removed) == pytest.approx(0.04 * 800, abs=20)
+        assert len(log.added) == int(800 * 0.06)
+        expected_total = 800 - len(log.removed) + len(log.added)
+        assert len(after.bots) == expected_total
+
+    def test_escalations_add_permissions(self, base_eco, evolved):
+        after, log = evolved
+        assert log.escalated  # some bots escalated
+        before_by_name = {bot.name: bot for bot in base_eco.bots}
+        after_by_name = {bot.name: bot for bot in after.bots}
+        for name, added in log.escalated.items():
+            assert added
+            old = before_by_name[name].permissions
+            new = after_by_name[name].permissions
+            assert old.is_subset(new)
+            assert new.value != old.value
+
+    def test_policy_adopters_gain_valid_policies(self, base_eco, evolved):
+        after, log = evolved
+        after_by_name = {bot.name: bot for bot in after.bots}
+        for name in log.policy_adopters:
+            bot = after_by_name[name]
+            assert bot.policy.present and bot.policy.link_valid
+            assert bot.policy_text
+
+    def test_new_bots_have_fresh_client_ids(self, base_eco, evolved):
+        after, log = evolved
+        ids = [bot.client_id for bot in after.bots]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic(self, base_eco):
+        first, _ = evolve_ecosystem(base_eco, seed=3)
+        second, _ = evolve_ecosystem(base_eco, seed=3)
+        assert [bot.name for bot in first.bots] == [bot.name for bot in second.bots]
+
+    def test_broken_invites_logged(self, base_eco, evolved):
+        after, log = evolved
+        after_by_name = {bot.name: bot for bot in after.bots}
+        for name in log.invites_broken:
+            assert after_by_name[name].invite_status in (InviteStatus.REMOVED, InviteStatus.MALFORMED)
+
+
+class TestComparison:
+    def test_delta_matches_evolution_log(self, base_eco, evolved):
+        after, log = evolved
+        delta = compare_snapshots(base_eco, after)
+        assert set(delta.removed_bots) == set(log.removed)
+        assert set(delta.added_bots) == set(log.added)
+        # Escalations recorded by the diff are exactly the logged ones whose
+        # invite survived the epoch.
+        diffed = {record.bot_name for record in delta.escalations}
+        logged = {name for name in log.escalated if name not in log.invites_broken}
+        assert diffed == logged
+        assert set(delta.policy_adopters) == set(log.policy_adopters)
+
+    def test_escalation_risk_deltas_nonnegative(self, base_eco, evolved):
+        after, _ = evolved
+        delta = compare_snapshots(base_eco, after)
+        for record in delta.escalations:
+            assert record.risk_delta >= 0.0
+        assert delta.mean_risk_delta >= 0.0
+
+    def test_gained_administrator_subset(self, base_eco, evolved):
+        after, _ = evolved
+        delta = compare_snapshots(base_eco, after)
+        for name in delta.gained_administrator():
+            record = next(r for r in delta.escalations if r.bot_name == name)
+            assert "administrator" in record.added_permissions
+            assert record.risk_after == 1.0
+
+    def test_identical_snapshots_empty_delta(self, base_eco):
+        delta = compare_snapshots(base_eco, base_eco)
+        assert not delta.added_bots and not delta.removed_bots
+        assert not delta.escalations and not delta.policy_adopters
+
+
+class TestTrend:
+    def test_multi_epoch_series(self, base_eco):
+        snapshots = [base_eco]
+        current = base_eco
+        for epoch in range(3):
+            current, _ = evolve_ecosystem(current, seed=100 + epoch)
+            snapshots.append(current)
+        points = trend(snapshots)
+        assert [point.epoch for point in points] == [0, 1, 2, 3]
+        for point in points:
+            assert 0.4 < point.admin_rate < 0.7
+            assert 0.0 <= point.mean_risk <= 1.0
+        # Population grows: entrants outpace removals at default rates.
+        assert points[-1].total_bots > points[0].total_bots
+
+    def test_policy_rate_monotone_under_adoption(self, base_eco):
+        """Policy adoption only adds policies, so the rate trends upward."""
+        config = EvolutionConfig(removal_rate=0.0, new_bot_rate=0.0, policy_adoption_rate=0.1)
+        current = base_eco
+        rates = [trend([current])[0].policy_rate]
+        for epoch in range(3):
+            current, _ = evolve_ecosystem(current, config, seed=200 + epoch)
+            rates.append(trend([current])[0].policy_rate)
+        assert rates == sorted(rates)
+        assert rates[-1] > rates[0]

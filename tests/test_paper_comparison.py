@@ -1,0 +1,93 @@
+"""Tests for the executable paper-vs-measured comparison."""
+
+import pytest
+
+from repro.analysis.paper import (
+    EXACT,
+    PAPER_METRICS,
+    ComparisonRow,
+    PaperMetric,
+    compare_with_paper,
+)
+
+
+class TestMetricCatalogue:
+    def test_keys_unique(self):
+        keys = [metric.key for metric in PAPER_METRICS]
+        assert len(set(keys)) == len(keys)
+
+    def test_headline_values_verbatim(self):
+        by_key = {metric.key: metric for metric in PAPER_METRICS}
+        assert by_key["send_messages"].value == 59.18
+        assert by_key["administrator"].value == 54.86
+        assert by_key["broken_traceability"].value == 95.67
+        assert by_key["js_checks"].value == 72.97
+        assert by_key["py_checks"].value == 2.65
+        assert by_key["honeypot_flagged"].value == 1
+
+    def test_all_headline_metrics_exact_provenance(self):
+        for metric in PAPER_METRICS:
+            if metric.key in ("send_messages", "administrator", "website_link"):
+                assert metric.provenance == EXACT
+
+
+class TestRowLogic:
+    def _metric(self, **kwargs):
+        defaults = dict(
+            key="x", description="x", value=50.0, unit="%", provenance=EXACT, tolerance=2.0
+        )
+        defaults.update(kwargs)
+        return PaperMetric(**defaults)
+
+    def test_within_tolerance(self):
+        row = ComparisonRow(metric=self._metric(), measured=51.0)
+        assert row.within_tolerance and row.deviation == pytest.approx(1.0)
+
+    def test_outside_tolerance(self):
+        row = ComparisonRow(metric=self._metric(), measured=55.0)
+        assert not row.within_tolerance
+
+    def test_scale_factor_widens(self):
+        row = ComparisonRow(metric=self._metric(), measured=55.0, scale_factor=3.0)
+        assert row.within_tolerance  # 5.0 <= 2.0 * 3
+
+    def test_le_comparison(self):
+        metric = self._metric(value=12, unit="count", tolerance=0.0, comparison="le")
+        assert ComparisonRow(metric=metric, measured=7).within_tolerance
+        assert not ComparisonRow(metric=metric, measured=13).within_tolerance
+
+    def test_zero_tolerance_exact(self):
+        metric = self._metric(value=0, unit="count", tolerance=0.0)
+        assert ComparisonRow(metric=metric, measured=0).within_tolerance
+        assert not ComparisonRow(metric=metric, measured=1).within_tolerance
+
+
+class TestEndToEndComparison:
+    def test_shared_run_matches_paper(self, pipeline_result):
+        report = compare_with_paper(pipeline_result)
+        assert len(report.rows) == len(PAPER_METRICS)
+        failures = report.failures()
+        assert report.all_within_tolerance, [
+            (row.metric.key, row.metric.value, row.measured) for row in failures
+        ]
+
+    def test_render_mentions_every_metric(self, pipeline_result):
+        report = compare_with_paper(pipeline_result)
+        text = report.render()
+        assert "Paper vs. measured" in text
+        assert "SEND_MESSAGES request rate" in text
+        assert "bots caught by the honeypot" in text
+
+    def test_partial_result_compares_partially(self):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import AssessmentPipeline
+
+        config = PipelineConfig(
+            n_bots=80, seed=5, honeypot_sample_size=5,
+            run_traceability=False, run_code_analysis=False, run_honeypot=False,
+        )
+        report = compare_with_paper(AssessmentPipeline(config).run())
+        keys = {row.metric.key for row in report.rows}
+        assert "send_messages" in keys
+        assert "broken_traceability" not in keys
+        assert "honeypot_flagged" not in keys

@@ -1,0 +1,65 @@
+"""Tests for the campaign planner: estimates vs actual simulated runs."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.planner import estimate_campaign
+
+
+class TestEstimateShape:
+    def test_summary_readable(self):
+        estimate = estimate_campaign(PipelineConfig().scaled(1000, honeypot_sample_size=100))
+        text = estimate.summary()
+        assert "listing pages" in text and "virtual hours" in text
+
+    def test_scales_with_population(self):
+        small = estimate_campaign(PipelineConfig().scaled(500, honeypot_sample_size=50))
+        large = estimate_campaign(PipelineConfig().scaled(5000, honeypot_sample_size=50))
+        assert large.total_requests > 5 * small.total_requests
+        assert large.listing_pages > small.listing_pages
+
+    def test_disabled_stages_cost_less(self):
+        full = PipelineConfig().scaled(1000, honeypot_sample_size=100)
+        lean = PipelineConfig(
+            n_bots=1000,
+            honeypot_sample_size=100,
+            run_traceability=False,
+            run_code_analysis=False,
+            run_honeypot=False,
+        )
+        assert estimate_campaign(lean).total_requests < estimate_campaign(full).total_requests
+        assert estimate_campaign(lean).captcha_solves < estimate_campaign(full).captcha_solves
+
+    def test_paper_scale_order_of_magnitude(self):
+        estimate = estimate_campaign(PipelineConfig())
+        assert 800 <= estimate.listing_pages <= 900  # "over 800 pages"
+        assert estimate.captcha_solves > 300  # honeypot installs dominate
+        assert estimate.virtual_hours > 10
+
+
+class TestEstimateAccuracy:
+    @pytest.fixture(scope="class")
+    def run_and_estimate(self):
+        from repro.core.pipeline import AssessmentPipeline
+
+        config = PipelineConfig().scaled(600, honeypot_sample_size=60)
+        estimate = estimate_campaign(config)
+        result = AssessmentPipeline(config).run()
+        return estimate, result
+
+    def test_request_volume_within_factor_two(self, run_and_estimate):
+        estimate, result = run_and_estimate
+        actual = result.scrape_stats.pages_fetched
+        assert 0.5 * estimate.total_requests <= actual <= 2.0 * estimate.total_requests
+
+    def test_captcha_solves_within_factor_two(self, run_and_estimate):
+        estimate, result = run_and_estimate
+        actual_solves = result.scrape_stats.captchas_solved
+        if result.honeypot is not None:
+            actual_solves += result.honeypot.bots_tested - result.honeypot.install_failures
+        assert 0.5 * estimate.captcha_solves <= actual_solves <= 2.0 * estimate.captcha_solves
+
+    def test_duration_within_factor_two(self, run_and_estimate):
+        estimate, result = run_and_estimate
+        actual_hours = result.virtual_seconds / 3600.0
+        assert 0.5 * estimate.virtual_hours <= actual_hours <= 2.0 * estimate.virtual_hours

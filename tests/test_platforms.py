@@ -1,0 +1,126 @@
+"""Tests for platform security profiles and the runtime policy enforcer."""
+
+import pytest
+
+from repro.discordsim.behaviors import MODERATION_UNCHECKED, build_runtime
+from repro.discordsim.oauth import build_invite_url
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.platform import DISCORD_POLICY, ENFORCED_POLICY, InstallError
+from repro.platforms import PLATFORM_PROFILES, make_platform
+from repro.web.captcha import TwoCaptchaClient
+
+
+def _install_unchecked_modbot(platform, vet: bool = False):
+    """Owner + guild + an admin-privileged unchecked moderation bot."""
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "G")
+    developer = platform.create_user("dev", phone_verified=True)
+    application = platform.register_application(developer, "ModBot")
+    if vet:
+        platform.vet_application(application.client_id)
+    url = build_invite_url(application.client_id, Permissions.of(Permission.ADMINISTRATOR))
+    screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+    answer = TwoCaptchaClient(platform.clock, accuracy=1.0).solve(screen.captcha_prompt)
+    platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+    build_runtime(platform, application.bot_user.user_id, MODERATION_UNCHECKED)
+    return owner, guild
+
+
+def _attack(platform, guild):
+    """An unprivileged member tries to kick another via the bot."""
+    victim = platform.create_user("victim")
+    platform.join_guild(victim.user_id, guild.guild_id)
+    attacker = platform.create_user("attacker")
+    platform.join_guild(attacker.user_id, guild.guild_id)
+    channel = guild.text_channels()[0]
+    platform.post_message(attacker.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}")
+    return victim.user_id in guild.members  # True => attack blocked
+
+
+class TestProfiles:
+    def test_four_profiles_defined(self):
+        assert set(PLATFORM_PROFILES) == {"discord", "slack", "teams", "telegram"}
+
+    def test_discord_and_telegram_lack_enforcer(self):
+        assert not PLATFORM_PROFILES["discord"].runtime_enforcer
+        assert not PLATFORM_PROFILES["telegram"].runtime_enforcer
+
+    def test_slack_and_teams_have_enforcer(self):
+        assert PLATFORM_PROFILES["slack"].runtime_enforcer
+        assert PLATFORM_PROFILES["teams"].runtime_enforcer
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            make_platform("icq")
+
+    def test_policy_constants(self):
+        assert not DISCORD_POLICY.runtime_user_permission_checks
+        assert ENFORCED_POLICY.runtime_user_permission_checks
+
+
+class TestReDelegationAcrossPlatforms:
+    def test_attack_succeeds_on_discord(self):
+        platform = make_platform("discord")
+        owner, guild = _install_unchecked_modbot(platform)
+        assert _attack(platform, guild) is False  # victim kicked
+
+    def test_attack_succeeds_on_telegram(self):
+        platform = make_platform("telegram")
+        owner, guild = _install_unchecked_modbot(platform)
+        assert _attack(platform, guild) is False
+
+    def test_attack_blocked_on_slack(self):
+        platform = make_platform("slack")
+        owner, guild = _install_unchecked_modbot(platform, vet=True)
+        assert _attack(platform, guild) is True  # enforcer saved the victim
+        assert platform.enforcer_denials >= 1
+
+    def test_attack_blocked_on_teams(self):
+        platform = make_platform("teams")
+        owner, guild = _install_unchecked_modbot(platform, vet=True)
+        assert _attack(platform, guild) is True
+
+    def test_enforcer_allows_privileged_invoker(self):
+        platform = make_platform("slack")
+        owner, guild = _install_unchecked_modbot(platform, vet=True)
+        victim = platform.create_user("victim")
+        platform.join_guild(victim.user_id, guild.guild_id)
+        channel = guild.text_channels()[0]
+        # The owner has KICK_MEMBERS, so the enforcer permits the action.
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, f"!kick {victim.user_id}")
+        assert victim.user_id not in guild.members
+
+    def test_enforcer_ignores_autonomous_bot_actions(self):
+        platform = make_platform("slack")
+        owner, guild = _install_unchecked_modbot(platform, vet=True)
+        bot_member = guild.bot_members()[0]
+        from repro.discordsim.api import BotApiClient
+
+        api = BotApiClient(platform, bot_member.user_id)
+        target = platform.create_user("t")
+        platform.join_guild(target.user_id, guild.guild_id)
+        api.kick_member(guild.guild_id, target.user_id)  # no acting_for -> allowed
+        assert target.user_id not in guild.members
+
+
+class TestVetting:
+    def test_unvetted_app_blocked_on_vetting_platform(self):
+        platform = make_platform("slack")
+        owner = platform.create_user("owner", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        developer = platform.create_user("dev")
+        application = platform.register_application(developer, "NewBot")
+        url = build_invite_url(application.client_id, Permissions.none())
+        screen = platform.begin_install(owner.user_id, url, guild.guild_id)
+        answer = TwoCaptchaClient(platform.clock, accuracy=1.0).solve(screen.captcha_prompt)
+        with pytest.raises(InstallError, match="review"):
+            platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
+
+    def test_vetting_not_required_on_discord(self):
+        platform = make_platform("discord")
+        _install_unchecked_modbot(platform, vet=False)  # no error
+
+    def test_vet_unknown_application(self):
+        platform = make_platform("slack")
+        with pytest.raises(Exception):
+            platform.vet_application(12345)

@@ -1,0 +1,175 @@
+"""Tests for the measurement scraper against the virtual sites."""
+
+import collections
+
+import pytest
+
+from repro.botstore.host import StoreDefenses, build_store_host
+from repro.ecosystem.generator import EcosystemConfig, InviteStatus, generate_ecosystem
+from repro.scraper import GitHubScraper, PermissionStatus, TopGGScraper, WebsiteScraper, try_locators
+from repro.scraper.base import ScraperConfig
+from repro.sites.botwebsites import BotWebsiteBuilder
+from repro.sites.discordweb import DiscordWebsite
+from repro.sites.github import GitHubSite
+from repro.web.browser import By, WebDriverException
+from repro.web.captcha import TwoCaptchaClient
+
+
+@pytest.fixture(scope="module")
+def eco():
+    return generate_ecosystem(EcosystemConfig(n_bots=150, seed=21, honeypot_window=30))
+
+
+@pytest.fixture
+def world(eco, internet, clock):
+    build_store_host(eco, internet, StoreDefenses(captcha_every=100, captcha_clearance=100))
+    DiscordWebsite(eco).register(internet)
+    GitHubSite(eco).register(internet)
+    BotWebsiteBuilder(eco).register(internet)
+    solver = TwoCaptchaClient(clock, accuracy=1.0, seed=2)
+    return eco, internet, solver
+
+
+class TestTopGGScraper:
+    def test_crawl_recovers_every_listing(self, world):
+        eco, internet, solver = world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(resolve_permissions=False)
+        assert len(result.bots) == len(eco.bots)
+        assert result.pages_traversed == (len(eco.bots) + 24) // 25
+
+    def test_metadata_matches_ground_truth(self, world):
+        eco, internet, solver = world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(resolve_permissions=False)
+        truth = {bot.name: bot for bot in eco.bots}
+        for scraped in result.bots:
+            expected = truth[scraped.name]
+            assert scraped.developer_tag == expected.developer_tag
+            assert scraped.guild_count == expected.guild_count
+            assert scraped.votes == expected.votes
+            assert set(scraped.tags) == set(expected.tags)
+            assert scraped.website_url == expected.website_url
+            assert scraped.github_url == expected.github_url
+
+    def test_permission_resolution_classes(self, world):
+        eco, internet, solver = world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl()
+        truth = {bot.name: bot for bot in eco.bots}
+        expected_status = {
+            InviteStatus.VALID: PermissionStatus.VALID,
+            InviteStatus.MALFORMED: PermissionStatus.INVALID_LINK,
+            InviteStatus.REMOVED: PermissionStatus.REMOVED,
+            InviteStatus.SLOW_REDIRECT: PermissionStatus.TIMEOUT,
+        }
+        for scraped in result.bots:
+            assert scraped.permission_status == expected_status[truth[scraped.name].invite_status]
+
+    def test_permissions_match_ground_truth_exactly(self, world):
+        eco, internet, solver = world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl()
+        truth = {bot.name: bot for bot in eco.bots}
+        for scraped in result.with_valid_permissions():
+            assert scraped.permissions == truth[scraped.name].permissions
+
+    def test_captcha_wall_is_defeated(self, world):
+        eco, internet, solver = world
+        scraper = TopGGScraper(internet, solver=solver)
+        scraper.crawl(resolve_permissions=False)
+        assert scraper.stats.captchas_seen >= 1
+        assert scraper.stats.captchas_solved == scraper.stats.captchas_seen
+        assert solver.total_spent > 0
+
+    def test_captcha_without_solver_raises(self, eco, internet):
+        build_store_host(eco, internet, StoreDefenses(captcha_every=1))
+        scraper = TopGGScraper(internet, solver=None)
+        with pytest.raises(WebDriverException):
+            scraper.crawl(resolve_permissions=False, max_pages=1)
+
+    def test_max_pages_limit(self, world):
+        eco, internet, solver = world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=2, resolve_permissions=False)
+        assert result.pages_traversed == 2
+        assert len(result.bots) == 50
+
+    def test_politeness_think_time(self, world, clock):
+        eco, internet, solver = world
+        config = ScraperConfig(min_think_time=1.0, max_think_time=1.0)
+        scraper = TopGGScraper(internet, solver=solver, config=config)
+        start = clock.now()
+        scraper.crawl(max_pages=1, resolve_permissions=False)
+        # 26 fetches (1 list + 25 details) with >= 1s pacing each.
+        assert clock.now() - start >= 26.0
+
+
+class TestRateLimitRecovery:
+    def test_scraper_backs_off_on_429(self, eco, internet, clock):
+        build_store_host(
+            eco, internet, StoreDefenses(rate_limit_requests=5, rate_limit_window=60.0, captcha_enabled=False)
+        )
+        solver = TwoCaptchaClient(clock, accuracy=1.0)
+        config = ScraperConfig(min_think_time=0.0, max_think_time=0.0)
+        scraper = TopGGScraper(internet, solver=solver, config=config)
+        result = scraper.crawl(max_pages=1, resolve_permissions=False)
+        assert len(result.bots) == 25  # all pages eventually fetched
+        assert scraper.stats.rate_limited > 0
+
+
+class TestWebsiteScraper:
+    def test_policy_discovery_matches_ground_truth(self, world):
+        eco, internet, solver = world
+        scraper = WebsiteScraper(internet, solver=solver)
+        for bot in eco.websites()[:30]:
+            result = scraper.fetch_policy(bot.website_url)
+            assert result.website_reachable
+            assert result.policy_link_found == bot.policy.present
+            expected_valid = bot.policy.present and bot.policy.link_valid
+            assert result.policy_page_valid == expected_valid
+            if expected_valid:
+                assert result.policy_text.strip()
+
+    def test_unreachable_website(self, world):
+        eco, internet, solver = world
+        scraper = WebsiteScraper(internet, solver=solver)
+        result = scraper.fetch_policy("https://no-such-site.sim/")
+        assert not result.website_reachable
+
+
+class TestGitHubScraper:
+    def test_valid_repo_detection(self, world):
+        eco, internet, solver = world
+        scraper = GitHubScraper(internet, solver=solver)
+        from repro.ecosystem.repos import RepoKind, VALID_REPO_KINDS
+
+        for bot in eco.github_linked()[:30]:
+            result = scraper.fetch_repo(bot.github_url, download_files=False)
+            assert result.link_valid == (bot.github.kind in VALID_REPO_KINDS)
+
+    def test_language_and_files_roundtrip(self, world):
+        eco, internet, solver = world
+        scraper = GitHubScraper(internet, solver=solver)
+        bot = next(b for b in eco.github_linked() if b.github.has_source_code)
+        result = scraper.fetch_repo(bot.github_url)
+        assert result.main_language == bot.github.language
+        assert result.files == bot.github.files
+
+
+class TestTryLocators:
+    def test_fallback_order(self, world):
+        eco, internet, solver = world
+        scraper = TopGGScraper(internet, solver=solver)
+        scraper.fetch(f"https://top.gg.sim/bot/{eco.bots[0].index}")
+        element = try_locators(
+            scraper.browser,
+            [(By.ID, "missing-locator"), (By.CSS_SELECTOR, "h1.bot-title")],
+        )
+        assert element is not None and element.text == eco.bots[0].name
+
+    def test_none_when_all_miss(self, world):
+        eco, internet, solver = world
+        scraper = TopGGScraper(internet, solver=solver)
+        scraper.fetch("https://top.gg.sim/")
+        assert try_locators(scraper.browser, [(By.ID, "a"), (By.ID, "b")]) is None

@@ -1,0 +1,99 @@
+"""Tests for crawl checkpointing and resume."""
+
+import pytest
+
+from repro.botstore.host import StoreDefenses, build_store_host
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+from repro.scraper.checkpoint import (
+    CrawlCheckpoint,
+    scraped_bot_from_dict,
+    scraped_bot_to_dict,
+)
+from repro.scraper.topgg import TopGGScraper
+from repro.sites.discordweb import DiscordWebsite
+from repro.web.captcha import TwoCaptchaClient
+
+
+@pytest.fixture
+def store_world(internet, clock):
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=100, seed=44, honeypot_window=10))
+    build_store_host(ecosystem, internet, StoreDefenses(captcha_enabled=False))
+    DiscordWebsite(ecosystem).register(internet)
+    solver = TwoCaptchaClient(clock, accuracy=1.0)
+    return ecosystem, internet, solver
+
+
+class TestSerialization:
+    def test_bot_roundtrip(self, store_world):
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=1)
+        original = result.bots[0]
+        restored = scraped_bot_from_dict(scraped_bot_to_dict(original))
+        assert restored == original
+
+    def test_checkpoint_file_roundtrip(self, store_world, tmp_path):
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=2, resolve_permissions=False)
+        checkpoint = CrawlCheckpoint()
+        checkpoint.record_page(1, result.bots[:25])
+        checkpoint.record_page(2, result.bots[25:])
+        path = checkpoint.save(tmp_path / "crawl.json")
+        loaded = CrawlCheckpoint.load(path)
+        assert loaded.completed_pages == [1, 2]
+        assert loaded.bots == result.bots
+        assert loaded.next_page == 3
+
+    def test_load_or_empty_missing(self, tmp_path):
+        checkpoint = CrawlCheckpoint.load_or_empty(tmp_path / "none.json")
+        assert checkpoint.next_page == 1 and checkpoint.bots == []
+
+    def test_version_check(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99, "completed_pages": [], "bots": []}')
+        with pytest.raises(ValueError):
+            CrawlCheckpoint.load(bad)
+
+
+class TestResume:
+    def test_resumed_crawl_matches_uninterrupted(self, store_world, tmp_path):
+        ecosystem, internet, solver = store_world
+        path = str(tmp_path / "crawl.json")
+
+        # Phase 1: crawl only the first two pages, checkpointing.
+        first = TopGGScraper(internet, solver=solver)
+        partial = first.crawl(max_pages=2, resolve_permissions=False, checkpoint_path=path)
+        assert len(partial.bots) == 50
+
+        # Phase 2: a fresh scraper (fresh process) resumes and finishes.
+        second = TopGGScraper(internet, solver=solver, client_id="scraper-reborn")
+        resumed = second.crawl(resolve_permissions=False, checkpoint_path=path)
+        assert len(resumed.bots) == 100
+        assert resumed.pages_traversed == 4
+
+        # Control: one uninterrupted crawl sees the same population.
+        control = TopGGScraper(internet, solver=solver, client_id="scraper-control")
+        full = control.crawl(resolve_permissions=False)
+        assert {bot.name for bot in resumed.bots} == {bot.name for bot in full.bots}
+
+    def test_resume_skips_completed_pages(self, store_world, tmp_path):
+        ecosystem, internet, solver = store_world
+        path = str(tmp_path / "crawl.json")
+        first = TopGGScraper(internet, solver=solver)
+        first.crawl(max_pages=3, resolve_permissions=False, checkpoint_path=path)
+        second = TopGGScraper(internet, solver=solver, client_id="resumer")
+        second.crawl(resolve_permissions=False, checkpoint_path=path)
+        # 1 remaining list page + its 25 details (+1 final 404 page).
+        assert second.stats.pages_fetched <= 27
+
+    def test_checkpoint_preserves_permissions(self, store_world, tmp_path):
+        ecosystem, internet, solver = store_world
+        path = str(tmp_path / "crawl.json")
+        first = TopGGScraper(internet, solver=solver)
+        first.crawl(max_pages=1, resolve_permissions=True, checkpoint_path=path)
+        loaded = CrawlCheckpoint.load(path)
+        truth = {bot.name: bot for bot in ecosystem.bots}
+        for bot in loaded.bots:
+            if bot.has_valid_permissions:
+                assert bot.permissions == truth[bot.name].permissions

@@ -1,0 +1,105 @@
+"""Tests for robots.txt parsing and enforcement by the polite scraper."""
+
+import pytest
+
+from repro.botstore.host import StoreDefenses, build_store_host
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+from repro.scraper.base import PoliteScraper, RobotsDisallowedError, ScraperConfig
+from repro.scraper.robots import RobotsCache, RobotsPolicy, parse_robots_txt
+from repro.web.captcha import TwoCaptchaClient
+from repro.web.client import HttpClient
+from repro.web.http import Response
+from repro.web.server import VirtualHost
+
+
+class TestParsing:
+    def test_crawl_delay_and_disallow(self):
+        policy = parse_robots_txt("User-agent: *\nCrawl-delay: 2.5\nDisallow: /admin\n")
+        assert policy.crawl_delay == 2.5
+        assert not policy.allows("/admin")
+        assert not policy.allows("/admin/users")
+        assert policy.allows("/bots")
+
+    def test_other_user_agents_ignored(self):
+        policy = parse_robots_txt("User-agent: Googlebot\nDisallow: /\n\nUser-agent: *\nCrawl-delay: 1\n")
+        assert policy.allows("/anything")
+        assert policy.crawl_delay == 1.0
+
+    def test_comments_and_blank_lines(self):
+        policy = parse_robots_txt("# hello\nUser-agent: *\nDisallow: /x  # secret\n")
+        assert not policy.allows("/x")
+
+    def test_malformed_crawl_delay_skipped(self):
+        policy = parse_robots_txt("User-agent: *\nCrawl-delay: soon\n")
+        assert policy.crawl_delay == 0.0
+
+    def test_empty_disallow_means_allow(self):
+        policy = parse_robots_txt("User-agent: *\nDisallow:\n")
+        assert policy.allows("/anything")
+
+
+class TestCache:
+    def test_missing_robots_is_permissive(self, internet):
+        host = VirtualHost("plain")
+        host.add_route("/", lambda request: Response.text("hi"))
+        internet.register("plain.sim", host)
+        cache = RobotsCache()
+        policy = cache.policy_for(HttpClient(internet), "plain.sim")
+        assert policy.allows("/anything")
+        assert policy.crawl_delay == 0.0
+
+    def test_fetched_once_per_host(self, internet):
+        host = VirtualHost("counted")
+        hits = []
+        host.add_route("/robots.txt", lambda request: (hits.append(1), Response.text("User-agent: *\n"))[1])
+        internet.register("counted.sim", host)
+        cache = RobotsCache()
+        client = HttpClient(internet)
+        cache.policy_for(client, "counted.sim")
+        cache.policy_for(client, "counted.sim")
+        assert len(hits) == 1
+
+    def test_unreachable_host_is_permissive(self, internet):
+        cache = RobotsCache()
+        policy = cache.policy_for(HttpClient(internet), "ghost.sim")
+        assert policy.allows("/x") and not policy.fetched
+
+
+class TestScraperEnforcement:
+    @pytest.fixture
+    def store_world(self, internet, clock):
+        ecosystem = generate_ecosystem(EcosystemConfig(n_bots=60, seed=8, honeypot_window=10))
+        build_store_host(ecosystem, internet, StoreDefenses(captcha_enabled=False))
+        return internet, clock
+
+    def test_disallowed_path_refused(self, store_world):
+        internet, clock = store_world
+        scraper = PoliteScraper(internet, solver=TwoCaptchaClient(clock, accuracy=1.0))
+        with pytest.raises(RobotsDisallowedError):
+            scraper.fetch("https://top.gg.sim/admin")
+
+    def test_crawl_delay_slows_pacing(self, store_world):
+        internet, clock = store_world
+        config = ScraperConfig(min_think_time=0.1, max_think_time=0.1)
+        scraper = PoliteScraper(internet, config=config)
+        scraper.fetch("https://top.gg.sim/")
+        start = clock.now()
+        for _ in range(5):
+            scraper.fetch("https://top.gg.sim/")
+        # robots.txt advertises Crawl-delay: 2 -> at least 2s per request.
+        assert clock.now() - start >= 10.0
+
+    def test_respect_can_be_disabled(self, store_world):
+        internet, clock = store_world
+        config = ScraperConfig(min_think_time=0.0, max_think_time=0.0, respect_robots=False)
+        scraper = PoliteScraper(internet, config=config)
+        response = scraper.fetch("https://top.gg.sim/admin")
+        assert response.status == 403  # server-side refusal, not robots
+
+    def test_robots_exempt_from_captcha_wall(self, internet, clock):
+        ecosystem = generate_ecosystem(EcosystemConfig(n_bots=30, seed=8, honeypot_window=5))
+        build_store_host(ecosystem, internet, StoreDefenses(captcha_every=1))
+        client = HttpClient(internet)
+        response = client.get("https://top.gg.sim/robots.txt")
+        assert response.status == 200
+        assert "Crawl-delay" in response.body

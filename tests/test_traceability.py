@@ -1,0 +1,159 @@
+"""Tests for keywords, the traceability analyzer, and validation."""
+
+import pytest
+
+from repro.discordsim.permissions import Permission, Permissions
+from repro.ecosystem.policies import PolicySpec
+from repro.traceability import (
+    CATEGORIES,
+    ManualReviewValidator,
+    TraceabilityAnalyzer,
+    TraceabilityClass,
+    categories_in_text,
+)
+from repro.traceability.keywords import keyword_hits, mentions_ecosystem_data
+
+
+class TestKeywords:
+    def test_four_categories(self):
+        assert CATEGORIES == ("collect", "use", "retain", "disclose")
+
+    def test_collect_synonyms(self):
+        assert categories_in_text("We gather basic diagnostics.") == {"collect"}
+        assert categories_in_text("Data is recorded on our side.") == {"collect"}
+
+    def test_use_inflections_only(self):
+        assert categories_in_text("We use your data.") == {"use"}
+        assert categories_in_text("Data is used for features.") == {"use"}
+        # "user" and "usage" must NOT fire the use category.
+        assert categories_in_text("Your user id and usage matter to us.") == set()
+
+    def test_retain_synonyms(self):
+        assert categories_in_text("Preferences are stored safely.") == {"retain"}
+        assert categories_in_text("We remember your settings.") == {"retain"}
+
+    def test_disclose_synonyms(self):
+        assert categories_in_text("We never sell or share data.") == {"disclose"}
+        assert categories_in_text("We may transfer records... wait, that's two") >= {"disclose"}
+
+    def test_case_insensitive(self):
+        assert categories_in_text("WE COLLECT EVERYTHING") == {"collect"}
+
+    def test_empty_text(self):
+        assert categories_in_text("") == set()
+
+    def test_keyword_hits_evidence(self):
+        hits = keyword_hits("We collect and store data.")
+        assert "collect" in hits and "retain" in hits
+
+    def test_ecosystem_terms(self):
+        assert mentions_ecosystem_data("We read message content from your guild.")
+        assert not mentions_ecosystem_data("We value privacy very much.")
+
+
+class TestAnalyzerClassification:
+    def setup_method(self):
+        self.analyzer = TraceabilityAnalyzer()
+
+    def test_complete_requires_all_four(self):
+        text = (
+            "We collect data. We use it to run the bot. "
+            "We retain it for a week. We disclose nothing to third parties."
+        )
+        classification, found = self.analyzer.classify_text(text)
+        assert classification is TraceabilityClass.COMPLETE
+        assert found == set(CATEGORIES)
+
+    def test_partial_with_some(self):
+        classification, found = self.analyzer.classify_text("We collect data. We store it.")
+        assert classification is TraceabilityClass.PARTIAL
+        assert found == {"collect", "retain"}
+
+    def test_broken_with_none(self):
+        classification, _ = self.analyzer.classify_text("Welcome to our cool bot page!")
+        assert classification is TraceabilityClass.BROKEN
+
+    def test_empty_text_broken(self):
+        classification, _ = self.analyzer.classify_text("   ")
+        assert classification is TraceabilityClass.BROKEN
+
+
+class TestAnalyzerPerBot:
+    def setup_method(self):
+        self.analyzer = TraceabilityAnalyzer()
+
+    def _analyze(self, **kwargs):
+        defaults = dict(
+            bot_name="B",
+            permissions=Permissions.of(Permission.VIEW_CHANNEL),
+            has_website=True,
+            has_policy_link=True,
+            policy_page_valid=True,
+            policy_text="We collect data.",
+        )
+        defaults.update(kwargs)
+        return self.analyzer.analyze(**defaults)
+
+    def test_no_website_is_broken(self):
+        result = self._analyze(has_website=False, has_policy_link=False, policy_page_valid=False)
+        assert result.classification is TraceabilityClass.BROKEN
+        assert result.is_broken
+
+    def test_dead_policy_link_is_broken(self):
+        result = self._analyze(policy_page_valid=False)
+        assert result.classification is TraceabilityClass.BROKEN
+
+    def test_valid_partial(self):
+        result = self._analyze()
+        assert result.classification is TraceabilityClass.PARTIAL
+        assert result.categories_found == {"collect"}
+        assert result.keyword_evidence["collect"]
+
+    def test_generic_flag(self):
+        generic = self._analyze(policy_text="We collect data.")
+        assert generic.generic_policy
+        tailored = self._analyze(policy_text="We collect message content from your guild.")
+        assert not tailored.generic_policy
+
+    def test_undisclosed_data_permissions(self):
+        result = self._analyze(
+            permissions=Permissions.of(Permission.VIEW_CHANNEL, Permission.CONNECT),
+            policy_text="We store things.",  # retain only, no collection disclosure
+        )
+        assert "message content" in result.undisclosed_data_permissions
+        assert "voice metadata" in result.undisclosed_data_permissions
+
+    def test_collection_disclosure_clears_undisclosed(self):
+        result = self._analyze(policy_text="We collect message data.")
+        assert result.undisclosed_data_permissions == ()
+
+
+class TestValidation:
+    def test_perfect_corpus_validates_clean(self):
+        import random
+
+        from repro.ecosystem.policies import render_policy
+
+        rng = random.Random(0)
+        policies = []
+        for index in range(150):
+            categories = frozenset(rng.sample(list(CATEGORIES), rng.choice([1, 2, 3])))
+            spec = PolicySpec(present=True, categories=categories, generic=False, tailored=True)
+            policies.append((f"bot{index}", spec, render_policy(spec, f"bot{index}", rng)))
+        report = ManualReviewValidator(seed=1).validate(policies, sample_size=100)
+        assert report.sample_size == 100
+        assert report.misclassified == 0
+        assert report.accuracy == 1.0
+
+    def test_detects_injected_misclassification(self):
+        spec = PolicySpec(present=True, categories=frozenset({"collect"}))
+        # Text that actually describes nothing -> predicted broken, expected partial.
+        report = ManualReviewValidator().validate([("bot", spec, "hello world")], sample_size=10)
+        assert report.misclassified == 1
+        assert report.accuracy == 0.0
+
+    def test_skips_absent_policies(self):
+        spec = PolicySpec(present=False)
+        report = ManualReviewValidator().validate([("bot", spec, "")], sample_size=10)
+        assert report.sample_size == 0
+        assert report.accuracy == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the Naive Bayes traceability classifier."""
+
+import random
+
+import pytest
+
+from repro.ecosystem.policies import PolicySpec, UNLISTED_SYNONYM_SENTENCES, render_policy
+from repro.traceability.keywords import CATEGORIES, categories_in_text
+from repro.traceability.mlmodel import (
+    NaiveBayesTraceability,
+    build_labelled_corpus,
+    keyword_baseline_evaluation,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("We Collect Data") == ["collect", "data"]
+
+    def test_stopwords_removed(self):
+        assert "the" not in tokenize("the data is the point")
+
+    def test_keeps_apostrophes(self):
+        assert "don't" in tokenize("we don't sell")
+
+
+class TestUnlistedSynonymPolicies:
+    def test_keyword_method_blind_to_variants(self):
+        rng = random.Random(1)
+        spec = PolicySpec(
+            present=True,
+            categories=frozenset({"collect", "disclose"}),
+            unlisted_synonyms=True,
+        )
+        text = render_policy(spec, "SneakyBot", rng)
+        assert categories_in_text(text) == set()  # the blind spot, verbatim
+
+    def test_variant_bank_covers_all_categories(self):
+        assert set(UNLISTED_SYNONYM_SENTENCES) == set(CATEGORIES)
+
+    def test_variant_sentences_avoid_listed_keywords(self):
+        for category, sentences in UNLISTED_SYNONYM_SENTENCES.items():
+            for sentence in sentences:
+                assert categories_in_text(sentence.format(name="X")) == set(), sentence
+
+
+class TestNaiveBayes:
+    def test_untrained_predicts_nothing(self):
+        model = NaiveBayesTraceability()
+        assert model.predict("we collect everything") == frozenset()
+
+    def test_learns_standard_corpus(self):
+        train = build_labelled_corpus(400, seed=1)
+        test = build_labelled_corpus(150, seed=2)
+        model = NaiveBayesTraceability()
+        model.train(train)
+        report = model.evaluate(test)
+        assert report.subset_accuracy > 0.8
+        assert report.macro_f1() > 0.9
+
+    def test_learns_unlisted_synonyms(self):
+        """Trained on variant policies, NB catches what keywords cannot."""
+        train = build_labelled_corpus(500, seed=3, unlisted_fraction=0.5)
+        test = build_labelled_corpus(200, seed=4, unlisted_fraction=1.0)
+        model = NaiveBayesTraceability()
+        model.train(train)
+        nb_report = model.evaluate(test)
+        keyword_report = keyword_baseline_evaluation(test)
+        assert keyword_report.subset_accuracy == 0.0  # fully blind
+        assert nb_report.subset_accuracy > 0.7
+        assert nb_report.macro_f1() > keyword_report.macro_f1() + 0.3
+
+    def test_keyword_baseline_perfect_on_standard_corpus(self):
+        test = build_labelled_corpus(200, seed=5)
+        report = keyword_baseline_evaluation(test)
+        assert report.subset_accuracy == 1.0
+
+    def test_classify_levels(self):
+        train = build_labelled_corpus(400, seed=6)
+        model = NaiveBayesTraceability()
+        model.train(train)
+        assert model.classify("") == "broken"
+        rng = random.Random(7)
+        all_four = PolicySpec(present=True, categories=frozenset(CATEGORIES), generic=False, tailored=True)
+        assert model.classify(render_policy(all_four, "B", rng)) == "complete"
+
+    def test_metrics_edge_cases(self):
+        from repro.traceability.mlmodel import CategoryMetrics
+
+        empty = CategoryMetrics()
+        assert empty.precision == 1.0 and empty.recall == 1.0 and empty.f1 == 1.0
+        bad = CategoryMetrics(false_positives=3)
+        assert bad.precision == 0.0

@@ -1,0 +1,155 @@
+"""Tests for the vetting pipeline (the paper's proposed mitigation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.vetting import (
+    VettingPipeline,
+    VettingPolicy,
+    ground_truth_evasions,
+)
+from repro.discordsim import behaviors
+from repro.discordsim.permissions import Permission, Permissions
+from repro.ecosystem.generator import EcosystemConfig, InviteStatus, generate_ecosystem
+from repro.ecosystem.policies import PolicySpec
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    return generate_ecosystem(EcosystemConfig(n_bots=400, seed=88, honeypot_window=40))
+
+
+def _clean_bot(ecosystem):
+    """A bot that should pass every static gate."""
+    bot = next(
+        b
+        for b in ecosystem.bots
+        if b.invite_status is InviteStatus.VALID and b.behavior == behaviors.BENIGN
+    )
+    clone = dataclasses.replace(bot)
+    clone.permissions = Permissions.of(Permission.SEND_MESSAGES, Permission.EMBED_LINKS)
+    clone.policy = PolicySpec(present=True, categories=frozenset({"collect", "use"}), link_valid=True)
+    clone.github = None
+    return clone
+
+
+class TestStaticGates:
+    def setup_method(self):
+        self.pipeline = VettingPipeline(VettingPolicy(run_dynamic_review=False))
+
+    def test_clean_bot_approved(self, ecosystem):
+        verdict = self.pipeline.review(_clean_bot(ecosystem))
+        assert verdict.approved, verdict.reasons
+
+    def test_broken_invite_rejected(self, ecosystem):
+        broken = next(b for b in ecosystem.bots if not b.has_valid_permissions)
+        verdict = self.pipeline.review(broken)
+        assert not verdict.approved
+        assert any("broken submission" in reason for reason in verdict.reasons)
+
+    def test_redundant_admin_rejected(self, ecosystem):
+        bot = _clean_bot(ecosystem)
+        bot.permissions = Permissions.of(Permission.ADMINISTRATOR, Permission.SEND_MESSAGES)
+        verdict = self.pipeline.review(bot)
+        assert not verdict.approved
+        assert any("administrator" in reason for reason in verdict.reasons)
+
+    def test_over_privilege_rejected(self, ecosystem):
+        bot = _clean_bot(ecosystem)
+        bot.tags = ["music"]
+        bot.permissions = Permissions.of(
+            Permission.CONNECT, Permission.SPEAK, Permission.BAN_MEMBERS, Permission.MANAGE_GUILD
+        )
+        verdict = self.pipeline.review(bot)
+        assert not verdict.approved
+        assert any("over-privileged" in reason for reason in verdict.reasons)
+
+    def test_data_permissions_without_policy_rejected(self, ecosystem):
+        bot = _clean_bot(ecosystem)
+        bot.permissions = Permissions.of(Permission.VIEW_CHANNEL, Permission.READ_MESSAGE_HISTORY)
+        bot.policy = PolicySpec(present=False)
+        verdict = self.pipeline.review(bot)
+        assert not verdict.approved
+        assert any("undisclosed data access" in reason for reason in verdict.reasons)
+
+    def test_unchecked_moderation_code_rejected(self, ecosystem):
+        import random
+
+        from repro.ecosystem.repos import RepoKind, generate_repo
+
+        bot = _clean_bot(ecosystem)
+        bot.tags = ["moderation"]
+        bot.permissions = Permissions.of(Permission.KICK_MEMBERS, Permission.SEND_MESSAGES)
+        bot.github = generate_repo(RepoKind.VALID_CODE, "dev", bot.name, "Python", False, random.Random(1))
+        verdict = self.pipeline.review(bot)
+        assert not verdict.approved
+        assert any("re-delegation risk" in reason for reason in verdict.reasons)
+
+    def test_checked_moderation_code_passes(self, ecosystem):
+        import random
+
+        from repro.ecosystem.repos import RepoKind, generate_repo
+
+        bot = _clean_bot(ecosystem)
+        bot.tags = ["moderation"]
+        bot.permissions = Permissions.of(Permission.KICK_MEMBERS, Permission.SEND_MESSAGES)
+        bot.github = generate_repo(RepoKind.VALID_CODE, "dev", bot.name, "Python", True, random.Random(1))
+        verdict = self.pipeline.review(bot)
+        assert verdict.approved, verdict.reasons
+
+
+class TestDynamicGate:
+    def _submission(self, ecosystem, behavior):
+        bot = _clean_bot(ecosystem)
+        bot.behavior = behavior
+        bot.permissions = Permissions.of(
+            Permission.SEND_MESSAGES,
+            Permission.VIEW_CHANNEL,
+            Permission.READ_MESSAGE_HISTORY,
+        )
+        return bot
+
+    def test_nosy_operator_caught_in_sandbox(self, ecosystem):
+        pipeline = VettingPipeline(seed=3)
+        verdict = pipeline.review(self._submission(ecosystem, behaviors.NOSY_OPERATOR))
+        assert not verdict.approved
+        assert any("dynamic review" in reason for reason in verdict.reasons)
+
+    def test_benign_bot_passes_sandbox(self, ecosystem):
+        pipeline = VettingPipeline(seed=3)
+        verdict = pipeline.review(self._submission(ecosystem, behaviors.BENIGN))
+        assert verdict.approved, verdict.reasons
+
+    def test_sleeper_evades_one_day_review(self, ecosystem):
+        """The limitation that makes vetting need to be *continuous*."""
+        pipeline = VettingPipeline(seed=3)
+        bot = self._submission(ecosystem, behaviors.SLEEPER)
+        verdict = pipeline.review(bot)
+        assert verdict.approved  # dormant throughout the review window
+        report = pipeline.vet_population([bot])
+        assert ground_truth_evasions(report, [bot]) == [bot.name]
+
+    def test_sleeper_caught_by_extended_review(self, ecosystem):
+        policy = VettingPolicy(dynamic_observation=14 * 86_400.0)
+        pipeline = VettingPipeline(policy, seed=3)
+        verdict = pipeline.review(self._submission(ecosystem, behaviors.SLEEPER))
+        assert not verdict.approved
+
+
+class TestPopulationVetting:
+    def test_report_aggregates(self, ecosystem):
+        pipeline = VettingPipeline(VettingPolicy(run_dynamic_review=False))
+        sample = ecosystem.bots[:80]
+        report = pipeline.vet_population(sample)
+        assert len(report.verdicts) == 80
+        assert report.rejected  # the admin-heavy population fails review
+        reasons = report.rejection_reasons()
+        assert "permission misuse" in reasons or "over-privileged" in reasons
+
+    def test_most_of_the_wild_population_would_fail(self, ecosystem):
+        """55% admin + 95.67% no policy: today's ecosystem flunks vetting."""
+        pipeline = VettingPipeline(VettingPolicy(run_dynamic_review=False))
+        active = [bot for bot in ecosystem.bots if bot.has_valid_permissions][:150]
+        report = pipeline.vet_population(active)
+        assert len(report.rejected) / len(report.verdicts) > 0.7

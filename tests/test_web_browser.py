@@ -1,0 +1,155 @@
+"""Tests for the Selenium-like browser: locators, waits, exceptions."""
+
+import pytest
+
+from repro.web.browser import (
+    Browser,
+    By,
+    NoSuchElementException,
+    StaleElementReferenceException,
+    TimeoutException,
+    WebDriverException,
+    WebDriverWait,
+    presence_of_element_located,
+)
+from repro.web.http import Response
+from repro.web.network import HostConditions
+from repro.web.server import VirtualHost
+
+
+@pytest.fixture
+def browser(internet):
+    host = VirtualHost("site")
+    host.add_route(
+        "/",
+        lambda request: Response.html(
+            "<html><head><title>Home</title></head><body>"
+            '<a id="next" href="/second">Go to second page</a>'
+            '<p class="note">first</p></body></html>'
+        ),
+    )
+    host.add_route(
+        "/second",
+        lambda request: Response.html(
+            "<html><head><title>Second</title></head><body>"
+            '<h1 class="headline">Arrived</h1></body></html>'
+        ),
+    )
+    internet.register("site.sim", host)
+    internet.register("slow.sim", _slow(), HostConditions(base_latency=30.0))
+    return Browser(internet, client_id="tester")
+
+
+def _slow() -> VirtualHost:
+    host = VirtualHost("slow")
+    host.add_route("/", lambda request: Response.html("<html></html>"))
+    return host
+
+
+class TestNavigation:
+    def test_get_sets_state(self, browser):
+        browser.get("https://site.sim/")
+        assert browser.title == "Home"
+        assert browser.status_code == 200
+        assert str(browser.current_url) == "https://site.sim/"
+        assert "first" in browser.page_source
+
+    def test_timeout_maps_to_selenium_exception(self, browser):
+        with pytest.raises(TimeoutException):
+            browser.get("https://slow.sim/")
+
+    def test_unknown_host_maps_to_webdriver_exception(self, browser):
+        with pytest.raises(WebDriverException):
+            browser.get("https://missing.sim/")
+
+    def test_pages_loaded_counter(self, browser):
+        browser.get("https://site.sim/")
+        browser.get("https://site.sim/second")
+        assert browser.pages_loaded == 2
+
+
+class TestLocators:
+    def test_css_selector(self, browser):
+        browser.get("https://site.sim/")
+        assert browser.find_element(By.CSS_SELECTOR, "p.note").text == "first"
+
+    def test_id_locator(self, browser):
+        browser.get("https://site.sim/")
+        assert browser.find_element(By.ID, "next").tag_name == "a"
+
+    def test_class_name_locator(self, browser):
+        browser.get("https://site.sim/")
+        assert browser.find_element(By.CLASS_NAME, "note").text == "first"
+
+    def test_tag_name_locator(self, browser):
+        browser.get("https://site.sim/")
+        assert browser.find_element(By.TAG_NAME, "a").get_attribute("id") == "next"
+
+    def test_link_text_exact(self, browser):
+        browser.get("https://site.sim/")
+        element = browser.find_element(By.LINK_TEXT, "Go to second page")
+        assert element.get_attribute("href") == "/second"
+
+    def test_partial_link_text(self, browser):
+        browser.get("https://site.sim/")
+        assert browser.find_element(By.PARTIAL_LINK_TEXT, "second").tag_name == "a"
+
+    def test_missing_element_raises(self, browser):
+        browser.get("https://site.sim/")
+        with pytest.raises(NoSuchElementException):
+            browser.find_element(By.ID, "ghost")
+
+    def test_find_elements_empty_ok(self, browser):
+        browser.get("https://site.sim/")
+        assert browser.find_elements(By.CSS_SELECTOR, ".ghost") == []
+
+    def test_nested_find(self, browser):
+        browser.get("https://site.sim/")
+        body = browser.find_element(By.TAG_NAME, "body")
+        assert body.find_element(By.ID, "next").tag_name == "a"
+
+
+class TestClickAndStaleness:
+    def test_click_navigates(self, browser):
+        browser.get("https://site.sim/")
+        browser.find_element(By.ID, "next").click()
+        assert browser.title == "Second"
+        assert str(browser.current_url) == "https://site.sim/second"
+
+    def test_element_goes_stale_after_navigation(self, browser):
+        browser.get("https://site.sim/")
+        element = browser.find_element(By.ID, "next")
+        browser.get("https://site.sim/second")
+        with pytest.raises(StaleElementReferenceException):
+            _ = element.text
+
+    def test_click_non_link_raises(self, browser):
+        browser.get("https://site.sim/")
+        with pytest.raises(WebDriverException):
+            browser.find_element(By.CSS_SELECTOR, "p.note").click()
+
+
+class TestWaits:
+    def test_wait_returns_immediately_when_present(self, browser, clock):
+        browser.get("https://site.sim/")
+        start = clock.now()
+        element = WebDriverWait(browser, 5.0).until(presence_of_element_located(By.ID, "next"))
+        assert element.tag_name == "a"
+        assert clock.now() == start
+
+    def test_wait_times_out(self, browser, clock):
+        browser.get("https://site.sim/")
+        with pytest.raises(TimeoutException):
+            WebDriverWait(browser, 2.0, poll_frequency=0.5).until(
+                presence_of_element_located(By.ID, "never")
+            )
+        assert clock.now() >= 2.0
+
+    def test_wait_rejects_nonpositive_timeout(self, browser):
+        with pytest.raises(ValueError):
+            WebDriverWait(browser, 0)
+
+    def test_wait_custom_condition(self, browser):
+        browser.get("https://site.sim/")
+        result = WebDriverWait(browser, 1.0).until(lambda b: b.title == "Home" and "yes")
+        assert result == "yes"

@@ -1,0 +1,110 @@
+"""Tests for virtual host routing and middleware."""
+
+from repro.web.http import Request, Response, Url
+from repro.web.server import Route, VirtualHost
+
+
+def _request(path: str, method: str = "GET") -> Request:
+    return Request(method, Url.parse(f"https://h.sim{path}"))
+
+
+class TestRouteCompile:
+    def test_static_match(self):
+        route = Route.compile("GET", "/about", lambda request: Response.text("x"))
+        assert route.match("GET", "/about") == {}
+        assert route.match("GET", "/other") is None
+
+    def test_param_capture(self):
+        route = Route.compile("GET", "/bot/{bot_id}", lambda request, bot_id: Response.text(bot_id))
+        assert route.match("GET", "/bot/42") == {"bot_id": "42"}
+
+    def test_param_does_not_cross_segments(self):
+        route = Route.compile("GET", "/bot/{bot_id}", lambda request, bot_id: Response.text(bot_id))
+        assert route.match("GET", "/bot/42/extra") is None
+
+    def test_wildcard_param_crosses_segments(self):
+        route = Route.compile("GET", "/raw/{*path}", lambda request, path: Response.text(path))
+        assert route.match("GET", "/raw/a/b/c.js") == {"path": "a/b/c.js"}
+
+    def test_method_mismatch(self):
+        route = Route.compile("POST", "/x", lambda request: Response.text(""))
+        assert route.match("GET", "/x") is None
+
+    def test_multiple_params(self):
+        route = Route.compile("GET", "/{owner}/{repo}", lambda request, owner, repo: Response.text(""))
+        assert route.match("GET", "/alice/bot") == {"owner": "alice", "repo": "bot"}
+
+
+class TestDispatch:
+    def test_handler_receives_params(self):
+        host = VirtualHost()
+
+        @host.route("/bot/{bot_id}")
+        def page(request, bot_id):
+            return Response.text(f"bot {bot_id}")
+
+        assert host.handle(_request("/bot/7")).body == "bot 7"
+
+    def test_404_for_unknown_path(self):
+        host = VirtualHost("store")
+        response = host.handle(_request("/missing"))
+        assert response.status == 404
+        assert "store" in response.body
+
+    def test_first_matching_route_wins(self):
+        host = VirtualHost()
+        host.add_route("/a", lambda request: Response.text("first"))
+        host.add_route("/{anything}", lambda request, anything: Response.text("second"))
+        assert host.handle(_request("/a")).body == "first"
+        assert host.handle(_request("/b")).body == "second"
+
+    def test_post_route(self):
+        host = VirtualHost()
+        host.add_route("/submit", lambda request: Response.text(request.body), method="POST")
+        request = Request("POST", Url.parse("https://h.sim/submit"), body="payload")
+        assert host.handle(request).body == "payload"
+
+    def test_requests_served_counter(self):
+        host = VirtualHost()
+        host.add_route("/", lambda request: Response.text(""))
+        host.handle(_request("/"))
+        host.handle(_request("/"))
+        assert host.requests_served == 2
+
+
+class TestMiddleware:
+    def test_middleware_can_short_circuit(self):
+        host = VirtualHost()
+        host.add_route("/", lambda request: Response.text("inner"))
+        host.add_middleware(lambda request, next_handler: Response.text("blocked", status=403))
+        assert host.handle(_request("/")).status == 403
+
+    def test_middleware_order_first_added_outermost(self):
+        calls = []
+        host = VirtualHost()
+        host.add_route("/", lambda request: Response.text("inner"))
+
+        def outer(request, next_handler):
+            calls.append("outer")
+            return next_handler(request)
+
+        def inner(request, next_handler):
+            calls.append("inner")
+            return next_handler(request)
+
+        host.add_middleware(outer)
+        host.add_middleware(inner)
+        host.handle(_request("/"))
+        assert calls == ["outer", "inner"]
+
+    def test_middleware_can_mutate_response(self):
+        host = VirtualHost()
+        host.add_route("/", lambda request: Response.text("x"))
+
+        def stamp(request, next_handler):
+            response = next_handler(request)
+            response.headers["X-Stamp"] = "yes"
+            return response
+
+        host.add_middleware(stamp)
+        assert host.handle(_request("/")).headers["X-Stamp"] == "yes"

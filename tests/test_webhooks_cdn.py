@@ -1,0 +1,159 @@
+"""Tests for webhooks and the public CDN (plus the abuse scanner)."""
+
+import pytest
+
+from repro.analysis.cdn_abuse import MALWARE_MARKER, CdnAbuseScanner, looks_malicious
+from repro.discordsim.cdn import CDN_HOSTNAME, DiscordCDN
+from repro.discordsim.guild import PermissionDenied
+from repro.discordsim.models import Attachment
+from repro.discordsim.permissions import Permission, Permissions
+from repro.discordsim.webhooks import WebhookError, WebhookRegistry
+from repro.web.client import HttpClient
+
+
+@pytest.fixture
+def world(platform):
+    owner = platform.create_user("owner", phone_verified=True)
+    guild = platform.create_guild(owner, "G")
+    channel = guild.text_channels()[0]
+    return platform, owner, guild, channel
+
+
+class TestWebhooks:
+    def test_create_requires_manage_webhooks(self, world):
+        platform, owner, guild, channel = world
+        pleb = platform.create_user("pleb")
+        platform.join_guild(pleb.user_id, guild.guild_id)
+        registry = WebhookRegistry(platform)
+        with pytest.raises(PermissionDenied):
+            registry.create(pleb.user_id, guild.guild_id, channel.channel_id, "hook")
+
+    def test_owner_creates_and_executes(self, world):
+        platform, owner, guild, channel = world
+        registry = WebhookRegistry(platform)
+        webhook = registry.create(owner.user_id, guild.guild_id, channel.channel_id, "alerts")
+        message = registry.execute(webhook.webhook_id, webhook.token, "deploy finished")
+        assert channel.messages[-1] is message
+        assert message.author_is_bot
+        assert message.author_id == webhook.webhook_id
+
+    def test_execution_needs_no_permissions_at_all(self, world):
+        """The leaked-URL property: possession of the URL is authority."""
+        platform, owner, guild, channel = world
+        registry = WebhookRegistry(platform)
+        webhook = registry.create(owner.user_id, guild.guild_id, channel.channel_id, "leaky")
+        # Executed "by" nobody — no account, no membership, no check.
+        message = registry.execute_url(webhook.url, "spam from outside")
+        assert message.content == "spam from outside"
+        assert registry.executions == 1
+
+    def test_bad_token_rejected(self, world):
+        platform, owner, guild, channel = world
+        registry = WebhookRegistry(platform)
+        webhook = registry.create(owner.user_id, guild.guild_id, channel.channel_id, "hook")
+        with pytest.raises(WebhookError):
+            registry.execute(webhook.webhook_id, "wrong-token", "x")
+        assert registry.rejected_executions == 1
+
+    def test_malformed_url_rejected(self, world):
+        platform, owner, guild, channel = world
+        registry = WebhookRegistry(platform)
+        with pytest.raises(WebhookError):
+            registry.execute_url("https://discord.sim/not/a/hook", "x")
+
+    def test_delete_requires_permission(self, world):
+        platform, owner, guild, channel = world
+        registry = WebhookRegistry(platform)
+        webhook = registry.create(owner.user_id, guild.guild_id, channel.channel_id, "hook")
+        pleb = platform.create_user("pleb")
+        platform.join_guild(pleb.user_id, guild.guild_id)
+        with pytest.raises(PermissionDenied):
+            registry.delete(pleb.user_id, webhook.webhook_id)
+        registry.delete(owner.user_id, webhook.webhook_id)
+        with pytest.raises(WebhookError):
+            registry.execute(webhook.webhook_id, webhook.token, "x")
+
+    def test_for_channel_listing(self, world):
+        platform, owner, guild, channel = world
+        registry = WebhookRegistry(platform)
+        registry.create(owner.user_id, guild.guild_id, channel.channel_id, "a")
+        registry.create(owner.user_id, guild.guild_id, channel.channel_id, "b")
+        assert len(registry.for_channel(channel.channel_id)) == 2
+
+    def test_webhook_messages_reach_gateway(self, world):
+        platform, owner, guild, channel = world
+        registry = WebhookRegistry(platform)
+        webhook = registry.create(owner.user_id, guild.guild_id, channel.channel_id, "hook")
+        seen = []
+        from repro.discordsim.gateway import EventType
+
+        platform.events.subscribe(seen.append, EventType.MESSAGE_CREATE)
+        registry.execute(webhook.webhook_id, webhook.token, "hi")
+        assert len(seen) == 1
+
+
+class TestCDN:
+    def _post_attachment(self, platform, owner, guild, channel, filename="notes.txt", content="hello"):
+        attachment = Attachment(
+            attachment_id=platform.snowflakes.next_id(),
+            filename=filename,
+            content_type="text/plain",
+            size=len(content),
+            content=content,
+        )
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "file", [attachment])
+        return attachment
+
+    def test_posted_attachment_becomes_public(self, world, internet):
+        platform, owner, guild, channel = world
+        cdn = DiscordCDN(platform)
+        cdn.register(internet)
+        attachment = self._post_attachment(platform, owner, guild, channel)
+        url = cdn.url_for(channel.channel_id, attachment)
+        # A totally unrelated client (no account!) fetches the bytes.
+        response = HttpClient(internet, client_id="random-stranger").get(url)
+        assert response.status == 200
+        assert response.body == "hello"
+        assert cdn.entry_for_url(url).fetches == 1
+
+    def test_unknown_file_404(self, world, internet):
+        platform, owner, guild, channel = world
+        cdn = DiscordCDN(platform)
+        cdn.register(internet)
+        response = HttpClient(internet).get(f"https://{CDN_HOSTNAME}/attachments/1/2/ghost.txt")
+        assert response.status == 404
+
+    def test_inventory_tracks_all_posts(self, world, internet):
+        platform, owner, guild, channel = world
+        cdn = DiscordCDN(platform)
+        cdn.register(internet)
+        for index in range(3):
+            self._post_attachment(platform, owner, guild, channel, filename=f"f{index}.txt")
+        assert cdn.total_hosted == 3
+        assert len(cdn.hosted_urls()) == 3
+
+
+class TestAbuseScanner:
+    def test_marker_detection(self):
+        assert looks_malicious(f"MZ...{MALWARE_MARKER}...")
+        assert not looks_malicious("just a readme")
+
+    def test_scan_finds_planted_malware(self, world, internet):
+        platform, owner, guild, channel = world
+        cdn = DiscordCDN(platform)
+        cdn.register(internet)
+        benign = Attachment(platform.snowflakes.next_id(), "notes.txt", "text/plain", 5, content="hello")
+        dropper = Attachment(
+            platform.snowflakes.next_id(),
+            "free-nitro.exe",
+            "application/octet-stream",
+            64,
+            content=f"MZ{MALWARE_MARKER}payload",
+        )
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "files", [benign, dropper])
+        report = CdnAbuseScanner(internet).scan(cdn)
+        assert report.urls_scanned == 2
+        assert report.malicious_count == 1
+        assert report.executable_payloads == 1
+        assert "free-nitro.exe" in report.malicious_urls[0]
+        assert 0 < report.malicious_fraction < 1
