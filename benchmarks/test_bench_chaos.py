@@ -1,0 +1,109 @@
+"""ROBUSTNESS: the pipeline under chaos-grade fault injection.
+
+Runs the full assessment pipeline under a hostile fault schedule (outages,
+5xx bursts, latency spikes, rate-limit storms, captcha surges, truncated
+HTML) and checks the resilience layer's contract:
+
+- a hostile run *completes* end to end — degraded, never crashed;
+- partial coverage stays within tolerance of the calm run, and every bot
+  lost to a fault is accounted in the :class:`FaultLedger`;
+- two same-seed hostile runs inject identical fault streams and produce
+  byte-identical ledgers.
+
+The default chaos profiles are tuned for the paper's full-scale timescale
+(multi-day crawls); a shrunken bench world compresses all its exchanges
+into the first few hundred virtual seconds, so the profile is rescaled to
+a matching epoch — otherwise every fault window opens after the run ends.
+"""
+
+from repro.core.checkpoint import STAGE_CODE, STAGE_CRAWL, STAGE_TRACEABILITY
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AssessmentPipeline
+from repro.web.chaos import HOSTILE
+
+N_BOTS = 60
+
+#: HOSTILE, compressed onto the bench world's timescale and intensified so
+#: a short run still crosses several fault windows per kind.
+BENCH_HOSTILE = HOSTILE.scaled(
+    epoch=120.0,
+    window_duration=(30.0, 90.0),
+    outage_rate=0.3,
+    error_burst_rate=0.5,
+    latency_spike_rate=0.4,
+    rate_limit_rate=0.4,
+    captcha_surge_rate=0.3,
+    truncation_rate=0.05,
+)
+
+
+def _config(chaos=None, chaos_seed=0) -> PipelineConfig:
+    return PipelineConfig(
+        n_bots=N_BOTS,
+        seed=3,
+        honeypot_sample_size=10,
+        validation_sample_size=20,
+        chaos_profile=chaos,
+        chaos_seed=chaos_seed,
+    )
+
+
+def _run(chaos=None, chaos_seed=0):
+    return AssessmentPipeline(_config(chaos, chaos_seed)).run()
+
+
+def test_bench_hostile_run_completes_and_accounts_every_bot(benchmark):
+    calm = _run()
+
+    result = benchmark.pedantic(lambda: _run(BENCH_HOSTILE, chaos_seed=0), rounds=1, iterations=1)
+
+    # Completed end to end: every stage produced output (degraded is fine).
+    assert set(result.stage_status.values()) <= {"completed", "degraded"}
+    assert result.permission_distribution is not None
+    assert result.traceability_summary is not None
+    assert result.code_summary is not None
+    assert result.honeypot is not None
+
+    # The ledger accounts every bot the crawl failed to collect.
+    ledger = result.fault_ledger
+    assert result.bots_collected + ledger.bots_skipped(STAGE_CRAWL) == N_BOTS
+
+    # Partial coverage within tolerance of calm: the chaos run keeps a
+    # majority of the population and loses nothing silently.
+    assert calm.bots_collected == N_BOTS
+    assert result.bots_collected >= N_BOTS // 2
+
+    # Downstream stages account their skips against the active population.
+    for stage in (STAGE_TRACEABILITY, STAGE_CODE):
+        assert ledger.bots_skipped(stage) <= result.active_bots
+
+    print()
+    print(ledger.summary_line())
+    print(f"stage status: {result.stage_status}")
+    print(f"collected {result.bots_collected}/{N_BOTS}, active {result.active_bots}")
+    print(
+        f"retries: {result.scrape_stats.transient_retries}, "
+        f"rate limited: {result.scrape_stats.rate_limited}, "
+        f"malformed Retry-After: {result.scrape_stats.malformed_retry_after}, "
+        f"circuit short-circuits: {result.scrape_stats.circuit_short_circuits}"
+    )
+
+
+def test_bench_hostile_accounting_closes_on_second_seed():
+    result = _run(BENCH_HOSTILE, chaos_seed=1)
+    assert set(result.stage_status.values()) <= {"completed", "degraded"}
+    assert result.bots_collected + result.fault_ledger.bots_skipped(STAGE_CRAWL) == N_BOTS
+
+
+def test_bench_same_seed_runs_are_byte_identical():
+    first = _run(BENCH_HOSTILE, chaos_seed=0)
+    second = _run(BENCH_HOSTILE, chaos_seed=0)
+    assert first.fault_ledger.to_json() == second.fault_ledger.to_json()
+    assert [bot.listing_id for bot in first.crawl.bots] == [bot.listing_id for bot in second.crawl.bots]
+    assert first.stage_status == second.stage_status
+
+
+def test_bench_different_chaos_seeds_differ():
+    a = _run(BENCH_HOSTILE, chaos_seed=0)
+    b = _run(BENCH_HOSTILE, chaos_seed=1)
+    assert a.fault_ledger.to_json() != b.fault_ledger.to_json()

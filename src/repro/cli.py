@@ -21,6 +21,7 @@ from repro.core.config import PipelineConfig
 from repro.core.pipeline import AssessmentPipeline
 from repro.core.report import render_full_report
 from repro.core.serialize import save_result
+from repro.web.chaos import PROFILES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,6 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", dest="json_path", default=None, help="also save results as JSON")
     run.add_argument("--markdown", dest="markdown_path", default=None, help="also save a Markdown report")
     run.add_argument("--include-bots", action="store_true", help="include per-bot records in JSON")
+    run.add_argument("--chaos", default=None, choices=sorted(PROFILES),
+                     help="inject faults from a named chaos profile")
+    run.add_argument("--chaos-seed", type=int, default=0, help="fault schedule seed (default 0)")
+    run.add_argument("--checkpoint", dest="checkpoint_path", default=None,
+                     help="stage-granular checkpoint file; resumes completed stages if present")
 
     honeypot = subparsers.add_parser("honeypot", help="dynamic analysis only")
     honeypot.add_argument("--sample", type=int, default=100, help="most-voted bots to test")
@@ -64,9 +70,19 @@ def _config(args: argparse.Namespace, **overrides) -> PipelineConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     sample = args.honeypot_sample if args.honeypot_sample is not None else min(200, args.bots)
-    config = _config(args, honeypot_sample_size=sample)
+    config = _config(
+        args,
+        honeypot_sample_size=sample,
+        chaos_profile=args.chaos,
+        chaos_seed=args.chaos_seed,
+        checkpoint_path=args.checkpoint_path,
+    )
     result = AssessmentPipeline(config).run()
     print(render_full_report(result))
+    if result.degraded:
+        statuses = ", ".join(f"{stage}={status}" for stage, status in sorted(result.stage_status.items()))
+        print(f"\nDegraded run: {result.fault_ledger.summary_line()}")
+        print(f"Stage status: {statuses}")
     if args.json_path:
         path = save_result(result, args.json_path, include_bots=args.include_bots)
         print(f"\nResults saved to {path}")

@@ -4,17 +4,60 @@ Data collection → static analysis (traceability + code) → dynamic analysis
 (honeypot), over any messaging-platform world that exposes a listing site,
 consent pages and installable bots.  :class:`AssessmentPipeline` wires the
 whole reproduction together.
+
+Exports resolve lazily (PEP 562) so that low-level modules — notably
+:mod:`repro.scraper.base`, which uses :mod:`repro.core.resilience` — can
+import their piece of the core package without dragging the whole pipeline
+(and its scraper imports) in a cycle.
 """
 
-from repro.core.config import PipelineConfig
-from repro.core.pipeline import AssessmentPipeline, PipelineWorld
-from repro.core.results import PipelineResult
-from repro.core.report import render_full_report
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "AssessmentPipeline",
-    "PipelineConfig",
-    "PipelineResult",
-    "PipelineWorld",
-    "render_full_report",
-]
+_EXPORTS = {
+    "AssessmentPipeline": "repro.core.pipeline",
+    "PipelineCheckpoint": "repro.core.checkpoint",
+    "PipelineConfig": "repro.core.config",
+    "PipelineResult": "repro.core.results",
+    "PipelineWorld": "repro.core.pipeline",
+    "CircuitBreaker": "repro.core.resilience",
+    "CircuitBreakerRegistry": "repro.core.resilience",
+    "CircuitOpenError": "repro.core.resilience",
+    "FaultLedger": "repro.core.resilience",
+    "FaultRecord": "repro.core.resilience",
+    "RetryBudget": "repro.core.resilience",
+    "RetryPolicy": "repro.core.resilience",
+    "StageStatus": "repro.core.resilience",
+    "render_full_report": "repro.core.report",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis convenience
+    from repro.core.checkpoint import PipelineCheckpoint
+    from repro.core.config import PipelineConfig
+    from repro.core.pipeline import AssessmentPipeline, PipelineWorld
+    from repro.core.report import render_full_report
+    from repro.core.resilience import (
+        CircuitBreaker,
+        CircuitBreakerRegistry,
+        CircuitOpenError,
+        FaultLedger,
+        FaultRecord,
+        RetryBudget,
+        RetryPolicy,
+        StageStatus,
+    )
+    from repro.core.results import PipelineResult
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return __all__

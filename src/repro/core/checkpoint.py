@@ -1,0 +1,291 @@
+"""Full-pipeline checkpointing: stage-granular snapshot and resume.
+
+Generalises the crawl-only :mod:`repro.scraper.checkpoint` to the whole
+assessment: after every completed stage (crawl, traceability, code,
+honeypot) the pipeline snapshots that stage's raw output plus the fault
+ledger so far.  A killed run resumes from the last completed stage instead
+of re-crawling the world; aggregates are recomputed from the restored raw
+outputs, so a resumed run reports the same statistics as an uninterrupted
+one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.codeanalysis.analyzer import RepoAnalysis
+from repro.codeanalysis.patterns import PatternHit
+from repro.core.resilience import FaultLedger
+from repro.honeypot.console import TriggerRecord
+from repro.honeypot.experiment import BotTestOutcome, HoneypotReport
+from repro.honeypot.tokens import TokenKind
+from repro.scraper.base import ScrapeStats
+from repro.scraper.checkpoint import scraped_bot_from_dict, scraped_bot_to_dict
+from repro.scraper.topgg import CrawlResult
+from repro.traceability.analyzer import TraceabilityClass, TraceabilityResult
+from repro.traceability.validation import ValidationCase, ValidationReport
+
+PIPELINE_CHECKPOINT_VERSION = 1
+
+#: Canonical stage names, in execution order.
+STAGE_CRAWL = "crawl"
+STAGE_TRACEABILITY = "traceability"
+STAGE_CODE = "code"
+STAGE_HONEYPOT = "honeypot"
+STAGES = (STAGE_CRAWL, STAGE_TRACEABILITY, STAGE_CODE, STAGE_HONEYPOT)
+
+
+# -- per-type serializers ----------------------------------------------------
+
+
+def _scrape_stats_to_dict(stats: ScrapeStats) -> dict:
+    return dict(vars(stats))
+
+
+def _scrape_stats_from_dict(payload: dict) -> ScrapeStats:
+    stats = ScrapeStats()
+    for key, value in payload.items():
+        if hasattr(stats, key):
+            setattr(stats, key, value)
+    return stats
+
+
+def _traceability_to_dict(result: TraceabilityResult) -> dict:
+    return {
+        "bot_name": result.bot_name,
+        "classification": result.classification.value,
+        "categories_found": sorted(result.categories_found),
+        "has_website": result.has_website,
+        "has_policy_link": result.has_policy_link,
+        "policy_page_valid": result.policy_page_valid,
+        "generic_policy": result.generic_policy,
+        "undisclosed_data_permissions": list(result.undisclosed_data_permissions),
+        "keyword_evidence": {category: list(words) for category, words in result.keyword_evidence.items()},
+    }
+
+
+def _traceability_from_dict(payload: dict) -> TraceabilityResult:
+    return TraceabilityResult(
+        bot_name=payload["bot_name"],
+        classification=TraceabilityClass(payload["classification"]),
+        categories_found=frozenset(payload["categories_found"]),
+        has_website=payload["has_website"],
+        has_policy_link=payload["has_policy_link"],
+        policy_page_valid=payload["policy_page_valid"],
+        generic_policy=payload["generic_policy"],
+        undisclosed_data_permissions=tuple(payload["undisclosed_data_permissions"]),
+        keyword_evidence={category: list(words) for category, words in payload["keyword_evidence"].items()},
+    )
+
+
+def _validation_to_dict(report: ValidationReport) -> dict:
+    return {
+        "cases": [
+            {"bot_name": case.bot_name, "expected": case.expected, "predicted": case.predicted}
+            for case in report.cases
+        ]
+    }
+
+
+def _validation_from_dict(payload: dict) -> ValidationReport:
+    return ValidationReport(
+        cases=[
+            ValidationCase(bot_name=entry["bot_name"], expected=entry["expected"], predicted=entry["predicted"])
+            for entry in payload["cases"]
+        ]
+    )
+
+
+def _repo_analysis_to_dict(analysis: RepoAnalysis) -> dict:
+    return {
+        "bot_name": analysis.bot_name,
+        "link_valid": analysis.link_valid,
+        "main_language": analysis.main_language,
+        "has_source_code": analysis.has_source_code,
+        "performs_check": analysis.performs_check,
+        "hits": [
+            {"pattern": hit.pattern, "path": hit.path, "line_number": hit.line_number, "line": hit.line}
+            for hit in analysis.hits
+        ],
+    }
+
+
+def _repo_analysis_from_dict(payload: dict) -> RepoAnalysis:
+    return RepoAnalysis(
+        bot_name=payload["bot_name"],
+        link_valid=payload["link_valid"],
+        main_language=payload["main_language"],
+        has_source_code=payload["has_source_code"],
+        performs_check=payload["performs_check"],
+        hits=[
+            PatternHit(
+                pattern=entry["pattern"],
+                path=entry["path"],
+                line_number=entry["line_number"],
+                line=entry["line"],
+            )
+            for entry in payload["hits"]
+        ],
+    )
+
+
+def _honeypot_to_dict(report: HoneypotReport) -> dict:
+    return {
+        "outcomes": [
+            {
+                "bot_name": outcome.bot_name,
+                "behavior": outcome.behavior,
+                "installed": outcome.installed,
+                "tokens_deployed": outcome.tokens_deployed,
+                "trigger_kinds": sorted(kind.value for kind in outcome.trigger_kinds),
+                "suspicious_messages": list(outcome.suspicious_messages),
+                "functionality_explained": outcome.functionality_explained,
+            }
+            for outcome in report.outcomes
+        ],
+        "triggers": [
+            {
+                "time": record.time,
+                "token_id": record.token_id,
+                "kind": record.kind.value,
+                "context": record.context,
+                "client_id": record.client_id,
+            }
+            for record in report.triggers
+        ],
+        "manual_verifications": report.manual_verifications,
+        "install_failures": report.install_failures,
+        "captcha_cost": report.captcha_cost,
+    }
+
+
+def _honeypot_from_dict(payload: dict) -> HoneypotReport:
+    return HoneypotReport(
+        outcomes=[
+            BotTestOutcome(
+                bot_name=entry["bot_name"],
+                behavior=entry["behavior"],
+                installed=entry["installed"],
+                tokens_deployed=entry["tokens_deployed"],
+                trigger_kinds=frozenset(TokenKind(value) for value in entry["trigger_kinds"]),
+                suspicious_messages=tuple(entry["suspicious_messages"]),
+                functionality_explained=entry["functionality_explained"],
+            )
+            for entry in payload["outcomes"]
+        ],
+        triggers=[
+            TriggerRecord(
+                time=entry["time"],
+                token_id=entry["token_id"],
+                kind=TokenKind(entry["kind"]),
+                context=entry["context"],
+                client_id=entry["client_id"],
+            )
+            for entry in payload["triggers"]
+        ],
+        manual_verifications=payload["manual_verifications"],
+        install_failures=payload["install_failures"],
+        captcha_cost=payload["captcha_cost"],
+    )
+
+
+# -- the checkpoint ----------------------------------------------------------
+
+
+@dataclass
+class PipelineCheckpoint:
+    """Persistent pipeline progress: one payload per completed stage."""
+
+    stages: dict[str, dict] = field(default_factory=dict)
+    stage_status: dict[str, str] = field(default_factory=dict)
+    ledger: FaultLedger = field(default_factory=FaultLedger)
+
+    def has_stage(self, stage: str) -> bool:
+        return stage in self.stages
+
+    @property
+    def completed_stages(self) -> list[str]:
+        return [stage for stage in STAGES if stage in self.stages]
+
+    # -- stage-typed store/restore ---------------------------------------
+
+    def store_crawl(self, crawl: CrawlResult, stats: ScrapeStats) -> None:
+        self.stages[STAGE_CRAWL] = {
+            "bots": [scraped_bot_to_dict(bot) for bot in crawl.bots],
+            "pages_traversed": crawl.pages_traversed,
+            "scrape_stats": _scrape_stats_to_dict(stats),
+        }
+
+    def restore_crawl(self) -> tuple[CrawlResult, ScrapeStats]:
+        payload = self.stages[STAGE_CRAWL]
+        crawl = CrawlResult(
+            bots=[scraped_bot_from_dict(entry) for entry in payload["bots"]],
+            pages_traversed=payload["pages_traversed"],
+        )
+        return crawl, _scrape_stats_from_dict(payload["scrape_stats"])
+
+    def store_traceability(self, results: list[TraceabilityResult], validation: ValidationReport | None) -> None:
+        self.stages[STAGE_TRACEABILITY] = {
+            "results": [_traceability_to_dict(result) for result in results],
+            "validation": _validation_to_dict(validation) if validation is not None else None,
+        }
+
+    def restore_traceability(self) -> tuple[list[TraceabilityResult], ValidationReport | None]:
+        payload = self.stages[STAGE_TRACEABILITY]
+        validation = payload["validation"]
+        return (
+            [_traceability_from_dict(entry) for entry in payload["results"]],
+            _validation_from_dict(validation) if validation is not None else None,
+        )
+
+    def store_code(self, analyses: list[RepoAnalysis]) -> None:
+        self.stages[STAGE_CODE] = {"analyses": [_repo_analysis_to_dict(analysis) for analysis in analyses]}
+
+    def restore_code(self) -> list[RepoAnalysis]:
+        return [_repo_analysis_from_dict(entry) for entry in self.stages[STAGE_CODE]["analyses"]]
+
+    def store_honeypot(self, report: HoneypotReport) -> None:
+        self.stages[STAGE_HONEYPOT] = {"report": _honeypot_to_dict(report)}
+
+    def restore_honeypot(self) -> HoneypotReport:
+        return _honeypot_from_dict(self.stages[STAGE_HONEYPOT]["report"])
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": PIPELINE_CHECKPOINT_VERSION,
+            "stages": self.stages,
+            "stage_status": self.stage_status,
+            "ledger": self.ledger.to_dict(),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        target = Path(path)
+        # Write-then-rename so a crash mid-save never corrupts progress.
+        temporary = target.with_suffix(target.suffix + ".tmp")
+        temporary.write_text(json.dumps(self.to_dict()))
+        temporary.replace(target)
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PipelineCheckpoint":
+        payload = json.loads(Path(path).read_text())
+        version = payload.get("version")
+        if version != PIPELINE_CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported pipeline checkpoint version: {version!r}")
+        return cls(
+            stages=dict(payload["stages"]),
+            stage_status=dict(payload.get("stage_status", {})),
+            ledger=FaultLedger.from_dict(payload.get("ledger", {})),
+        )
+
+    @classmethod
+    def load_or_empty(cls, path: str | Path) -> "PipelineCheckpoint":
+        target = Path(path)
+        if target.exists():
+            return cls.load(target)
+        return cls()

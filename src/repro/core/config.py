@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.botstore.host import StoreDefenses
 from repro.ecosystem.distributions import DEFAULT_TARGETS, Targets
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.web.chaos import ChaosProfile
 
 
 @dataclass
@@ -47,6 +51,23 @@ class PipelineConfig:
 
     # 2Captcha account.
     captcha_balance: float = 100.0
+
+    # Resilience and fault injection.
+    #: Chaos profile name ("calm", "flaky", "hostile", "outage"), a
+    #: :class:`~repro.web.chaos.ChaosProfile` (e.g. a ``scaled()`` variant
+    #: matching a shrunken world's compressed timescale), or None to run
+    #: without injected faults.
+    chaos_profile: str | ChaosProfile | None = None
+    chaos_seed: int = 0
+    #: With a path, the pipeline snapshots after every stage and a re-run
+    #: resumes from the last completed stage.
+    checkpoint_path: str | None = None
+    #: Absorb stage/bot-level faults into the ledger instead of crashing.
+    degrade_on_faults: bool = True
+    circuit_failure_threshold: int = 5
+    circuit_recovery_time: float = 300.0
+    #: Aggregate retry cap per stage (transient retries across all fetches).
+    stage_retry_budget: int = 500
 
     def scaled(self, n_bots: int, honeypot_sample_size: int | None = None) -> "PipelineConfig":
         """A copy at a smaller scale (for tests and quick examples)."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.analysis.code_stats import CodeAnalysisSummary
 from repro.analysis.developer_stats import DeveloperDistribution
@@ -22,7 +23,15 @@ from repro.analysis.permission_stats import PermissionDistribution
 from repro.analysis.traceability_stats import TraceabilitySummary
 from repro.botstore.host import build_store_host
 from repro.codeanalysis.analyzer import CodeAnalyzer
+from repro.core.checkpoint import (
+    STAGE_CODE,
+    STAGE_CRAWL,
+    STAGE_HONEYPOT,
+    STAGE_TRACEABILITY,
+    PipelineCheckpoint,
+)
 from repro.core.config import PipelineConfig
+from repro.core.resilience import CircuitBreakerRegistry, FaultLedger, RetryBudget, StageStatus
 from repro.core.results import PipelineResult
 from repro.discordsim.platform import DiscordPlatform
 from repro.ecosystem.generator import Ecosystem, EcosystemConfig, generate_ecosystem
@@ -35,8 +44,13 @@ from repro.sites.discordweb import DiscordWebsite
 from repro.sites.github import GitHubSite
 from repro.traceability.analyzer import TraceabilityAnalyzer
 from repro.traceability.validation import ManualReviewValidator
+from repro.web.browser import WebDriverException
 from repro.web.captcha import TwoCaptchaClient
-from repro.web.network import VirtualClock, VirtualInternet
+from repro.web.http import Url
+from repro.web.network import NetworkError, VirtualClock, VirtualInternet
+
+#: Degradation callback handed to stages: ``(host, error, bots_skipped, detail)``.
+StageFaultSink = Callable[[str, BaseException, int, str], None]
 
 
 @dataclass
@@ -70,6 +84,10 @@ class PipelineWorld:
 
         RedditSite(seed=config.seed + 5).register(internet)
         solver = TwoCaptchaClient(clock, balance=config.captcha_balance, seed=config.seed + 2)
+        if config.chaos_profile is not None:
+            from repro.web.chaos import FaultSchedule
+
+            internet.install_chaos(FaultSchedule(config.chaos_profile, seed=config.chaos_seed))
         return cls(ecosystem=ecosystem, clock=clock, internet=internet, platform=platform, solver=solver)
 
 
@@ -81,22 +99,99 @@ class AssessmentPipeline:
         self.world = world or PipelineWorld.build(self.config)
         self.traceability_analyzer = TraceabilityAnalyzer()
         self.code_analyzer = CodeAnalyzer(ignore_comments=self.config.ignore_comments_in_code_analysis)
+        #: Per-host circuit breakers shared by every scraper in this run.
+        self.breakers = CircuitBreakerRegistry(
+            self.world.clock,
+            failure_threshold=self.config.circuit_failure_threshold,
+            recovery_time=self.config.circuit_recovery_time,
+        )
+        #: Structured account of every fault the run absorbed.
+        self.ledger = FaultLedger()
+
+    # -- resilience helpers -------------------------------------------------
+
+    def _stage_budget(self) -> RetryBudget:
+        return RetryBudget(self.config.stage_retry_budget)
+
+    def _stage_sink(self, stage: str) -> StageFaultSink:
+        def sink(host: str, error: BaseException, bots_skipped: int, detail: str) -> None:
+            self.ledger.record(stage, host, error, self.world.clock.now(), bots_skipped=bots_skipped, detail=detail)
+
+        return sink
+
+    def _degrade_sink(self, stage: str) -> StageFaultSink | None:
+        return self._stage_sink(stage) if self.config.degrade_on_faults else None
+
+    @staticmethod
+    def _host_of(url: str | None) -> str:
+        if not url:
+            return "<unknown>"
+        try:
+            return Url.parse(url).host or "<unknown>"
+        except ValueError:
+            return "<unknown>"
 
     # -- stages ------------------------------------------------------------
 
     def collect(self) -> tuple[TopGGScraper, "CrawlResult"]:
         """Stage 1: crawl the listing site."""
-        scraper = TopGGScraper(self.world.internet, solver=self.world.solver)
-        crawl = scraper.crawl(max_pages=self.config.max_pages, resolve_permissions=self.config.resolve_permissions)
+        scraper = TopGGScraper(
+            self.world.internet,
+            solver=self.world.solver,
+            breakers=self.breakers,
+            retry_budget=self._stage_budget(),
+        )
+        sink = self._degrade_sink(STAGE_CRAWL)
+        crawl = scraper.crawl(
+            max_pages=self.config.max_pages,
+            resolve_permissions=self.config.resolve_permissions,
+            on_fault=sink,
+        )
+        if sink is not None and self.config.max_pages is None:
+            # Reconcile: an abandoned pagination (or an unparseable list
+            # page) loses listings nobody counted bot-by-bot.  The pipeline
+            # knows the population, so the ledger accounts the remainder —
+            # collected + skipped always equals the expected population.
+            expected = len(self.world.ecosystem.bots)
+            missing = expected - len(crawl.bots) - self.ledger.bots_skipped(STAGE_CRAWL)
+            if missing > 0:
+                from repro.scraper.topgg import TOPGG_HOST
+
+                self.ledger.record(
+                    STAGE_CRAWL,
+                    TOPGG_HOST,
+                    "PaginationAbandoned",
+                    self.world.clock.now(),
+                    bots_skipped=missing,
+                    detail=f"{missing} listings never reached",
+                )
         return scraper, crawl
 
-    def analyze_traceability(self, active_bots: list[ScrapedBot]) -> list:
-        """Stage 2: website crawl + keyword traceability per active bot."""
-        website_scraper = WebsiteScraper(self.world.internet, solver=self.world.solver, client_id="policy-scraper")
+    def analyze_traceability(self, active_bots: list[ScrapedBot], on_fault: StageFaultSink | None = None) -> list:
+        """Stage 2: website crawl + keyword traceability per active bot.
+
+        With ``on_fault``, a bot whose website dies at the transport level
+        (circuit open, connection dropped) is skipped and reported instead
+        of crashing the stage; unreachable-but-resolvable websites remain a
+        *classification* outcome (broken traceability), not a fault.
+        """
+        website_scraper = WebsiteScraper(
+            self.world.internet,
+            solver=self.world.solver,
+            client_id="policy-scraper",
+            breakers=self.breakers,
+            retry_budget=self._stage_budget(),
+        )
         results = []
         for bot in active_bots:
             if bot.website_url:
-                fetch = website_scraper.fetch_policy(bot.website_url)
+                try:
+                    fetch = website_scraper.fetch_policy(bot.website_url)
+                except (WebDriverException, NetworkError) as error:
+                    if on_fault is None:
+                        raise
+                    on_fault(self._host_of(bot.website_url), error, 1, f"traceability skipped for {bot.name}")
+                    continue
             else:
                 from repro.scraper.website import PolicyFetchResult
 
@@ -113,14 +208,26 @@ class AssessmentPipeline:
             )
         return results
 
-    def analyze_code(self, active_bots: list[ScrapedBot]) -> list:
+    def analyze_code(self, active_bots: list[ScrapedBot], on_fault: StageFaultSink | None = None) -> list:
         """Stage 3: GitHub crawl + Table-3 pattern detection."""
-        github_scraper = GitHubScraper(self.world.internet, solver=self.world.solver, client_id="repo-scraper")
+        github_scraper = GitHubScraper(
+            self.world.internet,
+            solver=self.world.solver,
+            client_id="repo-scraper",
+            breakers=self.breakers,
+            retry_budget=self._stage_budget(),
+        )
         analyses = []
         for bot in active_bots:
             if not bot.github_url:
                 continue
-            fetched = github_scraper.fetch_repo(bot.github_url)
+            try:
+                fetched = github_scraper.fetch_repo(bot.github_url)
+            except (WebDriverException, NetworkError) as error:
+                if on_fault is None:
+                    raise
+                on_fault(self._host_of(bot.github_url), error, 1, f"code analysis skipped for {bot.name}")
+                continue
             analyses.append(
                 self.code_analyzer.analyze_repo(
                     bot_name=bot.name,
@@ -131,7 +238,7 @@ class AssessmentPipeline:
             )
         return analyses
 
-    def run_honeypot(self) -> "HoneypotReport":
+    def run_honeypot(self, on_fault: StageFaultSink | None = None) -> "HoneypotReport":
         """Stage 4: dynamic analysis over the most-voted sample."""
         experiment = HoneypotExperiment(
             self.world.platform,
@@ -143,8 +250,14 @@ class AssessmentPipeline:
         if self.config.use_osn_feed:
             from repro.honeypot.osn_source import OsnFeedSource
 
-            source = OsnFeedSource.scrape(self.world.internet, seed=self.config.seed + 6)
-            if len(source):
+            try:
+                source = OsnFeedSource.scrape(self.world.internet, seed=self.config.seed + 6)
+            except (WebDriverException, NetworkError) as error:
+                if on_fault is None:
+                    raise
+                on_fault("reddit.sim", error, 0, "OSN feed unavailable; falling back to generated feed")
+                source = None
+            if source is not None and len(source):
                 feed_source = source.next_message
         sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
         return experiment.run(
@@ -153,18 +266,43 @@ class AssessmentPipeline:
             feed_messages=self.config.feed_messages,
             observation_window=self.config.observation_window,
             feed_source=feed_source,
+            fault_sink=on_fault,
         )
 
     # -- orchestration ----------------------------------------------------------
 
     def run(self) -> PipelineResult:
-        """Run every enabled stage and aggregate the paper's statistics."""
+        """Run every enabled stage and aggregate the paper's statistics.
+
+        Stages degrade instead of crashing (``config.degrade_on_faults``):
+        per-bot faults skip the bot, stage-level faults mark the stage
+        ``FAILED``, and everything lost is accounted in ``fault_ledger``.
+        With ``config.checkpoint_path``, the pipeline snapshots after every
+        stage and a re-run resumes from the last completed one.
+        """
         started_wall = time.monotonic()
         started_virtual = self.world.clock.now()
         spent_before = self.world.solver.total_spent
 
-        scraper, crawl = self.collect()
-        result = PipelineResult(crawl=crawl, scrape_stats=scraper.stats)
+        checkpoint: PipelineCheckpoint | None = None
+        if self.config.checkpoint_path is not None:
+            checkpoint = PipelineCheckpoint.load_or_empty(self.config.checkpoint_path)
+            self.ledger.extend(checkpoint.ledger)
+
+        status: dict[str, str] = {}
+
+        # Stage 1: data collection.
+        if checkpoint is not None and checkpoint.has_stage(STAGE_CRAWL):
+            crawl, stats = checkpoint.restore_crawl()
+            result = PipelineResult(crawl=crawl, scrape_stats=stats)
+            status[STAGE_CRAWL] = StageStatus.RESUMED.value
+        else:
+            scraper, crawl = self.collect()
+            result = PipelineResult(crawl=crawl, scrape_stats=scraper.stats)
+            status[STAGE_CRAWL] = self._stage_outcome(STAGE_CRAWL)
+            if checkpoint is not None:
+                checkpoint.store_crawl(crawl, scraper.stats)
+                self._save_checkpoint(checkpoint, status)
         active = crawl.with_valid_permissions()
 
         result.permission_distribution = PermissionDistribution.from_bots(crawl.bots)
@@ -173,26 +311,95 @@ class AssessmentPipeline:
 
         result.risk_summary = RiskSummary.from_bots(crawl.bots)
 
+        # Stage 2: traceability analysis.
         if self.config.run_traceability:
-            result.traceability_results = self.analyze_traceability(active)
+            if checkpoint is not None and checkpoint.has_stage(STAGE_TRACEABILITY):
+                result.traceability_results, result.validation = checkpoint.restore_traceability()
+                status[STAGE_TRACEABILITY] = StageStatus.RESUMED.value
+            else:
+                try:
+                    result.traceability_results = self.analyze_traceability(
+                        active, on_fault=self._degrade_sink(STAGE_TRACEABILITY)
+                    )
+                    result.validation = self._validate_traceability()
+                    status[STAGE_TRACEABILITY] = self._stage_outcome(STAGE_TRACEABILITY)
+                except (WebDriverException, NetworkError) as error:
+                    if not self.config.degrade_on_faults:
+                        raise
+                    self._record_stage_failure(STAGE_TRACEABILITY, error)
+                    status[STAGE_TRACEABILITY] = StageStatus.FAILED.value
+                if checkpoint is not None and status[STAGE_TRACEABILITY] != StageStatus.FAILED.value:
+                    checkpoint.store_traceability(result.traceability_results, result.validation)
+                    self._save_checkpoint(checkpoint, status)
             result.traceability_summary = TraceabilitySummary.from_results(result.traceability_results)
-            result.validation = self._validate_traceability()
+        else:
+            status[STAGE_TRACEABILITY] = StageStatus.SKIPPED.value
 
+        # Stage 3: code analysis.
         if self.config.run_code_analysis:
-            result.repo_analyses = self.analyze_code(active)
+            if checkpoint is not None and checkpoint.has_stage(STAGE_CODE):
+                result.repo_analyses = checkpoint.restore_code()
+                status[STAGE_CODE] = StageStatus.RESUMED.value
+            else:
+                try:
+                    result.repo_analyses = self.analyze_code(active, on_fault=self._degrade_sink(STAGE_CODE))
+                    status[STAGE_CODE] = self._stage_outcome(STAGE_CODE)
+                except (WebDriverException, NetworkError) as error:
+                    if not self.config.degrade_on_faults:
+                        raise
+                    self._record_stage_failure(STAGE_CODE, error)
+                    status[STAGE_CODE] = StageStatus.FAILED.value
+                if checkpoint is not None and status[STAGE_CODE] != StageStatus.FAILED.value:
+                    checkpoint.store_code(result.repo_analyses)
+                    self._save_checkpoint(checkpoint, status)
             result.code_summary = CodeAnalysisSummary.from_analyses(
                 active_bots=len(active),
                 github_links=sum(1 for bot in active if bot.github_url),
                 analyses=result.repo_analyses,
             )
+        else:
+            status[STAGE_CODE] = StageStatus.SKIPPED.value
 
+        # Stage 4: dynamic analysis.
         if self.config.run_honeypot:
-            result.honeypot = self.run_honeypot()
+            if checkpoint is not None and checkpoint.has_stage(STAGE_HONEYPOT):
+                result.honeypot = checkpoint.restore_honeypot()
+                status[STAGE_HONEYPOT] = StageStatus.RESUMED.value
+            else:
+                try:
+                    result.honeypot = self.run_honeypot(on_fault=self._degrade_sink(STAGE_HONEYPOT))
+                    status[STAGE_HONEYPOT] = self._stage_outcome(STAGE_HONEYPOT)
+                except (WebDriverException, NetworkError) as error:
+                    if not self.config.degrade_on_faults:
+                        raise
+                    self._record_stage_failure(STAGE_HONEYPOT, error)
+                    status[STAGE_HONEYPOT] = StageStatus.FAILED.value
+                if checkpoint is not None and status[STAGE_HONEYPOT] != StageStatus.FAILED.value and result.honeypot is not None:
+                    checkpoint.store_honeypot(result.honeypot)
+                    self._save_checkpoint(checkpoint, status)
+        else:
+            status[STAGE_HONEYPOT] = StageStatus.SKIPPED.value
 
+        result.fault_ledger = self.ledger
+        result.stage_status = status
         result.wall_seconds = time.monotonic() - started_wall
         result.virtual_seconds = self.world.clock.now() - started_virtual
         result.captcha_dollars = self.world.solver.total_spent - spent_before
         return result
+
+    def _stage_outcome(self, stage: str) -> str:
+        return (StageStatus.DEGRADED if self.ledger.count(stage) else StageStatus.COMPLETED).value
+
+    def _record_stage_failure(self, stage: str, error: BaseException) -> None:
+        self.ledger.record(
+            stage, "<pipeline>", error, self.world.clock.now(), detail="stage aborted; output incomplete"
+        )
+
+    def _save_checkpoint(self, checkpoint: PipelineCheckpoint, status: dict[str, str]) -> None:
+        checkpoint.stage_status = dict(status)
+        checkpoint.ledger = self.ledger
+        assert self.config.checkpoint_path is not None
+        checkpoint.save(self.config.checkpoint_path)
 
     def _validate_traceability(self):
         """The paper's 100-policy manual-review validation."""

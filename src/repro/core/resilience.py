@@ -1,0 +1,355 @@
+"""Pipeline-wide resilience primitives: circuit breakers, retries, the ledger.
+
+The paper's scraper survives a hostile measurement substrate — rate limits,
+captchas, flaky elements, timeouts, dead hosts — because every failure mode
+has a bounded, explicit reaction.  This module centralises those reactions
+so all three scrapers, the HTTP client and the honeypot share one
+vocabulary:
+
+- :class:`CircuitBreaker` / :class:`CircuitBreakerRegistry` — per-host
+  closed → open → half-open breakers on the *virtual* clock, so a dead host
+  stops burning retry budget across thousands of bots.
+- :class:`RetryPolicy` / :class:`RetryBudget` — one jittered-exponential
+  backoff definition replacing the ad-hoc retry loops, plus per-stage retry
+  budgets so a degraded stage fails fast instead of retrying forever.
+- :class:`FaultLedger` — the structured record of everything a run lost:
+  which stage, which host, which error class, at what virtual time, and how
+  many bots were skipped because of it.  A resilient run always *completes*;
+  the ledger is how it stays honest about partial coverage.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.web.network import NetworkError, VirtualClock
+
+
+class CircuitOpenError(NetworkError):
+    """The per-host circuit is open: fail fast instead of contacting it."""
+
+    def __init__(self, host: str, retry_at: float) -> None:
+        super().__init__(f"circuit open for {host} until t={retry_at:.1f}")
+        self.host = host
+        self.retry_at = retry_at
+
+
+class CircuitState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Classic three-state breaker driven by the virtual clock.
+
+    CLOSED counts consecutive failures; at ``failure_threshold`` it trips
+    OPEN and every :meth:`check` raises :class:`CircuitOpenError` without
+    touching the host.  After ``recovery_time`` seconds the next check
+    transitions to HALF_OPEN, letting probe traffic through;
+    ``half_open_successes`` consecutive successes close the circuit again,
+    while any failure re-opens it for another full recovery period.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        failure_threshold: int = 5,
+        recovery_time: float = 300.0,
+        half_open_successes: int = 2,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_time <= 0:
+            raise ValueError("recovery_time must be positive")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_successes = half_open_successes
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0.0
+        self.times_opened = 0
+        self.short_circuits = 0
+
+    @property
+    def state(self) -> CircuitState:
+        return self._state
+
+    @property
+    def retry_at(self) -> float:
+        return self._opened_at + self.recovery_time
+
+    def check(self, host: str = "host") -> None:
+        """Raise :class:`CircuitOpenError` unless a request may proceed."""
+        if self._state is CircuitState.OPEN:
+            if self.clock.now() >= self.retry_at:
+                self._state = CircuitState.HALF_OPEN
+                self._probe_successes = 0
+            else:
+                self.short_circuits += 1
+                raise CircuitOpenError(host, self.retry_at)
+
+    def record_success(self) -> None:
+        if self._state is CircuitState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_successes:
+                self._state = CircuitState.CLOSED
+                self._consecutive_failures = 0
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        if self._state is CircuitState.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._state is CircuitState.CLOSED and self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = CircuitState.OPEN
+        self._opened_at = self.clock.now()
+        self._consecutive_failures = 0
+        self.times_opened += 1
+
+
+class CircuitBreakerRegistry:
+    """Per-host breakers, shared by every scraper in a pipeline run."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        failure_threshold: int = 5,
+        recovery_time: float = 300.0,
+        half_open_successes: int = 2,
+    ) -> None:
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_successes = half_open_successes
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, host: str) -> CircuitBreaker:
+        key = host.lower()
+        found = self._breakers.get(key)
+        if found is None:
+            found = CircuitBreaker(
+                self.clock,
+                failure_threshold=self.failure_threshold,
+                recovery_time=self.recovery_time,
+                half_open_successes=self.half_open_successes,
+            )
+            self._breakers[key] = found
+        return found
+
+    def check(self, host: str) -> None:
+        self.breaker(host).check(host)
+
+    def record_success(self, host: str) -> None:
+        self.breaker(host).record_success()
+
+    def record_failure(self, host: str) -> None:
+        self.breaker(host).record_failure()
+
+    def open_hosts(self) -> list[str]:
+        return sorted(host for host, breaker in self._breakers.items() if breaker.state is CircuitState.OPEN)
+
+    @property
+    def short_circuits(self) -> int:
+        return sum(breaker.short_circuits for breaker in self._breakers.values())
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff: the one retry definition for the repo.
+
+    ``delay(attempt)`` returns the pause before retry number ``attempt``
+    (0-based).  With a seeded ``rng`` the jitter is deterministic; with
+    ``jitter=0`` the schedule is exactly ``base_delay * multiplier**attempt``
+    capped at ``max_delay`` — the behaviour the old ad-hoc loops had.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.0
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        raw = min(self.base_delay * self.multiplier ** max(attempt, 0), self.max_delay)
+        if rng is not None and self.jitter > 0:
+            raw *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return max(raw, 0.0)
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether retry number ``attempt`` (0-based) is within the policy."""
+        return attempt < self.max_attempts
+
+
+class RetryBudget:
+    """A per-stage cap on total retries, shared across a stage's fetches.
+
+    Individual fetches still obey their :class:`RetryPolicy`; the budget
+    bounds the *aggregate* so a stage degrading under faults fails fast
+    instead of spending hours of virtual time re-trying a dead substrate.
+    """
+
+    def __init__(self, budget: int) -> None:
+        if budget < 0:
+            raise ValueError("budget must be >= 0")
+        self.budget = budget
+        self.spent = 0
+        self.denied = 0
+
+    @property
+    def remaining(self) -> int:
+        return max(self.budget - self.spent, 0)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.budget
+
+    def spend(self) -> bool:
+        """Consume one retry; False (and counted) once the budget is gone."""
+        if self.spent < self.budget:
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+
+class StageStatus(Enum):
+    """How a pipeline stage ended."""
+
+    COMPLETED = "completed"
+    DEGRADED = "degraded"  # finished, but the ledger recorded faults
+    FAILED = "failed"  # produced no output at all
+    SKIPPED = "skipped"  # disabled by configuration
+    RESUMED = "resumed"  # restored from a PipelineCheckpoint
+
+
+def root_error_class(error: BaseException) -> str:
+    """The innermost cause's class name (what actually went wrong)."""
+    cause: BaseException = error
+    while cause.__cause__ is not None:
+        cause = cause.__cause__
+    return type(cause).__name__
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One absorbed fault: where, what, when, and what it cost."""
+
+    stage: str
+    host: str
+    error_class: str
+    virtual_time: float
+    bots_skipped: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "host": self.host,
+            "error_class": self.error_class,
+            "virtual_time": self.virtual_time,
+            "bots_skipped": self.bots_skipped,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultRecord":
+        return cls(
+            stage=payload["stage"],
+            host=payload["host"],
+            error_class=payload["error_class"],
+            virtual_time=payload["virtual_time"],
+            bots_skipped=payload.get("bots_skipped", 0),
+            detail=payload.get("detail", ""),
+        )
+
+
+@dataclass
+class FaultLedger:
+    """Append-only account of every fault a run absorbed.
+
+    Records are kept in occurrence order; with a seeded world the order is
+    deterministic, so :meth:`to_json` of two same-seed runs is byte-identical
+    — the property the chaos benchmarks assert.
+    """
+
+    records: list[FaultRecord] = field(default_factory=list)
+
+    def record(
+        self,
+        stage: str,
+        host: str,
+        error: BaseException | str,
+        virtual_time: float,
+        bots_skipped: int = 0,
+        detail: str = "",
+    ) -> FaultRecord:
+        error_class = error if isinstance(error, str) else root_error_class(error)
+        entry = FaultRecord(
+            stage=stage,
+            host=host,
+            error_class=error_class,
+            virtual_time=round(virtual_time, 6),
+            bots_skipped=bots_skipped,
+            detail=detail,
+        )
+        self.records.append(entry)
+        return entry
+
+    def extend(self, other: "FaultLedger") -> None:
+        self.records.extend(other.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def count(self, stage: str | None = None) -> int:
+        if stage is None:
+            return len(self.records)
+        return sum(1 for record in self.records if record.stage == stage)
+
+    def bots_skipped(self, stage: str | None = None) -> int:
+        return sum(record.bots_skipped for record in self.records if stage is None or record.stage == stage)
+
+    @property
+    def total_bots_skipped(self) -> int:
+        return self.bots_skipped()
+
+    def by_stage(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.stage] = counts.get(record.stage, 0) + 1
+        return counts
+
+    def by_error_class(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.error_class] = counts.get(record.error_class, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {"records": [record.to_dict() for record in self.records]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultLedger":
+        return cls(records=[FaultRecord.from_dict(entry) for entry in payload.get("records", [])])
+
+    def to_json(self) -> str:
+        """Canonical serialization (sorted keys) for byte-wise comparison."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def summary_line(self) -> str:
+        stages = ", ".join(f"{stage}: {count}" for stage, count in sorted(self.by_stage().items()))
+        return (
+            f"Absorbed {len(self.records)} faults ({stages or 'none'}); "
+            f"{self.total_bots_skipped} bots skipped."
+        )

@@ -10,6 +10,7 @@ from repro.analysis.permission_stats import PermissionDistribution
 from repro.analysis.risk import RiskSummary
 from repro.analysis.traceability_stats import TraceabilitySummary
 from repro.codeanalysis.analyzer import RepoAnalysis
+from repro.core.resilience import FaultLedger
 from repro.honeypot.experiment import HoneypotReport
 from repro.scraper.base import ScrapeStats
 from repro.scraper.topgg import CrawlResult
@@ -45,6 +46,16 @@ class PipelineResult:
     virtual_seconds: float = 0.0
     wall_seconds: float = 0.0
     captcha_dollars: float = 0.0
+
+    # Resilience accounting: every fault the run absorbed, and how each
+    # stage ended (stage name -> StageStatus value).
+    fault_ledger: FaultLedger = field(default_factory=FaultLedger)
+    stage_status: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any part of the run lost coverage to faults."""
+        return len(self.fault_ledger) > 0
 
     @property
     def bots_collected(self) -> int:
@@ -90,4 +101,6 @@ class PipelineResult:
                 f"Honeypot: {self.honeypot.bots_tested} bots tested, "
                 f"{len(self.honeypot.flagged_bots)} flagged ({flagged})."
             )
+        if self.degraded:
+            lines.append(self.fault_ledger.summary_line())
         return lines

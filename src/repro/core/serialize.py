@@ -32,8 +32,13 @@ def result_to_dict(result: PipelineResult, include_bots: bool = False) -> dict[s
             "captchas_seen": result.scrape_stats.captchas_seen,
             "captchas_solved": result.scrape_stats.captchas_solved,
             "timeouts": result.scrape_stats.timeouts,
+            "malformed_retry_after": result.scrape_stats.malformed_retry_after,
+            "circuit_short_circuits": result.scrape_stats.circuit_short_circuits,
+            "retries_denied": result.scrape_stats.retries_denied,
         },
         "summary_lines": result.summary_lines(),
+        "stage_status": dict(result.stage_status),
+        "fault_ledger": result.fault_ledger.to_dict(),
     }
 
     dist = result.permission_distribution

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.discordsim.guild import Guild, GuildError, PermissionDenied
+from repro.discordsim.guild import Guild, PermissionDenied
 from repro.discordsim.models import Attachment, Message
 from repro.discordsim.permissions import Permission, Permissions
 from repro.discordsim.platform import DiscordPlatform

@@ -9,7 +9,7 @@ follow best practice guard privileged commands with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.discordsim.api import BotApiClient

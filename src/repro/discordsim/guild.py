@@ -15,7 +15,7 @@ The guild owner bypasses hierarchy checks, matching Discord.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.discordsim.models import Channel, ChannelType, Member, Role, User
 from repro.discordsim.permissions import (

@@ -13,12 +13,12 @@ Two properties the paper leans on are reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.discordsim.gateway import Event, EventBus, EventType
 from repro.discordsim.guild import Guild, PermissionDenied
 from repro.discordsim.models import Attachment, ChannelType, Member, Message, User
-from repro.discordsim.oauth import ConsentScreen, InviteLink, OAuthScope, parse_invite_url
+from repro.discordsim.oauth import ConsentScreen, OAuthScope, parse_invite_url
 from repro.discordsim.permissions import Permission, Permissions
 from repro.discordsim.snowflake import SnowflakeGenerator
 from repro.web.captcha import CaptchaService

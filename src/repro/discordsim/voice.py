@@ -10,7 +10,7 @@ the channel observes the session log.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.discordsim.guild import Guild, PermissionDenied, UnknownEntityError
 from repro.discordsim.models import ChannelType

@@ -11,7 +11,7 @@ credentials.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.discordsim.guild import Guild, PermissionDenied, UnknownEntityError
 from repro.discordsim.models import Message

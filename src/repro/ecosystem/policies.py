@@ -9,7 +9,7 @@ chatbot-ecosystem data types it actually touches.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Sentence templates per data-practice category.  Each template contains at
 #: least one keyword from the corresponding family in

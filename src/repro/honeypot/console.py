@@ -9,7 +9,7 @@ deployment context (guild name = bot under test).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.honeypot.tokens import CANARY_DOMAIN, CanaryToken, TokenKind
 from repro.web.http import Request, Response

@@ -21,11 +21,18 @@ from repro.honeypot.environment import GuildEnvironment, provision_environment
 from repro.honeypot.tokens import TokenFactory, TokenKind
 from repro.web.captcha import CaptchaError, TwoCaptchaClient
 from repro.web.http import Response
-from repro.web.network import VirtualInternet
+from repro.web.network import ConnectionFailedError, NetworkError, UnknownHostError, VirtualInternet
 from repro.web.server import VirtualHost
 
 #: Attacker-side collector infrastructure used by exfiltrating bots.
 EXFIL_HOSTNAME = "collector.evil.sim"
+
+
+def _fault_host(error: BaseException) -> str:
+    """Best-effort host attribution for a transport failure."""
+    if isinstance(error, (UnknownHostError, ConnectionFailedError)) and error.args:
+        return str(error.args[0]).split(" ")[0]
+    return "<platform>"
 
 
 @dataclass
@@ -141,6 +148,7 @@ class HoneypotExperiment:
         reuse_personas: bool = True,
         operator_activity_threshold: int = 10,
         feed_source=None,
+        fault_sink=None,
     ) -> HoneypotReport:
         """Test every bot in ``sample`` in its own guild.
 
@@ -152,6 +160,11 @@ class HoneypotExperiment:
         skimming a guild that *looks* lived-in (at least this many
         messages) — which is exactly why the honeypot needs its
         conversational feed.  Set to 0 to model a reckless operator.
+
+        ``fault_sink(host, error, bots_skipped, detail)``: with it set,
+        transport failures during provisioning skip the bot (reported, not
+        crashed) and failures inside a bot's backend tick are absorbed —
+        the campaign always completes and stays honest about what it lost.
         """
         report = HoneypotReport()
         spent_before = self.solver.total_spent
@@ -166,9 +179,15 @@ class HoneypotExperiment:
         # the moment content lands in front of their listeners.
         provisioned: list[_ProvisionedTest] = []
         for bot in sample:
-            test = self._provision_bot(
-                bot, personas_per_guild, feed_messages, personas=shared_personas, feed_source=feed_source
-            )
+            try:
+                test = self._provision_bot(
+                    bot, personas_per_guild, feed_messages, personas=shared_personas, feed_source=feed_source
+                )
+            except NetworkError as error:
+                if fault_sink is None:
+                    raise
+                fault_sink(_fault_host(error), error, 1, f"honeypot provisioning abandoned for {bot.name}")
+                continue
             if test is None:
                 report.outcomes.append(BotTestOutcome(bot_name=bot.name, behavior=bot.behavior, installed=False))
             else:
@@ -181,8 +200,16 @@ class HoneypotExperiment:
             self.internet.clock.sleep(observation_window / slices)
             # Bots run their own backend schedulers; give each a tick.
             for test in provisioned:
-                if test.runtime is not None:
+                if test.runtime is None:
+                    continue
+                try:
                     test.runtime.tick()
+                except NetworkError as error:
+                    # An exfiltrator losing its collector is the *attacker's*
+                    # problem; the campaign records it and moves on.
+                    if fault_sink is None:
+                        raise
+                    fault_sink(_fault_host(error), error, 0, f"backend tick failed for {test.bot.name}")
             if step == slices // 2:
                 for test in provisioned:
                     if test.bot.behavior != behaviors.NOSY_OPERATOR or test.runtime is None:
@@ -190,7 +217,12 @@ class HoneypotExperiment:
                     guild = test.environment.guild
                     activity = sum(len(channel.messages) for channel in guild.text_channels())
                     if activity >= operator_activity_threshold:
-                        behaviors.operator_inspection(test.runtime, guild.guild_id, self._rng)
+                        try:
+                            behaviors.operator_inspection(test.runtime, guild.guild_id, self._rng)
+                        except NetworkError as error:
+                            if fault_sink is None:
+                                raise
+                            fault_sink(_fault_host(error), error, 0, f"operator inspection failed for {test.bot.name}")
 
         # Phase 3: attribution by guild name (the paper's identifier scheme).
         for test in provisioned:

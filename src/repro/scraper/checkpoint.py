@@ -63,8 +63,18 @@ class CrawlCheckpoint:
     bots: list[ScrapedBot] = field(default_factory=list)
 
     def record_page(self, page_number: int, bots: list[ScrapedBot]) -> None:
-        self.completed_pages.append(page_number)
-        self.bots.extend(bots)
+        """Record one completed page, idempotently.
+
+        Overlapping resumes can re-crawl a page already in the checkpoint
+        (a crash between ``record_page`` and the next page's fetch), and a
+        listing that shifted between sessions can re-serve a bot on a later
+        page; neither may duplicate entries, so bots are always deduplicated
+        by listing id.
+        """
+        recorded = {bot.listing_id for bot in self.bots}
+        self.bots.extend(bot for bot in bots if bot.listing_id not in recorded)
+        if page_number not in self.completed_pages:
+            self.completed_pages.append(page_number)
 
     @property
     def next_page(self) -> int:

@@ -13,12 +13,20 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
-from repro.discordsim.permissions import Permissions
-from repro.scraper.base import PoliteScraper, try_locators
-from repro.web.browser import By, NoSuchElementException, TimeoutException
+from repro.discordsim.permissions import Permissions, permission_from_name
+from repro.scraper.base import CaptchaBudgetExhaustedError, PoliteScraper, try_locators
+from repro.web.browser import By, NoSuchElementException, TimeoutException, WebDriverException
+from repro.web.network import NetworkError
 
 TOPGG_BASE = "https://top.gg.sim"
+TOPGG_HOST = "top.gg.sim"
+
+#: Degradation callback: ``on_fault(host, error, bots_skipped, detail)``;
+#: ``error`` is an exception or an error-class string for non-exception
+#: losses (e.g. a page mangled beyond parsing).
+CrawlFaultSink = Callable[[str, "BaseException | str", int, str], None]
 
 _NUMBER_PATTERN = re.compile(r"\d[\d,]*")
 
@@ -81,15 +89,23 @@ class TopGGScraper(PoliteScraper):
         max_pages: int | None = None,
         resolve_permissions: bool = True,
         checkpoint_path: str | None = None,
+        on_fault: CrawlFaultSink | None = None,
     ) -> CrawlResult:
         """Traverse the top list; optionally resolve invite permissions.
 
         With ``checkpoint_path``, progress is persisted after every page and
         an interrupted crawl resumes from the last completed page.
+
+        With ``on_fault``, the crawl degrades instead of crashing: a bot
+        whose detail page dies is skipped (reported with ``bots_skipped=1``),
+        a dead list page abandons pagination (remaining bots unknown), and
+        captcha budget exhaustion aborts the crawl — each reported through
+        the callback.  Without it, exceptions propagate as before.
         """
         checkpoint = None
         result = CrawlResult()
         page_number = 1
+        known: set[int] = set()
         if checkpoint_path is not None:
             from repro.scraper.checkpoint import CrawlCheckpoint
 
@@ -97,32 +113,78 @@ class TopGGScraper(PoliteScraper):
             result.bots.extend(checkpoint.bots)
             result.pages_traversed = len(checkpoint.completed_pages)
             page_number = checkpoint.next_page
+            known = {bot.listing_id for bot in checkpoint.bots}
         while True:
             if max_pages is not None and page_number > max_pages:
                 break
-            listing_ids = self._scrape_list_page(page_number)
+            try:
+                listing_ids = self._scrape_list_page(page_number)
+            except CaptchaBudgetExhaustedError as error:
+                if on_fault is None:
+                    raise
+                on_fault(TOPGG_HOST, error, 0, f"captcha budget exhausted on list page {page_number}; crawl aborted")
+                break
+            except (WebDriverException, NetworkError) as error:
+                if on_fault is None:
+                    raise
+                on_fault(TOPGG_HOST, error, 0, f"list page {page_number} unreachable; pagination abandoned")
+                break
             if listing_ids is None:
                 break
+            if not listing_ids:
+                # Status-200 page with no parseable bot links: mangled HTML.
+                if on_fault is None:
+                    break
+                on_fault(TOPGG_HOST, "MalformedPage", 0, f"list page {page_number} unparseable; its bots are lost")
+                page_number += 1
+                continue
             result.pages_traversed += 1
             page_bots: list[ScrapedBot] = []
+            aborted = False
             for listing_id in listing_ids:
-                bot = self.scrape_bot(listing_id)
-                if bot is None:
+                if listing_id in known:
+                    # Already recorded (overlapping resume, or a listing
+                    # shift re-serving a bot on a later page).
                     continue
-                if resolve_permissions:
-                    self.resolve_permissions(bot)
+                try:
+                    bot = self.scrape_bot(listing_id)
+                    if bot is None:
+                        if on_fault is not None:
+                            on_fault(TOPGG_HOST, "MalformedPage", 1, f"bot {listing_id} page unusable")
+                        continue
+                    if resolve_permissions:
+                        self.resolve_permissions(bot)
+                except CaptchaBudgetExhaustedError as error:
+                    if on_fault is None:
+                        raise
+                    on_fault(TOPGG_HOST, error, 1, f"captcha budget exhausted at bot {listing_id}; crawl aborted")
+                    aborted = True
+                    break
+                except (WebDriverException, NetworkError) as error:
+                    if on_fault is None:
+                        raise
+                    on_fault(TOPGG_HOST, error, 1, f"bot {listing_id} skipped")
+                    continue
                 page_bots.append(bot)
+                known.add(bot.listing_id)
             result.bots.extend(page_bots)
             if checkpoint is not None and checkpoint_path is not None:
                 checkpoint.record_page(page_number, page_bots)
                 checkpoint.save(checkpoint_path)
+            if aborted:
+                break
             page_number += 1
         return result
 
     # -- list pages -------------------------------------------------------------
 
     def _scrape_list_page(self, page_number: int) -> list[int] | None:
-        """Return listing ids on one page, or None when pagination ends."""
+        """Return listing ids on one page.
+
+        ``None`` means pagination genuinely ended (404); an empty list means
+        the page loaded but had no parseable bot links (mangled HTML) —
+        callers decide whether that ends the crawl or just loses the page.
+        """
         response = self.fetch(f"{TOPGG_BASE}/list/top?page={page_number}")
         if response.status == 404:
             return None
@@ -140,7 +202,7 @@ class TopGGScraper(PoliteScraper):
                 ids.append(int(value))
         if not ids:
             self.stats.element_misses += 1
-            return None
+            return []
         return ids
 
     # -- detail pages --------------------------------------------------------------
@@ -207,7 +269,18 @@ class TopGGScraper(PoliteScraper):
             bot.permission_status = PermissionStatus.INVALID_LINK
             return bot.permission_status
         items = self.browser.find_elements(By.CSS_SELECTOR, "ul#permission-list li.permission-item")
-        bot.permission_names = tuple(item.text for item in items)
+        names = []
+        for item in items:
+            text = item.text
+            try:
+                permission_from_name(text)
+            except KeyError:
+                # A token cut mid-word (truncated body) would poison every
+                # later Permissions.from_names() — drop it at the boundary.
+                self.stats.element_misses += 1
+                continue
+            names.append(text)
+        bot.permission_names = tuple(names)
         bot.scope_names = self._parse_scopes()
         bot.permission_status = PermissionStatus.VALID
         return bot.permission_status

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.ecosystem.policies import PolicySpec
-from repro.traceability.analyzer import TraceabilityAnalyzer, TraceabilityClass
+from repro.traceability.analyzer import TraceabilityAnalyzer
 
 
 @dataclass

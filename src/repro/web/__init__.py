@@ -16,8 +16,12 @@ the real internet.  Offline, we reproduce the same *shape* of stack:
   solving service.
 - :mod:`repro.web.antiscrape` — middleware implementing the anti-scraping
   strategies the paper had to defeat.
+- :mod:`repro.web.chaos` — deterministic, seeded fault injection (outages,
+  5xx bursts, latency spikes, rate-limit storms, captcha surges, truncated
+  HTML) consulted by the virtual internet on every exchange.
 """
 
+from repro.web.chaos import PROFILES, ChaosProfile, FaultKind, FaultSchedule, resolve_profile
 from repro.web.http import Headers, Request, Response, Url
 from repro.web.network import (
     ConnectionFailedError,
@@ -42,8 +46,12 @@ from repro.web.browser import (
 __all__ = [
     "Browser",
     "By",
+    "ChaosProfile",
     "ConnectionFailedError",
     "Element",
+    "FaultKind",
+    "FaultSchedule",
+    "PROFILES",
     "Headers",
     "HttpClient",
     "NetworkError",
@@ -63,5 +71,6 @@ __all__ = [
     "WebDriverException",
     "WebDriverWait",
     "parse_html",
+    "resolve_profile",
     "select",
 ]

@@ -12,7 +12,7 @@ simulated time, and occasionally fails.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.web.network import VirtualClock
 
@@ -159,14 +159,25 @@ class TwoCaptchaClient:
         assert answer is not None
         return answer
 
-    def solve_with_retries(self, prompt: str, attempts: int = 3) -> str:
-        """Retry failed solves; each attempt is charged."""
+    def solve_with_retries(self, prompt: str, attempts: int = 3, policy: "object | None" = None) -> str:
+        """Retry failed solves; each attempt is charged.
+
+        :class:`InsufficientBalanceError` propagates immediately — retrying
+        cannot refill the account.  With a
+        :class:`repro.core.resilience.RetryPolicy` as ``policy``, failed
+        solves back off on the virtual clock between attempts and the
+        policy's ``max_attempts`` replaces ``attempts``.
+        """
+        if policy is not None:
+            attempts = policy.max_attempts
         last: CaptchaSolveError | None = None
-        for _ in range(max(attempts, 1)):
+        for attempt in range(max(attempts, 1)):
             try:
                 return self.solve(prompt)
             except CaptchaSolveError as error:
                 last = error
+                if policy is not None and policy.should_retry(attempt + 1):
+                    self.clock.sleep(policy.delay(attempt))
         assert last is not None
         raise last
 

@@ -138,22 +138,33 @@ class HttpClient:
         attempts: int = 3,
         backoff: float = 0.5,
         timeout: float | None = None,
+        policy: "object | None" = None,
     ) -> Response:
         """GET with bounded retries on transport errors (not HTTP errors).
 
-        Exponential backoff between attempts is applied on the virtual clock,
-        matching the rate-limiting discipline described in the methodology.
+        Backoff between attempts is applied on the virtual clock, matching
+        the rate-limiting discipline described in the methodology.  Passing a
+        :class:`repro.core.resilience.RetryPolicy` as ``policy`` makes this
+        loop use the repo-wide retry definition (``attempts``/``backoff``
+        are ignored in that case).
         """
-        if attempts < 1:
+        if policy is None:
+            from repro.core.resilience import RetryPolicy
+
+            policy = RetryPolicy(max_attempts=attempts, base_delay=backoff, multiplier=2.0)
+        if policy.max_attempts < 1:
             raise ValueError("attempts must be >= 1")
         last_error: NetworkError | None = None
-        for attempt in range(attempts):
+        attempt = 0
+        while True:
             try:
                 return self.get(url, timeout=timeout)
             except (ConnectionFailedError, RequestTimeoutError) as error:
                 last_error = error
-                if attempt < attempts - 1:
-                    self.internet.clock.sleep(backoff * (2**attempt))
+                if not policy.should_retry(attempt + 1):
+                    break
+                self.internet.clock.sleep(policy.delay(attempt))
+                attempt += 1
         assert last_error is not None
         raise last_error
 

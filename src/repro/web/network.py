@@ -11,12 +11,15 @@ latency behaviour is deterministic and tests run instantly.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.web.http import Request, Response
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.web.chaos import FaultSchedule
     from repro.web.server import VirtualHost
 
 
@@ -97,12 +100,28 @@ class VirtualInternet:
     its simulated timestamp.
     """
 
-    def __init__(self, clock: VirtualClock | None = None, seed: int = 0) -> None:
+    #: Default bound on the exchange log (chaos benches generate millions of
+    #: exchanges; auditing only ever needs a recent window).
+    DEFAULT_LOG_LIMIT = 100_000
+    #: Per-client timestamp history kept for :meth:`request_rate`.
+    DEFAULT_RATE_HISTORY = 10_000
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        seed: int = 0,
+        log_limit: int | None = DEFAULT_LOG_LIMIT,
+        rate_history: int = DEFAULT_RATE_HISTORY,
+    ) -> None:
         self.clock = clock or VirtualClock()
         self._hosts: dict[str, _HostEntry] = {}
         self._rng = random.Random(seed)
-        self.log: list[ExchangeRecord] = []
+        self.log: deque[ExchangeRecord] = deque(maxlen=log_limit)
         self._observers: list[Callable[[ExchangeRecord], None]] = []
+        self._rate_history = max(rate_history, 1)
+        self._client_times: dict[str, list[float]] = {}
+        self.exchanges_completed = 0
+        self.chaos: "FaultSchedule | None" = None
 
     # -- registry ----------------------------------------------------------
 
@@ -137,6 +156,17 @@ class VirtualInternet:
         """Invoke ``callback`` for every completed exchange."""
         self._observers.append(callback)
 
+    # -- chaos -------------------------------------------------------------
+
+    def install_chaos(self, schedule: "FaultSchedule") -> "FaultSchedule":
+        """Attach a fault schedule; every exchange consults it from now on."""
+        schedule.bind(self.clock)
+        self.chaos = schedule
+        return schedule
+
+    def remove_chaos(self) -> None:
+        self.chaos = None
+
     # -- exchange ----------------------------------------------------------
 
     def exchange(self, request: Request) -> tuple[Response, float]:
@@ -152,10 +182,20 @@ class VirtualInternet:
             raise UnknownHostError(hostname or "<empty-host>")
         entry = self._hosts[hostname]
         latency = entry.conditions.sample_latency(self._rng)
+        if self.chaos is not None:
+            latency += self.chaos.extra_latency(hostname, self.clock.now())
         self.clock.advance(latency)
         if entry.conditions.failure_rate and self._rng.random() < entry.conditions.failure_rate:
             raise ConnectionFailedError(hostname)
-        response = entry.host.handle(request, self)
+        response = None
+        if self.chaos is not None:
+            # May raise ConnectionFailedError (outage window) — the clock has
+            # already advanced, so the failed attempt still costs the caller.
+            response = self.chaos.intercept(request, self.clock.now())
+        if response is None:
+            response = entry.host.handle(request, self)
+            if self.chaos is not None:
+                response = self.chaos.mangle(request, response, self.clock.now())
         record = ExchangeRecord(
             time=self.clock.now(),
             client_id=request.client_id,
@@ -164,17 +204,31 @@ class VirtualInternet:
             status=response.status,
             latency=latency,
         )
+        self._record(record)
+        return response, latency
+
+    def _record(self, record: ExchangeRecord) -> None:
         self.log.append(record)
+        self.exchanges_completed += 1
+        times = self._client_times.setdefault(record.client_id, [])
+        times.append(record.time)
+        # Amortised O(1) trim: drop the old half once we hold 2x the history.
+        if len(times) > 2 * self._rate_history:
+            del times[: len(times) - self._rate_history]
         for observer in self._observers:
             observer(record)
-        return response, latency
 
     # -- auditing helpers ----------------------------------------------------
 
     def request_rate(self, client_id: str, window: float) -> float:
-        """Requests per second issued by ``client_id`` over the trailing window."""
+        """Requests per second issued by ``client_id`` over the trailing window.
+
+        O(log n) via binary search over the client's (monotonic) timestamp
+        history instead of re-scanning the full exchange log per call.
+        """
         if window <= 0:
             raise ValueError("window must be positive")
+        times = self._client_times.get(client_id, ())
         cutoff = self.clock.now() - window
-        count = sum(1 for record in self.log if record.client_id == client_id and record.time >= cutoff)
+        count = len(times) - bisect_left(times, cutoff)
         return count / window

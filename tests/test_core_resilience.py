@@ -1,0 +1,162 @@
+"""Unit tests for circuit breakers, retry policy/budget, and the fault ledger."""
+
+import pytest
+
+from repro.core.resilience import (
+    CircuitBreaker,
+    CircuitBreakerRegistry,
+    CircuitOpenError,
+    CircuitState,
+    FaultLedger,
+    FaultRecord,
+    RetryBudget,
+    RetryPolicy,
+    root_error_class,
+)
+from repro.web.network import ConnectionFailedError, VirtualClock
+
+
+# -- circuit breaker --------------------------------------------------------
+
+
+def test_breaker_trips_after_threshold():
+    clock = VirtualClock()
+    breaker = CircuitBreaker(clock, failure_threshold=3, recovery_time=100.0)
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state is CircuitState.CLOSED
+    breaker.record_failure()
+    assert breaker.state is CircuitState.OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.check("dead.sim")
+
+
+def test_breaker_success_resets_consecutive_count():
+    clock = VirtualClock()
+    breaker = CircuitBreaker(clock, failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is CircuitState.CLOSED
+
+
+def test_breaker_half_open_probe_closes_circuit():
+    clock = VirtualClock()
+    breaker = CircuitBreaker(clock, failure_threshold=1, recovery_time=60.0, half_open_successes=2)
+    breaker.record_failure()
+    assert breaker.state is CircuitState.OPEN
+    clock.advance(61.0)
+    breaker.check("host")  # transitions to HALF_OPEN
+    assert breaker.state is CircuitState.HALF_OPEN
+    breaker.record_success()
+    assert breaker.state is CircuitState.HALF_OPEN
+    breaker.record_success()
+    assert breaker.state is CircuitState.CLOSED
+
+
+def test_breaker_half_open_failure_reopens():
+    clock = VirtualClock()
+    breaker = CircuitBreaker(clock, failure_threshold=1, recovery_time=60.0)
+    breaker.record_failure()
+    clock.advance(61.0)
+    breaker.check("host")
+    breaker.record_failure()
+    assert breaker.state is CircuitState.OPEN
+    assert breaker.times_opened == 2
+    with pytest.raises(CircuitOpenError):
+        breaker.check("host")
+
+
+def test_breaker_open_error_carries_retry_time():
+    clock = VirtualClock(start=10.0)
+    breaker = CircuitBreaker(clock, failure_threshold=1, recovery_time=50.0)
+    breaker.record_failure()
+    with pytest.raises(CircuitOpenError) as excinfo:
+        breaker.check("dead.sim")
+    assert excinfo.value.host == "dead.sim"
+    assert excinfo.value.retry_at == pytest.approx(60.0)
+
+
+def test_registry_is_per_host_and_counts_short_circuits():
+    clock = VirtualClock()
+    registry = CircuitBreakerRegistry(clock, failure_threshold=1)
+    registry.record_failure("a.sim")
+    registry.check("b.sim")  # independent host unaffected
+    with pytest.raises(CircuitOpenError):
+        registry.check("A.SIM")  # case-insensitive host keys
+    assert registry.open_hosts() == ["a.sim"]
+    assert registry.short_circuits == 1
+
+
+# -- retry policy / budget --------------------------------------------------
+
+
+def test_retry_policy_exponential_schedule():
+    policy = RetryPolicy(max_attempts=4, base_delay=1.0, multiplier=2.0, max_delay=5.0)
+    assert policy.delay(0) == 1.0
+    assert policy.delay(1) == 2.0
+    assert policy.delay(2) == 4.0
+    assert policy.delay(3) == 5.0  # capped
+    assert policy.should_retry(3)
+    assert not policy.should_retry(4)
+
+
+def test_retry_policy_jitter_is_bounded_and_seeded():
+    import random
+
+    policy = RetryPolicy(base_delay=2.0, jitter=0.5)
+    delays = [policy.delay(0, random.Random(5)) for _ in range(3)]
+    assert delays[0] == delays[1] == delays[2]  # same seed, same draw
+    assert 1.0 <= delays[0] <= 3.0
+
+
+def test_retry_budget_denies_when_spent():
+    budget = RetryBudget(2)
+    assert budget.spend() and budget.spend()
+    assert not budget.spend()
+    assert budget.exhausted
+    assert budget.denied == 1
+    assert budget.remaining == 0
+
+
+# -- fault ledger -----------------------------------------------------------
+
+
+def test_ledger_records_and_aggregates():
+    ledger = FaultLedger()
+    ledger.record("crawl", "top.gg.sim", ConnectionFailedError("top.gg.sim"), 12.5, bots_skipped=1)
+    ledger.record("crawl", "top.gg.sim", "MalformedPage", 14.0, bots_skipped=1)
+    ledger.record("code", "github.sim", ConnectionFailedError("github.sim"), 99.0)
+    assert len(ledger) == 3
+    assert ledger.count("crawl") == 2
+    assert ledger.bots_skipped("crawl") == 2
+    assert ledger.total_bots_skipped == 2
+    assert ledger.by_stage() == {"crawl": 2, "code": 1}
+    assert ledger.by_error_class() == {"ConnectionFailedError": 2, "MalformedPage": 1}
+    assert "2 bots skipped" in ledger.summary_line()
+
+
+def test_ledger_uses_root_cause_class():
+    try:
+        try:
+            raise ConnectionFailedError("x.sim")
+        except ConnectionFailedError as inner:
+            raise RuntimeError("wrapped") from inner
+    except RuntimeError as outer:
+        assert root_error_class(outer) == "ConnectionFailedError"
+        ledger = FaultLedger()
+        ledger.record("s", "x.sim", outer, 0.0)
+        assert ledger.records[0].error_class == "ConnectionFailedError"
+
+
+def test_ledger_json_round_trip_is_canonical():
+    ledger = FaultLedger()
+    ledger.record("crawl", "h.sim", "OutageError", 1.23456789, bots_skipped=3, detail="d")
+    payload = ledger.to_json()
+    restored = FaultLedger.from_dict(__import__("json").loads(payload))
+    assert restored.to_json() == payload
+    assert restored.records[0] == FaultRecord(
+        stage="crawl", host="h.sim", error_class="OutageError", virtual_time=1.234568, bots_skipped=3, detail="d"
+    )

@@ -1,0 +1,191 @@
+"""Pipeline-level resilience: stage degradation, fault ledger, checkpoint/resume.
+
+The headline integration test here is the one the robustness work is judged
+by: kill the pipeline after stage 2, resume from the ``PipelineCheckpoint``,
+and get the *same* statistics an uninterrupted run produces.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.checkpoint import (
+    STAGE_CODE,
+    STAGE_CRAWL,
+    STAGE_HONEYPOT,
+    STAGE_TRACEABILITY,
+    PipelineCheckpoint,
+)
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AssessmentPipeline
+from repro.scraper.topgg import ScrapedBot
+
+
+def _config(**overrides) -> PipelineConfig:
+    defaults = dict(n_bots=60, seed=3, honeypot_sample_size=10, validation_sample_size=20)
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+def _statistics(result) -> dict:
+    """Everything the paper reports, as a comparable dict."""
+    stats = {
+        "bots": result.bots_collected,
+        "active": result.active_bots,
+        "listing_ids": sorted(bot.listing_id for bot in result.crawl.bots),
+        "trace_classes": Counter(r.classification.value for r in result.traceability_results),
+        "validation_accuracy": result.validation.accuracy if result.validation else None,
+        "repo_languages": Counter(a.main_language for a in result.repo_analyses),
+        "repos_with_checks": sum(1 for a in result.repo_analyses if a.performs_check),
+    }
+    if result.honeypot is not None:
+        stats["honeypot_tested"] = result.honeypot.bots_tested
+        stats["honeypot_flagged"] = sorted(o.bot_name for o in result.honeypot.flagged_bots)
+        stats["honeypot_install_failures"] = result.honeypot.install_failures
+    return stats
+
+
+class TestCheckpointResume:
+    def test_kill_after_stage_two_resumes_to_identical_statistics(self, tmp_path):
+        reference = AssessmentPipeline(_config()).run()
+
+        path = str(tmp_path / "pipeline.json")
+        interrupted = AssessmentPipeline(_config(checkpoint_path=path))
+        # Simulate the process dying at the top of stage 3.
+        def killed(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        interrupted.analyze_code = killed
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run()
+
+        checkpoint = PipelineCheckpoint.load(path)
+        assert checkpoint.completed_stages == [STAGE_CRAWL, STAGE_TRACEABILITY]
+
+        resumed = AssessmentPipeline(_config(checkpoint_path=path)).run()
+        assert resumed.stage_status[STAGE_CRAWL] == "resumed"
+        assert resumed.stage_status[STAGE_TRACEABILITY] == "resumed"
+        assert resumed.stage_status[STAGE_CODE] == "completed"
+        assert resumed.stage_status[STAGE_HONEYPOT] == "completed"
+        assert _statistics(resumed) == _statistics(reference)
+
+    def test_checkpoint_snapshots_after_every_stage(self, tmp_path):
+        path = str(tmp_path / "pipeline.json")
+        result = AssessmentPipeline(_config(checkpoint_path=path)).run()
+        checkpoint = PipelineCheckpoint.load(path)
+        assert checkpoint.completed_stages == [
+            STAGE_CRAWL,
+            STAGE_TRACEABILITY,
+            STAGE_CODE,
+            STAGE_HONEYPOT,
+        ]
+        assert checkpoint.stage_status[STAGE_CRAWL] == "completed"
+        assert result.stage_status[STAGE_HONEYPOT] == "completed"
+
+    def test_fully_checkpointed_run_resumes_everything(self, tmp_path):
+        path = str(tmp_path / "pipeline.json")
+        first = AssessmentPipeline(_config(checkpoint_path=path)).run()
+        second = AssessmentPipeline(_config(checkpoint_path=path)).run()
+        assert all(status == "resumed" for status in second.stage_status.values())
+        assert _statistics(second) == _statistics(first)
+
+
+class TestCalmNeutrality:
+    def test_run_without_chaos_has_clean_ledger(self):
+        result = AssessmentPipeline(_config()).run()
+        assert not result.degraded
+        assert len(result.fault_ledger) == 0
+        assert all(status == "completed" for status in result.stage_status.values())
+
+    def test_calm_profile_matches_no_chaos_run(self):
+        plain = AssessmentPipeline(_config()).run()
+        calm = AssessmentPipeline(_config(chaos_profile="calm")).run()
+        assert not calm.degraded
+        assert _statistics(calm) == _statistics(plain)
+
+
+class TestStageDegradation:
+    def test_unknown_host_website_degrades_not_crashes(self):
+        pipeline = AssessmentPipeline(_config(run_honeypot=False, run_code_analysis=False))
+        ghost = ScrapedBot(
+            listing_id=999_999,
+            name="ghost",
+            developer_tag="nobody#0000",
+            tags=(),
+            description="",
+            guild_count=0,
+            votes=0,
+            invite_url=None,
+            website_url="https://no-such-host.sim/",
+            github_url=None,
+            built_with=None,
+        )
+        faults = []
+        results = pipeline.analyze_traceability(
+            [ghost], on_fault=lambda *args: faults.append(args)
+        )
+        # DNS failure on the website is a classification outcome (broken
+        # traceability), not a crash — the bot stays in the population.
+        assert len(results) == 1
+        assert not results[0].has_website
+
+    def test_open_circuit_on_website_skips_and_records(self):
+        config = _config(run_honeypot=False, stage_retry_budget=0)
+        pipeline = AssessmentPipeline(config)
+        _, crawl = pipeline.collect()
+        with_sites = [bot for bot in crawl.with_valid_permissions() if bot.website_url][:3]
+        assert with_sites
+        host = AssessmentPipeline._host_of(with_sites[0].website_url)
+        for _ in range(config.circuit_failure_threshold):
+            pipeline.breakers.record_failure(host)
+
+        faults = []
+        results = pipeline.analyze_traceability(
+            with_sites, on_fault=lambda *args: faults.append(args)
+        )
+        skipped = [f for f in faults if "traceability skipped" in f[3]]
+        assert skipped and skipped[0][0] == host
+        assert len(results) + sum(f[2] for f in faults) == len(with_sites)
+
+    def test_osn_feed_outage_degrades_honeypot_stage(self, monkeypatch):
+        from repro.honeypot.osn_source import OsnFeedSource
+        from repro.web.network import ConnectionFailedError
+
+        pipeline = AssessmentPipeline(_config(run_traceability=False, run_code_analysis=False))
+
+        def dead_scrape(cls, *args, **kwargs):
+            raise ConnectionFailedError("reddit.sim")
+
+        monkeypatch.setattr(OsnFeedSource, "scrape", classmethod(dead_scrape))
+        faults = []
+        report = pipeline.run_honeypot(on_fault=lambda *args: faults.append(args))
+        assert report.bots_tested > 0  # fell back to the generated feed
+        assert any("OSN feed unavailable" in f[3] for f in faults)
+
+    def test_degrade_on_faults_false_preserves_raise(self):
+        from repro.web.network import NetworkError
+
+        config = _config(degrade_on_faults=False, run_code_analysis=False, run_honeypot=False)
+        pipeline = AssessmentPipeline(config)
+        pipeline.world.internet.unregister("reddit.sim")
+
+        def boom(*args, **kwargs):
+            raise NetworkError("stage blew up")
+
+        pipeline.analyze_traceability = boom
+        with pytest.raises(NetworkError):
+            pipeline.run()
+
+    def test_stage_level_failure_marks_stage_failed(self):
+        from repro.web.network import NetworkError
+
+        pipeline = AssessmentPipeline(_config(run_code_analysis=False, run_honeypot=False))
+
+        def boom(*args, **kwargs):
+            raise NetworkError("stage blew up")
+
+        pipeline.analyze_traceability = boom
+        result = pipeline.run()
+        assert result.stage_status[STAGE_TRACEABILITY] == "failed"
+        assert result.fault_ledger.count(STAGE_TRACEABILITY) == 1
+        assert result.stage_status[STAGE_CRAWL] == "completed"

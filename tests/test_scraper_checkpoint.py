@@ -97,3 +97,65 @@ class TestResume:
         for bot in loaded.bots:
             if bot.has_valid_permissions:
                 assert bot.permissions == truth[bot.name].permissions
+
+
+class TestDuplicateProtection:
+    def test_record_page_deduplicates_overlapping_resume(self, store_world):
+        """Regression: re-recording a completed page must not duplicate bots.
+
+        An interrupted run can die after saving page N but before advancing,
+        so the resumed crawl re-scrapes page N and records it again.
+        """
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=1, resolve_permissions=False)
+        checkpoint = CrawlCheckpoint()
+        checkpoint.record_page(1, result.bots)
+        checkpoint.record_page(1, result.bots)  # replayed page
+        assert checkpoint.completed_pages == [1]
+        assert len(checkpoint.bots) == len(result.bots)
+        ids = [bot.listing_id for bot in checkpoint.bots]
+        assert len(ids) == len(set(ids))
+
+    def test_record_page_replay_keeps_new_bots(self, store_world):
+        """A replayed page may see bots the first pass missed (transient
+        failures): known bots are skipped, genuinely new ones are kept."""
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=1, resolve_permissions=False)
+        checkpoint = CrawlCheckpoint()
+        checkpoint.record_page(1, result.bots[:10])
+        checkpoint.record_page(1, result.bots)  # retry recovered the rest
+        assert len(checkpoint.bots) == len(result.bots)
+
+    def test_record_page_deduplicates_across_pages(self, store_world):
+        """A listing shift between sessions can re-serve a bot on a later
+        page; the checkpoint must keep one entry per listing id."""
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=2, resolve_permissions=False)
+        checkpoint = CrawlCheckpoint()
+        checkpoint.record_page(1, result.bots[:25])
+        checkpoint.record_page(2, [result.bots[0], *result.bots[25:]])  # bot 0 shifted
+        assert checkpoint.completed_pages == [1, 2]
+        assert len(checkpoint.bots) == len(result.bots)
+
+    def test_resume_after_replayed_page_has_no_duplicates(self, store_world, tmp_path):
+        """End-to-end: a checkpoint whose last page was saved but never
+        marked completed (the crash window) resumes without double-counting
+        that page's bots — in the checkpoint *and* in the returned result."""
+        ecosystem, internet, solver = store_world
+        path = str(tmp_path / "crawl.json")
+        first = TopGGScraper(internet, solver=solver)
+        first.crawl(max_pages=2, resolve_permissions=False, checkpoint_path=path)
+
+        # Simulate the crash window: rewind next_page onto a completed page.
+        stale = CrawlCheckpoint.load(path)
+        stale.completed_pages.remove(2)
+        stale.save(path)
+
+        second = TopGGScraper(internet, solver=solver, client_id="resumer")
+        resumed = second.crawl(resolve_permissions=False, checkpoint_path=path)
+        assert len(resumed.bots) == len(ecosystem.bots)
+        names = [bot.listing_id for bot in resumed.bots]
+        assert len(names) == len(set(names))

@@ -1,0 +1,240 @@
+"""Failure-path tests for the scraper layer: garbage headers, dead pages,
+captcha budget exhaustion and circuit breakers."""
+
+import pytest
+
+from repro.botstore.host import StoreDefenses, build_store_host
+from repro.core.resilience import CircuitBreakerRegistry, CircuitOpenError, RetryBudget
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+from repro.scraper.base import CaptchaBudgetExhaustedError, PoliteScraper, ScraperConfig
+from repro.scraper.topgg import TopGGScraper
+from repro.sites.discordweb import DiscordWebsite
+from repro.web.captcha import TwoCaptchaClient
+from repro.web.http import Response
+from repro.web.network import ConnectionFailedError
+from repro.web.server import VirtualHost
+
+
+@pytest.fixture
+def store_world(internet, clock):
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=75, seed=31, honeypot_window=10))
+    build_store_host(ecosystem, internet, StoreDefenses(captcha_enabled=False))
+    DiscordWebsite(ecosystem).register(internet)
+    solver = TwoCaptchaClient(clock, accuracy=1.0)
+    return ecosystem, internet, solver
+
+
+def _recording_sink(records):
+    def sink(host, error, bots_skipped, detail):
+        records.append((host, error, bots_skipped, detail))
+
+    return sink
+
+
+# -- Retry-After hardening ---------------------------------------------------
+
+
+class TestRetryAfter:
+    def _scraper(self, internet):
+        return PoliteScraper(internet, config=ScraperConfig(retry_backoff=7.0, respect_robots=False))
+
+    def _response_with(self, retry_after):
+        response = Response.text("slow down", status=429)
+        if retry_after is not None:
+            response.headers["Retry-After"] = retry_after
+        return response
+
+    @pytest.mark.parametrize("garbage", ["a while", "soonish", "NaN", "inf", "-3", ""])
+    def test_garbage_values_fall_back_to_backoff(self, internet, garbage):
+        scraper = self._scraper(internet)
+        assert scraper._retry_after_seconds(self._response_with(garbage)) == 7.0
+
+    def test_garbage_values_are_counted(self, internet):
+        scraper = self._scraper(internet)
+        scraper._retry_after_seconds(self._response_with("a while"))
+        scraper._retry_after_seconds(self._response_with("-1"))
+        assert scraper.stats.malformed_retry_after == 2
+        # Absent/blank headers fall back too, but are not "malformed".
+        scraper._retry_after_seconds(self._response_with(None))
+        assert scraper.stats.malformed_retry_after == 2
+
+    def test_numeric_value_honoured(self, internet):
+        scraper = self._scraper(internet)
+        assert scraper._retry_after_seconds(self._response_with("3.5")) == 3.5
+
+    def test_fetch_survives_garbage_header_end_to_end(self, internet):
+        host = VirtualHost("grumpy")
+        state = {"first": True}
+
+        def handler(request):
+            if state["first"]:
+                state["first"] = False
+                response = Response.text("rate limited", status=429)
+                response.headers["Retry-After"] = "a while"
+                return response
+            return Response.html("<html><p>fine</p></html>")
+
+        host.add_route("/page", handler)
+        internet.register("grumpy.sim", host)
+        scraper = self._scraper(internet)
+        before = internet.clock.now()
+        response = scraper.fetch("https://grumpy.sim/page")
+        assert response.status == 200
+        assert scraper.stats.malformed_retry_after == 1
+        assert scraper.stats.rate_limited == 1
+        # The wait used the configured backoff, not a parse of "a while".
+        assert internet.clock.now() - before >= 7.0
+
+
+# -- crawl degradation -------------------------------------------------------
+
+
+class TestCrawlDegradation:
+    def test_connection_failure_mid_pagination_degrades(self, store_world):
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        original = scraper._scrape_list_page
+
+        def flaky_list_page(page_number):
+            if page_number >= 2:
+                raise ConnectionFailedError("top.gg.sim")
+            return original(page_number)
+
+        scraper._scrape_list_page = flaky_list_page
+        records = []
+        result = scraper.crawl(resolve_permissions=False, on_fault=_recording_sink(records))
+        assert len(result.bots) == 25  # page 1 only
+        assert len(records) == 1
+        host, error, skipped, detail = records[0]
+        assert host == "top.gg.sim"
+        assert isinstance(error, ConnectionFailedError)
+        assert "pagination abandoned" in detail
+
+    def test_connection_failure_without_sink_still_raises(self, store_world):
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+
+        def dead_list_page(page_number):
+            raise ConnectionFailedError("top.gg.sim")
+
+        scraper._scrape_list_page = dead_list_page
+        with pytest.raises(ConnectionFailedError):
+            scraper.crawl(resolve_permissions=False)
+
+    def test_captcha_budget_exhaustion_aborts_crawl(self, internet, clock):
+        ecosystem = generate_ecosystem(EcosystemConfig(n_bots=75, seed=31, honeypot_window=10))
+        # Captcha walls every 10 requests, but funds for only one solve.
+        build_store_host(
+            ecosystem, internet, StoreDefenses(captcha_every=10, captcha_clearance=5)
+        )
+        DiscordWebsite(ecosystem).register(internet)
+        broke_solver = TwoCaptchaClient(clock, balance=0.004, price_per_solve=0.003, accuracy=1.0)
+        scraper = TopGGScraper(internet, solver=broke_solver)
+        records = []
+        result = scraper.crawl(resolve_permissions=False, on_fault=_recording_sink(records))
+        assert len(result.bots) < len(ecosystem.bots)  # aborted early
+        assert any(isinstance(r[1], CaptchaBudgetExhaustedError) for r in records)
+        assert any("crawl aborted" in r[3] for r in records)
+
+    def test_captcha_budget_exhaustion_without_sink_raises(self, internet, clock):
+        ecosystem = generate_ecosystem(EcosystemConfig(n_bots=75, seed=31, honeypot_window=10))
+        build_store_host(
+            ecosystem, internet, StoreDefenses(captcha_every=10, captcha_clearance=5)
+        )
+        DiscordWebsite(ecosystem).register(internet)
+        broke_solver = TwoCaptchaClient(clock, balance=0.004, price_per_solve=0.003, accuracy=1.0)
+        scraper = TopGGScraper(internet, solver=broke_solver)
+        with pytest.raises(CaptchaBudgetExhaustedError):
+            scraper.crawl(resolve_permissions=False)
+
+
+# -- circuit breakers in the fetch path -------------------------------------
+
+
+class TestCircuitInFetch:
+    def test_open_circuit_with_no_budget_short_circuits(self, store_world, clock):
+        ecosystem, internet, solver = store_world
+        breakers = CircuitBreakerRegistry(clock, failure_threshold=1)
+        breakers.record_failure("top.gg.sim")
+        scraper = TopGGScraper(
+            internet, solver=solver, breakers=breakers, retry_budget=RetryBudget(0)
+        )
+        with pytest.raises(CircuitOpenError):
+            scraper.fetch("https://top.gg.sim/list/top?page=1")
+        assert scraper.stats.circuit_short_circuits == 1
+
+    def test_open_circuit_is_waited_out_on_the_virtual_clock(self, store_world, clock):
+        ecosystem, internet, solver = store_world
+        breakers = CircuitBreakerRegistry(clock, failure_threshold=1, recovery_time=40.0)
+        breakers.record_failure("top.gg.sim")
+        scraper = TopGGScraper(
+            internet, solver=solver, breakers=breakers, retry_budget=RetryBudget(10)
+        )
+        before = clock.now()
+        response = scraper.fetch("https://top.gg.sim/list/top?page=1")
+        assert response.status == 200
+        assert clock.now() - before >= 40.0  # politely slept through recovery
+
+    def test_successful_fetches_close_the_probing_circuit(self, store_world, clock):
+        ecosystem, internet, solver = store_world
+        breakers = CircuitBreakerRegistry(clock, failure_threshold=1, recovery_time=10.0)
+        breakers.record_failure("top.gg.sim")
+        scraper = TopGGScraper(
+            internet, solver=solver, breakers=breakers, retry_budget=RetryBudget(10)
+        )
+        scraper.fetch("https://top.gg.sim/list/top?page=1")
+        scraper.fetch("https://top.gg.sim/list/top?page=1")
+        from repro.core.resilience import CircuitState
+
+        assert breakers.breaker("top.gg.sim").state is CircuitState.CLOSED
+
+
+# -- truncated consent pages -------------------------------------------------
+
+
+class TestTruncatedConsentPage:
+    """A consent page cut mid-token must degrade, not poison ``.permissions``.
+
+    Chaos truncation can slice a body in the middle of a permission label;
+    the mangled token used to be stored verbatim and crashed every later
+    ``Permissions.from_names()`` call deep in the analysis stages.
+    """
+
+    def _bot(self, invite_url):
+        from repro.scraper.topgg import ScrapedBot
+
+        return ScrapedBot(
+            listing_id=1,
+            name="Chopped",
+            developer_tag="dev#0001",
+            tags=(),
+            description="",
+            guild_count=0,
+            votes=0,
+            invite_url=invite_url,
+            website_url=None,
+            github_url=None,
+            built_with=None,
+        )
+
+    def test_unparseable_permission_tokens_are_dropped(self, internet):
+        from repro.discordsim.permissions import Permission
+        from repro.scraper.topgg import PermissionStatus
+
+        truncated = (
+            '<html><body><ul id="permission-list">'
+            '<li class="permission-item">send messages</li>'
+            '<li class="permission-item">create inv'
+        )
+        host = VirtualHost("consent")
+        host.add_route("/oauth2/authorize", lambda request: Response.html(truncated))
+        internet.register("consent.sim", host)
+        scraper = TopGGScraper(internet, config=ScraperConfig(respect_robots=False))
+
+        bot = self._bot("https://consent.sim/oauth2/authorize")
+        status = scraper.resolve_permissions(bot)
+
+        assert status is PermissionStatus.VALID
+        assert bot.permission_names == ("send messages",)
+        assert bot.permissions.has(Permission.SEND_MESSAGES)  # no KeyError
+        assert scraper.stats.element_misses >= 1

@@ -125,3 +125,29 @@ class TestAuditing:
     def test_request_rate_rejects_bad_window(self, internet):
         with pytest.raises(ValueError):
             internet.request_rate("s", window=0)
+
+
+class TestBoundedAccounting:
+    def test_exchange_log_is_bounded(self):
+        internet = VirtualInternet(log_limit=50)
+        internet.register("a.sim", _make_host())
+        for _ in range(200):
+            _get(internet, "https://a.sim/", client="s")
+        assert len(internet.log) == 50
+        assert internet.exchanges_completed == 200
+        # The log keeps the most recent window, not the oldest.
+        assert internet.log[-1].time == max(record.time for record in internet.log)
+
+    def test_request_rate_survives_history_trim(self):
+        internet = VirtualInternet(rate_history=100)
+        internet.register("a.sim", _make_host(), HostConditions(base_latency=1.0))
+        for _ in range(500):  # far past 2x the history bound
+            _get(internet, "https://a.sim/", client="s")
+        # ~1 request per virtual second; the trailing window only needs the
+        # most recent timestamps, which the trim preserves.
+        assert internet.request_rate("s", window=50.0) == pytest.approx(1.0, abs=0.05)
+        times = internet._client_times["s"]
+        assert len(times) <= 200
+
+    def test_request_rate_unknown_client_is_zero(self, internet):
+        assert internet.request_rate("nobody", window=5.0) == 0.0
