@@ -40,6 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chaos-seed", type=int, default=0, help="fault schedule seed (default 0)")
     run.add_argument("--checkpoint", dest="checkpoint_path", default=None,
                      help="stage-granular checkpoint file; resumes completed stages if present")
+    run.add_argument("--shards", type=int, default=1,
+                     help="deterministic shards for stages 2-4 (default 1 = sequential)")
+    run.add_argument("--metrics", action="store_true",
+                     help="print per-stage/per-shard run metrics after the report")
 
     honeypot = subparsers.add_parser("honeypot", help="dynamic analysis only")
     honeypot.add_argument("--sample", type=int, default=100, help="most-voted bots to test")
@@ -70,12 +74,16 @@ def _config(args: argparse.Namespace, **overrides) -> PipelineConfig:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     sample = args.honeypot_sample if args.honeypot_sample is not None else min(200, args.bots)
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
     config = _config(
         args,
         honeypot_sample_size=sample,
         chaos_profile=args.chaos,
         chaos_seed=args.chaos_seed,
         checkpoint_path=args.checkpoint_path,
+        shards=args.shards,
     )
     result = AssessmentPipeline(config).run()
     print(render_full_report(result))
@@ -83,6 +91,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         statuses = ", ".join(f"{stage}={status}" for stage, status in sorted(result.stage_status.items()))
         print(f"\nDegraded run: {result.fault_ledger.summary_line()}")
         print(f"Stage status: {statuses}")
+    failed = result.failed_stages
+    if failed:
+        print(f"Failed stage(s): {', '.join(failed)} — their summaries are omitted (no data, not zeros).")
+    if args.metrics:
+        print()
+        print(result.metrics.render())
     if args.json_path:
         path = save_result(result, args.json_path, include_bots=args.include_bots)
         print(f"\nResults saved to {path}")

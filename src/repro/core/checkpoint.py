@@ -202,6 +202,9 @@ class PipelineCheckpoint:
     stages: dict[str, dict] = field(default_factory=dict)
     stage_status: dict[str, str] = field(default_factory=dict)
     ledger: FaultLedger = field(default_factory=FaultLedger)
+    #: Per-stage run metrics (``StageMetrics.to_dict()`` payloads), so a
+    #: resumed run reports complete metrics for stages it did not re-run.
+    metrics: dict[str, dict] = field(default_factory=dict)
 
     def has_stage(self, stage: str) -> bool:
         return stage in self.stages
@@ -261,6 +264,7 @@ class PipelineCheckpoint:
             "stages": self.stages,
             "stage_status": self.stage_status,
             "ledger": self.ledger.to_dict(),
+            "metrics": self.metrics,
         }
 
     def save(self, path: str | Path) -> Path:
@@ -281,6 +285,7 @@ class PipelineCheckpoint:
             stages=dict(payload["stages"]),
             stage_status=dict(payload.get("stage_status", {})),
             ledger=FaultLedger.from_dict(payload.get("ledger", {})),
+            metrics=dict(payload.get("metrics", {})),
         )
 
     @classmethod

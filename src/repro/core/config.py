@@ -52,6 +52,13 @@ class PipelineConfig:
     # 2Captcha account.
     captcha_balance: float = 100.0
 
+    # Sharded execution.
+    #: Deterministic shards for stages 2–4.  ``1`` runs the classic
+    #: sequential pipeline; ``N > 1`` partitions bots by stable id hash
+    #: onto N isolated world views and merges the outputs (virtual time =
+    #: max across shards, captcha dollars = sum).
+    shards: int = 1
+
     # Resilience and fault injection.
     #: Chaos profile name ("calm", "flaky", "hostile", "outage"), a
     #: :class:`~repro.web.chaos.ChaosProfile` (e.g. a ``scaled()`` variant

@@ -1,0 +1,162 @@
+"""Run metrics: per-stage wall/virtual time, traffic and throughput.
+
+The metrics layer answers the operational questions a real measurement
+campaign asks ("which stage is slow?", "how many exchanges did the crawl
+issue?", "did sharding actually help?") without touching any of the
+paper's statistics.  Each pipeline stage records one
+:class:`StageMetrics`; sharded stages additionally record one
+:class:`ShardMetrics` per shard.  The whole structure serializes through
+the pipeline checkpoint so a resumed run still reports complete metrics
+for the stages it did not re-execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ShardMetrics:
+    """One shard's share of one stage."""
+
+    shard: int
+    bots: int = 0
+    wall_seconds: float = 0.0
+    virtual_seconds: float = 0.0
+    exchanges: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Bots processed per wall-clock second (0 when nothing ran)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.bots / self.wall_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "bots": self.bots,
+            "wall_seconds": self.wall_seconds,
+            "virtual_seconds": self.virtual_seconds,
+            "exchanges": self.exchanges,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ShardMetrics":
+        return cls(
+            shard=payload["shard"],
+            bots=payload.get("bots", 0),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            virtual_seconds=payload.get("virtual_seconds", 0.0),
+            exchanges=payload.get("exchanges", 0),
+        )
+
+
+@dataclass
+class StageMetrics:
+    """One pipeline stage's cost and coverage."""
+
+    stage: str
+    wall_seconds: float = 0.0
+    #: Simulated seconds the stage consumed.  For sharded stages this is the
+    #: max across shards (shards run concurrently in virtual time).
+    virtual_seconds: float = 0.0
+    #: Exchanges issued on every internet the stage touched (main + shards).
+    exchanges: int = 0
+    bots_processed: int = 0
+    bots_skipped: int = 0
+    #: True when the stage's output came from a checkpoint, not execution.
+    resumed: bool = False
+    shards: list[ShardMetrics] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "wall_seconds": self.wall_seconds,
+            "virtual_seconds": self.virtual_seconds,
+            "exchanges": self.exchanges,
+            "bots_processed": self.bots_processed,
+            "bots_skipped": self.bots_skipped,
+            "resumed": self.resumed,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "StageMetrics":
+        return cls(
+            stage=payload["stage"],
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            virtual_seconds=payload.get("virtual_seconds", 0.0),
+            exchanges=payload.get("exchanges", 0),
+            bots_processed=payload.get("bots_processed", 0),
+            bots_skipped=payload.get("bots_skipped", 0),
+            resumed=payload.get("resumed", False),
+            shards=[ShardMetrics.from_dict(entry) for entry in payload.get("shards", [])],
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Every stage's metrics for one pipeline run, in execution order."""
+
+    shard_count: int = 1
+    stages: dict[str, StageMetrics] = field(default_factory=dict)
+
+    def record(self, stage_metrics: StageMetrics) -> StageMetrics:
+        self.stages[stage_metrics.stage] = stage_metrics
+        return stage_metrics
+
+    def stage(self, name: str) -> StageMetrics | None:
+        return self.stages.get(name)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(stage.wall_seconds for stage in self.stages.values())
+
+    @property
+    def total_exchanges(self) -> int:
+        return sum(stage.exchanges for stage in self.stages.values())
+
+    @property
+    def total_bots_processed(self) -> int:
+        return sum(stage.bots_processed for stage in self.stages.values())
+
+    @property
+    def total_bots_skipped(self) -> int:
+        return sum(stage.bots_skipped for stage in self.stages.values())
+
+    def render(self) -> str:
+        """A compact table for the CLI's ``--metrics`` flag."""
+        lines = [f"=== Run metrics ({self.shard_count} shard{'s' if self.shard_count != 1 else ''}) ==="]
+        header = f"{'stage':14s} {'wall(s)':>9s} {'virtual(s)':>12s} {'exchanges':>10s} {'processed':>10s} {'skipped':>8s}"
+        lines.append(header)
+        for stage in self.stages.values():
+            suffix = "  (resumed)" if stage.resumed else ""
+            lines.append(
+                f"{stage.stage:14s} {stage.wall_seconds:9.2f} {stage.virtual_seconds:12.1f} "
+                f"{stage.exchanges:10d} {stage.bots_processed:10d} {stage.bots_skipped:8d}{suffix}"
+            )
+            for shard in stage.shards:
+                lines.append(
+                    f"    shard {shard.shard}: {shard.bots} bots in {shard.wall_seconds:.2f}s wall "
+                    f"({shard.throughput:.1f} bots/s), {shard.exchanges} exchanges"
+                )
+        lines.append(
+            f"{'total':14s} {self.total_wall_seconds:9.2f} {'':>12s} "
+            f"{self.total_exchanges:10d} {self.total_bots_processed:10d} {self.total_bots_skipped:8d}"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shard_count": self.shard_count,
+            "stages": {name: stage.to_dict() for name, stage in self.stages.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunMetrics":
+        return cls(
+            shard_count=payload.get("shard_count", 1),
+            stages={name: StageMetrics.from_dict(entry) for name, entry in payload.get("stages", {}).items()},
+        )

@@ -31,8 +31,18 @@ from repro.core.checkpoint import (
     PipelineCheckpoint,
 )
 from repro.core.config import PipelineConfig
+from repro.core.metrics import RunMetrics, ShardMetrics, StageMetrics
 from repro.core.resilience import CircuitBreakerRegistry, FaultLedger, RetryBudget, StageStatus
 from repro.core.results import PipelineResult
+from repro.core.sharding import (
+    ShardedExecutor,
+    ShardOutcome,
+    ShardWorld,
+    merge_fault_records,
+    merge_honeypot_reports,
+    merge_in_order,
+    partition,
+)
 from repro.discordsim.platform import DiscordPlatform
 from repro.ecosystem.generator import Ecosystem, EcosystemConfig, generate_ecosystem
 from repro.honeypot.experiment import HoneypotExperiment
@@ -90,6 +100,71 @@ class PipelineWorld:
             internet.install_chaos(FaultSchedule(config.chaos_profile, seed=config.chaos_seed))
         return cls(ecosystem=ecosystem, clock=clock, internet=internet, platform=platform, solver=solver)
 
+    @classmethod
+    def build_shard(
+        cls, config: PipelineConfig, ecosystem: Ecosystem, index: int, start_time: float
+    ) -> "PipelineWorld":
+        """An isolated per-shard view over an already-generated ecosystem.
+
+        The ecosystem is shared read-only; the clock, internet (with every
+        site re-registered), platform and captcha solver are private to the
+        shard so worker threads never contend.  Chaos, when configured, is
+        installed per shard with a shard-offset seed so each shard draws an
+        independent fault schedule.
+        """
+        clock = VirtualClock(start_time)
+        internet = VirtualInternet(clock, seed=config.seed + index)
+        platform = DiscordPlatform(clock, captcha_seed=config.seed + 1)
+        build_store_host(ecosystem, internet, config.defenses)
+        DiscordWebsite(ecosystem).register(internet)
+        GitHubSite(ecosystem).register(internet)
+        BotWebsiteBuilder(ecosystem).register(internet)
+        from repro.sites.reddit import RedditSite
+
+        RedditSite(seed=config.seed + 5).register(internet)
+        solver = TwoCaptchaClient(clock, balance=config.captcha_balance, seed=config.seed + 2 + index)
+        if config.chaos_profile is not None:
+            from repro.web.chaos import FaultSchedule
+
+            internet.install_chaos(FaultSchedule(config.chaos_profile, seed=config.chaos_seed + index))
+        return cls(ecosystem=ecosystem, clock=clock, internet=internet, platform=platform, solver=solver)
+
+
+class _StageTimer:
+    """Capture one stage's wall/virtual/traffic deltas for the metrics layer."""
+
+    def __init__(self, pipeline: "AssessmentPipeline", stage: str) -> None:
+        self._pipeline = pipeline
+        self.stage = stage
+        self._wall = time.monotonic()
+        self._virtual = pipeline.world.clock.now()
+        self._exchanges = pipeline.world.internet.exchanges_total
+        self._skipped = pipeline.ledger.bots_skipped(stage)
+
+    def finish(self, bots_processed: int, outcomes: list[ShardOutcome] | None = None) -> StageMetrics:
+        shards: list[ShardMetrics] = []
+        shard_exchanges = 0
+        for outcome in outcomes or ():
+            shards.append(
+                ShardMetrics(
+                    shard=outcome.shard_index,
+                    bots=len(outcome.items),
+                    wall_seconds=outcome.wall_seconds,
+                    virtual_seconds=outcome.virtual_seconds,
+                    exchanges=outcome.exchanges,
+                )
+            )
+            shard_exchanges += outcome.exchanges
+        return StageMetrics(
+            stage=self.stage,
+            wall_seconds=time.monotonic() - self._wall,
+            virtual_seconds=self._pipeline.world.clock.now() - self._virtual,
+            exchanges=self._pipeline.world.internet.exchanges_total - self._exchanges + shard_exchanges,
+            bots_processed=bots_processed,
+            bots_skipped=self._pipeline.ledger.bots_skipped(self.stage) - self._skipped,
+            shards=shards,
+        )
+
 
 class AssessmentPipeline:
     """Run the full methodology against a world."""
@@ -107,6 +182,10 @@ class AssessmentPipeline:
         )
         #: Structured account of every fault the run absorbed.
         self.ledger = FaultLedger()
+        #: Per-stage run metrics (filled by :meth:`run`).
+        self.metrics = RunMetrics(shard_count=self.config.shards)
+        #: Lazily-built shard worlds (``config.shards > 1`` only).
+        self._shard_executor: ShardedExecutor | None = None
 
     # -- resilience helpers -------------------------------------------------
 
@@ -167,19 +246,29 @@ class AssessmentPipeline:
                 )
         return scraper, crawl
 
-    def analyze_traceability(self, active_bots: list[ScrapedBot], on_fault: StageFaultSink | None = None) -> list:
+    def analyze_traceability(
+        self,
+        active_bots: list[ScrapedBot],
+        on_fault: StageFaultSink | None = None,
+        world=None,
+        breakers: CircuitBreakerRegistry | None = None,
+    ) -> list:
         """Stage 2: website crawl + keyword traceability per active bot.
 
         With ``on_fault``, a bot whose website dies at the transport level
         (circuit open, connection dropped) is skipped and reported instead
         of crashing the stage; unreachable-but-resolvable websites remain a
         *classification* outcome (broken traceability), not a fault.
+
+        ``world``/``breakers`` point the stage at an isolated shard view;
+        by default it runs against the pipeline's main world.
         """
+        world = world or self.world
         website_scraper = WebsiteScraper(
-            self.world.internet,
-            solver=self.world.solver,
+            world.internet,
+            solver=world.solver,
             client_id="policy-scraper",
-            breakers=self.breakers,
+            breakers=breakers or self.breakers,
             retry_budget=self._stage_budget(),
         )
         results = []
@@ -208,13 +297,20 @@ class AssessmentPipeline:
             )
         return results
 
-    def analyze_code(self, active_bots: list[ScrapedBot], on_fault: StageFaultSink | None = None) -> list:
+    def analyze_code(
+        self,
+        active_bots: list[ScrapedBot],
+        on_fault: StageFaultSink | None = None,
+        world=None,
+        breakers: CircuitBreakerRegistry | None = None,
+    ) -> list:
         """Stage 3: GitHub crawl + Table-3 pattern detection."""
+        world = world or self.world
         github_scraper = GitHubScraper(
-            self.world.internet,
-            solver=self.world.solver,
+            world.internet,
+            solver=world.solver,
             client_id="repo-scraper",
-            breakers=self.breakers,
+            breakers=breakers or self.breakers,
             retry_budget=self._stage_budget(),
         )
         analyses = []
@@ -238,20 +334,31 @@ class AssessmentPipeline:
             )
         return analyses
 
-    def run_honeypot(self, on_fault: StageFaultSink | None = None) -> "HoneypotReport":
-        """Stage 4: dynamic analysis over the most-voted sample."""
+    def run_honeypot(
+        self,
+        on_fault: StageFaultSink | None = None,
+        sample: list | None = None,
+        world=None,
+        seed: int | None = None,
+    ) -> "HoneypotReport":
+        """Stage 4: dynamic analysis over the most-voted sample.
+
+        ``sample``/``world``/``seed`` let a shard run its bucket of bots on
+        its own platform view; the defaults reproduce the sequential run.
+        """
+        world = world or self.world
         experiment = HoneypotExperiment(
-            self.world.platform,
-            self.world.internet,
-            solver=self.world.solver,
-            seed=self.config.seed + 3,
+            world.platform,
+            world.internet,
+            solver=world.solver,
+            seed=self.config.seed + 3 if seed is None else seed,
         )
         feed_source = None
         if self.config.use_osn_feed:
             from repro.honeypot.osn_source import OsnFeedSource
 
             try:
-                source = OsnFeedSource.scrape(self.world.internet, seed=self.config.seed + 6)
+                source = OsnFeedSource.scrape(world.internet, seed=self.config.seed + 6)
             except (WebDriverException, NetworkError) as error:
                 if on_fault is None:
                     raise
@@ -259,7 +366,8 @@ class AssessmentPipeline:
                 source = None
             if source is not None and len(source):
                 feed_source = source.next_message
-        sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
+        if sample is None:
+            sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
         return experiment.run(
             sample,
             personas_per_guild=self.config.personas_per_guild,
@@ -268,6 +376,115 @@ class AssessmentPipeline:
             feed_source=feed_source,
             fault_sink=on_fault,
         )
+
+    # -- sharded execution -------------------------------------------------------
+
+    def _sharded(self) -> ShardedExecutor:
+        """The shard worlds, built lazily at the first sharded stage."""
+        if self._shard_executor is None:
+            start_time = self.world.clock.now()
+            worlds = []
+            for index in range(self.config.shards):
+                view = PipelineWorld.build_shard(self.config, self.world.ecosystem, index, start_time)
+                worlds.append(
+                    ShardWorld(
+                        index=index,
+                        clock=view.clock,
+                        internet=view.internet,
+                        platform=view.platform,
+                        solver=view.solver,
+                        breakers=CircuitBreakerRegistry(
+                            view.clock,
+                            failure_threshold=self.config.circuit_failure_threshold,
+                            recovery_time=self.config.circuit_recovery_time,
+                        ),
+                    )
+                )
+            self._shard_executor = ShardedExecutor(worlds)
+        return self._shard_executor
+
+    def _shard_sink(self, stage: str, shard: ShardWorld) -> StageFaultSink | None:
+        """A fault sink writing to the shard's own ledger on its own clock."""
+        if not self.config.degrade_on_faults:
+            return None
+
+        def sink(host: str, error: BaseException, bots_skipped: int, detail: str) -> None:
+            shard.ledger.record(stage, host, error, shard.clock.now(), bots_skipped=bots_skipped, detail=detail)
+
+        return sink
+
+    def _finish_sharded_stage(self, executor: ShardedExecutor, outcomes: list[ShardOutcome]) -> None:
+        """Merge shard fault records and advance the main clock to the horizon.
+
+        Virtual time merges as *max across shards*: shards ran concurrently
+        in simulated time, so the campaign is as long as its slowest shard.
+        """
+        merge_fault_records(self.ledger, outcomes)
+        horizon = executor.sync_clocks()
+        now = self.world.clock.now()
+        if horizon > now:
+            self.world.clock.advance(horizon - now)
+
+    def _sharded_traceability(self, active: list[ScrapedBot]) -> tuple[list, list[ShardOutcome]]:
+        """Stage 2 across shards, merged back to the input bot order."""
+        executor = self._sharded()
+        buckets = partition(active, self.config.shards, key=lambda bot: bot.listing_id)
+
+        def worker(shard: ShardWorld, bots: list[ScrapedBot]) -> list:
+            return self.analyze_traceability(
+                bots,
+                on_fault=self._shard_sink(STAGE_TRACEABILITY, shard),
+                world=shard,
+                breakers=shard.breakers,
+            )
+
+        outcomes = executor.run_stage(buckets, worker)
+        self._finish_sharded_stage(executor, outcomes)
+        merged = merge_in_order(outcomes, [bot.name for bot in active], key=lambda item: item.bot_name)
+        return merged, outcomes
+
+    def _sharded_code(self, active: list[ScrapedBot]) -> tuple[list, list[ShardOutcome]]:
+        """Stage 3 across shards, merged back to the input bot order."""
+        executor = self._sharded()
+        buckets = partition(active, self.config.shards, key=lambda bot: bot.listing_id)
+
+        def worker(shard: ShardWorld, bots: list[ScrapedBot]) -> list:
+            return self.analyze_code(
+                bots,
+                on_fault=self._shard_sink(STAGE_CODE, shard),
+                world=shard,
+                breakers=shard.breakers,
+            )
+
+        outcomes = executor.run_stage(buckets, worker)
+        self._finish_sharded_stage(executor, outcomes)
+        merged = merge_in_order(outcomes, [bot.name for bot in active], key=lambda item: item.bot_name)
+        return merged, outcomes
+
+    def _sharded_honeypot(self) -> tuple["HoneypotReport", list[ShardOutcome]]:
+        """Stage 4 across shards: each shard honeypots its bucket on its own platform."""
+        executor = self._sharded()
+        sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
+        buckets = partition(sample, self.config.shards, key=lambda bot: bot.client_id)
+
+        def worker(shard: ShardWorld, bots: list) -> "HoneypotReport":
+            if not bots:
+                from repro.honeypot.experiment import HoneypotReport
+
+                return HoneypotReport()
+            return self.run_honeypot(
+                on_fault=self._shard_sink(STAGE_HONEYPOT, shard),
+                sample=bots,
+                world=shard,
+                # Prime stride keeps shard streams clear of the other
+                # seed-derived streams (seed+1..seed+6).
+                seed=self.config.seed + 3 + 7919 * (shard.index + 1),
+            )
+
+        outcomes = executor.run_stage(buckets, worker)
+        self._finish_sharded_stage(executor, outcomes)
+        merged = merge_honeypot_reports(outcomes, [bot.name for bot in sample])
+        return merged, outcomes
 
     # -- orchestration ----------------------------------------------------------
 
@@ -283,6 +500,8 @@ class AssessmentPipeline:
         started_wall = time.monotonic()
         started_virtual = self.world.clock.now()
         spent_before = self.world.solver.total_spent
+        self.metrics = RunMetrics(shard_count=self.config.shards)
+        sharded = self.config.shards > 1
 
         checkpoint: PipelineCheckpoint | None = None
         if self.config.checkpoint_path is not None:
@@ -296,10 +515,13 @@ class AssessmentPipeline:
             crawl, stats = checkpoint.restore_crawl()
             result = PipelineResult(crawl=crawl, scrape_stats=stats)
             status[STAGE_CRAWL] = StageStatus.RESUMED.value
+            self._restore_stage_metrics(checkpoint, STAGE_CRAWL)
         else:
+            timer = _StageTimer(self, STAGE_CRAWL)
             scraper, crawl = self.collect()
             result = PipelineResult(crawl=crawl, scrape_stats=scraper.stats)
             status[STAGE_CRAWL] = self._stage_outcome(STAGE_CRAWL)
+            self.metrics.record(timer.finish(bots_processed=len(crawl.bots)))
             if checkpoint is not None:
                 checkpoint.store_crawl(crawl, scraper.stats)
                 self._save_checkpoint(checkpoint, status)
@@ -316,11 +538,17 @@ class AssessmentPipeline:
             if checkpoint is not None and checkpoint.has_stage(STAGE_TRACEABILITY):
                 result.traceability_results, result.validation = checkpoint.restore_traceability()
                 status[STAGE_TRACEABILITY] = StageStatus.RESUMED.value
+                self._restore_stage_metrics(checkpoint, STAGE_TRACEABILITY)
             else:
+                timer = _StageTimer(self, STAGE_TRACEABILITY)
+                outcomes: list[ShardOutcome] | None = None
                 try:
-                    result.traceability_results = self.analyze_traceability(
-                        active, on_fault=self._degrade_sink(STAGE_TRACEABILITY)
-                    )
+                    if sharded:
+                        result.traceability_results, outcomes = self._sharded_traceability(active)
+                    else:
+                        result.traceability_results = self.analyze_traceability(
+                            active, on_fault=self._degrade_sink(STAGE_TRACEABILITY)
+                        )
                     result.validation = self._validate_traceability()
                     status[STAGE_TRACEABILITY] = self._stage_outcome(STAGE_TRACEABILITY)
                 except (WebDriverException, NetworkError) as error:
@@ -328,10 +556,16 @@ class AssessmentPipeline:
                         raise
                     self._record_stage_failure(STAGE_TRACEABILITY, error)
                     status[STAGE_TRACEABILITY] = StageStatus.FAILED.value
+                self.metrics.record(
+                    timer.finish(bots_processed=len(result.traceability_results), outcomes=outcomes)
+                )
                 if checkpoint is not None and status[STAGE_TRACEABILITY] != StageStatus.FAILED.value:
                     checkpoint.store_traceability(result.traceability_results, result.validation)
                     self._save_checkpoint(checkpoint, status)
-            result.traceability_summary = TraceabilitySummary.from_results(result.traceability_results)
+            if status[STAGE_TRACEABILITY] != StageStatus.FAILED.value:
+                # A dead stage stays None — an all-zero summary would read
+                # as "nothing disclosed" instead of "nothing measured".
+                result.traceability_summary = TraceabilitySummary.from_results(result.traceability_results)
         else:
             status[STAGE_TRACEABILITY] = StageStatus.SKIPPED.value
 
@@ -340,23 +574,31 @@ class AssessmentPipeline:
             if checkpoint is not None and checkpoint.has_stage(STAGE_CODE):
                 result.repo_analyses = checkpoint.restore_code()
                 status[STAGE_CODE] = StageStatus.RESUMED.value
+                self._restore_stage_metrics(checkpoint, STAGE_CODE)
             else:
+                timer = _StageTimer(self, STAGE_CODE)
+                outcomes = None
                 try:
-                    result.repo_analyses = self.analyze_code(active, on_fault=self._degrade_sink(STAGE_CODE))
+                    if sharded:
+                        result.repo_analyses, outcomes = self._sharded_code(active)
+                    else:
+                        result.repo_analyses = self.analyze_code(active, on_fault=self._degrade_sink(STAGE_CODE))
                     status[STAGE_CODE] = self._stage_outcome(STAGE_CODE)
                 except (WebDriverException, NetworkError) as error:
                     if not self.config.degrade_on_faults:
                         raise
                     self._record_stage_failure(STAGE_CODE, error)
                     status[STAGE_CODE] = StageStatus.FAILED.value
+                self.metrics.record(timer.finish(bots_processed=len(result.repo_analyses), outcomes=outcomes))
                 if checkpoint is not None and status[STAGE_CODE] != StageStatus.FAILED.value:
                     checkpoint.store_code(result.repo_analyses)
                     self._save_checkpoint(checkpoint, status)
-            result.code_summary = CodeAnalysisSummary.from_analyses(
-                active_bots=len(active),
-                github_links=sum(1 for bot in active if bot.github_url),
-                analyses=result.repo_analyses,
-            )
+            if status[STAGE_CODE] != StageStatus.FAILED.value:
+                result.code_summary = CodeAnalysisSummary.from_analyses(
+                    active_bots=len(active),
+                    github_links=sum(1 for bot in active if bot.github_url),
+                    analyses=result.repo_analyses,
+                )
         else:
             status[STAGE_CODE] = StageStatus.SKIPPED.value
 
@@ -365,15 +607,27 @@ class AssessmentPipeline:
             if checkpoint is not None and checkpoint.has_stage(STAGE_HONEYPOT):
                 result.honeypot = checkpoint.restore_honeypot()
                 status[STAGE_HONEYPOT] = StageStatus.RESUMED.value
+                self._restore_stage_metrics(checkpoint, STAGE_HONEYPOT)
             else:
+                timer = _StageTimer(self, STAGE_HONEYPOT)
+                outcomes = None
                 try:
-                    result.honeypot = self.run_honeypot(on_fault=self._degrade_sink(STAGE_HONEYPOT))
+                    if sharded:
+                        result.honeypot, outcomes = self._sharded_honeypot()
+                    else:
+                        result.honeypot = self.run_honeypot(on_fault=self._degrade_sink(STAGE_HONEYPOT))
                     status[STAGE_HONEYPOT] = self._stage_outcome(STAGE_HONEYPOT)
                 except (WebDriverException, NetworkError) as error:
                     if not self.config.degrade_on_faults:
                         raise
                     self._record_stage_failure(STAGE_HONEYPOT, error)
                     status[STAGE_HONEYPOT] = StageStatus.FAILED.value
+                self.metrics.record(
+                    timer.finish(
+                        bots_processed=result.honeypot.bots_tested if result.honeypot is not None else 0,
+                        outcomes=outcomes,
+                    )
+                )
                 if checkpoint is not None and status[STAGE_HONEYPOT] != StageStatus.FAILED.value and result.honeypot is not None:
                     checkpoint.store_honeypot(result.honeypot)
                     self._save_checkpoint(checkpoint, status)
@@ -382,9 +636,14 @@ class AssessmentPipeline:
 
         result.fault_ledger = self.ledger
         result.stage_status = status
+        result.metrics = self.metrics
         result.wall_seconds = time.monotonic() - started_wall
         result.virtual_seconds = self.world.clock.now() - started_virtual
+        # Captcha dollars merge as a *sum*: the main solver's delta plus
+        # everything the per-shard solvers spent.
         result.captcha_dollars = self.world.solver.total_spent - spent_before
+        if self._shard_executor is not None:
+            result.captcha_dollars += self._shard_executor.captcha_dollars()
         return result
 
     def _stage_outcome(self, stage: str) -> str:
@@ -398,8 +657,18 @@ class AssessmentPipeline:
     def _save_checkpoint(self, checkpoint: PipelineCheckpoint, status: dict[str, str]) -> None:
         checkpoint.stage_status = dict(status)
         checkpoint.ledger = self.ledger
+        checkpoint.metrics = {stage: entry.to_dict() for stage, entry in self.metrics.stages.items()}
         assert self.config.checkpoint_path is not None
         checkpoint.save(self.config.checkpoint_path)
+
+    def _restore_stage_metrics(self, checkpoint: PipelineCheckpoint, stage: str) -> None:
+        """Carry a completed stage's metrics into this (resumed) run."""
+        payload = checkpoint.metrics.get(stage)
+        if payload is None:
+            return
+        entry = StageMetrics.from_dict(payload)
+        entry.resumed = True
+        self.metrics.record(entry)
 
     def _validate_traceability(self):
         """The paper's 100-policy manual-review validation."""

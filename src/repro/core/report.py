@@ -123,6 +123,13 @@ def render_full_report(result: PipelineResult) -> str:
         )
         sections.append("")
 
+    failed = result.failed_stages
+    if failed:
+        sections.append(
+            f"Stage(s) FAILED: {', '.join(failed)} — the corresponding sections above are "
+            "omitted because the stage produced no data (not because nothing was found)."
+        )
+        sections.append("")
     sections.append(
         f"Run accounting: {result.scrape_stats.pages_fetched} pages fetched, "
         f"{result.scrape_stats.captchas_solved} captchas solved, "

@@ -10,7 +10,8 @@ from repro.analysis.permission_stats import PermissionDistribution
 from repro.analysis.risk import RiskSummary
 from repro.analysis.traceability_stats import TraceabilitySummary
 from repro.codeanalysis.analyzer import RepoAnalysis
-from repro.core.resilience import FaultLedger
+from repro.core.metrics import RunMetrics
+from repro.core.resilience import FaultLedger, StageStatus
 from repro.honeypot.experiment import HoneypotReport
 from repro.scraper.base import ScrapeStats
 from repro.scraper.topgg import CrawlResult
@@ -52,10 +53,21 @@ class PipelineResult:
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
     stage_status: dict[str, str] = field(default_factory=dict)
 
+    # Operational metrics: per-stage wall/virtual time, traffic, and
+    # per-shard throughput when the run was sharded.
+    metrics: RunMetrics = field(default_factory=RunMetrics)
+
     @property
     def degraded(self) -> bool:
         """Whether any part of the run lost coverage to faults."""
         return len(self.fault_ledger) > 0
+
+    @property
+    def failed_stages(self) -> list[str]:
+        """Stages that aborted; their summaries are ``None``, not all-zero."""
+        return sorted(
+            stage for stage, status in self.stage_status.items() if status == StageStatus.FAILED.value
+        )
 
     @property
     def bots_collected(self) -> int:
@@ -100,6 +112,11 @@ class PipelineResult:
             lines.append(
                 f"Honeypot: {self.honeypot.bots_tested} bots tested, "
                 f"{len(self.honeypot.flagged_bots)} flagged ({flagged})."
+            )
+        failed = self.failed_stages
+        if failed:
+            lines.append(
+                "Stage(s) failed: " + ", ".join(failed) + " — their summaries are omitted (no data, not zeros)."
             )
         if self.degraded:
             lines.append(self.fault_ledger.summary_line())

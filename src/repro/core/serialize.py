@@ -38,7 +38,9 @@ def result_to_dict(result: PipelineResult, include_bots: bool = False) -> dict[s
         },
         "summary_lines": result.summary_lines(),
         "stage_status": dict(result.stage_status),
+        "failed_stages": result.failed_stages,
         "fault_ledger": result.fault_ledger.to_dict(),
+        "metrics": result.metrics.to_dict(),
     }
 
     dist = result.permission_distribution

@@ -1,0 +1,210 @@
+"""Deterministic sharded execution for the per-bot pipeline stages.
+
+Stages 2–4 are embarrassingly parallel: each bot's policy crawl, repo
+crawl and honeypot guild are independent.  :class:`ShardedExecutor` runs
+them over N isolated *shard worlds* — each with its own
+:class:`~repro.web.network.VirtualClock`, its own
+:class:`~repro.web.network.VirtualInternet` (sites re-registered from the
+shared, read-only ecosystem), its own breaker registry, fault ledger and
+captcha solver — and merges the outputs deterministically.
+
+Determinism contract:
+
+* Bots map to shards by a **stable hash of the bot id** (crc32), never by
+  list order, so resumes and re-runs with reordered inputs shard the same
+  way.
+* Merge happens in **shard-index order**; callers additionally reorder
+  per-bot result lists back to the input order, so the merged lists match
+  a sequential run's ordering.
+* Virtual time is **max across shards** (shards run concurrently in
+  simulated time); captcha dollars are **summed**; fault ledgers are
+  concatenated in shard-index order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+from zlib import crc32
+
+from repro.core.resilience import CircuitBreakerRegistry, FaultLedger, FaultRecord
+from repro.honeypot.experiment import HoneypotReport
+from repro.web.network import VirtualClock, VirtualInternet
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.discordsim.platform import DiscordPlatform
+    from repro.web.captcha import TwoCaptchaClient
+
+
+def stable_shard(key: int | str, shards: int) -> int:
+    """Map a bot id to a shard index, stable across processes and runs.
+
+    Python's builtin ``hash`` is salted per process for strings, so it
+    cannot anchor a reproducible partition; crc32 over the canonical text
+    form is stable everywhere and spreads sequential ids evenly.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    return crc32(str(key).encode("utf-8")) % shards
+
+
+def partition(items: Iterable[Any], shards: int, key: Callable[[Any], int | str]) -> list[list[Any]]:
+    """Split ``items`` into ``shards`` buckets by stable hash of ``key(item)``.
+
+    Within a bucket, items keep their relative input order.
+    """
+    buckets: list[list[Any]] = [[] for _ in range(shards)]
+    for item in items:
+        buckets[stable_shard(key(item), shards)].append(item)
+    return buckets
+
+
+@dataclass
+class ShardWorld:
+    """One shard's isolated world view.
+
+    The ecosystem itself is shared (read-only); everything stateful —
+    clock, internet, platform, solver, breakers, ledger — is private to
+    the shard so worker threads never contend.
+    """
+
+    index: int
+    clock: VirtualClock
+    internet: VirtualInternet
+    platform: "DiscordPlatform"
+    solver: "TwoCaptchaClient"
+    breakers: CircuitBreakerRegistry
+    ledger: FaultLedger = field(default_factory=FaultLedger)
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard produced for one stage."""
+
+    shard_index: int
+    items: list[Any]
+    value: Any
+    wall_seconds: float
+    virtual_seconds: float
+    exchanges: int
+    #: Fault records this stage added to the shard's ledger.
+    faults: list[FaultRecord] = field(default_factory=list)
+
+
+class ShardedExecutor:
+    """Run stage workers over shard worlds and keep their clocks aligned."""
+
+    def __init__(self, worlds: Sequence[ShardWorld]) -> None:
+        if not worlds:
+            raise ValueError("at least one shard world is required")
+        self.worlds = list(worlds)
+
+    @property
+    def shards(self) -> int:
+        return len(self.worlds)
+
+    def run_stage(
+        self,
+        buckets: Sequence[list[Any]],
+        worker: Callable[[ShardWorld, list[Any]], Any],
+    ) -> list[ShardOutcome]:
+        """Run ``worker(world, bucket)`` per shard; return outcomes in shard order.
+
+        With a single shard the worker runs on the calling thread;
+        otherwise one thread per shard.  Worker exceptions propagate in
+        shard-index order.  Afterwards every shard clock is advanced to
+        the max across shards (a barrier: the next stage starts with all
+        shards at the same simulated time).
+        """
+        if len(buckets) != self.shards:
+            raise ValueError(f"expected {self.shards} buckets, got {len(buckets)}")
+
+        def run_one(world: ShardWorld, bucket: list[Any]) -> ShardOutcome:
+            wall_start = time.monotonic()
+            virtual_start = world.clock.now()
+            exchanges_start = world.internet.exchanges_total
+            faults_start = len(world.ledger.records)
+            value = worker(world, bucket)
+            return ShardOutcome(
+                shard_index=world.index,
+                items=bucket,
+                value=value,
+                wall_seconds=time.monotonic() - wall_start,
+                virtual_seconds=world.clock.now() - virtual_start,
+                exchanges=world.internet.exchanges_total - exchanges_start,
+                faults=world.ledger.records[faults_start:],
+            )
+
+        if self.shards == 1:
+            outcomes = [run_one(self.worlds[0], list(buckets[0]))]
+        else:
+            with ThreadPoolExecutor(max_workers=self.shards) as pool:
+                futures = [
+                    pool.submit(run_one, world, list(bucket))
+                    for world, bucket in zip(self.worlds, buckets)
+                ]
+                outcomes = [future.result() for future in futures]
+        self.sync_clocks()
+        return outcomes
+
+    def sync_clocks(self) -> float:
+        """Advance every shard clock to the max across shards; return it."""
+        horizon = max(world.clock.now() for world in self.worlds)
+        for world in self.worlds:
+            world.clock.advance(horizon - world.clock.now())
+        return horizon
+
+    def captcha_dollars(self) -> float:
+        """Total captcha spend across all shard solvers (merge = sum)."""
+        return sum(world.solver.total_spent for world in self.worlds)
+
+
+# -- merge helpers -----------------------------------------------------------
+
+
+def merge_in_order(
+    outcomes: Sequence[ShardOutcome],
+    order: Sequence[str],
+    key: Callable[[Any], str],
+) -> list[Any]:
+    """Concatenate per-bot result lists, reordered to the original input order.
+
+    Sharding regroups bots, so a plain shard-order concatenation would
+    differ from the sequential run's list ordering; keying each result by
+    bot and walking the input order restores it exactly.
+    """
+    by_key: dict[str, Any] = {}
+    for outcome in outcomes:
+        for item in outcome.value:
+            by_key[key(item)] = item
+    return [by_key[name] for name in order if name in by_key]
+
+
+def merge_honeypot_reports(outcomes: Sequence[ShardOutcome], order: Sequence[str]) -> HoneypotReport:
+    """Merge per-shard honeypot reports into one campaign report.
+
+    Outcomes are reordered to the sampling order; triggers concatenate in
+    shard-index order; account-level costs (manual verifications, captcha
+    spend) and install failures sum — each shard runs its own persona
+    pool, so the merged run reports the true aggregate operating cost.
+    """
+    merged = HoneypotReport()
+    by_name: dict[str, Any] = {}
+    for outcome in outcomes:
+        report: HoneypotReport = outcome.value
+        for bot_outcome in report.outcomes:
+            by_name[bot_outcome.bot_name] = bot_outcome
+        merged.triggers.extend(report.triggers)
+        merged.manual_verifications += report.manual_verifications
+        merged.install_failures += report.install_failures
+        merged.captcha_cost += report.captcha_cost
+    merged.outcomes = [by_name[name] for name in order if name in by_name]
+    return merged
+
+
+def merge_fault_records(target: FaultLedger, outcomes: Sequence[ShardOutcome]) -> None:
+    """Append every shard's new fault records to ``target`` in shard order."""
+    for outcome in outcomes:
+        target.records.extend(outcome.faults)

@@ -25,10 +25,11 @@ class PolicyFetchResult:
     policy_text: str = ""
 
 
-#: Anchor texts that advertise a privacy policy.
-_POLICY_LINK_TEXTS = ("Privacy Policy", "privacy", "Privacy")
+#: Anchor texts that advertise a privacy policy (matched case-insensitively,
+#: so "Privacy policy" and "PRIVACY POLICY" pages are found too).
+_POLICY_LINK_TEXTS = ("privacy policy", "privacy", "privacy notice")
 #: Anchor texts that lead to an intermediate legal page.
-_LEGAL_LINK_TEXTS = ("Legal", "legal")
+_LEGAL_LINK_TEXTS = ("legal", "terms & legal")
 
 
 class WebsiteScraper(PoliteScraper):
@@ -68,10 +69,12 @@ class WebsiteScraper(PoliteScraper):
         return self._find_link_by_texts(_POLICY_LINK_TEXTS)
 
     def _find_link_by_texts(self, texts: tuple[str, ...]) -> str | None:
-        for text in texts:
-            try:
-                element = self.browser.find_element(By.LINK_TEXT, text)
-            except NoSuchElementException:
+        # The paper's "varying page structures" include arbitrary casing of
+        # the anchor text ("Privacy policy", "PRIVACY POLICY"), which an
+        # exact LINK_TEXT locator misses — compare casefolded instead.
+        wanted = {text.casefold() for text in texts}
+        for element in self.browser.find_elements(By.TAG_NAME, "a"):
+            if element.text.strip().casefold() not in wanted:
                 continue
             href = element.get_attribute("href")
             if href:

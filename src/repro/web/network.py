@@ -76,7 +76,12 @@ class HostConditions:
 
 @dataclass
 class ExchangeRecord:
-    """One request/response exchange, kept for politeness auditing."""
+    """One exchange *attempt*, kept for politeness auditing.
+
+    Transport failures are recorded too — the client sent the request and
+    the wire carried it, so an honest rate audit must count it.  A failed
+    attempt has ``status == 0`` and ``error`` naming the failure class.
+    """
 
     time: float
     client_id: str
@@ -84,6 +89,12 @@ class ExchangeRecord:
     url: str
     status: int
     latency: float
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the exchange completed with an HTTP response."""
+        return self.status > 0
 
 
 @dataclass
@@ -121,7 +132,13 @@ class VirtualInternet:
         self._rate_history = max(rate_history, 1)
         self._client_times: dict[str, list[float]] = {}
         self.exchanges_completed = 0
+        self.exchanges_failed = 0
         self.chaos: "FaultSchedule | None" = None
+
+    @property
+    def exchanges_total(self) -> int:
+        """All exchange attempts, completed or dropped at the transport."""
+        return self.exchanges_completed + self.exchanges_failed
 
     # -- registry ----------------------------------------------------------
 
@@ -186,12 +203,18 @@ class VirtualInternet:
             latency += self.chaos.extra_latency(hostname, self.clock.now())
         self.clock.advance(latency)
         if entry.conditions.failure_rate and self._rng.random() < entry.conditions.failure_rate:
-            raise ConnectionFailedError(hostname)
+            error = ConnectionFailedError(hostname)
+            self._record_failure(request, latency, error)
+            raise error
         response = None
         if self.chaos is not None:
             # May raise ConnectionFailedError (outage window) — the clock has
             # already advanced, so the failed attempt still costs the caller.
-            response = self.chaos.intercept(request, self.clock.now())
+            try:
+                response = self.chaos.intercept(request, self.clock.now())
+            except NetworkError as error:
+                self._record_failure(request, latency, error)
+                raise
         if response is None:
             response = entry.host.handle(request, self)
             if self.chaos is not None:
@@ -207,9 +230,25 @@ class VirtualInternet:
         self._record(record)
         return response, latency
 
+    def _record_failure(self, request: Request, latency: float, error: BaseException) -> None:
+        self._record(
+            ExchangeRecord(
+                time=self.clock.now(),
+                client_id=request.client_id,
+                method=request.method,
+                url=str(request.url),
+                status=0,
+                latency=latency,
+                error=type(error).__name__,
+            )
+        )
+
     def _record(self, record: ExchangeRecord) -> None:
         self.log.append(record)
-        self.exchanges_completed += 1
+        if record.ok:
+            self.exchanges_completed += 1
+        else:
+            self.exchanges_failed += 1
         times = self._client_times.setdefault(record.client_id, [])
         times.append(record.time)
         # Amortised O(1) trim: drop the old half once we hold 2x the history.

@@ -138,6 +138,50 @@ class TestWebsiteScraper:
         assert not result.website_reachable
 
 
+class TestPolicyLinkCasing:
+    """The paper's "varying page structures" include arbitrary anchor casing."""
+
+    @staticmethod
+    def _site(internet, anchor_text: str):
+        from repro.web.http import Response
+        from repro.web.server import VirtualHost
+
+        host = VirtualHost("cased.sim")
+        host.add_route(
+            "/",
+            lambda request: Response.html(
+                f'<html><body><a href="/privacy">{anchor_text}</a></body></html>'
+            ),
+        )
+        host.add_route(
+            "/privacy",
+            lambda request: Response.html(
+                '<html><body><div id="policy">We collect message content.</div></body></html>'
+            ),
+        )
+        internet.register("cased.sim", host)
+
+    @pytest.mark.parametrize(
+        "anchor_text",
+        ["Privacy Policy", "Privacy policy", "PRIVACY POLICY", "privacy policy", "Privacy Notice"],
+    )
+    def test_policy_link_found_regardless_of_case(self, internet, clock, anchor_text):
+        self._site(internet, anchor_text)
+        scraper = WebsiteScraper(internet, solver=TwoCaptchaClient(clock, seed=2))
+        result = scraper.fetch_policy("https://cased.sim/")
+        assert result.website_reachable
+        assert result.policy_link_found
+        assert result.policy_page_valid
+        assert "message content" in result.policy_text
+
+    def test_unrelated_anchor_is_not_a_policy_link(self, internet, clock):
+        self._site(internet, "Pricing")
+        scraper = WebsiteScraper(internet, solver=TwoCaptchaClient(clock, seed=2))
+        result = scraper.fetch_policy("https://cased.sim/")
+        assert result.website_reachable
+        assert not result.policy_link_found
+
+
 class TestGitHubScraper:
     def test_valid_repo_detection(self, world):
         eco, internet, solver = world

@@ -151,3 +151,57 @@ class TestBoundedAccounting:
 
     def test_request_rate_unknown_client_is_zero(self, internet):
         assert internet.request_rate("nobody", window=5.0) == 0.0
+
+
+class TestFailedExchangeAuditing:
+    """Failed exchanges are traffic the client sent — the audit must see them."""
+
+    def test_dropped_connection_is_recorded(self, internet):
+        internet.register("a.sim", _make_host(), HostConditions(base_latency=2.0, failure_rate=1.0))
+        with pytest.raises(ConnectionFailedError):
+            _get(internet, "https://a.sim/", client="scraper")
+        assert len(internet.log) == 1
+        record = internet.log[0]
+        assert record.status == 0
+        assert not record.ok
+        assert record.error == "ConnectionFailedError"
+        assert record.client_id == "scraper"
+        assert record.latency == pytest.approx(2.0)
+        assert internet.exchanges_failed == 1
+        assert internet.exchanges_completed == 0
+        assert internet.exchanges_total == 1
+
+    def test_chaos_outage_is_recorded(self, clock, internet):
+        from repro.web.chaos import FaultSchedule
+
+        # Spread requests across many chaos epochs (outage windows are
+        # scheduled in virtual time) so some land inside an outage.
+        internet.register("a.sim", _make_host(), HostConditions(base_latency=300.0))
+        internet.install_chaos(FaultSchedule("outage", seed=3))
+        failures = 0
+        for _ in range(300):
+            try:
+                _get(internet, "https://a.sim/", client="s")
+            except ConnectionFailedError:
+                failures += 1
+        assert failures > 0  # the outage profile guarantees windows at this volume
+        failed_records = [record for record in internet.log if not record.ok]
+        assert len(failed_records) == failures
+        assert all(record.error == "ConnectionFailedError" for record in failed_records)
+        assert internet.exchanges_failed == failures
+        assert internet.exchanges_total == 300
+
+    def test_failed_exchanges_count_in_request_rate(self, clock, internet):
+        internet.register("a.sim", _make_host(), HostConditions(base_latency=1.0, failure_rate=1.0))
+        for _ in range(10):
+            with pytest.raises(ConnectionFailedError):
+                _get(internet, "https://a.sim/", client="s")
+        # 10 attempted requests over 10 virtual seconds: the politeness
+        # audit counts what was sent, not what succeeded.
+        assert internet.request_rate("s", window=10.0) == pytest.approx(1.0)
+
+    def test_successful_exchange_is_ok(self, internet):
+        internet.register("a.sim", _make_host())
+        _get(internet, "https://a.sim/")
+        assert internet.log[0].ok
+        assert internet.log[0].error == ""
