@@ -44,6 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="deterministic shards for stages 2-4 (default 1 = sequential)")
     run.add_argument("--metrics", action="store_true",
                      help="print per-stage/per-shard run metrics after the report")
+    run.add_argument("--max-bot-events", type=int, default=None,
+                     help="gateway event budget per supervised bot (0 = unlimited)")
+    run.add_argument("--bot-deadline", type=float, default=None,
+                     help="virtual-second deadline per supervised bot unit (0 = unlimited)")
+    run.add_argument("--adversarial", type=int, default=0,
+                     help="plant N crasher/flooder/staller bots into the honeypot sample "
+                          "(supervision self-test)")
 
     honeypot = subparsers.add_parser("honeypot", help="dynamic analysis only")
     honeypot.add_argument("--sample", type=int, default=100, help="most-voted bots to test")
@@ -77,6 +84,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
+    overrides = {}
+    if args.max_bot_events is not None:
+        overrides["max_bot_events"] = args.max_bot_events
+    if args.bot_deadline is not None:
+        overrides["bot_deadline"] = args.bot_deadline
     config = _config(
         args,
         honeypot_sample_size=sample,
@@ -84,6 +96,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         chaos_seed=args.chaos_seed,
         checkpoint_path=args.checkpoint_path,
         shards=args.shards,
+        adversarial_bots=args.adversarial,
+        **overrides,
     )
     result = AssessmentPipeline(config).run()
     print(render_full_report(result))
@@ -91,6 +105,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         statuses = ", ".join(f"{stage}={status}" for stage, status in sorted(result.stage_status.items()))
         print(f"\nDegraded run: {result.fault_ledger.summary_line()}")
         print(f"Stage status: {statuses}")
+    if result.quarantines:
+        print(f"Supervision: {result.quarantines.summary_line()}")
+        for record in result.quarantines.records:
+            print(f"  quarantined {record.bot_name} [{record.stage}] — {record.reason} ({record.root_cause})")
     failed = result.failed_stages
     if failed:
         print(f"Failed stage(s): {', '.join(failed)} — their summaries are omitted (no data, not zeros).")

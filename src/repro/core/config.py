@@ -76,6 +76,20 @@ class PipelineConfig:
     #: Aggregate retry cap per stage (transient retries across all fetches).
     stage_retry_budget: int = 500
 
+    # Bot-level supervision.
+    #: Wrap every per-bot unit of work in a supervision firewall that
+    #: quarantines the bot on crash, gateway flooding, or deadline blow-out
+    #: instead of crashing the stage.  Only active together with
+    #: ``degrade_on_faults``.
+    supervise_bots: bool = True
+    #: Gateway events one bot may cause while supervised (0 = unlimited).
+    max_bot_events: int = 500
+    #: Virtual seconds one supervised unit of work may consume (0 = unlimited).
+    bot_deadline: float = 86_400.0
+    #: Plant this many adversarial runtimes (crasher/flooder/staller rotation)
+    #: into the honeypot sample — a self-test of the supervision layer.
+    adversarial_bots: int = 0
+
     def scaled(self, n_bots: int, honeypot_sample_size: int | None = None) -> "PipelineConfig":
         """A copy at a smaller scale (for tests and quick examples)."""
         from dataclasses import replace

@@ -25,6 +25,7 @@ class ShardMetrics:
     wall_seconds: float = 0.0
     virtual_seconds: float = 0.0
     exchanges: int = 0
+    quarantined: int = 0
 
     @property
     def throughput(self) -> float:
@@ -40,6 +41,7 @@ class ShardMetrics:
             "wall_seconds": self.wall_seconds,
             "virtual_seconds": self.virtual_seconds,
             "exchanges": self.exchanges,
+            "quarantined": self.quarantined,
         }
 
     @classmethod
@@ -50,6 +52,7 @@ class ShardMetrics:
             wall_seconds=payload.get("wall_seconds", 0.0),
             virtual_seconds=payload.get("virtual_seconds", 0.0),
             exchanges=payload.get("exchanges", 0),
+            quarantined=payload.get("quarantined", 0),
         )
 
 
@@ -66,6 +69,8 @@ class StageMetrics:
     exchanges: int = 0
     bots_processed: int = 0
     bots_skipped: int = 0
+    #: Bots the supervision layer pulled out of the stage mid-flight.
+    bots_quarantined: int = 0
     #: True when the stage's output came from a checkpoint, not execution.
     resumed: bool = False
     shards: list[ShardMetrics] = field(default_factory=list)
@@ -78,6 +83,7 @@ class StageMetrics:
             "exchanges": self.exchanges,
             "bots_processed": self.bots_processed,
             "bots_skipped": self.bots_skipped,
+            "bots_quarantined": self.bots_quarantined,
             "resumed": self.resumed,
             "shards": [shard.to_dict() for shard in self.shards],
         }
@@ -91,6 +97,7 @@ class StageMetrics:
             exchanges=payload.get("exchanges", 0),
             bots_processed=payload.get("bots_processed", 0),
             bots_skipped=payload.get("bots_skipped", 0),
+            bots_quarantined=payload.get("bots_quarantined", 0),
             resumed=payload.get("resumed", False),
             shards=[ShardMetrics.from_dict(entry) for entry in payload.get("shards", [])],
         )
@@ -126,25 +133,35 @@ class RunMetrics:
     def total_bots_skipped(self) -> int:
         return sum(stage.bots_skipped for stage in self.stages.values())
 
+    @property
+    def total_bots_quarantined(self) -> int:
+        return sum(stage.bots_quarantined for stage in self.stages.values())
+
     def render(self) -> str:
         """A compact table for the CLI's ``--metrics`` flag."""
         lines = [f"=== Run metrics ({self.shard_count} shard{'s' if self.shard_count != 1 else ''}) ==="]
-        header = f"{'stage':14s} {'wall(s)':>9s} {'virtual(s)':>12s} {'exchanges':>10s} {'processed':>10s} {'skipped':>8s}"
+        header = (
+            f"{'stage':14s} {'wall(s)':>9s} {'virtual(s)':>12s} {'exchanges':>10s} "
+            f"{'processed':>10s} {'skipped':>8s} {'quar':>5s}"
+        )
         lines.append(header)
         for stage in self.stages.values():
             suffix = "  (resumed)" if stage.resumed else ""
             lines.append(
                 f"{stage.stage:14s} {stage.wall_seconds:9.2f} {stage.virtual_seconds:12.1f} "
-                f"{stage.exchanges:10d} {stage.bots_processed:10d} {stage.bots_skipped:8d}{suffix}"
+                f"{stage.exchanges:10d} {stage.bots_processed:10d} {stage.bots_skipped:8d} "
+                f"{stage.bots_quarantined:5d}{suffix}"
             )
             for shard in stage.shards:
+                quarantine_note = f", {shard.quarantined} quarantined" if shard.quarantined else ""
                 lines.append(
                     f"    shard {shard.shard}: {shard.bots} bots in {shard.wall_seconds:.2f}s wall "
-                    f"({shard.throughput:.1f} bots/s), {shard.exchanges} exchanges"
+                    f"({shard.throughput:.1f} bots/s), {shard.exchanges} exchanges{quarantine_note}"
                 )
         lines.append(
             f"{'total':14s} {self.total_wall_seconds:9.2f} {'':>12s} "
-            f"{self.total_exchanges:10d} {self.total_bots_processed:10d} {self.total_bots_skipped:8d}"
+            f"{self.total_exchanges:10d} {self.total_bots_processed:10d} {self.total_bots_skipped:8d} "
+            f"{self.total_bots_quarantined:5d}"
         )
         return "\n".join(lines)
 

@@ -41,9 +41,14 @@ from repro.core.sharding import (
     merge_fault_records,
     merge_honeypot_reports,
     merge_in_order,
+    merge_quarantine_records,
     partition,
 )
+from repro.core.supervision import BotSupervisor, QuarantineLog, verify_accounting
+from repro.discordsim import behaviors
+from repro.discordsim.permissions import Permission
 from repro.discordsim.platform import DiscordPlatform
+from repro.ecosystem.generator import InviteStatus
 from repro.ecosystem.generator import Ecosystem, EcosystemConfig, generate_ecosystem
 from repro.honeypot.experiment import HoneypotExperiment
 from repro.scraper.github import GitHubScraper
@@ -140,6 +145,7 @@ class _StageTimer:
         self._virtual = pipeline.world.clock.now()
         self._exchanges = pipeline.world.internet.exchanges_total
         self._skipped = pipeline.ledger.bots_skipped(stage)
+        self._quarantined = pipeline.quarantines.count(stage)
 
     def finish(self, bots_processed: int, outcomes: list[ShardOutcome] | None = None) -> StageMetrics:
         shards: list[ShardMetrics] = []
@@ -152,6 +158,7 @@ class _StageTimer:
                     wall_seconds=outcome.wall_seconds,
                     virtual_seconds=outcome.virtual_seconds,
                     exchanges=outcome.exchanges,
+                    quarantined=len(outcome.quarantines),
                 )
             )
             shard_exchanges += outcome.exchanges
@@ -162,6 +169,7 @@ class _StageTimer:
             exchanges=self._pipeline.world.internet.exchanges_total - self._exchanges + shard_exchanges,
             bots_processed=bots_processed,
             bots_skipped=self._pipeline.ledger.bots_skipped(self.stage) - self._skipped,
+            bots_quarantined=self._pipeline.quarantines.count(self.stage) - self._quarantined,
             shards=shards,
         )
 
@@ -182,10 +190,14 @@ class AssessmentPipeline:
         )
         #: Structured account of every fault the run absorbed.
         self.ledger = FaultLedger()
+        #: Bots the supervision layer pulled out of a stage mid-flight.
+        self.quarantines = QuarantineLog()
         #: Per-stage run metrics (filled by :meth:`run`).
         self.metrics = RunMetrics(shard_count=self.config.shards)
         #: Lazily-built shard worlds (``config.shards > 1`` only).
         self._shard_executor: ShardedExecutor | None = None
+        if self.config.adversarial_bots > 0:
+            self._plant_adversaries()
 
     # -- resilience helpers -------------------------------------------------
 
@@ -200,6 +212,64 @@ class AssessmentPipeline:
 
     def _degrade_sink(self, stage: str) -> StageFaultSink | None:
         return self._stage_sink(stage) if self.config.degrade_on_faults else None
+
+    def _supervisor(
+        self,
+        stage: str,
+        world: ShardWorld | None = None,
+        ledger: FaultLedger | None = None,
+        quarantines: QuarantineLog | None = None,
+        bus=None,
+    ) -> BotSupervisor | None:
+        """A per-bot supervision firewall for ``stage`` (None when disabled).
+
+        Defaults write to the pipeline's ledger/quarantine log on the main
+        clock; a sharded stage passes its shard's world, ledger, log and
+        event bus so quarantines land where the shard's other records do.
+        Transport faults (``WebDriverException``/``NetworkError``) pass
+        through untouched — the existing skip/fault-sink paths own those.
+        """
+        if not (self.config.degrade_on_faults and self.config.supervise_bots):
+            return None
+        return BotSupervisor(
+            stage=stage,
+            clock=world.clock if world is not None else self.world.clock,
+            ledger=ledger if ledger is not None else self.ledger,
+            quarantines=quarantines if quarantines is not None else self.quarantines,
+            bus=bus,
+            max_events=self.config.max_bot_events,
+            deadline=self.config.bot_deadline,
+            passthrough=(WebDriverException, NetworkError),
+        )
+
+    def _plant_adversaries(self) -> None:
+        """Flip ``config.adversarial_bots`` sample bots to hostile runtimes.
+
+        A self-test of the supervision layer: eligible bots in the
+        most-voted (honeypot) sample become a crasher/flooder/staller
+        rotation.  Only ``behavior`` changes — invites, permissions and
+        listings stay untouched — so every stage before the honeypot, and
+        every unplanted bot inside it, produces byte-identical output to
+        an adversary-free run.
+        """
+        rotation = (behaviors.CRASHER, behaviors.FLOODER, behaviors.STALLER)
+        planted = 0
+        for bot in self.world.ecosystem.top_voted(self.config.honeypot_sample_size):
+            if planted >= self.config.adversarial_bots:
+                break
+            if bot.invite_status is not InviteStatus.VALID:
+                continue
+            if bot.behavior in behaviors.INVASIVE_BEHAVIORS or bot.behavior in behaviors.ADVERSARIAL_BEHAVIORS:
+                continue
+            # The adversary must actually get into the guild and speak:
+            # keep the bot's real permissions, require ones that suffice.
+            capable = bot.permissions.has(Permission.ADMINISTRATOR) or (
+                bot.permissions.has(Permission.VIEW_CHANNEL) and bot.permissions.has(Permission.SEND_MESSAGES)
+            )
+            if not capable:
+                continue
+            bot.behavior = rotation[planted % len(rotation)]
+            planted += 1
 
     @staticmethod
     def _host_of(url: str | None) -> str:
@@ -252,6 +322,7 @@ class AssessmentPipeline:
         on_fault: StageFaultSink | None = None,
         world=None,
         breakers: CircuitBreakerRegistry | None = None,
+        supervisor: BotSupervisor | None = None,
     ) -> list:
         """Stage 2: website crawl + keyword traceability per active bot.
 
@@ -261,8 +332,14 @@ class AssessmentPipeline:
         *classification* outcome (broken traceability), not a fault.
 
         ``world``/``breakers`` point the stage at an isolated shard view;
-        by default it runs against the pipeline's main world.
+        by default it runs against the pipeline's main world.  With a
+        ``supervisor``, each bot's fetch+classify runs inside the
+        supervision firewall: a crash or deadline blow-out quarantines the
+        bot instead of killing the stage (transport faults still reach
+        ``on_fault`` as before).
         """
+        from repro.scraper.website import PolicyFetchResult
+
         world = world or self.world
         website_scraper = WebsiteScraper(
             world.internet,
@@ -273,20 +350,13 @@ class AssessmentPipeline:
         )
         results = []
         for bot in active_bots:
-            if bot.website_url:
-                try:
-                    fetch = website_scraper.fetch_policy(bot.website_url)
-                except (WebDriverException, NetworkError) as error:
-                    if on_fault is None:
-                        raise
-                    on_fault(self._host_of(bot.website_url), error, 1, f"traceability skipped for {bot.name}")
-                    continue
-            else:
-                from repro.scraper.website import PolicyFetchResult
 
-                fetch = PolicyFetchResult(False, False, False)
-            results.append(
-                self.traceability_analyzer.analyze(
+            def study(bot=bot):
+                if bot.website_url:
+                    fetch = website_scraper.fetch_policy(bot.website_url)
+                else:
+                    fetch = PolicyFetchResult(False, False, False)
+                return self.traceability_analyzer.analyze(
                     bot_name=bot.name,
                     permissions=bot.permissions,
                     has_website=fetch.website_reachable,
@@ -294,7 +364,19 @@ class AssessmentPipeline:
                     policy_page_valid=fetch.policy_page_valid,
                     policy_text=fetch.policy_text,
                 )
-            )
+
+            try:
+                if supervisor is None:
+                    results.append(study())
+                    continue
+                outcome = supervisor.run(bot.name, study)
+            except (WebDriverException, NetworkError) as error:
+                if on_fault is None:
+                    raise
+                on_fault(self._host_of(bot.website_url), error, 1, f"traceability skipped for {bot.name}")
+                continue
+            if outcome.completed:
+                results.append(outcome.value)
         return results
 
     def analyze_code(
@@ -303,6 +385,7 @@ class AssessmentPipeline:
         on_fault: StageFaultSink | None = None,
         world=None,
         breakers: CircuitBreakerRegistry | None = None,
+        supervisor: BotSupervisor | None = None,
     ) -> list:
         """Stage 3: GitHub crawl + Table-3 pattern detection."""
         world = world or self.world
@@ -317,21 +400,28 @@ class AssessmentPipeline:
         for bot in active_bots:
             if not bot.github_url:
                 continue
-            try:
+
+            def study(bot=bot):
                 fetched = github_scraper.fetch_repo(bot.github_url)
-            except (WebDriverException, NetworkError) as error:
-                if on_fault is None:
-                    raise
-                on_fault(self._host_of(bot.github_url), error, 1, f"code analysis skipped for {bot.name}")
-                continue
-            analyses.append(
-                self.code_analyzer.analyze_repo(
+                return self.code_analyzer.analyze_repo(
                     bot_name=bot.name,
                     files=fetched.files,
                     link_valid=fetched.link_valid,
                     main_language=fetched.main_language,
                 )
-            )
+
+            try:
+                if supervisor is None:
+                    analyses.append(study())
+                    continue
+                outcome = supervisor.run(bot.name, study)
+            except (WebDriverException, NetworkError) as error:
+                if on_fault is None:
+                    raise
+                on_fault(self._host_of(bot.github_url), error, 1, f"code analysis skipped for {bot.name}")
+                continue
+            if outcome.completed:
+                analyses.append(outcome.value)
         return analyses
 
     def run_honeypot(
@@ -340,12 +430,18 @@ class AssessmentPipeline:
         sample: list | None = None,
         world=None,
         seed: int | None = None,
+        supervisor: BotSupervisor | None = None,
     ) -> "HoneypotReport":
         """Stage 4: dynamic analysis over the most-voted sample.
 
         ``sample``/``world``/``seed`` let a shard run its bucket of bots on
         its own platform view; the defaults reproduce the sequential run.
+        On the main world a supervisor is built automatically (when
+        supervision is enabled) so hostile runtimes are quarantined; shard
+        callers pass their own, wired to the shard's clock and bus.
         """
+        if supervisor is None and world is None:
+            supervisor = self._supervisor(STAGE_HONEYPOT, bus=self.world.platform.events)
         world = world or self.world
         experiment = HoneypotExperiment(
             world.platform,
@@ -375,6 +471,7 @@ class AssessmentPipeline:
             observation_window=self.config.observation_window,
             feed_source=feed_source,
             fault_sink=on_fault,
+            supervisor=supervisor,
         )
 
     # -- sharded execution -------------------------------------------------------
@@ -420,6 +517,7 @@ class AssessmentPipeline:
         in simulated time, so the campaign is as long as its slowest shard.
         """
         merge_fault_records(self.ledger, outcomes)
+        merge_quarantine_records(self.quarantines, outcomes)
         horizon = executor.sync_clocks()
         now = self.world.clock.now()
         if horizon > now:
@@ -436,6 +534,9 @@ class AssessmentPipeline:
                 on_fault=self._shard_sink(STAGE_TRACEABILITY, shard),
                 world=shard,
                 breakers=shard.breakers,
+                supervisor=self._supervisor(
+                    STAGE_TRACEABILITY, world=shard, ledger=shard.ledger, quarantines=shard.quarantines
+                ),
             )
 
         outcomes = executor.run_stage(buckets, worker)
@@ -454,6 +555,9 @@ class AssessmentPipeline:
                 on_fault=self._shard_sink(STAGE_CODE, shard),
                 world=shard,
                 breakers=shard.breakers,
+                supervisor=self._supervisor(
+                    STAGE_CODE, world=shard, ledger=shard.ledger, quarantines=shard.quarantines
+                ),
             )
 
         outcomes = executor.run_stage(buckets, worker)
@@ -479,6 +583,13 @@ class AssessmentPipeline:
                 # Prime stride keeps shard streams clear of the other
                 # seed-derived streams (seed+1..seed+6).
                 seed=self.config.seed + 3 + 7919 * (shard.index + 1),
+                supervisor=self._supervisor(
+                    STAGE_HONEYPOT,
+                    world=shard,
+                    ledger=shard.ledger,
+                    quarantines=shard.quarantines,
+                    bus=shard.platform.events,
+                ),
             )
 
         outcomes = executor.run_stage(buckets, worker)
@@ -507,6 +618,7 @@ class AssessmentPipeline:
         if self.config.checkpoint_path is not None:
             checkpoint = PipelineCheckpoint.load_or_empty(self.config.checkpoint_path)
             self.ledger.extend(checkpoint.ledger)
+            self.quarantines.extend(checkpoint.quarantines)
 
         status: dict[str, str] = {}
 
@@ -522,6 +634,8 @@ class AssessmentPipeline:
             result = PipelineResult(crawl=crawl, scrape_stats=scraper.stats)
             status[STAGE_CRAWL] = self._stage_outcome(STAGE_CRAWL)
             self.metrics.record(timer.finish(bots_processed=len(crawl.bots)))
+            if self.config.max_pages is None:
+                self._enforce_accounting(STAGE_CRAWL, len(self.world.ecosystem.bots), status[STAGE_CRAWL])
             if checkpoint is not None:
                 checkpoint.store_crawl(crawl, scraper.stats)
                 self._save_checkpoint(checkpoint, status)
@@ -547,7 +661,9 @@ class AssessmentPipeline:
                         result.traceability_results, outcomes = self._sharded_traceability(active)
                     else:
                         result.traceability_results = self.analyze_traceability(
-                            active, on_fault=self._degrade_sink(STAGE_TRACEABILITY)
+                            active,
+                            on_fault=self._degrade_sink(STAGE_TRACEABILITY),
+                            supervisor=self._supervisor(STAGE_TRACEABILITY),
                         )
                     result.validation = self._validate_traceability()
                     status[STAGE_TRACEABILITY] = self._stage_outcome(STAGE_TRACEABILITY)
@@ -559,6 +675,7 @@ class AssessmentPipeline:
                 self.metrics.record(
                     timer.finish(bots_processed=len(result.traceability_results), outcomes=outcomes)
                 )
+                self._enforce_accounting(STAGE_TRACEABILITY, len(active), status[STAGE_TRACEABILITY])
                 if checkpoint is not None and status[STAGE_TRACEABILITY] != StageStatus.FAILED.value:
                     checkpoint.store_traceability(result.traceability_results, result.validation)
                     self._save_checkpoint(checkpoint, status)
@@ -582,7 +699,11 @@ class AssessmentPipeline:
                     if sharded:
                         result.repo_analyses, outcomes = self._sharded_code(active)
                     else:
-                        result.repo_analyses = self.analyze_code(active, on_fault=self._degrade_sink(STAGE_CODE))
+                        result.repo_analyses = self.analyze_code(
+                            active,
+                            on_fault=self._degrade_sink(STAGE_CODE),
+                            supervisor=self._supervisor(STAGE_CODE),
+                        )
                     status[STAGE_CODE] = self._stage_outcome(STAGE_CODE)
                 except (WebDriverException, NetworkError) as error:
                     if not self.config.degrade_on_faults:
@@ -590,6 +711,9 @@ class AssessmentPipeline:
                     self._record_stage_failure(STAGE_CODE, error)
                     status[STAGE_CODE] = StageStatus.FAILED.value
                 self.metrics.record(timer.finish(bots_processed=len(result.repo_analyses), outcomes=outcomes))
+                self._enforce_accounting(
+                    STAGE_CODE, sum(1 for bot in active if bot.github_url), status[STAGE_CODE]
+                )
                 if checkpoint is not None and status[STAGE_CODE] != StageStatus.FAILED.value:
                     checkpoint.store_code(result.repo_analyses)
                     self._save_checkpoint(checkpoint, status)
@@ -611,11 +735,14 @@ class AssessmentPipeline:
             else:
                 timer = _StageTimer(self, STAGE_HONEYPOT)
                 outcomes = None
+                sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
                 try:
                     if sharded:
                         result.honeypot, outcomes = self._sharded_honeypot()
                     else:
-                        result.honeypot = self.run_honeypot(on_fault=self._degrade_sink(STAGE_HONEYPOT))
+                        result.honeypot = self.run_honeypot(
+                            on_fault=self._degrade_sink(STAGE_HONEYPOT), sample=sample
+                        )
                     status[STAGE_HONEYPOT] = self._stage_outcome(STAGE_HONEYPOT)
                 except (WebDriverException, NetworkError) as error:
                     if not self.config.degrade_on_faults:
@@ -624,10 +751,11 @@ class AssessmentPipeline:
                     status[STAGE_HONEYPOT] = StageStatus.FAILED.value
                 self.metrics.record(
                     timer.finish(
-                        bots_processed=result.honeypot.bots_tested if result.honeypot is not None else 0,
+                        bots_processed=result.honeypot.bots_processed if result.honeypot is not None else 0,
                         outcomes=outcomes,
                     )
                 )
+                self._enforce_accounting(STAGE_HONEYPOT, len(sample), status[STAGE_HONEYPOT])
                 if checkpoint is not None and status[STAGE_HONEYPOT] != StageStatus.FAILED.value and result.honeypot is not None:
                     checkpoint.store_honeypot(result.honeypot)
                     self._save_checkpoint(checkpoint, status)
@@ -635,6 +763,7 @@ class AssessmentPipeline:
             status[STAGE_HONEYPOT] = StageStatus.SKIPPED.value
 
         result.fault_ledger = self.ledger
+        result.quarantines = self.quarantines
         result.stage_status = status
         result.metrics = self.metrics
         result.wall_seconds = time.monotonic() - started_wall
@@ -649,6 +778,21 @@ class AssessmentPipeline:
     def _stage_outcome(self, stage: str) -> str:
         return (StageStatus.DEGRADED if self.ledger.count(stage) else StageStatus.COMPLETED).value
 
+    def _enforce_accounting(self, stage: str, population: int, status: str) -> None:
+        """Close the books on a freshly-executed stage.
+
+        Every bot the stage was given must be processed, skipped (ledger)
+        or quarantined — nothing silently vanishes.  Only meaningful when
+        faults degrade (otherwise they raise before reaching here) and the
+        stage actually produced output.
+        """
+        if status == StageStatus.FAILED.value or not self.config.degrade_on_faults:
+            return
+        entry = self.metrics.stage(stage)
+        if entry is None:
+            return
+        verify_accounting(stage, population, entry.bots_processed, entry.bots_skipped, entry.bots_quarantined)
+
     def _record_stage_failure(self, stage: str, error: BaseException) -> None:
         self.ledger.record(
             stage, "<pipeline>", error, self.world.clock.now(), detail="stage aborted; output incomplete"
@@ -657,6 +801,7 @@ class AssessmentPipeline:
     def _save_checkpoint(self, checkpoint: PipelineCheckpoint, status: dict[str, str]) -> None:
         checkpoint.stage_status = dict(status)
         checkpoint.ledger = self.ledger
+        checkpoint.quarantines = self.quarantines
         checkpoint.metrics = {stage: entry.to_dict() for stage, entry in self.metrics.stages.items()}
         assert self.config.checkpoint_path is not None
         checkpoint.save(self.config.checkpoint_path)

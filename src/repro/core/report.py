@@ -123,6 +123,21 @@ def render_full_report(result: PipelineResult) -> str:
         )
         sections.append("")
 
+    if result.quarantines:
+        rows = [
+            (record.bot_name, record.stage, record.reason, record.root_cause)
+            for record in result.quarantines.records
+        ]
+        sections.append(
+            render_table(
+                ("Quarantined bot", "Stage", "Reason", "Root cause"),
+                rows,
+                title="Supervision: quarantined runtimes",
+            )
+        )
+        sections.append(result.quarantines.summary_line())
+        sections.append("")
+
     failed = result.failed_stages
     if failed:
         sections.append(

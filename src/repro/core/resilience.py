@@ -320,6 +320,22 @@ class FaultLedger:
     def bots_skipped(self, stage: str | None = None) -> int:
         return sum(record.bots_skipped for record in self.records if stage is None or record.stage == stage)
 
+    def quarantine_records(self, stage: str | None = None) -> list[FaultRecord]:
+        """The subset of records written by the supervision layer.
+
+        Quarantines live in the ledger (with their root cause) *and* in the
+        pipeline's :class:`~repro.core.supervision.QuarantineLog`; the
+        detail prefix lets ledger-only consumers tell them apart from
+        ordinary skips.
+        """
+        from repro.core.supervision import QUARANTINE_DETAIL_PREFIX
+
+        return [
+            record
+            for record in self.records
+            if record.detail.startswith(QUARANTINE_DETAIL_PREFIX) and (stage is None or record.stage == stage)
+        ]
+
     @property
     def total_bots_skipped(self) -> int:
         return self.bots_skipped()

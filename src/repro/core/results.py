@@ -12,6 +12,7 @@ from repro.analysis.traceability_stats import TraceabilitySummary
 from repro.codeanalysis.analyzer import RepoAnalysis
 from repro.core.metrics import RunMetrics
 from repro.core.resilience import FaultLedger, StageStatus
+from repro.core.supervision import QuarantineLog
 from repro.honeypot.experiment import HoneypotReport
 from repro.scraper.base import ScrapeStats
 from repro.scraper.topgg import CrawlResult
@@ -51,6 +52,8 @@ class PipelineResult:
     # Resilience accounting: every fault the run absorbed, and how each
     # stage ended (stage name -> StageStatus value).
     fault_ledger: FaultLedger = field(default_factory=FaultLedger)
+    #: Bots the supervision layer pulled out of a stage mid-flight.
+    quarantines: QuarantineLog = field(default_factory=QuarantineLog)
     stage_status: dict[str, str] = field(default_factory=dict)
 
     # Operational metrics: per-stage wall/virtual time, traffic, and
@@ -120,4 +123,6 @@ class PipelineResult:
             )
         if self.degraded:
             lines.append(self.fault_ledger.summary_line())
+        if self.quarantines:
+            lines.append(self.quarantines.summary_line())
         return lines

@@ -40,6 +40,11 @@ def result_to_dict(result: PipelineResult, include_bots: bool = False) -> dict[s
         "stage_status": dict(result.stage_status),
         "failed_stages": result.failed_stages,
         "fault_ledger": result.fault_ledger.to_dict(),
+        "quarantine": {
+            "count": len(result.quarantines),
+            "by_reason": result.quarantines.by_reason(),
+            "bots": [record.to_dict() for record in result.quarantines.records],
+        },
         "metrics": result.metrics.to_dict(),
     }
 
@@ -92,6 +97,12 @@ def result_to_dict(result: PipelineResult, include_bots: bool = False) -> dict[s
     if honeypot is not None:
         payload["honeypot"] = {
             "bots_tested": honeypot.bots_tested,
+            "bots_processed": honeypot.bots_processed,
+            "bots_quarantined": honeypot.bots_quarantined,
+            "quarantined": [
+                {"bot_name": outcome.bot_name, "reason": outcome.quarantine_reason}
+                for outcome in honeypot.quarantined_bots
+            ],
             "install_failures": honeypot.install_failures,
             "manual_verifications": honeypot.manual_verifications,
             "captcha_cost": honeypot.captcha_cost,

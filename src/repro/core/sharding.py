@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 from zlib import crc32
 
 from repro.core.resilience import CircuitBreakerRegistry, FaultLedger, FaultRecord
+from repro.core.supervision import QuarantineLog, QuarantineRecord
 from repro.honeypot.experiment import HoneypotReport
 from repro.web.network import VirtualClock, VirtualInternet
 
@@ -77,6 +78,7 @@ class ShardWorld:
     solver: "TwoCaptchaClient"
     breakers: CircuitBreakerRegistry
     ledger: FaultLedger = field(default_factory=FaultLedger)
+    quarantines: QuarantineLog = field(default_factory=QuarantineLog)
 
 
 @dataclass
@@ -91,6 +93,8 @@ class ShardOutcome:
     exchanges: int
     #: Fault records this stage added to the shard's ledger.
     faults: list[FaultRecord] = field(default_factory=list)
+    #: Quarantine records this stage added to the shard's log.
+    quarantines: list[QuarantineRecord] = field(default_factory=list)
 
 
 class ShardedExecutor:
@@ -126,6 +130,7 @@ class ShardedExecutor:
             virtual_start = world.clock.now()
             exchanges_start = world.internet.exchanges_total
             faults_start = len(world.ledger.records)
+            quarantines_start = len(world.quarantines.records)
             value = worker(world, bucket)
             return ShardOutcome(
                 shard_index=world.index,
@@ -135,6 +140,7 @@ class ShardedExecutor:
                 virtual_seconds=world.clock.now() - virtual_start,
                 exchanges=world.internet.exchanges_total - exchanges_start,
                 faults=world.ledger.records[faults_start:],
+                quarantines=world.quarantines.records[quarantines_start:],
             )
 
         if self.shards == 1:
@@ -208,3 +214,9 @@ def merge_fault_records(target: FaultLedger, outcomes: Sequence[ShardOutcome]) -
     """Append every shard's new fault records to ``target`` in shard order."""
     for outcome in outcomes:
         target.records.extend(outcome.faults)
+
+
+def merge_quarantine_records(target: QuarantineLog, outcomes: Sequence[ShardOutcome]) -> None:
+    """Append every shard's new quarantine records to ``target`` in shard order."""
+    for outcome in outcomes:
+        target.records.extend(outcome.quarantines)

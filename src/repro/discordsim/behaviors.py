@@ -32,6 +32,12 @@ NOSY_OPERATOR = "nosy_operator"
 #: exfiltrates — the threat-model case of developers silently altering
 #: backend code *after* installation (and after any vetting window).
 SLEEPER = "sleeper"
+#: Adversarial ground truth for the supervision layer: a handler that
+#: raises on every message, a handler that floods the gateway with
+#: replies, and a handler that stalls the (virtual) clock.
+CRASHER = "crasher"
+FLOODER = "flooder"
+STALLER = "staller"
 
 ALL_BEHAVIORS = (
     BENIGN,
@@ -41,11 +47,27 @@ ALL_BEHAVIORS = (
     EXFILTRATOR,
     NOSY_OPERATOR,
     SLEEPER,
+    CRASHER,
+    FLOODER,
+    STALLER,
 )
 
 #: Behaviours whose *unsolicited* access to channel resources would fire
 #: canary tokens (ground truth for honeypot evaluation).
 INVASIVE_BEHAVIORS = frozenset({EXFILTRATOR, NOSY_OPERATOR, SLEEPER})
+
+#: Behaviours that misbehave at the *runtime* level (crash/flood/stall)
+#: rather than the privacy level — ground truth for BotSupervisor.
+ADVERSARIAL_BEHAVIORS = frozenset({CRASHER, FLOODER, STALLER})
+
+#: How many replies a flooder posts per observed message.  Bounded so an
+#: unsupervised run still terminates; large enough that any sane event
+#: budget trips within a few feed messages.
+FLOODER_BURST = 64
+
+#: How long a staller's handler sleeps: three months of virtual time,
+#: comfortably past any per-bot deadline and any observation window.
+STALL_SECONDS = 90 * 86_400.0
 
 #: Default dormancy before a sleeper turns: one week, comfortably past the
 #: paper's observation horizon.
@@ -89,6 +111,15 @@ def build_runtime(
     elif behavior == SLEEPER:
         _install_benign_commands(runtime)
         _install_sleeper(runtime, exfil_host or "collector.evil.sim", SLEEPER_WAKE_AFTER)
+    elif behavior == CRASHER:
+        _install_benign_commands(runtime)
+        _install_crasher(runtime)
+    elif behavior == FLOODER:
+        _install_benign_commands(runtime)
+        _install_flooder(runtime)
+    elif behavior == STALLER:
+        _install_benign_commands(runtime)
+        _install_staller(runtime)
     else:
         raise ValueError(f"unknown behavior: {behavior!r}")
     runtime.start()
@@ -239,6 +270,47 @@ def _install_sleeper(runtime: BotRuntime, exfil_host: str, wake_after: float) ->
                         bot.api.send_email(address, "newsletter")
 
     runtime.add_tick_handler(maybe_wake)
+
+
+def _install_crasher(runtime: BotRuntime) -> None:
+    """A backend whose message handler throws on every delivery.
+
+    The raise is *not* a ``GuildError`` (those the runtime absorbs); it
+    models the genuinely unhandled bug — a bad deploy, a null deref — that
+    takes an unsupervised campaign down with it.
+    """
+
+    def crash(bot: BotRuntime, message: Message) -> None:
+        raise RuntimeError(f"crasher backend exploded handling message in guild {message.guild_id}")
+
+    runtime.add_listener(crash)
+
+
+def _install_flooder(runtime: BotRuntime) -> None:
+    """A handler that answers every observed message with a reply storm.
+
+    The gateway never re-delivers a bot its own messages, so each observed
+    message costs a bounded :data:`FLOODER_BURST` dispatches — enough to
+    blow through an event budget within a handful of feed messages.
+    """
+
+    def flood(bot: BotRuntime, message: Message) -> None:
+        for index in range(FLOODER_BURST):
+            try:
+                bot.api.send_message(message.guild_id, message.channel_id, f"REPOST {index}: {message.content[:40]}")
+            except GuildError:
+                return
+
+    runtime.add_listener(flood)
+
+
+def _install_staller(runtime: BotRuntime) -> None:
+    """A handler that blocks: it sleeps the clock for months per message."""
+
+    def stall(bot: BotRuntime, message: Message) -> None:
+        bot.platform.clock.sleep(STALL_SECONDS)
+
+    runtime.add_listener(stall)
 
 
 def _extract_title(html: str) -> str:

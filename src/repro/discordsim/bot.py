@@ -109,6 +109,7 @@ class BotRuntime:
         self.errors: list[tuple[str, Exception]] = []
         self.invocations = 0
         self._started = False
+        self._unsubscribe: Callable[[], None] | None = None
 
     # -- registration --------------------------------------------------------
 
@@ -146,8 +147,21 @@ class BotRuntime:
         """Connect to the gateway (idempotent)."""
         if self._started:
             return
-        self.platform.subscribe_bot(self.bot_user_id, self._on_event)
+        self._unsubscribe = self.platform.subscribe_bot(self.bot_user_id, self._on_event)
         self._started = True
+
+    def stop(self) -> None:
+        """Disconnect from the gateway (idempotent).
+
+        Used by the supervision layer after a quarantine: a runtime whose
+        handler crashed or flooded must never receive another event.
+        """
+        if not self._started:
+            return
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        self._started = False
 
     def _on_event(self, event: Event) -> None:
         message: Message = event.payload["message"]

@@ -47,8 +47,27 @@ class EventBus:
 
     def __init__(self) -> None:
         self._subscribers: list[tuple[EventType | None, Callable[[Event], bool] | None, Subscriber]] = []
+        self._guards: list[Callable[[Event], None]] = []
         self.events_dispatched = 0
         self.deliveries = 0
+
+    def add_guard(self, guard: Callable[[Event], None]) -> Callable[[], None]:
+        """Install a pre-dispatch hook; returns a remover.
+
+        Guards run before any subscriber sees the event and may raise to
+        veto it — the supervision layer uses one to cut off a bot whose
+        handlers flood the bus (each flood reply is itself a dispatch, so
+        the guard sees the storm as it grows).
+        """
+        self._guards.append(guard)
+
+        def remove() -> None:
+            try:
+                self._guards.remove(guard)
+            except ValueError:
+                pass
+
+        return remove
 
     def subscribe(
         self,
@@ -70,6 +89,8 @@ class EventBus:
 
     def dispatch(self, event: Event) -> int:
         """Deliver to matching subscribers; returns delivery count."""
+        for guard in tuple(self._guards):
+            guard(event)
         self.events_dispatched += 1
         delivered = 0
         for event_type, predicate, callback in list(self._subscribers):

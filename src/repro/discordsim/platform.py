@@ -14,6 +14,7 @@ Two properties the paper leans on are reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.discordsim.gateway import Event, EventBus, EventType
 from repro.discordsim.guild import Guild, PermissionDenied
@@ -270,7 +271,10 @@ class DiscordPlatform:
         captcha_answer: str,
     ) -> Member:
         """Finish the OAuth flow: captcha, MANAGE_GUILD, scope whitelist, role."""
-        invite = parse_invite_url(invite_url)
+        try:
+            invite = parse_invite_url(invite_url)
+        except Exception as error:
+            raise InstallError(f"invalid invite link: {error}") from error
         application = self.applications.get(invite.client_id)
         if application is None:
             raise InstallError(f"no application with client_id {invite.client_id}")
@@ -352,8 +356,12 @@ class DiscordPlatform:
 
     # -- gateway visibility ---------------------------------------------------------
 
-    def subscribe_bot(self, bot_user_id: int, callback) -> None:
-        """Subscribe a bot to MESSAGE_CREATE for channels it can view."""
+    def subscribe_bot(self, bot_user_id: int, callback) -> Callable[[], None]:
+        """Subscribe a bot to MESSAGE_CREATE for channels it can view.
+
+        Returns the unsubscribe function, so a runtime can disconnect
+        cleanly (e.g. when the supervision layer quarantines it).
+        """
 
         def visible(event: Event) -> bool:
             guild = self.guilds.get(event.guild_id)
@@ -364,4 +372,4 @@ class DiscordPlatform:
                 return False
             return guild.permissions_in(bot_user_id, message.channel_id).has(Permission.VIEW_CHANNEL)
 
-        self.events.subscribe(callback, EventType.MESSAGE_CREATE, visible)
+        return self.events.subscribe(callback, EventType.MESSAGE_CREATE, visible)

@@ -46,6 +46,10 @@ class BotTestOutcome:
     trigger_kinds: frozenset[TokenKind] = frozenset()
     suspicious_messages: tuple[str, ...] = ()
     functionality_explained: bool = False
+    #: Set by the supervision layer: the bot's runtime crashed, flooded the
+    #: gateway, or stalled the clock, and its test was abandoned mid-way.
+    quarantined: bool = False
+    quarantine_reason: str = ""
 
     @property
     def triggered(self) -> bool:
@@ -53,8 +57,12 @@ class BotTestOutcome:
 
     @property
     def flagged(self) -> bool:
-        """Detector verdict: triggered and not explained by functionality."""
-        return self.triggered and not self.functionality_explained
+        """Detector verdict: triggered and not explained by functionality.
+
+        A quarantined bot is never flagged — its test was cut short, so
+        the campaign has no complete observation to judge it on.
+        """
+        return self.triggered and not self.functionality_explained and not self.quarantined
 
 
 @dataclass
@@ -70,6 +78,19 @@ class HoneypotReport:
     @property
     def bots_tested(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def bots_quarantined(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.quarantined)
+
+    @property
+    def bots_processed(self) -> int:
+        """Outcomes the campaign fully observed (quarantines excluded)."""
+        return self.bots_tested - self.bots_quarantined
+
+    @property
+    def quarantined_bots(self) -> list[BotTestOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.quarantined]
 
     @property
     def flagged_bots(self) -> list[BotTestOutcome]:
@@ -127,8 +148,19 @@ class HoneypotExperiment:
         self.console.register(internet)
         self.factory = TokenFactory()
         self.solver = solver or TwoCaptchaClient(internet.clock, seed=seed)
+        self._seed = seed
         self._rng = random.Random(seed)
         self._register_exfil_collector()
+
+    def _bot_rng(self, bot: BotProfile) -> random.Random:
+        """Provisioning randomness keyed by ``(campaign seed, client id)``.
+
+        Each bot draws from its own stream so one bot's early abort (a
+        quarantine mid-feed) cannot shift any other bot's draws — the
+        isolation the per-guild methodology promises, applied to the RNG.
+        String seeds hash via sha512, stable across processes.
+        """
+        return random.Random(f"{self._seed}:{bot.client_id}")
 
     def _register_exfil_collector(self) -> None:
         """The attacker's collection endpoint (exfiltrators post here)."""
@@ -149,6 +181,7 @@ class HoneypotExperiment:
         operator_activity_threshold: int = 10,
         feed_source=None,
         fault_sink=None,
+        supervisor=None,
     ) -> HoneypotReport:
         """Test every bot in ``sample`` in its own guild.
 
@@ -165,6 +198,15 @@ class HoneypotExperiment:
         transport failures during provisioning skip the bot (reported, not
         crashed) and failures inside a bot's backend tick are absorbed —
         the campaign always completes and stays honest about what it lost.
+
+        ``supervisor`` (a :class:`~repro.core.supervision.BotSupervisor`)
+        wraps every per-bot unit of work — provisioning, backend ticks,
+        operator inspections — in an exception firewall with an event
+        budget and a virtual-time deadline.  A bot that crashes, floods or
+        stalls is quarantined: its runtime is disconnected, it gets a
+        degraded outcome with the quarantine reason, and the campaign
+        continues undisturbed (transport faults still flow to
+        ``fault_sink`` as before).
         """
         report = HoneypotReport()
         spent_before = self.solver.total_spent
@@ -179,10 +221,31 @@ class HoneypotExperiment:
         # the moment content lands in front of their listeners.
         provisioned: list[_ProvisionedTest] = []
         for bot in sample:
-            try:
-                test = self._provision_bot(
-                    bot, personas_per_guild, feed_messages, personas=shared_personas, feed_source=feed_source
+            runtime_sink: list[BotRuntime] = []
+
+            def provision(bot=bot, runtime_sink=runtime_sink):
+                return self._provision_bot(
+                    bot,
+                    personas_per_guild,
+                    feed_messages,
+                    personas=shared_personas,
+                    feed_source=feed_source,
+                    runtime_sink=runtime_sink,
                 )
+
+            try:
+                if supervisor is None:
+                    test = provision()
+                else:
+                    outcome = supervisor.run(
+                        bot.name, provision, cleanup=lambda sink=runtime_sink: self._halt_runtimes(sink)
+                    )
+                    if outcome.quarantined:
+                        report.outcomes.append(
+                            self._quarantine_outcome(bot, outcome.record, installed=bool(runtime_sink))
+                        )
+                        continue
+                    test = outcome.value
             except NetworkError as error:
                 if fault_sink is None:
                     raise
@@ -199,11 +262,19 @@ class HoneypotExperiment:
         for step in range(slices):
             self.internet.clock.sleep(observation_window / slices)
             # Bots run their own backend schedulers; give each a tick.
-            for test in provisioned:
+            for test in list(provisioned):
                 if test.runtime is None:
                     continue
                 try:
-                    test.runtime.tick()
+                    if supervisor is None:
+                        test.runtime.tick()
+                    else:
+                        outcome = supervisor.run(test.bot.name, test.runtime.tick, cleanup=test.runtime.stop)
+                        if outcome.quarantined:
+                            provisioned.remove(test)
+                            report.outcomes.append(
+                                self._quarantine_outcome(test.bot, outcome.record, installed=True)
+                            )
                 except NetworkError as error:
                     # An exfiltrator losing its collector is the *attacker's*
                     # problem; the campaign records it and moves on.
@@ -211,14 +282,26 @@ class HoneypotExperiment:
                         raise
                     fault_sink(_fault_host(error), error, 0, f"backend tick failed for {test.bot.name}")
             if step == slices // 2:
-                for test in provisioned:
+                for test in list(provisioned):
                     if test.bot.behavior != behaviors.NOSY_OPERATOR or test.runtime is None:
                         continue
                     guild = test.environment.guild
                     activity = sum(len(channel.messages) for channel in guild.text_channels())
                     if activity >= operator_activity_threshold:
-                        try:
+
+                        def inspect(test=test, guild=guild):
                             behaviors.operator_inspection(test.runtime, guild.guild_id, self._rng)
+
+                        try:
+                            if supervisor is None:
+                                inspect()
+                            else:
+                                outcome = supervisor.run(test.bot.name, inspect, cleanup=test.runtime.stop)
+                                if outcome.quarantined:
+                                    provisioned.remove(test)
+                                    report.outcomes.append(
+                                        self._quarantine_outcome(test.bot, outcome.record, installed=True)
+                                    )
                         except NetworkError as error:
                             if fault_sink is None:
                                 raise
@@ -236,8 +319,26 @@ class HoneypotExperiment:
             report.manual_verifications = sum(
                 test.environment.personas.manual_verifications for test in provisioned
             )
-        report.install_failures = sum(1 for outcome in report.outcomes if not outcome.installed)
+        report.install_failures = sum(
+            1 for outcome in report.outcomes if not outcome.installed and not outcome.quarantined
+        )
         return report
+
+    @staticmethod
+    def _halt_runtimes(runtimes: list[BotRuntime]) -> None:
+        """Disconnect quarantined runtimes so they never see another event."""
+        for runtime in runtimes:
+            runtime.stop()
+
+    @staticmethod
+    def _quarantine_outcome(bot: BotProfile, record, installed: bool) -> BotTestOutcome:
+        return BotTestOutcome(
+            bot_name=bot.name,
+            behavior=bot.behavior,
+            installed=installed,
+            quarantined=True,
+            quarantine_reason=record.reason,
+        )
 
     def _provision_bot(
         self,
@@ -246,6 +347,7 @@ class HoneypotExperiment:
         feed_messages: int,
         personas=None,
         feed_source=None,
+        runtime_sink: "list[BotRuntime] | None" = None,
     ) -> "_ProvisionedTest | None":
         from repro.ecosystem.generator import InviteStatus
 
@@ -257,7 +359,7 @@ class HoneypotExperiment:
             operator = self.platform.create_user(f"dev-{bot.developer_tag.split('#')[0]}", phone_verified=True)
             application = self.platform.register_application(operator, bot.name, client_id=bot.client_id)
 
-        runtime_holder: list[BotRuntime] = []
+        runtime_holder: list[BotRuntime] = runtime_sink if runtime_sink is not None else []
 
         def attach_runtime(environment: GuildEnvironment) -> None:
             runtime = behaviors.build_runtime(
@@ -276,7 +378,7 @@ class HoneypotExperiment:
                 self.console,
                 self.factory,
                 self.solver,
-                self._rng,
+                self._bot_rng(bot),
                 personas_per_guild=personas_per_guild,
                 feed_messages=feed_messages,
                 on_installed=attach_runtime,

@@ -40,14 +40,36 @@ class VirtualClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._watchdogs: list[Callable[[float], None]] = []
 
     def now(self) -> float:
         return self._now
+
+    def add_watchdog(self, callback: Callable[[float], None]) -> Callable[[], None]:
+        """Call ``callback(now)`` after every advance; returns a remover.
+
+        Watchdogs may raise — that is their purpose: a supervisor installs
+        one to abort a unit of work that consumes more simulated time than
+        its deadline, even from inside an otherwise-infinite sleep loop.
+        The advance itself is already applied when watchdogs fire, so time
+        stays monotonic across an abort.
+        """
+        self._watchdogs.append(callback)
+
+        def remove() -> None:
+            try:
+                self._watchdogs.remove(callback)
+            except ValueError:
+                pass
+
+        return remove
 
     def advance(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("the clock cannot run backwards")
         self._now += seconds
+        for watchdog in tuple(self._watchdogs):
+            watchdog(self._now)
 
     def sleep(self, seconds: float) -> None:
         """Alias of :meth:`advance`; lets callers read naturally."""

@@ -1,0 +1,213 @@
+"""Checkpoint integrity: corruption detection, salvage, and honest resume.
+
+The robustness contract under test: a checkpoint file that was corrupted on
+disk (bit-flip, tail truncation, partial write) must never crash
+``load_or_empty`` — the bad file is sidelined to ``<name>.corrupt``, every
+stage that still verifies against its own checksum is recovered, the loss
+is recorded in the fault ledger, and a resumed run completes with the same
+statistics an uninterrupted run produces.
+"""
+
+import json
+import logging
+from collections import Counter
+
+import pytest
+
+from repro.core.checkpoint import (
+    STAGE_CODE,
+    STAGE_CRAWL,
+    STAGE_HONEYPOT,
+    STAGE_TRACEABILITY,
+    CheckpointCorruptionError,
+    PipelineCheckpoint,
+    _complete_truncated_json,
+    _scrape_stats_from_dict,
+)
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import AssessmentPipeline
+
+
+def _config(**overrides) -> PipelineConfig:
+    defaults = dict(n_bots=60, seed=3, honeypot_sample_size=10, validation_sample_size=20)
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+def _statistics(result) -> dict:
+    stats = {
+        "bots": result.bots_collected,
+        "active": result.active_bots,
+        "listing_ids": sorted(bot.listing_id for bot in result.crawl.bots),
+        "trace_classes": Counter(r.classification.value for r in result.traceability_results),
+        "repo_languages": Counter(a.main_language for a in result.repo_analyses),
+    }
+    if result.honeypot is not None:
+        stats["honeypot_tested"] = result.honeypot.bots_tested
+        stats["honeypot_flagged"] = sorted(o.bot_name for o in result.honeypot.flagged_bots)
+    return stats
+
+
+@pytest.fixture(scope="module")
+def finished_run(tmp_path_factory):
+    """One fully-checkpointed reference run; tests copy its file around."""
+    root = tmp_path_factory.mktemp("checkpointed")
+    path = root / "pipeline.json"
+    result = AssessmentPipeline(_config(checkpoint_path=str(path))).run()
+    return result, path.read_bytes()
+
+
+class TestChecksumVerification:
+    def test_save_load_roundtrip_verifies(self, finished_run, tmp_path):
+        _, blob = finished_run
+        target = tmp_path / "pipeline.json"
+        target.write_bytes(blob)
+        checkpoint = PipelineCheckpoint.load(target)
+        assert checkpoint.completed_stages == [
+            STAGE_CRAWL,
+            STAGE_TRACEABILITY,
+            STAGE_CODE,
+            STAGE_HONEYPOT,
+        ]
+
+    def test_load_rejects_silently_edited_payload(self, finished_run, tmp_path):
+        _, blob = finished_run
+        payload = json.loads(blob)
+        payload["stages"][STAGE_CRAWL]["pages_traversed"] += 1  # silent disk corruption
+        target = tmp_path / "pipeline.json"
+        target.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointCorruptionError, match="checksum"):
+            PipelineCheckpoint.load(target)
+
+    def test_load_rejects_truncated_file(self, finished_run, tmp_path):
+        _, blob = finished_run
+        target = tmp_path / "pipeline.json"
+        target.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointCorruptionError):
+            PipelineCheckpoint.load(target)
+
+
+class TestSalvage:
+    def test_edited_stage_dropped_others_recovered(self, finished_run, tmp_path):
+        _, blob = finished_run
+        payload = json.loads(blob)
+        payload["stages"][STAGE_CRAWL]["pages_traversed"] += 1
+        target = tmp_path / "pipeline.json"
+        target.write_text(json.dumps(payload))
+
+        recovered = PipelineCheckpoint.load_or_empty(target)
+        # The damaged stage fails its own checksum; the intact ones survive.
+        assert STAGE_CRAWL not in recovered.stages
+        assert recovered.completed_stages == [STAGE_TRACEABILITY, STAGE_CODE, STAGE_HONEYPOT]
+        assert not target.exists()
+        assert (tmp_path / "pipeline.json.corrupt").exists()
+        recovery = [record for record in recovered.ledger.records if record.stage == "checkpoint"]
+        assert len(recovery) == 1
+        assert "pipeline.json.corrupt" in recovery[0].detail
+        assert "stages recovered" in recovery[0].detail
+
+    def test_unreadable_garbage_yields_empty_checkpoint(self, tmp_path):
+        target = tmp_path / "pipeline.json"
+        target.write_bytes(b"\x00\xffnot json at all")
+        recovered = PipelineCheckpoint.load_or_empty(target)
+        assert recovered.completed_stages == []
+        assert (tmp_path / "pipeline.json.corrupt").exists()
+        assert recovered.ledger.records[0].stage == "checkpoint"
+
+    def test_missing_file_is_a_plain_fresh_checkpoint(self, tmp_path):
+        recovered = PipelineCheckpoint.load_or_empty(tmp_path / "absent.json")
+        assert recovered.completed_stages == []
+        assert len(recovered.ledger) == 0  # nothing was lost, nothing recorded
+
+    def test_truncation_at_any_byte_offset_never_crashes(self, finished_run, tmp_path):
+        """Sweep truncation points across the whole file, including tiny ones."""
+        _, blob = finished_run
+        size = len(blob)
+        offsets = sorted({1, 2, 10, 100, *range(size // 40, size, size // 40)})
+        for offset in offsets:
+            workdir = tmp_path / f"cut_{offset}"
+            workdir.mkdir()
+            target = workdir / "pipeline.json"
+            target.write_bytes(blob[:offset])
+            recovered = PipelineCheckpoint.load_or_empty(target)  # must never raise
+            assert not target.exists()
+            assert (workdir / "pipeline.json.corrupt").exists()
+            assert any(record.stage == "checkpoint" for record in recovered.ledger.records)
+            # Whatever survived must be genuinely restorable.
+            for stage in recovered.completed_stages:
+                assert PipelineCheckpoint._stage_round_trips(stage, recovered.stages[stage])
+
+    def test_late_truncation_recovers_early_stages(self, finished_run, tmp_path):
+        # Stage checksums are written before the big stages blob, so a cut
+        # near the end of the file should still salvage the leading stages.
+        _, blob = finished_run
+        target = tmp_path / "pipeline.json"
+        target.write_bytes(blob[: int(len(blob) * 0.9)])
+        recovered = PipelineCheckpoint.load_or_empty(target)
+        assert STAGE_CRAWL in recovered.stages
+
+
+class TestResumeAfterCorruption:
+    def test_truncated_checkpoint_resumes_to_identical_statistics(self, finished_run, tmp_path):
+        reference, blob = finished_run
+        path = tmp_path / "pipeline.json"
+        path.write_bytes(blob[: int(len(blob) * 0.6)])
+
+        resumed = AssessmentPipeline(_config(checkpoint_path=str(path))).run()
+        assert _statistics(resumed) == _statistics(reference)
+        assert (tmp_path / "pipeline.json.corrupt").exists()
+        # The run is honest about the loss: the salvage landed in the ledger.
+        recovery = [r for r in resumed.fault_ledger.records if r.stage == "checkpoint"]
+        assert len(recovery) == 1
+
+    def test_hopelessly_truncated_checkpoint_yields_fresh_run(self, finished_run, tmp_path):
+        """Regression: a near-empty checkpoint file must never crash the run."""
+        reference, blob = finished_run
+        path = tmp_path / "pipeline.json"
+        path.write_bytes(blob[:40])  # nothing salvageable survives
+
+        result = AssessmentPipeline(_config(checkpoint_path=str(path))).run()
+        # Every stage re-ran from scratch, none resumed.
+        assert all(status in ("completed", "degraded") for status in result.stage_status.values())
+        assert _statistics(result) == _statistics(reference)
+        assert (tmp_path / "pipeline.json.corrupt").exists()
+        # The rewritten checkpoint is whole again and verifies.
+        assert PipelineCheckpoint.load(path).completed_stages
+
+
+class TestTruncatedJsonRepair:
+    def test_cuts_back_to_last_complete_value(self):
+        text = '{"a": "x", "b": [1, 2], "c": {"d": "y", "e": "zzz'
+        assert json.loads(_complete_truncated_json(text)) == {"a": "x", "b": [1, 2], "c": {"d": "y"}}
+
+    def test_numbers_are_never_safe_cut_points(self):
+        # "12" could be a prefix of 12.5e3; conservative repair refuses it.
+        assert _complete_truncated_json('{"a": 12') is None
+
+    def test_no_object_at_all(self):
+        assert _complete_truncated_json("totally not json") is None
+
+    def test_complete_document_round_trips(self):
+        text = json.dumps({"a": [1, 2], "b": {"c": "d"}})
+        assert json.loads(_complete_truncated_json(text)) == json.loads(text)
+
+    def test_escaped_quotes_do_not_confuse_the_scanner(self):
+        text = '{"a": "he said \\"hi\\"", "b": "tail that got cu'
+        assert json.loads(_complete_truncated_json(text)) == {"a": 'he said "hi"'}
+
+
+class TestScrapeStatsCompat:
+    def test_unknown_keys_dropped_with_warning(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.core.checkpoint"):
+            stats = _scrape_stats_from_dict(
+                {"pages_fetched": 7, "from_the_future": 1, "also_unknown": 2}
+            )
+        assert stats.pages_fetched == 7
+        assert not hasattr(stats, "from_the_future")
+        warning = "\n".join(caplog.messages)
+        assert "also_unknown, from_the_future" in warning
+
+    def test_known_keys_stay_silent(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.core.checkpoint"):
+            _scrape_stats_from_dict({"pages_fetched": 7})
+        assert not caplog.messages

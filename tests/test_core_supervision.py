@@ -1,0 +1,248 @@
+"""Unit tests for the bot-level supervision layer.
+
+`BotSupervisor` is the exception firewall every per-bot unit of work runs
+inside; these tests drive it directly with a real `VirtualClock` and
+`EventBus` so the guard mechanics (watchdog install/remove, event budget,
+passthrough types, cleanup-on-quarantine) are exercised without the full
+pipeline on top.
+"""
+
+import pytest
+
+from repro.core.resilience import FaultLedger
+from repro.core.supervision import (
+    QUARANTINE_DETAIL_PREFIX,
+    REASON_CRASH,
+    REASON_DEADLINE,
+    REASON_EVENT_FLOOD,
+    AccountingError,
+    BotSupervisor,
+    DeadlineExceeded,
+    EventBudgetExceeded,
+    QuarantineLog,
+    QuarantineRecord,
+    SupervisionError,
+    verify_accounting,
+)
+from repro.discordsim.gateway import Event, EventBus, EventType
+from repro.web.network import NetworkError, VirtualClock
+
+
+def _supervisor(**overrides) -> BotSupervisor:
+    defaults = dict(
+        stage="honeypot",
+        clock=VirtualClock(),
+        ledger=FaultLedger(),
+        quarantines=QuarantineLog(),
+        bus=None,
+        max_events=0,
+        deadline=0.0,
+    )
+    defaults.update(overrides)
+    return BotSupervisor(**defaults)
+
+
+class TestCrashQuarantine:
+    def test_completed_work_returns_value(self):
+        supervisor = _supervisor()
+        outcome = supervisor.run("GoodBot", lambda: 42)
+        assert outcome.completed
+        assert outcome.value == 42
+        assert not outcome.quarantined
+        assert len(supervisor.quarantines) == 0
+
+    def test_crash_quarantines_with_root_cause(self):
+        supervisor = _supervisor()
+
+        def explode():
+            raise RuntimeError("backend exploded")
+
+        outcome = supervisor.run("BadBot", explode)
+        assert not outcome.completed
+        assert outcome.quarantined
+        record = outcome.record
+        assert record.reason == REASON_CRASH
+        assert record.bot_name == "BadBot"
+        assert record.root_cause == "RuntimeError"
+        assert supervisor.quarantines.bot_names() == ["BadBot"]
+
+    def test_crash_lands_in_fault_ledger_with_prefix(self):
+        supervisor = _supervisor()
+        supervisor.run("BadBot", lambda: (_ for _ in ()).throw(ValueError("boom")))
+        assert len(supervisor.ledger) == 1
+        fault = supervisor.ledger.records[0]
+        assert fault.host == "bot:BadBot"
+        assert fault.detail.startswith(QUARANTINE_DETAIL_PREFIX)
+        assert fault.bots_skipped == 0  # quarantine is its own bucket
+        assert supervisor.ledger.quarantine_records() == [fault]
+
+    def test_cleanup_runs_on_quarantine_not_on_success(self):
+        supervisor = _supervisor()
+        halted = []
+        supervisor.run("Good", lambda: 1, cleanup=lambda: halted.append("good"))
+        assert halted == []
+
+        def explode():
+            raise RuntimeError("x")
+
+        supervisor.run("Bad", explode, cleanup=lambda: halted.append("bad"))
+        assert halted == ["bad"]
+
+    def test_passthrough_types_reraise_untouched(self):
+        supervisor = _supervisor(passthrough=(NetworkError,))
+        with pytest.raises(NetworkError):
+            supervisor.run("NetBot", lambda: (_ for _ in ()).throw(NetworkError("dns")))
+        assert len(supervisor.quarantines) == 0
+        assert len(supervisor.ledger) == 0
+
+    def test_keyboard_interrupt_is_never_swallowed(self):
+        supervisor = _supervisor()
+        with pytest.raises(KeyboardInterrupt):
+            supervisor.run("CtrlC", lambda: (_ for _ in ()).throw(KeyboardInterrupt()))
+        assert len(supervisor.quarantines) == 0
+
+
+class TestDeadlineGuard:
+    def test_stalling_work_trips_deadline(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock=clock, deadline=100.0)
+
+        def stall():
+            clock.sleep(5_000.0)
+
+        outcome = supervisor.run("Staller", stall)
+        assert outcome.quarantined
+        assert outcome.record.reason == REASON_DEADLINE
+        assert outcome.record.root_cause == "DeadlineExceeded"
+        # Time stays monotonic across the abort.
+        assert clock.now() == 5_000.0
+
+    def test_work_under_deadline_completes(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock=clock, deadline=100.0)
+        outcome = supervisor.run("Quick", lambda: clock.sleep(50.0))
+        assert outcome.completed
+
+    def test_watchdog_removed_after_run(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock=clock, deadline=10.0)
+        supervisor.run("One", lambda: None)
+        # Clock time passing between supervised windows must not raise.
+        clock.advance(1_000_000.0)
+
+    def test_deadline_measures_elapsed_not_absolute(self):
+        clock = VirtualClock()
+        clock.advance(1_000.0)  # pre-existing virtual time
+        supervisor = _supervisor(clock=clock, deadline=100.0)
+        outcome = supervisor.run("Late", lambda: clock.sleep(50.0))
+        assert outcome.completed
+
+    def test_zero_deadline_disables_guard(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock=clock, deadline=0.0)
+        outcome = supervisor.run("Slow", lambda: clock.sleep(10**9))
+        assert outcome.completed
+
+
+class TestEventBudgetGuard:
+    @staticmethod
+    def _flood(bus: EventBus, count: int) -> None:
+        for _ in range(count):
+            bus.dispatch(Event(type=EventType.MESSAGE_CREATE, guild_id=1))
+
+    def test_flooding_work_trips_budget(self):
+        bus = EventBus()
+        supervisor = _supervisor(bus=bus, max_events=10)
+        outcome = supervisor.run("Flooder", lambda: self._flood(bus, 50))
+        assert outcome.quarantined
+        assert outcome.record.reason == REASON_EVENT_FLOOD
+        assert outcome.record.root_cause == "EventBudgetExceeded"
+
+    def test_work_under_budget_completes(self):
+        bus = EventBus()
+        supervisor = _supervisor(bus=bus, max_events=10)
+        outcome = supervisor.run("Chatty", lambda: self._flood(bus, 10))
+        assert outcome.completed
+
+    def test_budget_is_per_run_not_cumulative(self):
+        bus = EventBus()
+        supervisor = _supervisor(bus=bus, max_events=10)
+        for name in ("A", "B", "C"):
+            outcome = supervisor.run(name, lambda: self._flood(bus, 8))
+            assert outcome.completed, name
+
+    def test_guard_removed_after_run(self):
+        bus = EventBus()
+        supervisor = _supervisor(bus=bus, max_events=5)
+        supervisor.run("One", lambda: None)
+        self._flood(bus, 100)  # unsupervised dispatches must not raise
+
+    def test_zero_budget_disables_guard(self):
+        bus = EventBus()
+        supervisor = _supervisor(bus=bus, max_events=0)
+        outcome = supervisor.run("Loud", lambda: self._flood(bus, 1_000))
+        assert outcome.completed
+
+
+class TestSupervisionErrors:
+    def test_guard_errors_are_not_transport_errors(self):
+        # Behaviours catch NetworkError/ApiError/GuildError; a guard trip
+        # must not be swallowable by the handler it polices.
+        assert not issubclass(SupervisionError, NetworkError)
+        assert issubclass(EventBudgetExceeded, SupervisionError)
+        assert issubclass(DeadlineExceeded, SupervisionError)
+
+    def test_messages_carry_numbers(self):
+        assert "budget 5" in str(EventBudgetExceeded("b", 6, 5))
+        assert "deadline 10.0" in str(DeadlineExceeded("b", 11.0, 10.0))
+
+
+class TestVerifyAccounting:
+    def test_closed_books_pass(self):
+        verify_accounting("honeypot", 10, processed=7, skipped=2, quarantined=1)
+
+    def test_open_books_raise_with_stage_name(self):
+        with pytest.raises(AccountingError, match="honeypot"):
+            verify_accounting("honeypot", 10, processed=7, skipped=2, quarantined=0)
+
+
+class TestQuarantineLog:
+    def _log(self) -> QuarantineLog:
+        log = QuarantineLog()
+        log.record("honeypot", "A", REASON_CRASH, RuntimeError("x"), 1.25)
+        log.record("honeypot", "B", REASON_EVENT_FLOOD, EventBudgetExceeded("B", 11, 10), 2.5)
+        log.record("traceability", "C", REASON_CRASH, "ValueError", 3.0, detail="policy fetch")
+        return log
+
+    def test_roundtrip(self):
+        log = self._log()
+        clone = QuarantineLog.from_dict(log.to_dict())
+        assert clone.records == log.records
+
+    def test_counts_and_names(self):
+        log = self._log()
+        assert len(log) == 3
+        assert log.count("honeypot") == 2
+        assert log.bot_names("honeypot") == ["A", "B"]
+        assert log.by_reason() == {REASON_CRASH: 2, REASON_EVENT_FLOOD: 1}
+
+    def test_string_root_cause_kept_verbatim(self):
+        log = self._log()
+        assert log.records[2].root_cause == "ValueError"
+
+    def test_summary_line(self):
+        line = self._log().summary_line()
+        assert "Quarantined 3 bot runtime(s)" in line
+        assert "crash: 2" in line
+
+    def test_extend_merges_in_order(self):
+        target = QuarantineLog()
+        target.extend(self._log())
+        target.extend(self._log())
+        assert len(target) == 6
+        assert target.bot_names() == ["A", "B", "C", "A", "B", "C"]
+
+    def test_record_from_dict_tolerates_missing_optionals(self):
+        record = QuarantineRecord.from_dict({"stage": "s", "bot_name": "b", "reason": REASON_CRASH})
+        assert record.root_cause == ""
+        assert record.virtual_time == 0.0

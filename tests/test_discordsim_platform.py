@@ -92,6 +92,25 @@ class TestInstallFlow:
         with pytest.raises(InstallError):
             platform.begin_install(owner.user_id, "https://discord.sim/oauth2/authorize?client_id=&scope=bot", guild.guild_id)
 
+    @pytest.mark.parametrize(
+        "invite_url",
+        [
+            "",
+            "not a url",
+            "https://discord.sim/oauth2/authorize?client_id=&scope=bot",
+            "https://discord.sim/oauth2/authorize?client_id=abc&scope=bot",
+            "https://discord.sim/oauth2/authorize?scope=bot",
+        ],
+    )
+    def test_malformed_invite_on_complete(self, platform, invite_url):
+        # Regression: a listing can advertise a different (broken) invite
+        # than the one begin_install validated; complete_install must raise
+        # InstallError rather than leak the parser's own exception.
+        owner = platform.create_user("o", phone_verified=True)
+        guild = platform.create_guild(owner, "G")
+        with pytest.raises(InstallError, match="invalid invite link"):
+            platform.complete_install(owner.user_id, guild.guild_id, invite_url, "captcha-id", "answer")
+
     def test_whitelisted_scope_rejected_without_whitelist(self, platform, clock):
         owner = platform.create_user("o", phone_verified=True)
         guild = platform.create_guild(owner, "G")
