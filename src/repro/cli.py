@@ -40,6 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chaos-seed", type=int, default=0, help="fault schedule seed (default 0)")
     run.add_argument("--checkpoint", dest="checkpoint_path", default=None,
                      help="stage-granular checkpoint file; resumes completed stages if present")
+    run.add_argument("--journal", dest="journal_path", default=None,
+                     help="intra-stage write-ahead journal; resumes mid-stage after a crash "
+                          "(shard journals live beside it as <path>.shard<k>)")
+    run.add_argument("--crashpoint", dest="crashpoint", default=None, metavar="NAME[:N]",
+                     help="debug: abort the process the Nth time the named crash point "
+                          "is reached (default N=1); see repro.core.crashpoints.REGISTRY")
     run.add_argument("--shards", type=int, default=1,
                      help="deterministic shards for stages 2-4 (default 1 = sequential)")
     run.add_argument("--metrics", action="store_true",
@@ -95,10 +101,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         chaos_profile=args.chaos,
         chaos_seed=args.chaos_seed,
         checkpoint_path=args.checkpoint_path,
+        journal_path=args.journal_path,
         shards=args.shards,
         adversarial_bots=args.adversarial,
         **overrides,
     )
+    if args.crashpoint:
+        import os
+
+        from repro.core.crashpoints import ENV_CRASH_AT, REGISTRY, parse_arm
+
+        name, _ = parse_arm(args.crashpoint)
+        if name not in REGISTRY:
+            print(f"unknown crash point {name!r}; choose from: {', '.join(REGISTRY)}", file=sys.stderr)
+            return 2
+        os.environ[ENV_CRASH_AT] = args.crashpoint
     result = AssessmentPipeline(config).run()
     print(render_full_report(result))
     if result.degraded:

@@ -22,12 +22,14 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 from repro.codeanalysis.analyzer import RepoAnalysis
 from repro.codeanalysis.patterns import PatternHit
+from repro.core.crashpoints import crashpoint
 from repro.core.resilience import FaultLedger
 from repro.core.supervision import QuarantineLog
 from repro.honeypot.console import TriggerRecord
@@ -335,6 +337,12 @@ class PipelineCheckpoint:
     metrics: dict[str, dict] = field(default_factory=dict)
     #: Bots the supervision layer quarantined in completed stages.
     quarantines: QuarantineLog = field(default_factory=QuarantineLog)
+    #: World-state snapshot (:func:`repro.core.journal.capture_world_state`
+    #: payloads keyed ``main`` / ``shards``) taken at the same boundary as
+    #: the last stored stage, so a resumed run re-enters the simulation in
+    #: the exact state the saving run left it — RNG streams, chaos draws,
+    #: circuit breakers and captcha accounts included.
+    world_state: dict = field(default_factory=dict)
 
     def has_stage(self, stage: str) -> bool:
         return stage in self.stages
@@ -400,6 +408,7 @@ class PipelineCheckpoint:
             "ledger": self.ledger.to_dict(),
             "metrics": self.metrics,
             "quarantines": self.quarantines.to_dict(),
+            "world_state": self.world_state,
             "stages": self.stages,
         }
         payload["checksum"] = _payload_checksum(payload)
@@ -407,9 +416,14 @@ class PipelineCheckpoint:
 
     def save(self, path: str | Path) -> Path:
         target = Path(path)
-        # Write-then-rename so a crash mid-save never corrupts progress.
+        # Write-then-fsync-then-rename so a crash mid-save never corrupts
+        # progress: the rename only happens once the bytes are on disk.
         temporary = target.with_suffix(target.suffix + ".tmp")
-        temporary.write_text(json.dumps(self.to_dict()))
+        with open(temporary, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(self.to_dict()))
+            stream.flush()
+            os.fsync(stream.fileno())
+        crashpoint("checkpoint.after_tmp_write")
         temporary.replace(target)
         return target
 
@@ -434,6 +448,7 @@ class PipelineCheckpoint:
             ledger=FaultLedger.from_dict(payload.get("ledger", {})),
             metrics=dict(payload.get("metrics", {})),
             quarantines=QuarantineLog.from_dict(payload.get("quarantines", {})),
+            world_state=dict(payload.get("world_state", {})),
         )
 
     @classmethod
@@ -448,6 +463,15 @@ class PipelineCheckpoint:
         never the whole campaign, and never a crash.
         """
         target = Path(path)
+        # A crash between write and rename leaves a stale ``.tmp`` sidecar
+        # behind; it is never authoritative, so clear it here rather than
+        # letting it accumulate forever.
+        stale = target.with_suffix(target.suffix + ".tmp")
+        if stale.exists():
+            try:
+                stale.unlink()
+            except OSError:
+                logger.warning("could not remove stale checkpoint sidecar %s", stale)
         if not target.exists():
             return cls()
         try:
@@ -531,3 +555,13 @@ class PipelineCheckpoint:
         except Exception:
             return False
         return True
+
+
+# Public aliases: the write-ahead journal (PR 5) reuses the stage
+# serializers for per-unit record payloads.
+traceability_to_dict = _traceability_to_dict
+traceability_from_dict = _traceability_from_dict
+repo_analysis_to_dict = _repo_analysis_to_dict
+repo_analysis_from_dict = _repo_analysis_from_dict
+honeypot_to_dict = _honeypot_to_dict
+honeypot_from_dict = _honeypot_from_dict

@@ -69,6 +69,11 @@ class PipelineConfig:
     #: With a path, the pipeline snapshots after every stage and a re-run
     #: resumes from the last completed stage.
     checkpoint_path: str | None = None
+    #: With a path, stages additionally append to an intra-stage write-ahead
+    #: journal after every completed bot unit (one page for the crawl), so a
+    #: crash mid-stage resumes at the next unit instead of the stage start.
+    #: Sharded runs derive one journal per shard (``<path>.shard<k>``).
+    journal_path: str | None = None
     #: Absorb stage/bot-level faults into the ledger instead of crashing.
     degrade_on_faults: bool = True
     circuit_failure_threshold: int = 5

@@ -1,0 +1,426 @@
+"""Intra-stage write-ahead journal: lose at most one bot, never a stage.
+
+The per-stage checkpoint (:mod:`repro.core.checkpoint`) makes stage
+*boundaries* durable; a crash mid-stage still used to lose every bot since
+the previous boundary.  This module closes that gap with an append-only
+JSONL journal that stages write to after every completed unit of work (one
+bot for traceability/code analysis, one page for the crawl) and replay from
+on resume.
+
+Why a JSONL WAL beside the JSON snapshot: the snapshot is a random-access
+document rewritten atomically per stage — cheap to load, expensive to
+update, and all-or-nothing on a crash.  The journal is the opposite: an
+append-only sequence of small records, each one durable the moment it is
+flushed, where a crash can only ever damage the final record.  Torn-tail
+tolerance is the contract: replay accepts the **maximal valid prefix** —
+records are consumed in order until the first line that fails to parse, has
+a wrong checksum, carries a non-consecutive sequence number, or is missing
+its terminating newline — and everything after that point is discarded and
+counted, never trusted.
+
+Each unit record carries two things:
+
+1. the unit's *result* (a serialized verdict / analysis / page of bots);
+2. the *world-state delta* the unit caused — virtual clock, RNG streams,
+   chaos schedule, circuit breakers, captcha accounts, server-side
+   middleware — captured by :class:`UnitTracker` with diff suppression
+   (only components that changed since the previous record are stored).
+
+Replaying a record therefore both re-emits the unit's result *and*
+fast-forwards the simulation to the exact state it held after that unit, so
+the first live unit after replay sees a world byte-identical to the one the
+crashed process saw.  Clock values are stored absolutely (and restored with
+:meth:`~repro.web.network.VirtualClock.restore`) because accumulating float
+deltas could drift a chaos-window boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.crashpoints import crashpoint
+from repro.core.resilience import FaultLedger, FaultRecord
+from repro.core.supervision import QuarantineLog, QuarantineRecord
+from repro.web.captcha import SolveRecord
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(seq: int, stage: str, key: str, body: dict) -> str:
+    blob = _canonical({"seq": seq, "stage": stage, "key": key, "body": body})
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One validated journal record."""
+
+    seq: int
+    stage: str
+    key: str
+    body: dict
+
+
+@dataclass
+class JournalStats:
+    """Counters surfaced through ``--metrics``."""
+
+    appended: int = 0
+    replayed: int = 0
+    discarded: int = 0  # records dropped: torn tail, corruption, stale keys
+
+    def to_dict(self) -> dict:
+        return {"appended": self.appended, "replayed": self.replayed, "discarded": self.discarded}
+
+    def merge(self, other: "JournalStats") -> None:
+        self.appended += other.appended
+        self.replayed += other.replayed
+        self.discarded += other.discarded
+
+
+class WriteAheadJournal:
+    """Append-only, per-record-checksummed JSONL journal.
+
+    Records carry a global 1-based sequence number; on open, the existing
+    file is scanned once and the maximal valid prefix becomes the replayable
+    record set.  The first append physically truncates any invalid tail so
+    a journal can survive repeated crash/resume cycles without garbage
+    accumulating mid-file.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.stats = JournalStats()
+        self.discard_detail = ""
+        self._stream = None
+        self._truncated = False
+        self._scanned, self._valid_bytes, dropped = self._scan()
+        self._next_seq = len(self._scanned) + 1
+        if dropped:
+            self.stats.discarded += dropped
+            self.discard_detail = (
+                f"discarded {dropped} invalid trailing record(s) after seq {len(self._scanned)}"
+            )
+
+    # -- reading -----------------------------------------------------------
+
+    def _scan(self) -> tuple[list[JournalRecord], int, int]:
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0, 0
+        records: list[JournalRecord] = []
+        valid_bytes = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                break  # unterminated line: a torn append — stop here
+            line = raw[offset:newline]
+            record = self._decode(line, expected_seq=len(records) + 1)
+            if record is None:
+                break
+            records.append(record)
+            offset = newline + 1
+            valid_bytes = offset
+        remainder = raw[valid_bytes:]
+        dropped = sum(1 for piece in remainder.split(b"\n") if piece.strip())
+        return records, valid_bytes, dropped
+
+    @staticmethod
+    def _decode(line: bytes, expected_seq: int) -> JournalRecord | None:
+        try:
+            payload = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        try:
+            seq = payload["seq"]
+            stage = payload["stage"]
+            key = payload["key"]
+            body = payload["body"]
+            sha = payload["sha"]
+        except (KeyError, TypeError):
+            return None
+        if seq != expected_seq or not isinstance(body, dict):
+            return None
+        if sha != _digest(seq, stage, key, body):
+            return None
+        return JournalRecord(seq=seq, stage=stage, key=key, body=body)
+
+    def pending(self, stage: str) -> list[JournalRecord]:
+        """Replayable records for ``stage``, in append order."""
+        return [record for record in self._scanned if record.stage == stage]
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, stage: str, key: str, body: dict) -> JournalRecord:
+        """Durably append one record (flushed before returning).
+
+        The write is split around the ``journal.mid_append`` crash point so
+        the injection harness can manufacture a genuinely torn tail.
+        """
+        record = JournalRecord(seq=self._next_seq, stage=stage, key=key, body=body)
+        payload = {
+            "seq": record.seq,
+            "stage": stage,
+            "key": key,
+            "body": body,
+            "sha": _digest(record.seq, stage, key, body),
+        }
+        line = (_canonical(payload) + "\n").encode("utf-8")
+        stream = self._open()
+        half = max(len(line) // 2, 1)
+        stream.write(line[:half])
+        stream.flush()
+        crashpoint("journal.mid_append")
+        stream.write(line[half:])
+        stream.flush()
+        self._scanned.append(record)
+        self._next_seq += 1
+        self.stats.appended += 1
+        return record
+
+    def _open(self):
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Truncate the invalid tail exactly once per process: records
+            # appended after the first open extend past ``_valid_bytes``
+            # and must survive a close/reopen cycle.
+            if not self._truncated and self.path.exists():
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(self._valid_bytes)
+            self._truncated = True
+            self._stream = open(self.path, "ab")
+        return self._stream
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+# ---------------------------------------------------------------------------
+# World-state capture
+# ---------------------------------------------------------------------------
+
+#: Component name -> (capture, restore) factories over the tracked objects.
+_Component = tuple[Callable[[], dict], Callable[[dict], None]]
+
+
+class UnitTracker:
+    """Captures the world-state delta one unit of stage work produces.
+
+    Absolute components (RNG streams, breaker states, middleware counters…)
+    are diff-suppressed: a unit's record stores only the components whose
+    canonical serialization changed since the previous record.  Append-only
+    components (captcha solve history, fault ledger, quarantine log) are
+    stored as the records appended during the unit.
+    """
+
+    def __init__(
+        self,
+        clock,
+        internet,
+        ledger: FaultLedger,
+        quarantines: QuarantineLog,
+        breakers=None,
+        budget=None,
+        solver=None,
+        scraper=None,
+    ) -> None:
+        self._clock = clock
+        self._internet = internet
+        self._ledger = ledger
+        self._quarantines = quarantines
+        self._solver = solver
+        self._components: dict[str, _Component] = {}
+        self._register("internet", internet.state_dict, internet.restore_state)
+        chaos = getattr(internet, "chaos", None)
+        if chaos is not None:
+            self._register("chaos", chaos.state_dict, chaos.restore_state)
+        self._register("hosts", lambda: _hosts_state(internet), lambda state: _restore_hosts(internet, state))
+        if breakers is not None:
+            self._register("breakers", breakers.state_dict, breakers.restore_state)
+        if budget is not None:
+            self._register("budget", budget.state_dict, budget.restore_state)
+        if solver is not None:
+            self._register("solver", solver.state_dict, solver.restore_state)
+        if scraper is not None:
+            self._register("scraper", scraper.state_dict, scraper.restore_state)
+        self._last: dict[str, str] = {name: _canonical(capture()) for name, (capture, _) in self._components.items()}
+        self._marks: dict[str, int] = {}
+        self.begin_unit()
+
+    def _register(self, name: str, capture: Callable[[], dict], restore: Callable[[dict], None]) -> None:
+        self._components[name] = (capture, restore)
+
+    def begin_unit(self) -> None:
+        """Mark the append-only components before a live unit runs."""
+        self._marks = {
+            "faults": len(self._ledger.records),
+            "quarantines": len(self._quarantines.records),
+            "solves": len(self._solver.history) if self._solver is not None else 0,
+        }
+
+    def finish_unit(self, result: dict | None) -> dict:
+        """Build the journal body for the unit that just ran live."""
+        body: dict[str, Any] = {"result": result, "clock": self._clock.now()}
+        faults = self._ledger.records[self._marks["faults"]:]
+        if faults:
+            body["faults"] = [record.to_dict() for record in faults]
+        quarantines = self._quarantines.records[self._marks["quarantines"]:]
+        if quarantines:
+            body["quarantines"] = [record.to_dict() for record in quarantines]
+        if self._solver is not None:
+            solves = self._solver.history[self._marks["solves"]:]
+            if solves:
+                body["solves"] = [vars(record).copy() for record in solves]
+        changed: dict[str, dict] = {}
+        for name, (capture, _) in self._components.items():
+            state = capture()
+            blob = _canonical(state)
+            if self._last.get(name) != blob:
+                changed[name] = state
+                self._last[name] = blob
+        if changed:
+            body["state"] = changed
+        return body
+
+    def apply(self, body: dict) -> None:
+        """Fast-forward the world through one replayed unit."""
+        self._clock.restore(body["clock"])
+        for payload in body.get("faults", ()):
+            self._ledger.records.append(FaultRecord.from_dict(payload))
+        for payload in body.get("quarantines", ()):
+            self._quarantines.records.append(QuarantineRecord.from_dict(payload))
+        if self._solver is not None:
+            for payload in body.get("solves", ()):
+                self._solver.history.append(SolveRecord(**payload))
+        for name, state in body.get("state", {}).items():
+            entry = self._components.get(name)
+            if entry is not None:
+                entry[1](state)
+                self._last[name] = _canonical(state)
+        self.begin_unit()
+
+
+class StageRecorder:
+    """Journal cursor for one stage's unit loop: replay a prefix, then record.
+
+    ``try_replay(key)`` consumes the next pending record when its key
+    matches the unit about to run; a key mismatch means the journal was
+    written by a different configuration, so the rest of the stage's records
+    are discarded rather than trusted.
+    """
+
+    def __init__(self, journal: WriteAheadJournal, stage: str, tracker: UnitTracker, ledger: FaultLedger) -> None:
+        self.journal = journal
+        self.stage = stage
+        self.tracker = tracker
+        self._ledger = ledger
+        self._pending = deque(journal.pending(stage))
+
+    def try_replay(self, key: str) -> tuple[bool, dict | None]:
+        """Replay the next record if it belongs to ``key``.
+
+        Returns ``(replayed, result_body)``.
+        """
+        if self._pending and self._pending[0].key == key:
+            record = self._pending.popleft()
+            self.tracker.apply(record.body)
+            self.journal.stats.replayed += 1
+            return True, record.body.get("result")
+        if self._pending:
+            dropped = len(self._pending)
+            self._pending.clear()
+            self.journal.stats.discarded += dropped
+            record_resume_provenance(
+                self._ledger,
+                f"stage {self.stage}: discarded {dropped} journal record(s) with stale unit keys",
+            )
+        return False, None
+
+    def begin_unit(self) -> None:
+        self.tracker.begin_unit()
+
+    def commit(self, key: str, result: dict | None) -> JournalRecord:
+        return self.journal.append(self.stage, key, self.tracker.finish_unit(result))
+
+
+def record_resume_provenance(ledger: FaultLedger, detail: str) -> None:
+    """Note a journal-level event in the fault ledger.
+
+    These records use the reserved stage name ``journal`` and are stripped
+    by :func:`repro.core.serialize.comparable_result` — they describe *this
+    process's* recovery, not the measurement campaign, so a resumed run must
+    not diverge from its golden run by carrying them.
+    """
+    ledger.record("journal", "<local>", "JournalRecovery", 0.0, detail=detail)
+
+
+# ---------------------------------------------------------------------------
+# Whole-world snapshots (stage boundaries / honeypot stage-complete records)
+# ---------------------------------------------------------------------------
+
+
+def capture_world_state(clock, internet, solver, breakers) -> dict:
+    """Absolute snapshot of the mutable simulation state at a stage boundary.
+
+    Platform internals (guilds, snowflakes, join history) are deliberately
+    absent: only the honeypot stage mutates them, and that stage replays
+    all-or-nothing, so its inputs are always rebuilt from an exact
+    pre-honeypot world.  The bounded exchange-log deque is audit-only and
+    likewise excluded.
+    """
+    payload = {
+        "clock": clock.now(),
+        "internet": internet.state_dict(include_history=True),
+        "solver": solver.state_dict(include_history=True),
+        "hosts": _hosts_state(internet),
+        "breakers": breakers.state_dict(),
+    }
+    chaos = getattr(internet, "chaos", None)
+    if chaos is not None:
+        payload["chaos"] = chaos.state_dict()
+    return payload
+
+
+def restore_world_state(clock, internet, solver, breakers, payload: dict) -> None:
+    """Restore a :func:`capture_world_state` snapshot (exact, not additive)."""
+    clock.restore(payload["clock"])
+    internet.restore_state(payload["internet"])
+    solver.restore_state(payload["solver"])
+    _restore_hosts(internet, payload.get("hosts", {}))
+    breakers.restore_state(payload.get("breakers", {}))
+    chaos = getattr(internet, "chaos", None)
+    if chaos is not None and "chaos" in payload:
+        chaos.restore_state(payload["chaos"])
+
+
+def _hosts_state(internet) -> dict:
+    states: dict[str, dict] = {}
+    for hostname in internet.hostnames():
+        state = internet.host(hostname).state_dict()
+        if state:
+            states[hostname] = state
+    return states
+
+
+def _restore_hosts(internet, states: dict) -> None:
+    for hostname, state in states.items():
+        if internet.knows(hostname):
+            internet.host(hostname).restore_state(state)
+
+
+def solver_history_dollars(state: dict) -> float:
+    """Total captcha spend recorded in a captured solver state."""
+    return sum(record.get("cost", 0.0) for record in state.get("history", ()))

@@ -73,6 +73,11 @@ class StageMetrics:
     bots_quarantined: int = 0
     #: True when the stage's output came from a checkpoint, not execution.
     resumed: bool = False
+    #: The stage status the *executing* run recorded ("completed" /
+    #: "degraded").  Persisted through the checkpoint so a resumed run can
+    #: still report — and be compared against — the original outcome even
+    #: though its own ``stage_status`` says "resumed".
+    outcome: str = ""
     shards: list[ShardMetrics] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
@@ -85,6 +90,7 @@ class StageMetrics:
             "bots_skipped": self.bots_skipped,
             "bots_quarantined": self.bots_quarantined,
             "resumed": self.resumed,
+            "outcome": self.outcome,
             "shards": [shard.to_dict() for shard in self.shards],
         }
 
@@ -99,6 +105,7 @@ class StageMetrics:
             bots_skipped=payload.get("bots_skipped", 0),
             bots_quarantined=payload.get("bots_quarantined", 0),
             resumed=payload.get("resumed", False),
+            outcome=payload.get("outcome", ""),
             shards=[ShardMetrics.from_dict(entry) for entry in payload.get("shards", [])],
         )
 
@@ -109,6 +116,9 @@ class RunMetrics:
 
     shard_count: int = 1
     stages: dict[str, StageMetrics] = field(default_factory=dict)
+    #: Write-ahead journal counters (``JournalStats.to_dict()``, aggregated
+    #: across the main and per-shard journals) when journaling is enabled.
+    journal: dict[str, int] | None = None
 
     def record(self, stage_metrics: StageMetrics) -> StageMetrics:
         self.stages[stage_metrics.stage] = stage_metrics
@@ -163,17 +173,27 @@ class RunMetrics:
             f"{self.total_exchanges:10d} {self.total_bots_processed:10d} {self.total_bots_skipped:8d} "
             f"{self.total_bots_quarantined:5d}"
         )
+        if self.journal is not None:
+            lines.append(
+                f"journal: {self.journal.get('appended', 0)} appended, "
+                f"{self.journal.get('replayed', 0)} replayed, "
+                f"{self.journal.get('discarded', 0)} discarded"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "shard_count": self.shard_count,
             "stages": {name: stage.to_dict() for name, stage in self.stages.items()},
         }
+        if self.journal is not None:
+            payload["journal"] = dict(self.journal)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunMetrics":
         return cls(
             shard_count=payload.get("shard_count", 1),
             stages={name: StageMetrics.from_dict(entry) for name, entry in payload.get("stages", {}).items()},
+            journal=dict(payload["journal"]) if isinstance(payload.get("journal"), dict) else None,
         )

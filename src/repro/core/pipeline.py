@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable
 
 from repro.analysis.code_stats import CodeAnalysisSummary
 from repro.analysis.developer_stats import DeveloperDistribution
@@ -29,10 +30,27 @@ from repro.core.checkpoint import (
     STAGE_HONEYPOT,
     STAGE_TRACEABILITY,
     PipelineCheckpoint,
+    honeypot_from_dict,
+    honeypot_to_dict,
+    repo_analysis_from_dict,
+    repo_analysis_to_dict,
+    traceability_from_dict,
+    traceability_to_dict,
 )
 from repro.core.config import PipelineConfig
+from repro.core.crashpoints import crashpoint
+from repro.core.journal import (
+    JournalStats,
+    StageRecorder,
+    UnitTracker,
+    WriteAheadJournal,
+    capture_world_state,
+    record_resume_provenance,
+    restore_world_state,
+    solver_history_dollars,
+)
 from repro.core.metrics import RunMetrics, ShardMetrics, StageMetrics
-from repro.core.resilience import CircuitBreakerRegistry, FaultLedger, RetryBudget, StageStatus
+from repro.core.resilience import CircuitBreakerRegistry, FaultLedger, FaultRecord, RetryBudget, StageStatus
 from repro.core.results import PipelineResult
 from repro.core.sharding import (
     ShardedExecutor,
@@ -44,7 +62,7 @@ from repro.core.sharding import (
     merge_quarantine_records,
     partition,
 )
-from repro.core.supervision import BotSupervisor, QuarantineLog, verify_accounting
+from repro.core.supervision import BotSupervisor, QuarantineLog, QuarantineRecord, verify_accounting
 from repro.discordsim import behaviors
 from repro.discordsim.permissions import Permission
 from repro.discordsim.platform import DiscordPlatform
@@ -196,6 +214,13 @@ class AssessmentPipeline:
         self.metrics = RunMetrics(shard_count=self.config.shards)
         #: Lazily-built shard worlds (``config.shards > 1`` only).
         self._shard_executor: ShardedExecutor | None = None
+        #: Intra-stage write-ahead journals (``config.journal_path`` only):
+        #: one for the main world, one per shard (``<path>.shard<k>``).
+        self._journal: WriteAheadJournal | None = None
+        self._shard_journals: dict[int, WriteAheadJournal] = {}
+        #: World-state snapshots for shards not (yet) rebuilt this process,
+        #: restored from the checkpoint or a honeypot stage-complete record.
+        self._shard_world_states: dict[str, dict] = {}
         if self.config.adversarial_bots > 0:
             self._plant_adversaries()
 
@@ -271,6 +296,74 @@ class AssessmentPipeline:
             bot.behavior = rotation[planted % len(rotation)]
             planted += 1
 
+    # -- journal + world-state helpers --------------------------------------
+
+    def _open_journal(self, path: str) -> WriteAheadJournal:
+        journal = WriteAheadJournal(path)
+        if journal.discard_detail:
+            record_resume_provenance(self.ledger, f"{Path(path).name}: {journal.discard_detail}")
+        return journal
+
+    def _main_journal(self) -> WriteAheadJournal | None:
+        if self.config.journal_path is None:
+            return None
+        if self._journal is None:
+            self._journal = self._open_journal(self.config.journal_path)
+        return self._journal
+
+    def _shard_journal(self, index: int) -> WriteAheadJournal | None:
+        """The shard's own journal (created with the shard worlds)."""
+        return self._shard_journals.get(index)
+
+    def _capture_all_worlds(self) -> dict:
+        """Snapshot the main world and every built shard world.
+
+        Shards never rebuilt this process keep their stashed snapshots —
+        a resumed run that replays stages 2–4 from the checkpoint must not
+        lose the shard solver spend those snapshots carry.
+        """
+        payload: dict[str, Any] = {
+            "main": capture_world_state(
+                self.world.clock, self.world.internet, self.world.solver, self.breakers
+            ),
+            "shards": dict(self._shard_world_states),
+        }
+        if self._shard_executor is not None:
+            for shard in self._shard_executor.worlds:
+                payload["shards"][str(shard.index)] = capture_world_state(
+                    shard.clock, shard.internet, shard.solver, shard.breakers
+                )
+        return payload
+
+    def _restore_all_worlds(self, payload: dict) -> None:
+        """Re-enter the simulation exactly where a snapshot left it."""
+        main = payload.get("main")
+        if main:
+            restore_world_state(
+                self.world.clock, self.world.internet, self.world.solver, self.breakers, main
+            )
+        shards = {str(key): value for key, value in payload.get("shards", {}).items()}
+        if self._shard_executor is not None:
+            for shard in self._shard_executor.worlds:
+                state = shards.get(str(shard.index))
+                if state:
+                    restore_world_state(shard.clock, shard.internet, shard.solver, shard.breakers, state)
+        self._shard_world_states = shards
+
+    def _aggregate_journal_stats(self) -> None:
+        journals = [journal for journal in (self._journal, *self._shard_journals.values()) if journal is not None]
+        if not journals:
+            return
+        total = JournalStats()
+        for journal in journals:
+            total.merge(journal.stats)
+        self.metrics.journal = total.to_dict()
+
+    def _close_journals(self) -> None:
+        for journal in (self._journal, *self._shard_journals.values()):
+            if journal is not None:
+                journal.close()
+
     @staticmethod
     def _host_of(url: str | None) -> str:
         if not url:
@@ -291,10 +384,25 @@ class AssessmentPipeline:
             retry_budget=self._stage_budget(),
         )
         sink = self._degrade_sink(STAGE_CRAWL)
+        recorder = None
+        journal = self._main_journal()
+        if journal is not None:
+            tracker = UnitTracker(
+                self.world.clock,
+                self.world.internet,
+                self.ledger,
+                self.quarantines,
+                breakers=self.breakers,
+                budget=scraper.retry_budget,
+                solver=self.world.solver,
+                scraper=scraper,
+            )
+            recorder = StageRecorder(journal, STAGE_CRAWL, tracker, self.ledger)
         crawl = scraper.crawl(
             max_pages=self.config.max_pages,
             resolve_permissions=self.config.resolve_permissions,
             on_fault=sink,
+            recorder=recorder,
         )
         if sink is not None and self.config.max_pages is None:
             # Reconcile: an abandoned pagination (or an unparseable list
@@ -323,6 +431,9 @@ class AssessmentPipeline:
         world=None,
         breakers: CircuitBreakerRegistry | None = None,
         supervisor: BotSupervisor | None = None,
+        journal: WriteAheadJournal | None = None,
+        ledger: FaultLedger | None = None,
+        quarantines: QuarantineLog | None = None,
     ) -> list:
         """Stage 2: website crawl + keyword traceability per active bot.
 
@@ -337,10 +448,18 @@ class AssessmentPipeline:
         supervision firewall: a crash or deadline blow-out quarantines the
         bot instead of killing the stage (transport faults still reach
         ``on_fault`` as before).
+
+        With a ``journal``, every bot — processed, skipped or quarantined —
+        commits one write-ahead record after its unit of work, and a resumed
+        run replays the journal's prefix instead of re-crawling those bots.
+        ``ledger``/``quarantines`` name where the stage's records land (a
+        shard's own logs for sharded runs) so replay appends to the same place.
         """
         from repro.scraper.website import PolicyFetchResult
 
         world = world or self.world
+        ledger = ledger if ledger is not None else self.ledger
+        quarantines = quarantines if quarantines is not None else self.quarantines
         website_scraper = WebsiteScraper(
             world.internet,
             solver=world.solver,
@@ -348,8 +467,28 @@ class AssessmentPipeline:
             breakers=breakers or self.breakers,
             retry_budget=self._stage_budget(),
         )
+        recorder = None
+        if journal is not None:
+            tracker = UnitTracker(
+                world.clock,
+                world.internet,
+                ledger,
+                quarantines,
+                breakers=breakers or self.breakers,
+                budget=website_scraper.retry_budget,
+                solver=world.solver,
+                scraper=website_scraper,
+            )
+            recorder = StageRecorder(journal, STAGE_TRACEABILITY, tracker, ledger)
         results = []
         for bot in active_bots:
+            if recorder is not None:
+                replayed, payload = recorder.try_replay(bot.name)
+                if replayed:
+                    if payload is not None:
+                        results.append(traceability_from_dict(payload))
+                    continue
+                recorder.begin_unit()
 
             def study(bot=bot):
                 if bot.website_url:
@@ -367,16 +506,28 @@ class AssessmentPipeline:
 
             try:
                 if supervisor is None:
-                    results.append(study())
+                    value = study()
+                    results.append(value)
+                    if recorder is not None:
+                        recorder.commit(bot.name, traceability_to_dict(value))
+                        crashpoint("traceability.after_bot")
                     continue
                 outcome = supervisor.run(bot.name, study)
             except (WebDriverException, NetworkError) as error:
                 if on_fault is None:
                     raise
                 on_fault(self._host_of(bot.website_url), error, 1, f"traceability skipped for {bot.name}")
+                if recorder is not None:
+                    recorder.commit(bot.name, None)
+                    crashpoint("traceability.after_bot")
                 continue
+            payload = None
             if outcome.completed:
                 results.append(outcome.value)
+                payload = traceability_to_dict(outcome.value)
+            if recorder is not None:
+                recorder.commit(bot.name, payload)
+                crashpoint("traceability.after_bot")
         return results
 
     def analyze_code(
@@ -386,9 +537,18 @@ class AssessmentPipeline:
         world=None,
         breakers: CircuitBreakerRegistry | None = None,
         supervisor: BotSupervisor | None = None,
+        journal: WriteAheadJournal | None = None,
+        ledger: FaultLedger | None = None,
+        quarantines: QuarantineLog | None = None,
     ) -> list:
-        """Stage 3: GitHub crawl + Table-3 pattern detection."""
+        """Stage 3: GitHub crawl + Table-3 pattern detection.
+
+        Journal semantics match :meth:`analyze_traceability`; the unit key
+        space only covers bots with a GitHub link (the others never run).
+        """
         world = world or self.world
+        ledger = ledger if ledger is not None else self.ledger
+        quarantines = quarantines if quarantines is not None else self.quarantines
         github_scraper = GitHubScraper(
             world.internet,
             solver=world.solver,
@@ -396,10 +556,30 @@ class AssessmentPipeline:
             breakers=breakers or self.breakers,
             retry_budget=self._stage_budget(),
         )
+        recorder = None
+        if journal is not None:
+            tracker = UnitTracker(
+                world.clock,
+                world.internet,
+                ledger,
+                quarantines,
+                breakers=breakers or self.breakers,
+                budget=github_scraper.retry_budget,
+                solver=world.solver,
+                scraper=github_scraper,
+            )
+            recorder = StageRecorder(journal, STAGE_CODE, tracker, ledger)
         analyses = []
         for bot in active_bots:
             if not bot.github_url:
                 continue
+            if recorder is not None:
+                replayed, payload = recorder.try_replay(bot.name)
+                if replayed:
+                    if payload is not None:
+                        analyses.append(repo_analysis_from_dict(payload))
+                    continue
+                recorder.begin_unit()
 
             def study(bot=bot):
                 fetched = github_scraper.fetch_repo(bot.github_url)
@@ -412,16 +592,28 @@ class AssessmentPipeline:
 
             try:
                 if supervisor is None:
-                    analyses.append(study())
+                    value = study()
+                    analyses.append(value)
+                    if recorder is not None:
+                        recorder.commit(bot.name, repo_analysis_to_dict(value))
+                        crashpoint("code.after_bot")
                     continue
                 outcome = supervisor.run(bot.name, study)
             except (WebDriverException, NetworkError) as error:
                 if on_fault is None:
                     raise
                 on_fault(self._host_of(bot.github_url), error, 1, f"code analysis skipped for {bot.name}")
+                if recorder is not None:
+                    recorder.commit(bot.name, None)
+                    crashpoint("code.after_bot")
                 continue
+            payload = None
             if outcome.completed:
                 analyses.append(outcome.value)
+                payload = repo_analysis_to_dict(outcome.value)
+            if recorder is not None:
+                recorder.commit(bot.name, payload)
+                crashpoint("code.after_bot")
         return analyses
 
     def run_honeypot(
@@ -431,6 +623,7 @@ class AssessmentPipeline:
         world=None,
         seed: int | None = None,
         supervisor: BotSupervisor | None = None,
+        journal: WriteAheadJournal | None = None,
     ) -> "HoneypotReport":
         """Stage 4: dynamic analysis over the most-voted sample.
 
@@ -439,10 +632,24 @@ class AssessmentPipeline:
         On the main world a supervisor is built automatically (when
         supervision is enabled) so hostile runtimes are quarantined; shard
         callers pass their own, wired to the shard's clock and bus.
+
+        With a ``journal``, one forensic record is appended per settled bot
+        outcome.  Unlike stages 2–3 these records carry no replayable state
+        (guild/platform internals replay all-or-nothing): a crash mid-stage
+        discards them and re-runs the stage from its restored start state;
+        the ``stage_complete`` record :meth:`run` appends afterwards is what
+        a resumed run actually replays.
         """
         if supervisor is None and world is None:
             supervisor = self._supervisor(STAGE_HONEYPOT, bus=self.world.platform.events)
         world = world or self.world
+        unit_sink = None
+        if journal is not None:
+
+            def unit_sink(outcome) -> None:
+                journal.append(STAGE_HONEYPOT, f"bot-{outcome.bot_name}", {"result": None})
+                crashpoint("honeypot.after_bot")
+
         experiment = HoneypotExperiment(
             world.platform,
             world.internet,
@@ -472,12 +679,19 @@ class AssessmentPipeline:
             feed_source=feed_source,
             fault_sink=on_fault,
             supervisor=supervisor,
+            unit_sink=unit_sink,
         )
 
     # -- sharded execution -------------------------------------------------------
 
     def _sharded(self) -> ShardedExecutor:
-        """The shard worlds, built lazily at the first sharded stage."""
+        """The shard worlds, built lazily at the first sharded stage.
+
+        A resumed run re-enters each shard exactly where the saving run left
+        it: freshly built worlds are overwritten with the stashed per-shard
+        snapshots (RNG streams, chaos draws, breakers, solver accounts) so a
+        sharded resume stays byte-identical to an uninterrupted run.
+        """
         if self._shard_executor is None:
             start_time = self.world.clock.now()
             worlds = []
@@ -497,6 +711,16 @@ class AssessmentPipeline:
                         ),
                     )
                 )
+            for shard in worlds:
+                state = self._shard_world_states.get(str(shard.index))
+                if state:
+                    restore_world_state(shard.clock, shard.internet, shard.solver, shard.breakers, state)
+            if self.config.journal_path is not None:
+                for shard in worlds:
+                    if shard.index not in self._shard_journals:
+                        self._shard_journals[shard.index] = self._open_journal(
+                            f"{self.config.journal_path}.shard{shard.index}"
+                        )
             self._shard_executor = ShardedExecutor(worlds)
         return self._shard_executor
 
@@ -522,6 +746,7 @@ class AssessmentPipeline:
         now = self.world.clock.now()
         if horizon > now:
             self.world.clock.advance(horizon - now)
+        crashpoint("sharding.after_merge")
 
     def _sharded_traceability(self, active: list[ScrapedBot]) -> tuple[list, list[ShardOutcome]]:
         """Stage 2 across shards, merged back to the input bot order."""
@@ -537,6 +762,9 @@ class AssessmentPipeline:
                 supervisor=self._supervisor(
                     STAGE_TRACEABILITY, world=shard, ledger=shard.ledger, quarantines=shard.quarantines
                 ),
+                journal=self._shard_journal(shard.index),
+                ledger=shard.ledger,
+                quarantines=shard.quarantines,
             )
 
         outcomes = executor.run_stage(buckets, worker)
@@ -558,6 +786,9 @@ class AssessmentPipeline:
                 supervisor=self._supervisor(
                     STAGE_CODE, world=shard, ledger=shard.ledger, quarantines=shard.quarantines
                 ),
+                journal=self._shard_journal(shard.index),
+                ledger=shard.ledger,
+                quarantines=shard.quarantines,
             )
 
         outcomes = executor.run_stage(buckets, worker)
@@ -590,6 +821,7 @@ class AssessmentPipeline:
                     quarantines=shard.quarantines,
                     bus=shard.platform.events,
                 ),
+                journal=self._shard_journal(shard.index),
             )
 
         outcomes = executor.run_stage(buckets, worker)
@@ -619,6 +851,14 @@ class AssessmentPipeline:
             checkpoint = PipelineCheckpoint.load_or_empty(self.config.checkpoint_path)
             self.ledger.extend(checkpoint.ledger)
             self.quarantines.extend(checkpoint.quarantines)
+            # Re-enter the simulation exactly where the saving run left it
+            # (after ``started_virtual``/``spent_before`` were captured, so
+            # whole-campaign deltas match an uninterrupted run's).  A
+            # salvaged checkpoint carries no world state: stages then re-run
+            # from the fresh world, as before world capture existed.
+            if checkpoint.world_state:
+                self._restore_all_worlds(checkpoint.world_state)
+        self._main_journal()
 
         status: dict[str, str] = {}
 
@@ -633,7 +873,9 @@ class AssessmentPipeline:
             scraper, crawl = self.collect()
             result = PipelineResult(crawl=crawl, scrape_stats=scraper.stats)
             status[STAGE_CRAWL] = self._stage_outcome(STAGE_CRAWL)
-            self.metrics.record(timer.finish(bots_processed=len(crawl.bots)))
+            entry = timer.finish(bots_processed=len(crawl.bots))
+            entry.outcome = status[STAGE_CRAWL]
+            self.metrics.record(entry)
             if self.config.max_pages is None:
                 self._enforce_accounting(STAGE_CRAWL, len(self.world.ecosystem.bots), status[STAGE_CRAWL])
             if checkpoint is not None:
@@ -664,6 +906,7 @@ class AssessmentPipeline:
                             active,
                             on_fault=self._degrade_sink(STAGE_TRACEABILITY),
                             supervisor=self._supervisor(STAGE_TRACEABILITY),
+                            journal=self._main_journal(),
                         )
                     result.validation = self._validate_traceability()
                     status[STAGE_TRACEABILITY] = self._stage_outcome(STAGE_TRACEABILITY)
@@ -672,9 +915,9 @@ class AssessmentPipeline:
                         raise
                     self._record_stage_failure(STAGE_TRACEABILITY, error)
                     status[STAGE_TRACEABILITY] = StageStatus.FAILED.value
-                self.metrics.record(
-                    timer.finish(bots_processed=len(result.traceability_results), outcomes=outcomes)
-                )
+                entry = timer.finish(bots_processed=len(result.traceability_results), outcomes=outcomes)
+                entry.outcome = status[STAGE_TRACEABILITY]
+                self.metrics.record(entry)
                 self._enforce_accounting(STAGE_TRACEABILITY, len(active), status[STAGE_TRACEABILITY])
                 if checkpoint is not None and status[STAGE_TRACEABILITY] != StageStatus.FAILED.value:
                     checkpoint.store_traceability(result.traceability_results, result.validation)
@@ -703,6 +946,7 @@ class AssessmentPipeline:
                             active,
                             on_fault=self._degrade_sink(STAGE_CODE),
                             supervisor=self._supervisor(STAGE_CODE),
+                            journal=self._main_journal(),
                         )
                     status[STAGE_CODE] = self._stage_outcome(STAGE_CODE)
                 except (WebDriverException, NetworkError) as error:
@@ -710,7 +954,9 @@ class AssessmentPipeline:
                         raise
                     self._record_stage_failure(STAGE_CODE, error)
                     status[STAGE_CODE] = StageStatus.FAILED.value
-                self.metrics.record(timer.finish(bots_processed=len(result.repo_analyses), outcomes=outcomes))
+                entry = timer.finish(bots_processed=len(result.repo_analyses), outcomes=outcomes)
+                entry.outcome = status[STAGE_CODE]
+                self.metrics.record(entry)
                 self._enforce_accounting(
                     STAGE_CODE, sum(1 for bot in active if bot.github_url), status[STAGE_CODE]
                 )
@@ -733,46 +979,105 @@ class AssessmentPipeline:
                 status[STAGE_HONEYPOT] = StageStatus.RESUMED.value
                 self._restore_stage_metrics(checkpoint, STAGE_HONEYPOT)
             else:
-                timer = _StageTimer(self, STAGE_HONEYPOT)
-                outcomes = None
-                sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
-                try:
-                    if sharded:
-                        result.honeypot, outcomes = self._sharded_honeypot()
-                    else:
-                        result.honeypot = self.run_honeypot(
-                            on_fault=self._degrade_sink(STAGE_HONEYPOT), sample=sample
-                        )
-                    status[STAGE_HONEYPOT] = self._stage_outcome(STAGE_HONEYPOT)
-                except (WebDriverException, NetworkError) as error:
-                    if not self.config.degrade_on_faults:
-                        raise
-                    self._record_stage_failure(STAGE_HONEYPOT, error)
-                    status[STAGE_HONEYPOT] = StageStatus.FAILED.value
-                self.metrics.record(
-                    timer.finish(
+                replay = self._replay_honeypot_stage()
+                if replay is not None:
+                    result.honeypot, entry, status[STAGE_HONEYPOT] = replay
+                    self.metrics.record(entry)
+                    if (
+                        checkpoint is not None
+                        and status[STAGE_HONEYPOT] != StageStatus.FAILED.value
+                        and result.honeypot is not None
+                    ):
+                        checkpoint.store_honeypot(result.honeypot)
+                        self._save_checkpoint(checkpoint, status)
+                else:
+                    timer = _StageTimer(self, STAGE_HONEYPOT)
+                    outcomes = None
+                    sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
+                    faults_mark = len(self.ledger.records)
+                    quarantines_mark = len(self.quarantines.records)
+                    try:
+                        if sharded:
+                            result.honeypot, outcomes = self._sharded_honeypot()
+                        else:
+                            result.honeypot = self.run_honeypot(
+                                on_fault=self._degrade_sink(STAGE_HONEYPOT),
+                                sample=sample,
+                                journal=self._main_journal(),
+                            )
+                        status[STAGE_HONEYPOT] = self._stage_outcome(STAGE_HONEYPOT)
+                    except (WebDriverException, NetworkError) as error:
+                        if not self.config.degrade_on_faults:
+                            raise
+                        self._record_stage_failure(STAGE_HONEYPOT, error)
+                        status[STAGE_HONEYPOT] = StageStatus.FAILED.value
+                    entry = timer.finish(
                         bots_processed=result.honeypot.bots_processed if result.honeypot is not None else 0,
                         outcomes=outcomes,
                     )
-                )
-                self._enforce_accounting(STAGE_HONEYPOT, len(sample), status[STAGE_HONEYPOT])
-                if checkpoint is not None and status[STAGE_HONEYPOT] != StageStatus.FAILED.value and result.honeypot is not None:
-                    checkpoint.store_honeypot(result.honeypot)
-                    self._save_checkpoint(checkpoint, status)
+                    entry.outcome = status[STAGE_HONEYPOT]
+                    self.metrics.record(entry)
+                    self._enforce_accounting(STAGE_HONEYPOT, len(sample), status[STAGE_HONEYPOT])
+                    journal = self._main_journal()
+                    if (
+                        journal is not None
+                        and status[STAGE_HONEYPOT] != StageStatus.FAILED.value
+                        and result.honeypot is not None
+                    ):
+                        # Per-bot honeypot records are forensic only; this
+                        # record is what a crash between here and the
+                        # checkpoint save replays: the merged report, the
+                        # post-stage world, and the stage's fault deltas.
+                        journal.append(
+                            STAGE_HONEYPOT,
+                            "stage_complete",
+                            {
+                                "result": {
+                                    "report": honeypot_to_dict(result.honeypot),
+                                    "metrics": entry.to_dict(),
+                                    "status": status[STAGE_HONEYPOT],
+                                },
+                                "world": self._capture_all_worlds(),
+                                "faults": [
+                                    record.to_dict() for record in self.ledger.records[faults_mark:]
+                                ],
+                                "quarantines": [
+                                    record.to_dict() for record in self.quarantines.records[quarantines_mark:]
+                                ],
+                            },
+                        )
+                        crashpoint("honeypot.before_save")
+                    if (
+                        checkpoint is not None
+                        and status[STAGE_HONEYPOT] != StageStatus.FAILED.value
+                        and result.honeypot is not None
+                    ):
+                        checkpoint.store_honeypot(result.honeypot)
+                        self._save_checkpoint(checkpoint, status)
         else:
             status[STAGE_HONEYPOT] = StageStatus.SKIPPED.value
 
+        crashpoint("run.before_result")
         result.fault_ledger = self.ledger
         result.quarantines = self.quarantines
         result.stage_status = status
+        self._aggregate_journal_stats()
         result.metrics = self.metrics
         result.wall_seconds = time.monotonic() - started_wall
         result.virtual_seconds = self.world.clock.now() - started_virtual
         # Captcha dollars merge as a *sum*: the main solver's delta plus
-        # everything the per-shard solvers spent.
+        # everything the per-shard solvers spent.  When a resumed run never
+        # rebuilt the shard worlds, their spend still lives in the stashed
+        # snapshots' solver histories.
         result.captcha_dollars = self.world.solver.total_spent - spent_before
         if self._shard_executor is not None:
             result.captcha_dollars += self._shard_executor.captcha_dollars()
+        elif self._shard_world_states:
+            result.captcha_dollars += sum(
+                solver_history_dollars(state.get("solver", {}))
+                for state in self._shard_world_states.values()
+            )
+        self._close_journals()
         return result
 
     def _stage_outcome(self, stage: str) -> str:
@@ -798,13 +1103,56 @@ class AssessmentPipeline:
             stage, "<pipeline>", error, self.world.clock.now(), detail="stage aborted; output incomplete"
         )
 
+    def _replay_honeypot_stage(self) -> tuple["HoneypotReport", StageMetrics, str] | None:
+        """Replay a journaled ``stage_complete`` honeypot record, if present.
+
+        The honeypot's per-bot records carry no replayable state (platform
+        internals replay all-or-nothing), so a partial set — a crash
+        mid-campaign — is discarded and counted, and the stage re-runs from
+        its restored start state.  Only a ``stage_complete`` record (a crash
+        in the compute-to-checkpoint-save window) short-circuits execution.
+        """
+        journal = self._main_journal()
+        if journal is None:
+            return None
+        pending = journal.pending(STAGE_HONEYPOT)
+        if not pending:
+            return None
+        marker: tuple[int, Any] | None = None
+        for position, record in enumerate(pending):
+            if record.key == "stage_complete":
+                marker = (position, record)
+        if marker is None:
+            journal.stats.discarded += len(pending)
+            record_resume_provenance(
+                self.ledger,
+                f"stage honeypot: discarded {len(pending)} partial per-bot record(s); stage re-runs",
+            )
+            return None
+        position, record = marker
+        journal.stats.replayed += position + 1
+        body = record.body
+        for payload in body.get("faults", ()):
+            self.ledger.records.append(FaultRecord.from_dict(payload))
+        for payload in body.get("quarantines", ()):
+            self.quarantines.records.append(QuarantineRecord.from_dict(payload))
+        self._restore_all_worlds(body.get("world", {}))
+        stored = body["result"]
+        return (
+            honeypot_from_dict(stored["report"]),
+            StageMetrics.from_dict(stored["metrics"]),
+            stored["status"],
+        )
+
     def _save_checkpoint(self, checkpoint: PipelineCheckpoint, status: dict[str, str]) -> None:
         checkpoint.stage_status = dict(status)
         checkpoint.ledger = self.ledger
         checkpoint.quarantines = self.quarantines
         checkpoint.metrics = {stage: entry.to_dict() for stage, entry in self.metrics.stages.items()}
+        checkpoint.world_state = self._capture_all_worlds()
         assert self.config.checkpoint_path is not None
         checkpoint.save(self.config.checkpoint_path)
+        crashpoint("pipeline.after_stage")
 
     def _restore_stage_metrics(self, checkpoint: PipelineCheckpoint, stage: str) -> None:
         """Carry a completed stage's metrics into this (resumed) run."""

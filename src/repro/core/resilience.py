@@ -117,6 +117,24 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self.times_opened += 1
 
+    def state_dict(self) -> dict:
+        return {
+            "state": self._state.value,
+            "failures": self._consecutive_failures,
+            "probes": self._probe_successes,
+            "opened_at": self._opened_at,
+            "times_opened": self.times_opened,
+            "short_circuits": self.short_circuits,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._state = CircuitState(state["state"])
+        self._consecutive_failures = state["failures"]
+        self._probe_successes = state["probes"]
+        self._opened_at = state["opened_at"]
+        self.times_opened = state["times_opened"]
+        self.short_circuits = state["short_circuits"]
+
 
 class CircuitBreakerRegistry:
     """Per-host breakers, shared by every scraper in a pipeline run."""
@@ -158,6 +176,13 @@ class CircuitBreakerRegistry:
 
     def open_hosts(self) -> list[str]:
         return sorted(host for host, breaker in self._breakers.items() if breaker.state is CircuitState.OPEN)
+
+    def state_dict(self) -> dict:
+        return {host: breaker.state_dict() for host, breaker in self._breakers.items()}
+
+    def restore_state(self, state: dict) -> None:
+        for host, payload in state.items():
+            self.breaker(host).restore_state(payload)
 
     @property
     def short_circuits(self) -> int:
@@ -213,6 +238,13 @@ class RetryBudget:
     @property
     def exhausted(self) -> bool:
         return self.spent >= self.budget
+
+    def state_dict(self) -> dict:
+        return {"spent": self.spent, "denied": self.denied}
+
+    def restore_state(self, state: dict) -> None:
+        self.spent = state["spent"]
+        self.denied = state["denied"]
 
     def spend(self) -> bool:
         """Consume one retry; False (and counted) once the budget is gone."""

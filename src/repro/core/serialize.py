@@ -137,6 +137,84 @@ def result_to_dict(result: PipelineResult, include_bots: bool = False) -> dict[s
     return payload
 
 
+#: Ledger stages describing *this process's* recovery, not the campaign.
+_PROVENANCE_STAGES = ("journal", "checkpoint")
+
+
+def comparable_result(payload: dict[str, Any]) -> dict[str, Any]:
+    """Canonicalize a result dict for crashed-vs-golden comparison.
+
+    A resumed run must produce the *same measurement* as an uninterrupted
+    one, but not the same process history.  This strips exactly the fields
+    that describe process history and nothing else:
+
+    - wall-clock seconds (top level, per stage, per shard) — host timing;
+    - journal counters and per-stage ``resumed`` flags;
+    - fault-ledger records with the reserved provenance stages
+      (``journal`` / ``checkpoint``), with the "Absorbed N faults" summary
+      line regenerated from what remains;
+    - ``stage_status`` values of ``resumed``, mapped back to the outcome
+      the *executing* run recorded (persisted in the stage metrics).
+
+    Everything else — every statistic, every table, every campaign fault —
+    must match byte-for-byte once both sides pass through here.
+    """
+    data: dict[str, Any] = json.loads(json.dumps(payload))
+    data.pop("wall_seconds", None)
+
+    ledger = data.get("fault_ledger")
+    records: list[dict[str, Any]] = []
+    if isinstance(ledger, dict):
+        records = [
+            record
+            for record in ledger.get("records", [])
+            if record.get("stage") not in _PROVENANCE_STAGES
+        ]
+        ledger["records"] = records
+
+    lines = data.get("summary_lines")
+    if isinstance(lines, list):
+        rebuilt = [line for line in lines if not (isinstance(line, str) and line.startswith("Absorbed "))]
+        if records:
+            by_stage: dict[str, int] = {}
+            skipped = 0
+            for record in records:
+                by_stage[record["stage"]] = by_stage.get(record["stage"], 0) + 1
+                skipped += record.get("bots_skipped", 0)
+            stages = ", ".join(f"{stage}: {count}" for stage, count in sorted(by_stage.items()))
+            digest = f"Absorbed {len(records)} faults ({stages or 'none'}); {skipped} bots skipped."
+            position = next(
+                (
+                    index
+                    for index, line in enumerate(rebuilt)
+                    if isinstance(line, str) and line.startswith("Quarantined ")
+                ),
+                len(rebuilt),
+            )
+            rebuilt.insert(position, digest)
+        data["summary_lines"] = rebuilt
+
+    metrics = data.get("metrics")
+    stage_entries: dict[str, Any] = {}
+    if isinstance(metrics, dict):
+        metrics.pop("journal", None)
+        stage_entries = metrics.get("stages", {}) if isinstance(metrics.get("stages"), dict) else {}
+        for entry in stage_entries.values():
+            entry.pop("wall_seconds", None)
+            entry.pop("resumed", None)
+            for shard in entry.get("shards", []):
+                shard.pop("wall_seconds", None)
+
+    stage_status = data.get("stage_status")
+    if isinstance(stage_status, dict):
+        for stage, value in stage_status.items():
+            if value == "resumed":
+                outcome = stage_entries.get(stage, {}).get("outcome", "")
+                if outcome:
+                    stage_status[stage] = outcome
+    return data
+
+
 def save_result(result: PipelineResult, path: str | Path, include_bots: bool = False) -> Path:
     """Write the flattened result to ``path`` as pretty-printed JSON."""
     target = Path(path)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 from zlib import crc32
 
+from repro.core.crashpoints import crashpoint
 from repro.core.resilience import CircuitBreakerRegistry, FaultLedger, FaultRecord
 from repro.core.supervision import QuarantineLog, QuarantineRecord
 from repro.honeypot.experiment import HoneypotReport
@@ -132,6 +133,7 @@ class ShardedExecutor:
             faults_start = len(world.ledger.records)
             quarantines_start = len(world.quarantines.records)
             value = worker(world, bucket)
+            crashpoint("sharding.after_shard")
             return ShardOutcome(
                 shard_index=world.index,
                 items=bucket,

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.core.crashpoints import crashpoint
 from repro.core.resilience import FaultLedger, root_error_class
 from repro.web.network import VirtualClock
 
@@ -291,4 +292,5 @@ class BotSupervisor:
             bots_skipped=0,  # quarantines are their own accounting bucket
             detail=f"{QUARANTINE_DETAIL_PREFIX}{reason}): {detail}",
         )
+        crashpoint("supervision.after_quarantine")
         return record

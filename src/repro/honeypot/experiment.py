@@ -182,6 +182,7 @@ class HoneypotExperiment:
         feed_source=None,
         fault_sink=None,
         supervisor=None,
+        unit_sink=None,
     ) -> HoneypotReport:
         """Test every bot in ``sample`` in its own guild.
 
@@ -207,8 +208,18 @@ class HoneypotExperiment:
         degraded outcome with the quarantine reason, and the campaign
         continues undisturbed (transport faults still flow to
         ``fault_sink`` as before).
+
+        ``unit_sink(outcome)`` is called once per settled
+        :class:`BotTestOutcome`, the moment it lands in the report — the
+        write-ahead journal uses it to mark per-bot campaign progress.
         """
         report = HoneypotReport()
+
+        def settle(outcome: BotTestOutcome) -> None:
+            report.outcomes.append(outcome)
+            if unit_sink is not None:
+                unit_sink(outcome)
+
         spent_before = self.solver.total_spent
         shared_personas = None
         if reuse_personas:
@@ -241,9 +252,7 @@ class HoneypotExperiment:
                         bot.name, provision, cleanup=lambda sink=runtime_sink: self._halt_runtimes(sink)
                     )
                     if outcome.quarantined:
-                        report.outcomes.append(
-                            self._quarantine_outcome(bot, outcome.record, installed=bool(runtime_sink))
-                        )
+                        settle(self._quarantine_outcome(bot, outcome.record, installed=bool(runtime_sink)))
                         continue
                     test = outcome.value
             except NetworkError as error:
@@ -252,7 +261,7 @@ class HoneypotExperiment:
                 fault_sink(_fault_host(error), error, 1, f"honeypot provisioning abandoned for {bot.name}")
                 continue
             if test is None:
-                report.outcomes.append(BotTestOutcome(bot_name=bot.name, behavior=bot.behavior, installed=False))
+                settle(BotTestOutcome(bot_name=bot.name, behavior=bot.behavior, installed=False))
             else:
                 provisioned.append(test)
 
@@ -272,9 +281,7 @@ class HoneypotExperiment:
                         outcome = supervisor.run(test.bot.name, test.runtime.tick, cleanup=test.runtime.stop)
                         if outcome.quarantined:
                             provisioned.remove(test)
-                            report.outcomes.append(
-                                self._quarantine_outcome(test.bot, outcome.record, installed=True)
-                            )
+                            settle(self._quarantine_outcome(test.bot, outcome.record, installed=True))
                 except NetworkError as error:
                     # An exfiltrator losing its collector is the *attacker's*
                     # problem; the campaign records it and moves on.
@@ -299,9 +306,7 @@ class HoneypotExperiment:
                                 outcome = supervisor.run(test.bot.name, inspect, cleanup=test.runtime.stop)
                                 if outcome.quarantined:
                                     provisioned.remove(test)
-                                    report.outcomes.append(
-                                        self._quarantine_outcome(test.bot, outcome.record, installed=True)
-                                    )
+                                    settle(self._quarantine_outcome(test.bot, outcome.record, installed=True))
                         except NetworkError as error:
                             if fault_sink is None:
                                 raise
@@ -309,7 +314,7 @@ class HoneypotExperiment:
 
         # Phase 3: attribution by guild name (the paper's identifier scheme).
         for test in provisioned:
-            report.outcomes.append(self._attribute(test))
+            settle(self._attribute(test))
 
         report.triggers = list(self.console.triggers)
         report.captcha_cost = self.solver.total_spent - spent_before

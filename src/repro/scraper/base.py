@@ -116,6 +116,34 @@ class PoliteScraper:
 
         self._robots = RobotsCache()
 
+    # -- resume support --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Order-coupled scraper state (think-time RNG, stats, robots,
+        cookies) for journal capture.  The solver and breakers are shared
+        objects captured separately by the tracker."""
+        from repro.web.network import rng_state
+
+        return {
+            "rng": rng_state(self._rng),
+            "stats": vars(self.stats).copy(),
+            "robots": self._robots.state_dict(),
+            "cookies": self.browser.client.cookies.state_dict(),
+            "requests_sent": self.browser.client.requests_sent,
+            "generation": self.browser._generation,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.web.network import restore_rng
+
+        restore_rng(self._rng, state["rng"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)  # in place: CrawlResult may hold a reference
+        self._robots.restore_state(state["robots"])
+        self.browser.client.cookies.restore_state(state["cookies"])
+        self.browser.client.requests_sent = state["requests_sent"]
+        self.browser._generation = state["generation"]
+
     # -- fetching --------------------------------------------------------------
 
     def fetch(self, url: str) -> Response:

@@ -4,17 +4,38 @@ A full listing crawl covers >800 pages and tens of thousands of detail
 fetches; real campaigns get interrupted (bans, machine restarts, captcha
 budget exhaustion).  The checkpoint records completed pages and their
 scraped bots after every page, so a re-run resumes instead of re-crawling.
+
+Integrity matches the pipeline checkpoint: saves embed a sha256 checksum
+and are fsynced before the atomic rename; :meth:`CrawlCheckpoint.load`
+raises :class:`CheckpointCorruptionError` on damage, and
+:meth:`CrawlCheckpoint.load_or_empty` sidelines a damaged file to
+``<name>.corrupt`` and restarts the crawl rather than crashing.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import logging
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.scraper.topgg import PermissionStatus, ScrapedBot
 
+logger = logging.getLogger(__name__)
+
 CHECKPOINT_VERSION = 1
+
+
+class CheckpointCorruptionError(ValueError):
+    """The crawl checkpoint on disk does not match what was written."""
+
+
+def _payload_checksum(payload: dict) -> str:
+    scrubbed = {key: value for key, value in payload.items() if key != "checksum"}
+    blob = json.dumps(scrubbed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def scraped_bot_to_dict(bot: ScrapedBot) -> dict:
@@ -84,28 +105,62 @@ class CrawlCheckpoint:
         target = Path(path)
         payload = {
             "version": CHECKPOINT_VERSION,
+            "checksum": "",
             "completed_pages": self.completed_pages,
             "bots": [scraped_bot_to_dict(bot) for bot in self.bots],
         }
-        # Write-then-rename so a crash mid-save never corrupts progress.
+        payload["checksum"] = _payload_checksum(payload)
+        # Write-then-fsync-then-rename so a crash mid-save never corrupts
+        # progress: the rename only happens once the bytes are on disk.
         temporary = target.with_suffix(target.suffix + ".tmp")
-        temporary.write_text(json.dumps(payload))
+        with open(temporary, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(payload))
+            stream.flush()
+            os.fsync(stream.fileno())
         temporary.replace(target)
         return target
 
     @classmethod
     def load(cls, path: str | Path) -> "CrawlCheckpoint":
-        payload = json.loads(Path(path).read_text())
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as error:
+            raise CheckpointCorruptionError(f"crawl checkpoint is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise CheckpointCorruptionError("crawl checkpoint payload is not a JSON object")
         if payload.get("version") != CHECKPOINT_VERSION:
             raise ValueError(f"unsupported checkpoint version: {payload.get('version')!r}")
-        return cls(
-            completed_pages=list(payload["completed_pages"]),
-            bots=[scraped_bot_from_dict(entry) for entry in payload["bots"]],
-        )
+        stored = payload.get("checksum")
+        if stored and stored != _payload_checksum(payload):
+            raise CheckpointCorruptionError("crawl checkpoint checksum mismatch: file corrupted on disk")
+        try:
+            return cls(
+                completed_pages=list(payload["completed_pages"]),
+                bots=[scraped_bot_from_dict(entry) for entry in payload["bots"]],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointCorruptionError(f"crawl checkpoint fields are damaged: {error}") from error
 
     @classmethod
     def load_or_empty(cls, path: str | Path) -> "CrawlCheckpoint":
+        """Load a crawl checkpoint; sideline a damaged file instead of crashing."""
         target = Path(path)
-        if target.exists():
+        # Clear any stale ``.tmp`` sidecar a crash mid-save left behind.
+        stale = target.with_suffix(target.suffix + ".tmp")
+        if stale.exists():
+            try:
+                stale.unlink()
+            except OSError:
+                logger.warning("could not remove stale checkpoint sidecar %s", stale)
+        if not target.exists():
+            return cls()
+        try:
             return cls.load(target)
-        return cls()
+        except ValueError as error:
+            sidecar = target.with_name(target.name + ".corrupt")
+            try:
+                target.replace(sidecar)
+            except OSError:
+                logger.warning("could not sideline corrupt crawl checkpoint %s", target)
+            logger.warning("corrupt crawl checkpoint %s sidelined to %s (%s)", target, sidecar, error)
+            return cls()

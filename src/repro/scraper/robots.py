@@ -59,6 +59,26 @@ class RobotsCache:
 
     _policies: dict[str, RobotsPolicy] = field(default_factory=dict)
 
+    def state_dict(self) -> dict:
+        return {
+            host: {
+                "crawl_delay": policy.crawl_delay,
+                "disallowed": list(policy.disallowed_prefixes),
+                "fetched": policy.fetched,
+            }
+            for host, policy in self._policies.items()
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._policies = {
+            host: RobotsPolicy(
+                crawl_delay=payload["crawl_delay"],
+                disallowed_prefixes=tuple(payload["disallowed"]),
+                fetched=payload["fetched"],
+            )
+            for host, payload in state.items()
+        }
+
     def policy_for(self, client, host: str) -> RobotsPolicy:
         """Return (fetching once if needed) the policy for ``host``."""
         cached = self._policies.get(host)

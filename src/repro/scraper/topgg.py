@@ -90,6 +90,7 @@ class TopGGScraper(PoliteScraper):
         resolve_permissions: bool = True,
         checkpoint_path: str | None = None,
         on_fault: CrawlFaultSink | None = None,
+        recorder=None,
     ) -> CrawlResult:
         """Traverse the top list; optionally resolve invite permissions.
 
@@ -101,7 +102,18 @@ class TopGGScraper(PoliteScraper):
         a dead list page abandons pagination (remaining bots unknown), and
         captcha budget exhaustion aborts the crawl — each reported through
         the callback.  Without it, exceptions propagate as before.
+
+        With a ``recorder`` (a :class:`~repro.core.journal.StageRecorder`),
+        every page iteration the loop *advances past* — parsed pages and
+        malformed-but-skipped pages alike — commits one write-ahead record,
+        and a resumed crawl replays those records instead of re-fetching.
+        Iterations that end the crawl (pagination 404, abandonment, captcha
+        exhaustion) are never journaled: they re-execute deterministically
+        against the replayed world state.
         """
+        from repro.core.crashpoints import crashpoint
+        from repro.scraper.checkpoint import scraped_bot_from_dict, scraped_bot_to_dict
+
         checkpoint = None
         result = CrawlResult()
         page_number = 1
@@ -117,6 +129,19 @@ class TopGGScraper(PoliteScraper):
         while True:
             if max_pages is not None and page_number > max_pages:
                 break
+            if recorder is not None:
+                replayed, payload = recorder.try_replay(f"page-{page_number}")
+                if replayed:
+                    page_bots = [scraped_bot_from_dict(entry) for entry in payload["bots"]]
+                    result.bots.extend(page_bots)
+                    known.update(bot.listing_id for bot in page_bots)
+                    result.pages_traversed += payload["traversed"]
+                    if checkpoint is not None and checkpoint_path is not None:
+                        checkpoint.record_page(page_number, page_bots)
+                        checkpoint.save(checkpoint_path)
+                    page_number += 1
+                    continue
+                recorder.begin_unit()
             try:
                 listing_ids = self._scrape_list_page(page_number)
             except CaptchaBudgetExhaustedError as error:
@@ -136,6 +161,11 @@ class TopGGScraper(PoliteScraper):
                 if on_fault is None:
                     break
                 on_fault(TOPGG_HOST, "MalformedPage", 0, f"list page {page_number} unparseable; its bots are lost")
+                if recorder is not None:
+                    # The loop advances past a malformed page, so it must be
+                    # journaled (with its fault delta) or resumed keys drift.
+                    recorder.commit(f"page-{page_number}", {"bots": [], "traversed": 0})
+                    crashpoint("crawl.after_page")
                 page_number += 1
                 continue
             result.pages_traversed += 1
@@ -172,7 +202,15 @@ class TopGGScraper(PoliteScraper):
                 checkpoint.record_page(page_number, page_bots)
                 checkpoint.save(checkpoint_path)
             if aborted:
+                # Terminal iteration: not journaled; a resume re-executes it
+                # against the replayed world and aborts identically.
                 break
+            if recorder is not None:
+                recorder.commit(
+                    f"page-{page_number}",
+                    {"bots": [scraped_bot_to_dict(bot) for bot in page_bots], "traversed": 1},
+                )
+                crashpoint("crawl.after_page")
             page_number += 1
         return result
 

@@ -13,7 +13,7 @@ from typing import Callable
 
 from repro.web.captcha import CaptchaService
 from repro.web.http import Request, Response
-from repro.web.network import VirtualClock
+from repro.web.network import VirtualClock, restore_rng, rng_state
 
 Next = Callable[[Request], Response]
 
@@ -55,6 +55,16 @@ class RateLimitMiddleware:
             return response
         history.append(now)
         return next_handler(request)
+
+    def state_dict(self) -> dict:
+        return {
+            "history": {client: list(times) for client, times in self._history.items()},
+            "rejections": self.rejections,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._history = {client: list(times) for client, times in state["history"].items()}
+        self.rejections = state["rejections"]
 
 
 class CaptchaWallMiddleware:
@@ -107,6 +117,18 @@ class CaptchaWallMiddleware:
             return self._challenge_response()
         return next_handler(request)
 
+    def state_dict(self) -> dict:
+        return {
+            "counts": dict(self._request_counts),
+            "clearances": dict(self._clearances),
+            "served": self.challenges_served,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._request_counts = dict(state["counts"])
+        self._clearances = dict(state["clearances"])
+        self.challenges_served = state["served"]
+
     def _challenge_response(self) -> Response:
         challenge = self.service.issue()
         self.challenges_served += 1
@@ -152,6 +174,13 @@ class EmailVerificationMiddleware:
         )
         return Response.html(body, status=403)
 
+    def state_dict(self) -> dict:
+        return {"verified": sorted(self._verified), "served": self.interstitials_served}
+
+    def restore_state(self, state: dict) -> None:
+        self._verified = set(state["verified"])
+        self.interstitials_served = state["served"]
+
 
 class FlakyMiddleware:
     """Randomly serve transient 5xx errors (elements "become unavailable")."""
@@ -168,3 +197,10 @@ class FlakyMiddleware:
             self.failures_injected += 1
             return Response.text("temporarily unavailable", status=503)
         return next_handler(request)
+
+    def state_dict(self) -> dict:
+        return {"rng": rng_state(self._rng), "failures": self.failures_injected}
+
+    def restore_state(self, state: dict) -> None:
+        restore_rng(self._rng, state["rng"])
+        self.failures_injected = state["failures"]

@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.web.network import VirtualClock
+from repro.web.network import VirtualClock, restore_rng, rng_state
 
 
 class CaptchaError(Exception):
@@ -88,6 +88,23 @@ class CaptchaService:
     def pending_count(self) -> int:
         return len(self._pending)
 
+    def state_dict(self) -> dict:
+        return {
+            "rng": rng_state(self._rng),
+            "counter": self._counter,
+            "pending": [vars(challenge).copy() for challenge in self._pending.values()],
+            "stats": vars(self.stats).copy(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        restore_rng(self._rng, state["rng"])
+        self._counter = state["counter"]
+        self._pending = {
+            payload["challenge_id"]: CaptchaChallenge(**payload) for payload in state["pending"]
+        }
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)  # in place: callers may hold a reference
+
 
 @dataclass
 class SolveRecord:
@@ -128,6 +145,20 @@ class TwoCaptchaClient:
     @property
     def total_spent(self) -> float:
         return sum(record.cost for record in self.history)
+
+    def state_dict(self, include_history: bool = False) -> dict:
+        """Account state; solve ``history`` only on request — per-unit
+        journal records carry history as appended deltas instead."""
+        state = {"balance": self.balance, "rng": rng_state(self._rng)}
+        if include_history:
+            state["history"] = [vars(record).copy() for record in self.history]
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        self.balance = state["balance"]
+        restore_rng(self._rng, state["rng"])
+        if "history" in state:
+            self.history = [SolveRecord(**payload) for payload in state["history"]]
 
     @property
     def solves_attempted(self) -> int:

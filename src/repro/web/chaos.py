@@ -24,7 +24,7 @@ from enum import Enum
 
 from repro.web.captcha import CaptchaService
 from repro.web.http import Request, Response
-from repro.web.network import ConnectionFailedError, VirtualClock
+from repro.web.network import ConnectionFailedError, VirtualClock, restore_rng, rng_state
 
 
 class FaultKind(Enum):
@@ -211,6 +211,27 @@ class FaultSchedule:
     @property
     def captcha_service(self) -> CaptchaService | None:
         return self._captcha
+
+    # -- resume support ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Order-coupled schedule state (window cache is pure and excluded)."""
+        state = {
+            "rng": rng_state(self._draw_rng),
+            "clearances": dict(self._clearances),
+            "stats": vars(self.stats).copy(),
+        }
+        if self._captcha is not None:
+            state["captcha"] = self._captcha.state_dict()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        restore_rng(self._draw_rng, state["rng"])
+        self._clearances = dict(state["clearances"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)  # in place: callers may hold a reference
+        if self._captcha is not None and "captcha" in state:
+            self._captcha.restore_state(state["captcha"])
 
     # -- window resolution ---------------------------------------------------
 

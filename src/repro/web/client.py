@@ -56,6 +56,12 @@ class CookieJar:
     def clear(self) -> None:
         self._cookies.clear()
 
+    def state_dict(self) -> dict:
+        return {host: dict(cookies) for host, cookies in self._cookies.items()}
+
+    def restore_state(self, state: dict) -> None:
+        self._cookies = {host: dict(cookies) for host, cookies in state.items()}
+
 
 class HttpClient:
     """A cookie-aware HTTP client bound to one ``client_id``.

@@ -23,6 +23,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.web.server import VirtualHost
 
 
+def rng_state(rng: random.Random) -> list:
+    """JSON-serializable form of a ``random.Random`` state."""
+    version, internals, gauss = rng.getstate()
+    return [version, list(internals), gauss]
+
+
+def restore_rng(rng: random.Random, state: list) -> None:
+    """Restore a state produced by :func:`rng_state`."""
+    rng.setstate((state[0], tuple(state[1]), state[2]))
+
+
 class NetworkError(Exception):
     """Base class for transport-level failures."""
 
@@ -74,6 +85,19 @@ class VirtualClock:
     def sleep(self, seconds: float) -> None:
         """Alias of :meth:`advance`; lets callers read naturally."""
         self.advance(seconds)
+
+    def restore(self, now: float) -> None:
+        """Set the clock to an exact instant (resume support).
+
+        Unlike :meth:`advance`, this assigns ``now`` directly so a journal
+        replay reproduces the crashed run's timestamps bit-for-bit instead
+        of accumulating float deltas.  Time still cannot run backwards, and
+        watchdogs do not fire — replay is a fast-forward, not simulated time.
+        """
+        target = float(now)
+        if target < self._now:
+            raise ValueError("the clock cannot run backwards")
+        self._now = target
 
 
 @dataclass
@@ -278,6 +302,31 @@ class VirtualInternet:
             del times[: len(times) - self._rate_history]
         for observer in self._observers:
             observer(record)
+
+    # -- resume support ------------------------------------------------------
+
+    def state_dict(self, include_history: bool = False) -> dict:
+        """Serializable transport state (hosts and chaos are captured separately).
+
+        The bounded exchange ``log`` is audit-only and never captured;
+        ``include_history`` adds the per-client rate-audit timestamps, which
+        stage-boundary snapshots keep but per-unit journal records omit.
+        """
+        state = {
+            "rng": rng_state(self._rng),
+            "completed": self.exchanges_completed,
+            "failed": self.exchanges_failed,
+        }
+        if include_history:
+            state["client_times"] = {client: list(times) for client, times in self._client_times.items()}
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        restore_rng(self._rng, state["rng"])
+        self.exchanges_completed = state["completed"]
+        self.exchanges_failed = state["failed"]
+        if "client_times" in state:
+            self._client_times = {client: list(times) for client, times in state["client_times"].items()}
 
     # -- auditing helpers ----------------------------------------------------
 

@@ -88,6 +88,29 @@ class VirtualHost:
         """Append middleware; the first added runs outermost."""
         self._middleware.append(middleware)
 
+    # -- resume support ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable host state: request counter plus any stateful
+        middleware (keyed by position and class so restore can't mismatch)."""
+        state: dict = {"requests_served": self.requests_served}
+        middleware = {
+            f"{index}:{type(entry).__name__}": entry.state_dict()
+            for index, entry in enumerate(self._middleware)
+            if hasattr(entry, "state_dict")
+        }
+        if middleware:
+            state["middleware"] = middleware
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        self.requests_served = state.get("requests_served", self.requests_served)
+        stored = state.get("middleware", {})
+        for index, entry in enumerate(self._middleware):
+            key = f"{index}:{type(entry).__name__}"
+            if key in stored and hasattr(entry, "restore_state"):
+                entry.restore_state(stored[key])
+
     # -- dispatch ------------------------------------------------------------
 
     def handle(self, request: Request, internet: "VirtualInternet | None" = None) -> Response:
