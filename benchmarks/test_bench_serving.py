@@ -1,0 +1,90 @@
+"""ROBUSTNESS: the long-lived vetting service under hostile chaos.
+
+Stands the serving gate up over a 10^4-bot population, installs the
+hostile fault schedule on the shared virtual internet, and drives a
+scripted multi-wave burst — repeats for the verdict cache, listing
+updates for invalidation, guild audits, and a kill-and-restart
+mid-burst — then checks the serving contract:
+
+- zero unhandled exceptions: every outcome is a classified response or a
+  counted transport failure;
+- every response is a verdict (possibly ``degraded``/``stale``) or an
+  explicit 429/503 carrying ``Retry-After`` and a fault-ledger record;
+- ``/readyz`` recovers after the restart;
+- cached verdicts are cheap: p99 virtual latency of cache hits is at
+  least 10x below the cold-vetting p99.
+"""
+
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+from repro.serving import LoadScript, ServicePolicy, ServingHarness, VettingService
+from repro.sites.botwebsites import BotWebsiteBuilder
+from repro.web.chaos import FaultSchedule
+from repro.web.network import VirtualClock, VirtualInternet
+
+N_BOTS = 10_000
+SEED = 11
+
+POLICY = ServicePolicy(honeypot_observation=1_800.0)
+
+SCRIPT = LoadScript(
+    waves=5,
+    requests_per_wave=30,
+    wave_gap=1_800.0,
+    repeat_fraction=0.6,
+    audit_every=13,
+    update_every=29,
+    restart_at_wave=3,
+)
+
+
+def _build():
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=N_BOTS, seed=SEED, honeypot_window=100))
+    clock = VirtualClock()
+    internet = VirtualInternet(clock, seed=SEED)
+    BotWebsiteBuilder(ecosystem).register(internet)
+    internet.install_chaos(FaultSchedule("hostile", seed=SEED))
+    service = VettingService(internet, ecosystem.bots, policy=POLICY, seed=SEED)
+    for index in range(3):
+        roster = [bot.name for bot in ecosystem.bots[index * 5 : index * 5 + 5]]
+        service.register_guild(f"community-{index}", roster)
+    return service, ServingHarness(internet, service, seed=SEED)
+
+
+def test_bench_serving_contract_under_hostile_chaos(benchmark):
+    service, harness = _build()
+
+    report = benchmark.pedantic(lambda: harness.run(SCRIPT), rounds=1, iterations=1)
+
+    assert report.requests_sent == SCRIPT.waves * SCRIPT.requests_per_wave
+
+    # Zero unhandled exceptions (anything else would have propagated), and
+    # every outcome classified: verdicts, chaos-injected walls, mangled
+    # bodies, explicit sheds, explained 5xx, or counted transport failures.
+    assert report.contract_ok, report.summary_lines()
+    assert set(report.status_counts) <= {200, 429, 503}
+    assert report.unexplained_5xx == 0
+    assert report.shed_missing_retry_after == 0
+
+    # The burst produced real verdicts and exercised the cache.
+    assert report.verdicts > 0
+    assert report.cached_latencies, "the repeat traffic never hit the verdict cache"
+
+    # /readyz recovered after the mid-burst kill + restart.
+    assert report.readyz_recovered
+    # The restart preserved the durable verdict store.
+    assert len(harness.service.cache) > 0
+
+    # Cached verdicts are at least an order of magnitude cheaper at p99.
+    assert report.cached_p99 > 0
+    assert report.cold_p99 >= 10 * report.cached_p99
+
+    print()
+    for line in report.summary_lines():
+        print(line)
+    print(harness.service.metrics.summary_line())
+
+
+def test_bench_serving_same_seed_runs_identical():
+    _, first = _build()
+    _, second = _build()
+    assert first.run(SCRIPT).to_dict() == second.run(SCRIPT).to_dict()

@@ -1,22 +1,32 @@
-"""Guardian: a guild owner's defensive audit of installed bots.
+"""Guardian: a guild owner's defensive audit, served over the wire.
 
 The paper recommends "stricter scrutiny" of bot data collection as the
 mitigation.  This example sets up a busy guild with four installed bots —
 a minimal ping bot, an over-permissioned music bot, a moderation bot, and
-an administrator-everything bot — lets them run for a while, then prints
-the Guardian audit: risk scores, redundant grants, data exposure, and the
-permissions each bot was granted but never used.
+an administrator-everything bot — lets them run for a while, then asks the
+long-lived vetting service for the audit: ``GET /audit/{guild_id}`` runs
+the :class:`~repro.core.guardian.GuildGuardian` against live usage stats
+and returns risk scores, redundant grants, and unused permissions.
 
 Usage:
-    python examples/guild_guardian.py
+    python examples/guild_guardian.py [chaos_profile]
+
+With a chaos profile (calm/flaky/hostile/outage) the audit request goes
+over a degraded virtual internet; the example retries through the noise.
 """
 
-from repro.core.guardian import GuildGuardian
+import json
+import sys
+
 from repro.discordsim.behaviors import BENIGN, MODERATION_CHECKED, build_runtime
 from repro.discordsim.oauth import build_invite_url
 from repro.discordsim.permissions import Permission, Permissions
 from repro.discordsim.platform import DiscordPlatform
+from repro.serving import ServicePolicy, VettingService
 from repro.web.captcha import TwoCaptchaClient
+from repro.web.chaos import FaultSchedule
+from repro.web.client import HttpClient
+from repro.web.network import VirtualClock, VirtualInternet
 
 BOTS = (
     ("PingBot", Permissions.of(Permission.SEND_MESSAGES), BENIGN),
@@ -45,13 +55,47 @@ BOTS = (
 )
 
 
+def fetch_audit(client: HttpClient, internet: VirtualInternet, url: str, attempts: int = 5):
+    """GET the audit, riding out chaos walls with short virtual backoffs."""
+    from repro.web.network import NetworkError
+
+    for attempt in range(attempts):
+        try:
+            response = client.get(url)
+        except NetworkError as error:
+            print(f"  transport fault ({error}); retrying...")
+            internet.clock.sleep(120.0)
+            continue
+        body = response.body or ""
+        if response.status == 200 and not body.startswith("chaos:"):
+            try:
+                return json.loads(body)
+            except json.JSONDecodeError:
+                print("  truncated body (chaos); retrying...")
+        else:
+            print(f"  HTTP {response.status} (chaos wall); retrying...")
+        internet.clock.sleep(120.0)
+    return None
+
+
 def main() -> None:
-    platform = DiscordPlatform()
-    solver = TwoCaptchaClient(platform.clock, accuracy=1.0)
+    chaos = sys.argv[1] if len(sys.argv) > 1 else None
+
+    clock = VirtualClock()
+    internet = VirtualInternet(clock, seed=7)
+    if chaos:
+        internet.install_chaos(FaultSchedule(chaos, seed=7))
+    platform = DiscordPlatform(clock)
+    solver = TwoCaptchaClient(clock, accuracy=1.0)
     owner = platform.create_user("guild-owner", phone_verified=True)
     guild = platform.create_guild(owner, "busy-community")
     channel = guild.text_channels()[0]
-    guardian = GuildGuardian(platform)
+
+    # The vetting service attaches to the platform: /audit/{guild_id}
+    # runs the GuildGuardian against live usage statistics.
+    service = VettingService(
+        internet, [], policy=ServicePolicy(warmup=0.0), seed=7, platform=platform
+    )
 
     for name, permissions, behavior in BOTS:
         developer = platform.create_user(f"dev-{name}", phone_verified=True)
@@ -61,23 +105,31 @@ def main() -> None:
         answer = solver.solve(screen.captcha_prompt)
         platform.complete_install(owner.user_id, guild.guild_id, url, screen.captcha_challenge_id, answer)
         runtime = build_runtime(platform, application.bot_user.user_id, behavior)
-        guardian.register_api_client(runtime.api)
+        service.register_api_client(runtime.api)
 
     # Some organic activity so usage stats mean something.
     for content in ("!ping", "hello all", "!info", "!poll pizza or tacos", "!ping"):
         platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, content)
 
-    report = guardian.audit_guild(guild.guild_id)
-    print(report.render())
-    print()
-    for audit in report.high_risk_bots:
-        print(f"HIGH RISK: {audit.bot_name} (risk {audit.risk:.2f})")
-        if audit.redundant_with_admin:
-            print(f"  requests administrator plus redundant: {', '.join(audit.redundant_with_admin)}")
-        if audit.granted_but_unused:
-            print(f"  granted but never used: {', '.join(audit.granted_but_unused)}")
-        if audit.data_exposure:
-            print(f"  can reach: {', '.join(audit.data_exposure)}")
+    client = HttpClient(internet, client_id="guild-owner")
+    audit_url = f"https://{service.hostname}/audit/{guild.guild_id}"
+    print(f"GET {audit_url}{' under ' + chaos + ' chaos' if chaos else ''}")
+    payload = fetch_audit(client, internet, audit_url)
+    if payload is None:
+        print("audit unavailable after retries; the service shed honestly")
+        return
+
+    print(f"\nAudited {len(payload['bots'])} installed bots "
+          f"({payload['high_risk']} high-risk, latency {payload['virtual_latency']:.1f}s virtual):")
+    for audit in payload["bots"]:
+        flag = "HIGH RISK" if audit["high_risk"] else "ok       "
+        print(f"  {flag}  {audit['bot']:10s} risk {audit['risk']:.2f}")
+        if audit["redundant_with_admin"]:
+            print(f"             requests administrator plus redundant: {', '.join(audit['redundant_with_admin'])}")
+        if audit["granted_but_unused"]:
+            print(f"             granted but never used: {', '.join(audit['granted_but_unused'])}")
+        if audit["data_exposure"]:
+            print(f"             can reach: {', '.join(audit['data_exposure'])}")
 
 
 if __name__ == "__main__":

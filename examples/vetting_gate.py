@@ -1,42 +1,62 @@
-"""Vetting gate: would today's ecosystem survive the paper's mitigation?
+"""Vetting gate: the paper's mitigation as a long-lived service.
 
 Section 7 recommends "stricter scrutiny when developers collect data and a
-continuous rigorous vetting process".  This example builds the measured
-ecosystem, pushes every active bot through a marketplace vetting pipeline
-(permission review, disclosure review, code review, sandbox honeypot) and
-reports what fraction survives — then demonstrates the sleeper-bot evasion
-that makes one-shot vetting insufficient.
+continuous rigorous vetting process".  This example stands that process up
+as a *service* on the virtual internet: a marketplace queries
+``https://vetting.gate/vet/{bot}`` before listing a submission, verdicts
+are cached until the listing changes, and the service degrades gracefully
+(skipped honeypot, stale verdicts, explicit shedding) instead of failing
+under load or chaos.
 
 Usage:
-    python examples/vetting_gate.py [n_bots]
+    python examples/vetting_gate.py [n_bots] [chaos_profile]
+
+``chaos_profile`` is one of calm/flaky/hostile/outage (default: calm); the
+demo is runnable under full hostile chaos — the serving contract holds.
 """
 
 import dataclasses
+import json
 import sys
 
-from repro.core.vetting import VettingPipeline, VettingPolicy
 from repro.discordsim import behaviors
 from repro.discordsim.permissions import Permission, Permissions
-from repro.ecosystem.generator import EcosystemConfig, InviteStatus, generate_ecosystem
+from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
 from repro.ecosystem.policies import PolicySpec
+from repro.serving import LoadScript, ServicePolicy, ServingHarness, VettingService
+from repro.sites.botwebsites import BotWebsiteBuilder
+from repro.web.chaos import FaultSchedule
+from repro.web.client import HttpClient
+from repro.web.network import VirtualClock, VirtualInternet
 
 
 def main() -> None:
-    n_bots = int(sys.argv[1]) if len(sys.argv) > 1 else 1_000
+    n_bots = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    chaos = sys.argv[2] if len(sys.argv) > 2 else None
+
     ecosystem = generate_ecosystem(EcosystemConfig(n_bots=n_bots, seed=2022, honeypot_window=100))
-    active = [bot for bot in ecosystem.bots if bot.has_valid_permissions]
+    clock = VirtualClock()
+    internet = VirtualInternet(clock, seed=2022)
+    BotWebsiteBuilder(ecosystem).register(internet)
+    if chaos:
+        internet.install_chaos(FaultSchedule(chaos, seed=2022))
 
-    print(f"Static vetting of {len(active)} active bots (no sandbox, fast)...")
-    static_pipeline = VettingPipeline(VettingPolicy(run_dynamic_review=False))
-    report = static_pipeline.vet_population(active)
-    print(f"  approved: {len(report.approved)} ({len(report.approved) / len(active):.1%})")
-    print(f"  rejected: {len(report.rejected)} ({len(report.rejected) / len(active):.1%})")
-    for reason, count in sorted(report.rejection_reasons().items(), key=lambda item: -item[1]):
-        print(f"    {count:6d}  {reason}")
+    policy = ServicePolicy(warmup=0.0, honeypot_observation=3_600.0)
+    service = VettingService(internet, ecosystem.bots, policy=policy, seed=2022)
+    client = HttpClient(internet, client_id="marketplace")
 
-    print("\nDynamic gate on three crafted submissions:")
-    base = next(b for b in active if b.behavior == behaviors.BENIGN)
-    pipeline = VettingPipeline(seed=7)
+    print(f"Vetting service up on https://{service.hostname} "
+          f"({len(service.directory)} listed bots{', chaos: ' + chaos if chaos else ''}).")
+
+    # A marketplace burst: repeats hit the verdict cache, updates invalidate.
+    harness = ServingHarness(internet, service, seed=2022)
+    report = harness.run(LoadScript(waves=3, requests_per_wave=20, wave_gap=1_800.0, update_every=9))
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+    # Three crafted submissions through the live gate.
+    print("\nDynamic gate on three crafted submissions (full vet, then cached):")
+    base = next(b for b in ecosystem.bots if b.has_valid_permissions and b.behavior == behaviors.BENIGN)
     for behavior in (behaviors.BENIGN, behaviors.NOSY_OPERATOR, behaviors.SLEEPER):
         submission = dataclasses.replace(base)
         submission.name = f"Submission-{behavior}"
@@ -46,12 +66,36 @@ def main() -> None:
         )
         submission.policy = PolicySpec(present=True, categories=frozenset({"collect"}), link_valid=True)
         submission.github = None
-        verdict = pipeline.review(submission)
-        status = "APPROVED" if verdict.approved else "REJECTED"
-        print(f"  {behavior:16s} -> {status}  {verdict.reasons or ''}")
-    print("\nThe sleeper passed: it behaves during review and turns later —")
-    print("hence the paper's call for *continuous* vetting (see the")
-    print("longitudinal escalation detector in repro.analysis.longitudinal).")
+        submission.website_host = None
+        service.update_bot(submission)
+        response = client.get(f"https://{service.hostname}/vet/{submission.name}")
+        if response.status != 200:
+            print(f"  {behavior:16s} -> HTTP {response.status} (chaos wall)")
+            continue
+        payload = json.loads(response.body)
+        status = "APPROVED" if payload["approved"] else "REJECTED"
+        print(f"  {behavior:16s} -> {status}  latency {payload['virtual_latency']:.0f}s "
+              f"{payload['reasons'] or ''}")
+
+    print("\nThe sleeper passed: it behaves during the review window and turns")
+    print("later — the reason verdicts are cached against the *listing* and a")
+    print("POST /bots/{name}/update forces a re-vet (continuous vetting).")
+
+    # Show graceful degradation: a gate that must answer in 10 virtual
+    # minutes cannot afford the sandbox and says so instead of blocking.
+    strict = VettingService(
+        internet,
+        ecosystem.bots,
+        policy=dataclasses.replace(policy, deadline=600.0),
+        seed=2022,
+        hostname="fast.vetting.gate",
+    )
+    name = ecosystem.bots[0].name
+    response = client.get(f"https://{strict.hostname}/vet/{name}")
+    if response.status == 200:
+        payload = json.loads(response.body)
+        print(f"\nUnder a 600s deadline the same vet degrades honestly: "
+              f"degraded={payload['degraded']}, stages={payload['stages']}")
 
 
 if __name__ == "__main__":

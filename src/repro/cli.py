@@ -3,6 +3,7 @@
 Subcommands mirror the methodology stages::
 
     repro run          # full pipeline + printed report (optionally --json out)
+    repro serve        # host the vetting service, drive a scripted burst
     repro honeypot     # dynamic analysis only
     repro traceability # website crawl + keyword traceability only
     repro code         # GitHub crawl + check detection only
@@ -71,6 +72,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     vet = subparsers.add_parser("vet", help="run the vetting gate over the population")
     vet.add_argument("--dynamic", action="store_true", help="include the sandbox honeypot stage (slow)")
+
+    serve = subparsers.add_parser(
+        "serve", help="host the long-lived vetting service and drive a scripted load burst"
+    )
+    serve.add_argument("--chaos", default=None, choices=sorted(PROFILES),
+                       help="inject faults from a named chaos profile")
+    serve.add_argument("--chaos-seed", type=int, default=0, help="fault schedule seed (default 0)")
+    serve.add_argument("--waves", type=int, default=4, help="request waves to fire (default 4)")
+    serve.add_argument("--requests", type=int, default=30, help="requests per wave (default 30)")
+    serve.add_argument("--wave-gap", type=float, default=1_800.0,
+                       help="virtual seconds between waves (default 1800)")
+    serve.add_argument("--repeat-fraction", type=float, default=0.6,
+                       help="fraction of requests re-targeting vetted bots (default 0.6)")
+    serve.add_argument("--audit-every", type=int, default=0,
+                       help="every Nth request audits a guild roster (0 = never)")
+    serve.add_argument("--update-every", type=int, default=0,
+                       help="every Nth request posts a listing update (0 = never)")
+    serve.add_argument("--restart-at-wave", type=int, default=None,
+                       help="kill + restart the service at the start of this wave")
+    serve.add_argument("--queue-capacity", type=int, default=None,
+                       help="admission queue bound (default from ServicePolicy)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request virtual-second deadline budget")
+    serve.add_argument("--observation", type=float, default=None,
+                       help="serving-mode honeypot observation window (virtual seconds)")
+    serve.add_argument("--json", dest="json_path", default=None, help="save the run report as JSON")
+    serve.add_argument("--metrics", action="store_true", help="print serving metrics after the report")
 
     subparsers.add_parser("compare", help="run the pipeline and score it against the paper's numbers")
     return parser
@@ -253,6 +281,74 @@ def _cmd_vet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses as _dataclasses
+
+    from repro.core.metrics import RunMetrics
+    from repro.ecosystem.generator import EcosystemConfig, generate_ecosystem
+    from repro.serving import LoadScript, ServicePolicy, ServingHarness, VettingService
+    from repro.sites.botwebsites import BotWebsiteBuilder
+    from repro.web.network import VirtualClock, VirtualInternet
+
+    ecosystem = generate_ecosystem(EcosystemConfig(n_bots=args.bots, seed=args.seed))
+    clock = VirtualClock()
+    internet = VirtualInternet(clock, seed=args.seed)
+    BotWebsiteBuilder(ecosystem).register(internet)
+    if args.chaos is not None:
+        from repro.web.chaos import FaultSchedule
+
+        internet.install_chaos(FaultSchedule(args.chaos, seed=args.chaos_seed))
+
+    policy = ServicePolicy()
+    overrides = {}
+    if args.queue_capacity is not None:
+        overrides["queue_capacity"] = args.queue_capacity
+    if args.deadline is not None:
+        overrides["deadline"] = args.deadline
+    if args.observation is not None:
+        overrides["honeypot_observation"] = args.observation
+    if overrides:
+        policy = _dataclasses.replace(policy, **overrides)
+
+    service = VettingService(internet, ecosystem.bots, policy=policy, seed=args.seed)
+    if args.audit_every:
+        for index in range(3):
+            roster = [bot.name for bot in ecosystem.bots[index * 5 : index * 5 + 5]]
+            service.register_guild(f"community-{index}", roster)
+
+    harness = ServingHarness(internet, service, seed=args.seed)
+    script = LoadScript(
+        waves=args.waves,
+        requests_per_wave=args.requests,
+        wave_gap=args.wave_gap,
+        repeat_fraction=args.repeat_fraction,
+        audit_every=args.audit_every,
+        update_every=args.update_every,
+        restart_at_wave=args.restart_at_wave,
+    )
+    chaos_note = f" under {args.chaos!r} chaos" if args.chaos else ""
+    print(f"Serving {len(ecosystem.bots)} listed bots on https://{service.hostname}{chaos_note}...")
+    report = harness.run(script)
+    for line in report.summary_lines():
+        print(line)
+    if args.metrics:
+        metrics = RunMetrics()
+        metrics.serving = harness.service.metrics.to_dict()
+        print()
+        print(metrics.render())
+    if args.json_path:
+        import json as _json
+        from pathlib import Path
+
+        payload = report.to_dict()
+        Path(args.json_path).write_text(_json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nRun report saved to {args.json_path}")
+    if not report.contract_ok:
+        print("Serving contract VIOLATED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.paper import compare_with_paper
 
@@ -268,6 +364,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "vet": _cmd_vet,
+    "serve": _cmd_serve,
     "compare": _cmd_compare,
     "honeypot": _cmd_honeypot,
     "traceability": _cmd_traceability,

@@ -119,6 +119,10 @@ class RunMetrics:
     #: Write-ahead journal counters (``JournalStats.to_dict()``, aggregated
     #: across the main and per-shard journals) when journaling is enabled.
     journal: dict[str, int] | None = None
+    #: Serving counters (``ServingMetrics.to_dict()``) when the run hosted
+    #: the vetting service: requests served/shed/degraded, cache hit and
+    #: stale rates, p50/p99 virtual latency per endpoint.
+    serving: dict[str, Any] | None = None
 
     def record(self, stage_metrics: StageMetrics) -> StageMetrics:
         self.stages[stage_metrics.stage] = stage_metrics
@@ -179,6 +183,17 @@ class RunMetrics:
                 f"{self.journal.get('replayed', 0)} replayed, "
                 f"{self.journal.get('discarded', 0)} discarded"
             )
+        if self.serving is not None:
+            lines.append(
+                f"serving: {self.serving.get('served', 0)}/{self.serving.get('requests_total', 0)} served, "
+                f"{self.serving.get('shed', 0)} shed, {self.serving.get('degraded', 0)} degraded, "
+                f"{self.serving.get('stale_served', 0)} stale"
+            )
+            for endpoint, stats in sorted((self.serving.get("latency") or {}).items()):
+                lines.append(
+                    f"    {endpoint}: {stats.get('count', 0)} requests, "
+                    f"p50 {stats.get('p50', 0.0):.3f}s, p99 {stats.get('p99', 0.0):.3f}s virtual"
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:
@@ -188,6 +203,8 @@ class RunMetrics:
         }
         if self.journal is not None:
             payload["journal"] = dict(self.journal)
+        if self.serving is not None:
+            payload["serving"] = dict(self.serving)
         return payload
 
     @classmethod
@@ -196,4 +213,5 @@ class RunMetrics:
             shard_count=payload.get("shard_count", 1),
             stages={name: StageMetrics.from_dict(entry) for name, entry in payload.get("stages", {}).items()},
             journal=dict(payload["journal"]) if isinstance(payload.get("journal"), dict) else None,
+            serving=dict(payload["serving"]) if isinstance(payload.get("serving"), dict) else None,
         )

@@ -313,9 +313,19 @@ class FaultLedger:
     Records are kept in occurrence order; with a seeded world the order is
     deterministic, so :meth:`to_json` of two same-seed runs is byte-identical
     — the property the chaos benchmarks assert.
+
+    Batch runs keep the ledger unbounded (``max_records=None``) so resume
+    slicing stays index-stable.  Long-lived serving ledgers pass a bound:
+    the ledger becomes a ring that drops its oldest records and counts the
+    drops, so a multi-epoch service run has bounded RSS without silently
+    forgetting that it forgot.
     """
 
     records: list[FaultRecord] = field(default_factory=list)
+    #: When set, keep at most this many records (oldest dropped first).
+    max_records: int | None = None
+    #: Records evicted by the ring bound.
+    dropped: int = 0
 
     def record(
         self,
@@ -336,10 +346,19 @@ class FaultLedger:
             detail=detail,
         )
         self.records.append(entry)
+        self._trim()
         return entry
 
     def extend(self, other: "FaultLedger") -> None:
         self.records.extend(other.records)
+        self.dropped += other.dropped
+        self._trim()
+
+    def _trim(self) -> None:
+        if self.max_records is not None and len(self.records) > self.max_records:
+            excess = len(self.records) - self.max_records
+            del self.records[:excess]
+            self.dropped += excess
 
     def __len__(self) -> int:
         return len(self.records)
@@ -385,11 +404,19 @@ class FaultLedger:
         return counts
 
     def to_dict(self) -> dict:
-        return {"records": [record.to_dict() for record in self.records]}
+        payload: dict = {"records": [record.to_dict() for record in self.records]}
+        if self.max_records is not None:
+            payload["max_records"] = self.max_records
+            payload["dropped"] = self.dropped
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultLedger":
-        return cls(records=[FaultRecord.from_dict(entry) for entry in payload.get("records", [])])
+        return cls(
+            records=[FaultRecord.from_dict(entry) for entry in payload.get("records", [])],
+            max_records=payload.get("max_records"),
+            dropped=payload.get("dropped", 0),
+        )
 
     def to_json(self) -> str:
         """Canonical serialization (sorted keys) for byte-wise comparison."""

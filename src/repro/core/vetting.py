@@ -52,6 +52,13 @@ class VettingVerdict:
     bot_name: str
     approved: bool
     reasons: list[str] = field(default_factory=list)
+    #: Stages the reviewer skipped (deadline/bulkhead pressure in serving
+    #: mode); a verdict with skipped stages is *partial*, not wrong.
+    skipped_stages: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.skipped_stages)
 
 
 @dataclass
@@ -105,6 +112,23 @@ class VettingPipeline:
             report.verdicts.append(self.review(bot))
         return report
 
+    # -- per-stage entry points (the serving layer drives these individually,
+    # -- each under its own slice of a request's deadline budget) -------------
+
+    def review_static(self, bot: BotProfile, verdict: VettingVerdict) -> None:
+        """Permission + disclosure review: cheap, in-process, always runs."""
+        self._review_permissions(bot, verdict)
+        self._review_disclosure(bot, verdict)
+
+    def review_code(self, bot: BotProfile, verdict: VettingVerdict) -> None:
+        self._review_code(bot, verdict)
+
+    def review_dynamic(
+        self, bot: BotProfile, verdict: VettingVerdict, observation: float | None = None
+    ) -> float:
+        """Sandbox honeypot review; returns sandbox virtual seconds consumed."""
+        return self._review_dynamic(bot, verdict, observation=observation)
+
     # -- stages ------------------------------------------------------------------
 
     def _review_permissions(self, bot: BotProfile, verdict: VettingVerdict) -> None:
@@ -154,14 +178,20 @@ class VettingPipeline:
                 "re-delegation risk: privileged commands without user-permission checks"
             )
 
-    def _review_dynamic(self, bot: BotProfile, verdict: VettingVerdict) -> None:
-        """Sandbox honeypot: one guild, tokens, short observation."""
+    def _review_dynamic(
+        self, bot: BotProfile, verdict: VettingVerdict, observation: float | None = None
+    ) -> float:
+        """Sandbox honeypot: one guild, tokens, short observation.
+
+        Returns the virtual seconds the sandbox consumed, so a serving-side
+        caller can charge the request's deadline budget with the real cost.
+        """
         platform = DiscordPlatform(captcha_seed=self.seed)
         internet = VirtualInternet(platform.clock, seed=self.seed)
         experiment = HoneypotExperiment(platform, internet, seed=self.seed)
         report = experiment.run(
             [bot],
-            observation_window=self.policy.dynamic_observation,
+            observation_window=observation if observation is not None else self.policy.dynamic_observation,
             reuse_personas=False,
         )
         flagged = report.flagged_bots
@@ -172,6 +202,7 @@ class VettingPipeline:
         elif report.install_failures:
             verdict.approved = False
             verdict.reasons.append("dynamic review: bot could not be installed in the sandbox")
+        return platform.clock.now()
 
 
 def ground_truth_evasions(report: VettingReport, bots: list[BotProfile]) -> list[str]:

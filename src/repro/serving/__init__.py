@@ -1,0 +1,38 @@
+"""Long-lived vetting service on the virtual internet.
+
+The batch pipeline answers "what does the ecosystem look like today?";
+this package answers the question platforms actually ask: "should I list
+this bot *right now*?" — continuously, under load, and under the same
+chaos profiles the batch pipeline survives.
+
+- :mod:`repro.serving.budget` — per-request virtual-time deadline budgets.
+- :mod:`repro.serving.admission` — bounded admission queue (shed with 429 +
+  ``Retry-After``) and per-stage bulkheads.
+- :mod:`repro.serving.cache` — verdict cache with update invalidation and
+  stale-while-revalidate.
+- :mod:`repro.serving.metrics` — serving counters and latency percentiles.
+- :mod:`repro.serving.service` — the :class:`VettingService` virtual host.
+- :mod:`repro.serving.harness` — deterministic scripted load driver.
+"""
+
+from repro.serving.admission import AdmissionQueue, Bulkhead, BulkheadSaturatedError
+from repro.serving.budget import DeadlineBudget
+from repro.serving.cache import VerdictCache
+from repro.serving.metrics import LatencyReservoir, ServingMetrics
+from repro.serving.service import ServicePolicy, VettingService
+from repro.serving.harness import LoadScript, ServingHarness, ServingRunReport
+
+__all__ = [
+    "AdmissionQueue",
+    "Bulkhead",
+    "BulkheadSaturatedError",
+    "DeadlineBudget",
+    "LatencyReservoir",
+    "LoadScript",
+    "ServicePolicy",
+    "ServingHarness",
+    "ServingMetrics",
+    "ServingRunReport",
+    "VerdictCache",
+    "VettingService",
+]

@@ -1,0 +1,137 @@
+"""Admission control and per-stage bulkheads for the vetting service.
+
+Both structures model occupancy in *virtual time*: work in the simulation
+is synchronous, so "a request is still being served" is represented as a
+lease that expires at the request's modeled completion instant.  A burst of
+requests arriving inside a narrow virtual window therefore piles leases up
+exactly the way concurrent requests would pile up on a real server — and
+the queue sheds deterministically once the bound is hit.
+
+- :class:`AdmissionQueue` — one bounded queue in front of the whole
+  service.  Beyond ``capacity`` in-flight requests, new arrivals are shed
+  with an explicit ``429`` and an honest ``Retry-After`` (the virtual
+  seconds until the earliest in-flight request drains).  The queue never
+  grows without bound.
+- :class:`Bulkhead` — a per-stage concurrency limit.  Expensive stages
+  (the sandbox honeypot) get few slots, cheap stages many, so a stalled
+  honeypot saturates *its own* compartment and cheap traceability-only
+  requests keep flowing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class BulkheadSaturatedError(Exception):
+    """Every slot is leased and the wait would blow the caller's budget."""
+
+    def __init__(self, stage: str, wait: float) -> None:
+        super().__init__(f"bulkhead {stage!r} saturated; next slot frees in {wait:.1f}s")
+        self.stage = stage
+        self.wait = wait
+
+
+@dataclass
+class Bulkhead:
+    """A fixed pool of virtual-time slots for one stage.
+
+    ``acquire(start, cost, max_wait)`` finds the earliest instant at or
+    after ``start`` when a slot is free, leases it for ``cost`` seconds and
+    returns the lease start.  If the wait for a slot exceeds ``max_wait``
+    it raises :class:`BulkheadSaturatedError` instead — the caller then
+    degrades (skips the stage) rather than queue past its deadline.
+    """
+
+    stage: str
+    limit: int
+    #: Lease expiry instants for currently-occupied slots.
+    leases: list[float] = field(default_factory=list)
+    acquired: int = 0
+    saturations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit < 1:
+            raise ValueError("bulkhead limit must be >= 1")
+
+    def in_flight(self, now: float) -> int:
+        return sum(1 for expiry in self.leases if expiry > now)
+
+    def _purge(self, now: float) -> None:
+        self.leases = [expiry for expiry in self.leases if expiry > now]
+
+    def acquire(self, start: float, cost: float, max_wait: float) -> float:
+        """Lease a slot; returns the instant the stage actually starts."""
+        self._purge(start)
+        if len(self.leases) < self.limit:
+            self.leases.append(start + cost)
+            self.acquired += 1
+            return start
+        earliest = min(self.leases)
+        wait = earliest - start
+        if wait > max_wait:
+            self.saturations += 1
+            raise BulkheadSaturatedError(self.stage, wait)
+        self.leases.remove(earliest)
+        self.leases.append(earliest + cost)
+        self.acquired += 1
+        return earliest
+
+    def release_last(self, lease_end: float) -> None:
+        """Shrink the most recent lease (actual cost < estimated cost)."""
+        if self.leases:
+            self.leases[-1] = min(self.leases[-1], lease_end)
+
+
+class ShedDecision:
+    """Why (and for how long) an arrival was turned away."""
+
+    def __init__(self, retry_after: float, reason: str) -> None:
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+@dataclass
+class AdmissionQueue:
+    """Bounded in-flight set with explicit load shedding.
+
+    ``admit(now)`` purges drained requests and either admits (returning
+    ``None``) or returns a :class:`ShedDecision` carrying the honest
+    ``Retry-After``.  ``settle(finish)`` records the admitted request's
+    modeled completion so later arrivals see it as in-flight until then.
+    """
+
+    capacity: int
+    #: Modeled completion instants of admitted, not-yet-drained requests.
+    in_flight: list[float] = field(default_factory=list)
+    admitted: int = 0
+    shed: int = 0
+    #: Minimum Retry-After hint, so clients never busy-spin on a 429.
+    min_retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+
+    def depth(self, now: float) -> int:
+        return sum(1 for finish in self.in_flight if finish > now)
+
+    def _purge(self, now: float) -> None:
+        self.in_flight = [finish for finish in self.in_flight if finish > now]
+
+    def admit(self, now: float) -> ShedDecision | None:
+        self._purge(now)
+        if len(self.in_flight) >= self.capacity:
+            self.shed += 1
+            earliest = min(self.in_flight)
+            retry_after = max(earliest - now, self.min_retry_after)
+            return ShedDecision(retry_after, f"admission queue full ({self.capacity} in flight)")
+        self.admitted += 1
+        return None
+
+    def settle(self, finish: float) -> None:
+        """Record an admitted request's modeled completion instant."""
+        self.in_flight.append(finish)
+
+    def clear(self) -> None:
+        self.in_flight.clear()

@@ -1,0 +1,65 @@
+"""Per-request deadline budgets in virtual time.
+
+Every request admitted by the service gets a :class:`DeadlineBudget` — a
+fixed allowance of virtual seconds it may spend across the vetting stages.
+Each stage asks the budget whether its estimated cost still fits before it
+runs, charges the *actual* cost after, and is skipped-with-degradation when
+the remainder would not cover it.  A deadline never kills a request; it
+only shrinks how much review the response is backed by (the verdict says
+so via ``degraded``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DeadlineBudget:
+    """A virtual-time allowance for one request.
+
+    ``start`` is the request's arrival instant; ``deadline`` the total
+    virtual seconds it may consume.  ``cursor`` tracks the request's own
+    simulated completion time (arrival + waits + stage costs) — the serving
+    queue model, not the shared world clock.
+    """
+
+    start: float
+    deadline: float
+    cursor: float = 0.0
+    #: Stage name -> virtual seconds actually charged.
+    charges: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        self.cursor = max(self.cursor, self.start)
+
+    @property
+    def spent(self) -> float:
+        return self.cursor - self.start
+
+    @property
+    def remaining(self) -> float:
+        return max(self.deadline - self.spent, 0.0)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0.0
+
+    def affords(self, cost: float) -> bool:
+        """Whether ``cost`` more virtual seconds still fit the deadline."""
+        return cost <= self.remaining
+
+    def charge(self, stage: str, cost: float) -> float:
+        """Consume ``cost`` seconds for ``stage``; returns the new cursor."""
+        if cost < 0:
+            raise ValueError("cost must be >= 0")
+        self.cursor += cost
+        self.charges[stage] = self.charges.get(stage, 0.0) + cost
+        return self.cursor
+
+    @property
+    def latency(self) -> float:
+        """Virtual seconds from arrival to the request's modeled completion."""
+        return self.cursor - self.start

@@ -1,0 +1,152 @@
+"""Verdict cache with update invalidation and stale-while-revalidate.
+
+A verdict is cached against a *fingerprint* of the submission it reviewed
+— permissions, scopes, policy, repo link, tags.  When the listing changes
+(the longitudinal escalation case: a sleeper quietly requesting more
+permissions), the fingerprint changes and the cached verdict is no longer
+*fresh*: the next request forces a re-vet.  Under brownout the service may
+still serve the superseded verdict explicitly marked ``stale=True`` while
+the refresh happens — an honest degraded answer instead of a failure.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ecosystem.generator import BotProfile
+
+
+def bot_fingerprint(bot: BotProfile) -> str:
+    """A stable digest of everything vetting actually reviews."""
+    material = "|".join(
+        (
+            bot.name,
+            str(bot.permissions.value),
+            ",".join(scope.value for scope in bot.scopes),
+            bot.invite_status.value,
+            str(sorted(bot.tags)),
+            str(bot.policy.present),
+            str(sorted(bot.policy.categories)),
+            str(bot.policy.link_valid),
+            bot.github_url or "",
+            bot.website_host or "",
+        )
+    )
+    return f"{zlib.crc32(material.encode('utf-8')):08x}"
+
+
+@dataclass
+class CacheEntry:
+    """One cached verdict plus the metadata freshness decisions need."""
+
+    payload: dict[str, Any]
+    fingerprint: str
+    stored_at: float
+    #: Set when the directory learned of an update whose re-vet has not
+    #: completed yet (the stale-while-revalidate window).
+    superseded: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "payload": dict(self.payload),
+            "fingerprint": self.fingerprint,
+            "stored_at": self.stored_at,
+            "superseded": self.superseded,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "CacheEntry":
+        return cls(
+            payload=dict(raw["payload"]),
+            fingerprint=raw["fingerprint"],
+            stored_at=raw["stored_at"],
+            superseded=raw.get("superseded", False),
+        )
+
+
+@dataclass
+class VerdictCache:
+    """Bounded verdict store keyed by bot name.
+
+    ``lookup`` classifies an entry as ``"fresh"`` (fingerprint matches and
+    TTL not expired), ``"stale"`` (superseded by an update or past TTL —
+    servable only as an explicitly-marked stale answer), or a miss
+    (``None``).  The store is a ring: past ``max_entries`` the oldest
+    entry is evicted and counted.
+    """
+
+    ttl: float = 7 * 86_400.0
+    max_entries: int = 10_000
+    entries: dict[str, CacheEntry] = field(default_factory=dict)
+    hits: int = 0
+    stale_hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    def lookup(self, bot: BotProfile, now: float) -> tuple[str, CacheEntry] | None:
+        entry = self.entries.get(bot.name)
+        if entry is None:
+            self.misses += 1
+            return None
+        fresh = (
+            not entry.superseded
+            and entry.fingerprint == bot_fingerprint(bot)
+            and now - entry.stored_at < self.ttl
+        )
+        if fresh:
+            self.hits += 1
+            return ("fresh", entry)
+        return ("stale", entry)
+
+    def count_stale_hit(self) -> None:
+        self.stale_hits += 1
+
+    def count_miss(self) -> None:
+        self.misses += 1
+
+    def store(self, bot: BotProfile, payload: dict[str, Any], now: float) -> CacheEntry:
+        entry = CacheEntry(payload=dict(payload), fingerprint=bot_fingerprint(bot), stored_at=now)
+        if bot.name not in self.entries and len(self.entries) >= self.max_entries:
+            oldest = min(self.entries, key=lambda name: self.entries[name].stored_at)
+            del self.entries[oldest]
+            self.evictions += 1
+        self.entries[bot.name] = entry
+        return entry
+
+    def invalidate(self, bot_name: str) -> bool:
+        """Mark a bot's verdict superseded (listing updated); True if cached."""
+        entry = self.entries.get(bot_name)
+        if entry is None:
+            return False
+        entry.superseded = True
+        self.invalidations += 1
+        return True
+
+    def drop(self, bot_name: str) -> None:
+        self.entries.pop(bot_name, None)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- restart support ----------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "entries": {name: entry.to_dict() for name, entry in self.entries.items()},
+            "counters": {
+                "hits": self.hits,
+                "stale_hits": self.stale_hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            },
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.entries = {name: CacheEntry.from_dict(raw) for name, raw in state.get("entries", {}).items()}
+        counters = state.get("counters", {})
+        for name in ("hits", "stale_hits", "misses", "invalidations", "evictions"):
+            setattr(self, name, counters.get(name, 0))

@@ -1,0 +1,267 @@
+"""Deterministic load driver for the vetting service.
+
+The harness fires a seeded, scripted request stream at a
+:class:`~repro.serving.service.VettingService` over the virtual internet —
+waves of ``/vet`` and ``/audit`` requests with clock advances between waves,
+an optional kill-and-restart mid-burst, and health polling — then verifies
+the serving contract:
+
+- zero unhandled exceptions: every outcome is a response or a counted
+  transport failure;
+- every service-origin 429/503 carries ``Retry-After`` and a corresponding
+  :class:`~repro.core.resilience.FaultLedger` record;
+- after a restart, ``/readyz`` recovers within the warmup window.
+
+All draws come from one seeded RNG, so two same-seed runs issue identical
+streams — the serving analogue of the chaos benchmarks' determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serving.service import ServicePolicy, VettingService
+from repro.web.client import HttpClient
+from repro.web.network import NetworkError, VirtualInternet
+
+
+@dataclass(frozen=True)
+class LoadScript:
+    """One deterministic request schedule."""
+
+    waves: int = 6
+    requests_per_wave: int = 40
+    #: Virtual seconds the driver sleeps between waves (lets the admission
+    #: queue drain; inside a wave requests arrive back-to-back).
+    wave_gap: float = 1_800.0
+    #: Fraction of requests that re-target an already-requested bot
+    #: (exercises the verdict cache).
+    repeat_fraction: float = 0.6
+    #: Every Nth request is an /audit instead of a /vet (0 disables).
+    audit_every: int = 0
+    #: Kill + restart the service at the start of this wave (None = never).
+    restart_at_wave: int | None = None
+    #: POST an update notification for an already-vetted bot every Nth
+    #: request (0 disables) — exercises invalidation + revalidation.
+    update_every: int = 0
+
+
+@dataclass
+class ServingRunReport:
+    """What the stream produced, plus the contract checks."""
+
+    requests_sent: int = 0
+    status_counts: dict[int, int] = field(default_factory=dict)
+    transport_errors: int = 0
+    truncated_bodies: int = 0
+    chaos_walls: int = 0
+    service_shed: int = 0
+    shed_missing_retry_after: int = 0
+    service_5xx: int = 0
+    unexplained_5xx: int = 0
+    verdicts: int = 0
+    degraded_verdicts: int = 0
+    stale_verdicts: int = 0
+    cold_latencies: list[float] = field(default_factory=list)
+    cached_latencies: list[float] = field(default_factory=list)
+    readyz_recovered: bool = True
+    serving_metrics: dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def _p99(samples: list[float]) -> float:
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        index = min(int(round(0.99 * (len(ordered) - 1))), len(ordered) - 1)
+        return ordered[index]
+
+    @property
+    def cold_p99(self) -> float:
+        return self._p99(self.cold_latencies)
+
+    @property
+    def cached_p99(self) -> float:
+        return self._p99(self.cached_latencies)
+
+    @property
+    def contract_ok(self) -> bool:
+        return self.unexplained_5xx == 0 and self.shed_missing_retry_after == 0 and self.readyz_recovered
+
+    def summary_lines(self) -> list[str]:
+        statuses = ", ".join(f"{status}: {count}" for status, count in sorted(self.status_counts.items()))
+        lines = [
+            f"Sent {self.requests_sent} requests ({statuses or 'none'}); "
+            f"{self.transport_errors} transport failures, {self.truncated_bodies} mangled bodies.",
+            f"Verdicts: {self.verdicts} ({self.degraded_verdicts} degraded, {self.stale_verdicts} stale); "
+            f"shed {self.service_shed} with Retry-After; {self.chaos_walls} chaos walls.",
+            f"p99 virtual latency: cold {self.cold_p99:.1f}s, cached {self.cached_p99:.3f}s.",
+            f"Contract: {'OK' if self.contract_ok else 'VIOLATED'} "
+            f"(unexplained 5xx: {self.unexplained_5xx}, shed without Retry-After: "
+            f"{self.shed_missing_retry_after}, readyz recovered: {self.readyz_recovered}).",
+        ]
+        return lines
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests_sent": self.requests_sent,
+            "status_counts": {str(status): count for status, count in sorted(self.status_counts.items())},
+            "transport_errors": self.transport_errors,
+            "truncated_bodies": self.truncated_bodies,
+            "chaos_walls": self.chaos_walls,
+            "service_shed": self.service_shed,
+            "service_5xx": self.service_5xx,
+            "unexplained_5xx": self.unexplained_5xx,
+            "verdicts": self.verdicts,
+            "degraded_verdicts": self.degraded_verdicts,
+            "stale_verdicts": self.stale_verdicts,
+            "cold_p99": round(self.cold_p99, 6),
+            "cached_p99": round(self.cached_p99, 6),
+            "readyz_recovered": self.readyz_recovered,
+            "contract_ok": self.contract_ok,
+            "serving": self.serving_metrics,
+        }
+
+
+class ServingHarness:
+    """Drives a service instance with a :class:`LoadScript`."""
+
+    def __init__(self, internet: VirtualInternet, service: VettingService, seed: int = 0) -> None:
+        self.internet = internet
+        self.service = service
+        self.seed = seed
+        self.client = HttpClient(internet, client_id="load-driver")
+
+    # -- scripted run ---------------------------------------------------------
+
+    def run(self, script: LoadScript) -> ServingRunReport:
+        report = ServingRunReport()
+        rng = random.Random(self.seed)
+        names = sorted(self.service.directory)
+        if not names:
+            raise ValueError("service directory is empty")
+        guilds = sorted(self.service._rosters)
+        seen: list[str] = []
+        sequence = 0
+        for wave in range(script.waves):
+            if script.restart_at_wave is not None and wave == script.restart_at_wave:
+                self.restart_service()
+                report.readyz_recovered = self._await_ready()
+            for _ in range(script.requests_per_wave):
+                sequence += 1
+                if script.audit_every and guilds and sequence % script.audit_every == 0:
+                    path = f"/audit/{rng.choice(guilds)}"
+                    self._request(report, "GET", path)
+                    continue
+                if script.update_every and seen and sequence % script.update_every == 0:
+                    target = rng.choice(seen)
+                    self._request(report, "POST", f"/bots/{target}/update")
+                    continue
+                if seen and rng.random() < script.repeat_fraction:
+                    name = rng.choice(seen)
+                else:
+                    name = rng.choice(names)
+                    if name not in seen:
+                        seen.append(name)
+                self._request(report, "GET", f"/vet/{name}")
+            self.internet.clock.sleep(script.wave_gap)
+            self._request(report, "GET", "/healthz", count=False)
+            self._request(report, "GET", "/readyz", count=False)
+        report.serving_metrics = self.service.metrics.to_dict()
+        return report
+
+    def restart_service(self) -> VettingService:
+        """Kill the service and bring up a fresh instance on the same host.
+
+        The verdict store is durable (a real deployment would keep it in a
+        database); in-flight admission state and bulkhead leases die with
+        the process.  The new instance re-registers on the internet and
+        warms up before /readyz goes ready again.
+        """
+        old = self.service
+        durable = {"cache": old.cache.state_dict(), "counters": old.metrics.counters_dict()}
+        replacement = VettingService(
+            self.internet,
+            old.directory,
+            policy=old.policy,
+            vetting_policy=old.pipeline.policy,
+            seed=old.pipeline.seed,
+            hostname=old.hostname,
+            platform=old.guardian.platform if old.guardian is not None else None,
+        )
+        replacement.restore_state(durable)
+        for guild, roster in old._rosters.items():
+            replacement.register_guild(guild, roster)
+        self.service = replacement
+        return replacement
+
+    def _await_ready(self, polls: int = 10) -> bool:
+        """Poll /readyz, advancing past the warmup, until it reports ready."""
+        step = max(self.service.policy.warmup / 2, 1.0)
+        for _ in range(polls):
+            try:
+                response = self.client.get(f"https://{self.service.hostname}/readyz")
+            except NetworkError:
+                self.internet.clock.sleep(step)
+                continue
+            if response.status == 200:
+                return True
+            self.internet.clock.sleep(step)
+        return False
+
+    # -- one exchange, classified ---------------------------------------------
+
+    def _request(self, report: ServingRunReport, method: str, path: str, count: bool = True) -> None:
+        url = f"https://{self.service.hostname}{path}"
+        ledger_before = len(self.service.ledger.records) + self.service.ledger.dropped
+        if count:
+            report.requests_sent += 1
+        try:
+            if method == "POST":
+                response = self.client.post(url)
+            else:
+                response = self.client.get(url)
+        except NetworkError:
+            if count:
+                report.transport_errors += 1
+            return
+        if not count:
+            return
+        report.status_counts[response.status] = report.status_counts.get(response.status, 0) + 1
+        body = response.body or ""
+        chaos_injected = body.startswith("chaos:") or "captcha-challenge" in body
+        if chaos_injected:
+            report.chaos_walls += 1
+            return
+        if response.status == 200:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError:
+                report.truncated_bodies += 1  # chaos body truncation in transit
+                return
+            if "approved" in payload:
+                report.verdicts += 1
+                if payload.get("degraded"):
+                    report.degraded_verdicts += 1
+                if payload.get("stale"):
+                    report.stale_verdicts += 1
+                latency = float(payload.get("virtual_latency", 0.0))
+                if payload.get("cache") in ("hit", "stale"):
+                    report.cached_latencies.append(latency)
+                else:
+                    report.cold_latencies.append(latency)
+            return
+        if response.status == 429:
+            report.service_shed += 1
+            if "Retry-After" not in response.headers:
+                report.shed_missing_retry_after += 1
+            return
+        if response.status >= 500:
+            report.service_5xx += 1
+            if "Retry-After" not in response.headers:
+                report.shed_missing_retry_after += 1
+            ledger_after = len(self.service.ledger.records) + self.service.ledger.dropped
+            if ledger_after <= ledger_before:
+                report.unexplained_5xx += 1

@@ -1,0 +1,112 @@
+"""Serving-side instrumentation: counters and latency percentiles.
+
+Latencies are *virtual-time* request latencies (arrival to modeled
+completion), kept in bounded reservoirs per endpoint so a multi-epoch
+service run reports p50/p99 in constant memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class LatencyReservoir:
+    """A bounded ring of latency samples with percentile queries."""
+
+    def __init__(self, limit: int = 4096) -> None:
+        self.samples: deque[float] = deque(maxlen=limit)
+        self.recorded = 0
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+        self.recorded += 1
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0..100) of the retained window; 0 if empty."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.recorded,
+            "p50": round(self.percentile(50.0), 6),
+            "p99": round(self.percentile(99.0), 6),
+        }
+
+
+@dataclass
+class ServingMetrics:
+    """Everything the service did, in one serializable bundle."""
+
+    requests_total: int = 0
+    served: int = 0
+    shed: int = 0
+    not_found: int = 0
+    errors_5xx: int = 0
+    degraded: int = 0
+    stale_served: int = 0
+    revalidations: int = 0
+    honeypot_skips: int = 0
+    latency: dict[str, LatencyReservoir] = field(default_factory=dict)
+
+    def observe_latency(self, endpoint: str, virtual_seconds: float) -> None:
+        reservoir = self.latency.get(endpoint)
+        if reservoir is None:
+            reservoir = self.latency[endpoint] = LatencyReservoir()
+        reservoir.record(virtual_seconds)
+
+    @property
+    def shed_rate(self) -> float:
+        if self.requests_total == 0:
+            return 0.0
+        return self.shed / self.requests_total
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests_total": self.requests_total,
+            "served": self.served,
+            "shed": self.shed,
+            "not_found": self.not_found,
+            "errors_5xx": self.errors_5xx,
+            "degraded": self.degraded,
+            "stale_served": self.stale_served,
+            "revalidations": self.revalidations,
+            "honeypot_skips": self.honeypot_skips,
+            "shed_rate": round(self.shed_rate, 6),
+            "latency": {endpoint: reservoir.to_dict() for endpoint, reservoir in sorted(self.latency.items())},
+        }
+
+    def counters_dict(self) -> dict[str, int]:
+        return {
+            "requests_total": self.requests_total,
+            "served": self.served,
+            "shed": self.shed,
+            "not_found": self.not_found,
+            "errors_5xx": self.errors_5xx,
+            "degraded": self.degraded,
+            "stale_served": self.stale_served,
+            "revalidations": self.revalidations,
+            "honeypot_skips": self.honeypot_skips,
+        }
+
+    def restore_counters(self, counters: dict[str, int]) -> None:
+        for name, value in counters.items():
+            if hasattr(self, name) and isinstance(value, int):
+                setattr(self, name, value)
+
+    def summary_line(self) -> str:
+        return (
+            f"served {self.served}/{self.requests_total} "
+            f"(shed {self.shed}, degraded {self.degraded}, stale {self.stale_served}, "
+            f"5xx {self.errors_5xx})"
+        )

@@ -1,0 +1,623 @@
+"""The long-lived vetting service: the pipeline as an API under load.
+
+:class:`VettingService` is a :class:`~repro.web.server.VirtualHost` that
+platforms query before listing or installing a bot — the paper's
+"continuous rigorous vetting process" stood up as a request/response gate
+on the virtual internet:
+
+- ``GET/POST /vet/{bot}`` — vet one submission through the pipeline stages.
+- ``GET/POST /audit/{guild}`` — vet every bot on a registered guild roster
+  (or run the :class:`~repro.core.guardian.GuildGuardian` when the service
+  is attached to a platform).
+- ``POST /bots/{bot}/update`` — listing changed: invalidate the cached
+  verdict so the next request re-vets.
+- ``GET /healthz`` / ``GET /readyz`` — liveness and readiness, reporting
+  queue depth, shed rate, breaker states and degraded-mode status.
+
+Every request runs under the serving-robustness stack: a bounded admission
+queue (shed with ``429 Retry-After``, never unbounded growth), a
+per-request virtual-time deadline budget propagated through the stages
+(an unaffordable honeypot is skipped-with-degradation, not waited for),
+per-stage bulkheads (a stalled sandbox cannot starve cheap static-only
+requests), circuit breakers + retry budgets on the service's own outbound
+crawling, and a stale-while-revalidate verdict cache so brownouts serve
+the last known verdict marked ``stale`` instead of failing.
+
+Degradation ladder: full vet → skip-honeypot (partial verdict,
+``degraded=True``) → cached-stale (``stale=True``) → shed (429).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.guardian import GuildGuardian
+from repro.core.resilience import (
+    CircuitBreakerRegistry,
+    CircuitOpenError,
+    FaultLedger,
+    RetryBudget,
+    RetryPolicy,
+)
+from repro.core.vetting import VettingPipeline, VettingPolicy, VettingVerdict
+from repro.discordsim.platform import DiscordPlatform
+from repro.ecosystem.generator import BotProfile
+from repro.serving.admission import AdmissionQueue, Bulkhead, BulkheadSaturatedError
+from repro.serving.budget import DeadlineBudget
+from repro.serving.cache import VerdictCache
+from repro.serving.metrics import ServingMetrics
+from repro.sites.botwebsites import variant_for
+from repro.web.client import HttpClient
+from repro.web.http import Request, Response, Url
+from repro.web.network import NetworkError, VirtualInternet
+from repro.web.server import VirtualHost
+
+#: Policy-page path per website structural variant (mirrors the builder).
+_POLICY_PATHS = {"nav": "/privacy", "footer": "/privacy-policy", "legal": "/legal/privacy"}
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Serving-side knobs: budgets, bounds and stage cost model.
+
+    Stage ``*_cost`` values are the virtual seconds a stage charges the
+    request's deadline budget (the honeypot charges its *measured* sandbox
+    consumption; the estimate below only gates admission to the stage).
+    """
+
+    #: Virtual-second deadline budget per /vet request.
+    deadline: float = 7_200.0
+    #: Budget for a whole /audit (shared across the roster's bots).
+    audit_deadline: float = 21_600.0
+    queue_capacity: int = 32
+    #: /readyz flips unready at this fraction of queue capacity.
+    ready_high_water: float = 0.8
+    #: Per-stage bulkhead limits.
+    traceability_limit: int = 8
+    code_limit: int = 4
+    honeypot_limit: int = 2
+    #: Serving-mode sandbox observation window (shorter than the batch
+    #: pipeline's full day — a gate must answer before the listing ships).
+    honeypot_observation: float = 3_600.0
+    honeypot_overhead: float = 300.0
+    cache_ttl: float = 7 * 86_400.0
+    cache_entries: int = 10_000
+    ledger_entries: int = 5_000
+    #: Seconds after (re)start during which /readyz reports warming.
+    warmup: float = 30.0
+    outbound_timeout: float = 30.0
+    outbound_attempts: int = 3
+    #: Outbound retry budget per retry epoch (bounds aggregate retries).
+    retry_budget: int = 256
+    retry_epoch: float = 3_600.0
+    stale_while_revalidate: bool = True
+    #: Virtual cost model for the cheap stages.
+    cache_lookup_cost: float = 0.05
+    static_cost: float = 5.0
+    code_cost: float = 30.0
+    traceability_estimate: float = 60.0
+    guardian_cost_per_bot: float = 15.0
+
+
+class VettingService(VirtualHost):
+    """A vet-this-bot / audit-this-guild gate with graceful degradation."""
+
+    def __init__(
+        self,
+        internet: VirtualInternet,
+        bots: list[BotProfile] | dict[str, BotProfile],
+        policy: ServicePolicy | None = None,
+        vetting_policy: VettingPolicy | None = None,
+        seed: int = 1,
+        hostname: str = "vetting.gate",
+        platform: DiscordPlatform | None = None,
+        register: bool = True,
+    ) -> None:
+        super().__init__(name=hostname)
+        self.internet = internet
+        self.clock = internet.clock
+        self.policy = policy or ServicePolicy()
+        self.hostname = hostname
+        self.directory: dict[str, BotProfile] = (
+            dict(bots) if isinstance(bots, dict) else {bot.name: bot for bot in bots}
+        )
+        self.pipeline = VettingPipeline(
+            vetting_policy or VettingPolicy(dynamic_observation=self.policy.honeypot_observation),
+            seed=seed,
+        )
+        self.queue = AdmissionQueue(capacity=self.policy.queue_capacity)
+        self.bulkheads: dict[str, Bulkhead] = {
+            "traceability": Bulkhead("traceability", self.policy.traceability_limit),
+            "code": Bulkhead("code", self.policy.code_limit),
+            "honeypot": Bulkhead("honeypot", self.policy.honeypot_limit),
+        }
+        self.cache = VerdictCache(ttl=self.policy.cache_ttl, max_entries=self.policy.cache_entries)
+        self.metrics = ServingMetrics()
+        self.ledger = FaultLedger(max_records=self.policy.ledger_entries)
+        self.breakers = CircuitBreakerRegistry(self.clock)
+        self.retry_policy = RetryPolicy(max_attempts=self.policy.outbound_attempts, base_delay=1.0)
+        self._retry_epoch_index = -1
+        self._retry_budget = RetryBudget(self.policy.retry_budget)
+        self.outbound = HttpClient(
+            internet, client_id=f"{hostname}/outbound", default_timeout=self.policy.outbound_timeout
+        )
+        self.started_at = self.clock.now()
+        self.ready_at = self.started_at + self.policy.warmup
+        self._rosters: dict[str, list[str]] = {}
+        self.guardian = GuildGuardian(platform) if platform is not None else None
+        self._register_routes()
+        if register:
+            internet.register(hostname, self)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        for method in ("GET", "POST"):
+            self.add_route("/vet/{bot_name}", self._route_vet, method=method)
+            self.add_route("/audit/{guild}", self._route_audit, method=method)
+        self.add_route("/bots/{bot_name}/update", self._route_update, method="POST")
+        self.add_route("/healthz", self._route_healthz)
+        self.add_route("/readyz", self._route_readyz)
+
+    def register_guild(self, guild: str, roster: list[str]) -> None:
+        """Declare a guild's installed-bot roster for /audit requests."""
+        self._rosters[guild] = list(roster)
+
+    def register_api_client(self, client) -> None:
+        """Forward bot API clients to the guardian (usage-based audits)."""
+        if self.guardian is None:
+            raise ValueError("service was built without a platform; no guardian available")
+        self.guardian.register_api_client(client)
+
+    def update_bot(self, bot: BotProfile) -> None:
+        """The listing changed: replace the profile and invalidate its verdict."""
+        self.directory[bot.name] = bot
+        self.cache.invalidate(bot.name)
+
+    # -- degraded-mode signal -------------------------------------------------
+
+    @property
+    def degraded_mode(self) -> bool:
+        """Brownout: saturated admission queue or open outbound breakers."""
+        now = self.clock.now()
+        return (
+            bool(self.breakers.open_hosts())
+            or self.queue.depth(now) >= self.policy.queue_capacity
+        )
+
+    # -- dispatch (exception firewall) ---------------------------------------
+
+    def handle(self, request: Request, internet: "VirtualInternet | None" = None) -> Response:
+        try:
+            return super().handle(request, internet)
+        except Exception as error:  # the service never lets a request 500 silently
+            self.ledger.record(
+                "serving", self.hostname, error, self.clock.now(),
+                detail=f"unhandled while serving {request.method} {request.path}",
+            )
+            self.metrics.errors_5xx += 1
+            response = self._json({"error": "internal failure; recorded in fault ledger"}, status=503)
+            response.headers["Retry-After"] = "5"
+            return response
+
+    # -- /vet -----------------------------------------------------------------
+
+    def _route_vet(self, request: Request, bot_name: str) -> Response:
+        self.metrics.requests_total += 1
+        now = self.clock.now()
+        bot = self.directory.get(bot_name)
+        if bot is None:
+            self.metrics.not_found += 1
+            return self._json({"error": f"unknown bot {bot_name!r}"}, status=404)
+
+        shed = self.queue.admit(now)
+        if shed is not None:
+            return self._degrade_or_shed(bot, now, shed.retry_after, shed.reason)
+
+        budget = DeadlineBudget(start=now, deadline=self.policy.deadline)
+        budget.charge("lookup", self.policy.cache_lookup_cost)
+        cached = self.cache.lookup(bot, now)
+        if cached is not None:
+            freshness, entry = cached
+            if freshness == "fresh":
+                payload = dict(entry.payload)
+                payload.update(cache="hit", stale=False, virtual_latency=round(budget.latency, 6))
+                return self._serve(payload, budget)
+            if self.degraded_mode and self.policy.stale_while_revalidate:
+                # Brownout: answer from the superseded verdict now; the
+                # revalidation happens on the next healthy request.
+                self.cache.count_stale_hit()
+                self.metrics.stale_served += 1
+                self.metrics.degraded += 1
+                payload = dict(entry.payload)
+                payload.update(
+                    cache="stale", stale=True, degraded=True,
+                    virtual_latency=round(budget.latency, 6),
+                )
+                return self._serve(payload, budget)
+            self.metrics.revalidations += 1
+
+        payload = self._vet_bot(bot, budget)
+        payload["cache"] = "revalidated" if cached is not None else "miss"
+        payload["virtual_latency"] = round(budget.latency, 6)
+        if not payload["degraded"]:
+            # Partial (honeypot-skipped) verdicts are not cached: a later,
+            # healthier request should produce the full verdict.
+            self.cache.store(bot, self._cacheable(payload), now)
+        else:
+            self.metrics.degraded += 1
+        return self._serve(payload, budget)
+
+    def _degrade_or_shed(self, bot: BotProfile, now: float, retry_after: float, reason: str) -> Response:
+        """Steps 3-4 of the ladder: cached answer if we have anything, else 429."""
+        cached = self.cache.lookup(bot, now)
+        if cached is not None and self.policy.stale_while_revalidate:
+            freshness, entry = cached
+            payload = dict(entry.payload)
+            if freshness == "fresh":
+                payload.update(cache="hit", stale=False, virtual_latency=self.policy.cache_lookup_cost)
+            else:
+                self.cache.count_stale_hit()
+                self.metrics.stale_served += 1
+                self.metrics.degraded += 1
+                payload.update(
+                    cache="stale", stale=True, degraded=True,
+                    virtual_latency=self.policy.cache_lookup_cost,
+                )
+            self.metrics.served += 1
+            self.metrics.observe_latency("/vet", self.policy.cache_lookup_cost)
+            return self._json(payload)
+        self.metrics.shed += 1
+        self.ledger.record(
+            "serving", self.hostname, "LoadShed", now, detail=f"{reason}; retry_after={retry_after:.1f}"
+        )
+        response = self._json({"error": reason, "retry_after": round(retry_after, 3)}, status=429)
+        response.headers["Retry-After"] = f"{retry_after:.0f}"
+        return response
+
+    def _serve(self, payload: dict[str, Any], budget: DeadlineBudget) -> Response:
+        self.queue.settle(budget.cursor)
+        self.metrics.served += 1
+        self.metrics.observe_latency("/vet", budget.latency)
+        return self._json(payload)
+
+    @staticmethod
+    def _cacheable(payload: dict[str, Any]) -> dict[str, Any]:
+        kept = dict(payload)
+        for transient in ("cache", "virtual_latency"):
+            kept.pop(transient, None)
+        return kept
+
+    # -- the staged vet under a deadline budget -------------------------------
+
+    def _vet_bot(self, bot: BotProfile, budget: DeadlineBudget) -> dict[str, Any]:
+        verdict = VettingVerdict(bot_name=bot.name, approved=True)
+        stages: dict[str, str] = {}
+        evidence: dict[str, str] = {}
+
+        if not bot.has_valid_permissions:
+            verdict.approved = False
+            verdict.reasons.append("broken submission: invite link does not resolve")
+            stages["static"] = "completed"
+        else:
+            budget.charge("static", self.policy.static_cost)
+            self.pipeline.review_static(bot, verdict)
+            stages["static"] = "completed"
+            stages["traceability"] = self._stage_traceability(bot, budget, evidence)
+            stages["code"] = self._stage_code(bot, verdict, budget)
+            stages["honeypot"] = self._stage_honeypot(bot, verdict, budget)
+
+        return {
+            "bot": bot.name,
+            "approved": verdict.approved,
+            "reasons": list(verdict.reasons),
+            "degraded": verdict.degraded,
+            "stale": False,
+            "stages": stages,
+            "evidence": evidence,
+            "vetted_at": round(budget.start, 6),
+        }
+
+    def _stage_traceability(
+        self, bot: BotProfile, budget: DeadlineBudget, evidence: dict[str, str]
+    ) -> str:
+        """Live disclosure crawl: verify the declared website/policy resolve.
+
+        This is the service's own outbound scraping — it goes over the
+        shared virtual internet under whatever chaos is installed, guarded
+        by per-host circuit breakers and the service retry budget.
+        """
+        if bot.website_url is None:
+            evidence["website"] = "none"
+            return "not_applicable"
+        estimate = self.policy.traceability_estimate
+        if not budget.affords(estimate):
+            evidence["website"] = "not_checked"
+            return "skipped"
+        try:
+            start = self.bulkheads["traceability"].acquire(
+                budget.cursor, estimate, max_wait=budget.remaining - estimate
+            )
+        except BulkheadSaturatedError as error:
+            self.ledger.record("serving.traceability", self.hostname, "BulkheadSaturated",
+                               self.clock.now(), detail=str(error))
+            evidence["website"] = "not_checked"
+            return "skipped"
+        wait = start - budget.cursor
+        wall_before = self.clock.now()
+        outcome = self._fetch_policy_evidence(bot)
+        consumed = max(self.clock.now() - wall_before, 1.0)
+        budget.charge("traceability", wait + consumed)
+        self.bulkheads["traceability"].release_last(start + consumed)
+        evidence["website"] = outcome
+        return "completed" if outcome in ("ok", "dead", "no_policy") else "degraded"
+
+    def _fetch_policy_evidence(self, bot: BotProfile) -> str:
+        url = bot.website_url
+        assert url is not None
+        host = Url.parse(url).host
+        attempt = 0
+        while True:
+            try:
+                self.breakers.check(host)
+            except CircuitOpenError as error:
+                self.ledger.record("serving.traceability", host, error, self.clock.now(),
+                                   detail=f"circuit open; skipping live check for {bot.name}")
+                return "circuit_open"
+            try:
+                home = self.outbound.get(url)
+            except NetworkError as error:
+                self.breakers.record_failure(host)
+                if self.retry_policy.should_retry(attempt + 1) and self._spend_retry():
+                    self.clock.sleep(self.retry_policy.delay(attempt))
+                    attempt += 1
+                    continue
+                self.ledger.record("serving.traceability", host, error, self.clock.now(),
+                                   detail=f"live check failed for {bot.name}")
+                return "unreachable"
+            if home.status != 200:
+                # Rate-limit walls, captcha surges, injected 5xx: the live
+                # check is inconclusive, not evidence of a dead site.
+                if home.status >= 500:
+                    self.breakers.record_failure(host)
+                return "inconclusive"
+            self.breakers.record_success(host)
+            break
+        if not bot.policy.present:
+            return "no_policy"
+        policy_path = _POLICY_PATHS[variant_for(bot)]
+        try:
+            page = self.outbound.get(Url.parse(url).join(policy_path))
+        except NetworkError as error:
+            self.breakers.record_failure(host)
+            self.ledger.record("serving.traceability", host, error, self.clock.now(),
+                               detail=f"policy fetch failed for {bot.name}")
+            return "unreachable"
+        if page.status == 200:
+            return "ok"
+        if page.status == 404:
+            return "dead"
+        return "inconclusive"
+
+    def _spend_retry(self) -> bool:
+        epoch = int(self.clock.now() // self.policy.retry_epoch)
+        if epoch != self._retry_epoch_index:
+            self._retry_epoch_index = epoch
+            self._retry_budget = RetryBudget(self.policy.retry_budget)
+        return self._retry_budget.spend()
+
+    def _stage_code(self, bot: BotProfile, verdict: VettingVerdict, budget: DeadlineBudget) -> str:
+        if bot.github is None or not bot.github.has_source_code:
+            return "not_applicable"
+        if not budget.affords(self.policy.code_cost):
+            verdict.skipped_stages.append("code")
+            return "skipped"
+        try:
+            start = self.bulkheads["code"].acquire(
+                budget.cursor, self.policy.code_cost, max_wait=budget.remaining - self.policy.code_cost
+            )
+        except BulkheadSaturatedError as error:
+            self.ledger.record("serving.code", self.hostname, "BulkheadSaturated",
+                               self.clock.now(), detail=str(error))
+            verdict.skipped_stages.append("code")
+            return "skipped"
+        budget.charge("code", (start - budget.cursor) + self.policy.code_cost)
+        self.pipeline.review_code(bot, verdict)
+        return "completed"
+
+    def _stage_honeypot(self, bot: BotProfile, verdict: VettingVerdict, budget: DeadlineBudget) -> str:
+        if not self.pipeline.policy.run_dynamic_review or not verdict.approved:
+            return "not_run"
+        estimate = self.policy.honeypot_observation + self.policy.honeypot_overhead
+        if not budget.affords(estimate):
+            verdict.skipped_stages.append("honeypot")
+            self.metrics.honeypot_skips += 1
+            self.ledger.record("serving.honeypot", self.hostname, "DeadlineExceeded",
+                               self.clock.now(),
+                               detail=f"{bot.name}: {budget.remaining:.0f}s left, needs {estimate:.0f}s")
+            return "skipped"
+        try:
+            start = self.bulkheads["honeypot"].acquire(
+                budget.cursor, estimate, max_wait=budget.remaining - estimate
+            )
+        except BulkheadSaturatedError as error:
+            verdict.skipped_stages.append("honeypot")
+            self.metrics.honeypot_skips += 1
+            self.ledger.record("serving.honeypot", self.hostname, "BulkheadSaturated",
+                               self.clock.now(), detail=f"{bot.name}: {error}")
+            return "skipped"
+        consumed = self.pipeline.review_dynamic(bot, verdict, observation=self.policy.honeypot_observation)
+        budget.charge("honeypot", (start - budget.cursor) + consumed)
+        self.bulkheads["honeypot"].release_last(start + consumed)
+        return "completed"
+
+    # -- /audit ---------------------------------------------------------------
+
+    def _route_audit(self, request: Request, guild: str) -> Response:
+        self.metrics.requests_total += 1
+        now = self.clock.now()
+        roster = self._rosters.get(guild)
+        platform_guild = self._platform_guild(guild) if roster is None else None
+        if roster is None and platform_guild is None:
+            self.metrics.not_found += 1
+            return self._json({"error": f"unknown guild {guild!r}"}, status=404)
+
+        shed = self.queue.admit(now)
+        if shed is not None:
+            self.metrics.shed += 1
+            self.ledger.record("serving", self.hostname, "LoadShed", now,
+                               detail=f"audit {guild}: {shed.reason}")
+            response = self._json({"error": shed.reason, "retry_after": round(shed.retry_after, 3)}, status=429)
+            response.headers["Retry-After"] = f"{shed.retry_after:.0f}"
+            return response
+
+        budget = DeadlineBudget(start=now, deadline=self.policy.audit_deadline)
+        if platform_guild is not None:
+            payload = self._audit_platform_guild(platform_guild, budget)
+        else:
+            payload = self._audit_roster(guild, roster or [], budget)
+        payload["virtual_latency"] = round(budget.latency, 6)
+        self.queue.settle(budget.cursor)
+        self.metrics.served += 1
+        if payload.get("degraded"):
+            self.metrics.degraded += 1
+        self.metrics.observe_latency("/audit", budget.latency)
+        return self._json(payload)
+
+    def _platform_guild(self, guild: str):
+        if self.guardian is None:
+            return None
+        try:
+            guild_id = int(guild)
+        except ValueError:
+            return None
+        return self.guardian.platform.guilds.get(guild_id)
+
+    def _audit_roster(self, guild: str, roster: list[str], budget: DeadlineBudget) -> dict[str, Any]:
+        verdicts: list[dict[str, Any]] = []
+        degraded = False
+        for bot_name in roster:
+            bot = self.directory.get(bot_name)
+            if bot is None:
+                verdicts.append({"bot": bot_name, "error": "unknown bot"})
+                continue
+            cached = self.cache.lookup(bot, self.clock.now())
+            if cached is not None and cached[0] == "fresh":
+                entry = dict(cached[1].payload)
+                entry.update(cache="hit", stale=False)
+                verdicts.append(entry)
+                budget.charge("lookup", self.policy.cache_lookup_cost)
+                continue
+            entry = self._vet_bot(bot, budget)
+            entry["cache"] = "miss"
+            if not entry["degraded"]:
+                self.cache.store(bot, self._cacheable(entry), self.clock.now())
+            degraded = degraded or entry["degraded"]
+            verdicts.append(entry)
+        approved = sum(1 for entry in verdicts if entry.get("approved"))
+        return {
+            "guild": guild,
+            "bots": verdicts,
+            "approved": approved,
+            "rejected": len(verdicts) - approved,
+            "degraded": degraded,
+        }
+
+    def _audit_platform_guild(self, guild, budget: DeadlineBudget) -> dict[str, Any]:
+        assert self.guardian is not None
+        report = self.guardian.audit_guild(guild.guild_id)
+        budget.charge("guardian", self.policy.guardian_cost_per_bot * max(len(report.audits), 1))
+        return {
+            "guild": str(guild.guild_id),
+            "bots": [
+                {
+                    "bot": audit.bot_name,
+                    "risk": round(audit.risk, 4),
+                    "high_risk": audit.is_high_risk,
+                    "redundant_with_admin": sorted(audit.redundant_with_admin),
+                    "granted_but_unused": sorted(audit.granted_but_unused),
+                    "data_exposure": sorted(audit.data_exposure),
+                }
+                for audit in report.audits
+            ],
+            "high_risk": sum(1 for audit in report.audits if audit.is_high_risk),
+            "degraded": False,
+        }
+
+    # -- listing updates ------------------------------------------------------
+
+    def _route_update(self, request: Request, bot_name: str) -> Response:
+        if bot_name not in self.directory:
+            return self._json({"error": f"unknown bot {bot_name!r}"}, status=404)
+        invalidated = self.cache.invalidate(bot_name)
+        return self._json({"bot": bot_name, "invalidated": invalidated})
+
+    # -- health ---------------------------------------------------------------
+
+    def _route_healthz(self, request: Request) -> Response:
+        now = self.clock.now()
+        return self._json(
+            {
+                "status": "ok",
+                "uptime": round(now - self.started_at, 3),
+                "queue_depth": self.queue.depth(now),
+                "queue_capacity": self.policy.queue_capacity,
+                "shed_rate": round(self.metrics.shed_rate, 6),
+                "breakers_open": self.breakers.open_hosts(),
+                "degraded_mode": self.degraded_mode,
+                "cache_entries": len(self.cache),
+                "ledger": {"faults": len(self.ledger), "dropped": self.ledger.dropped},
+                "bulkheads": {
+                    name: {"limit": bulkhead.limit, "in_flight": bulkhead.in_flight(now),
+                           "saturations": bulkhead.saturations}
+                    for name, bulkhead in self.bulkheads.items()
+                },
+            }
+        )
+
+    def _route_readyz(self, request: Request) -> Response:
+        now = self.clock.now()
+        high_water = int(self.policy.queue_capacity * self.policy.ready_high_water)
+        depth = self.queue.depth(now)
+        payload = {
+            "warming": now < self.ready_at,
+            "queue_depth": depth,
+            "high_water": high_water,
+            "degraded_mode": self.degraded_mode,
+        }
+        if now < self.ready_at:
+            payload["ready"] = False
+            response = self._json(payload, status=503)
+            response.headers["Retry-After"] = f"{max(self.ready_at - now, 1.0):.0f}"
+            return response
+        if depth >= high_water:
+            payload["ready"] = False
+            earliest = min(self.queue.in_flight) if self.queue.in_flight else now
+            response = self._json(payload, status=503)
+            response.headers["Retry-After"] = f"{max(earliest - now, 1.0):.0f}"
+            return response
+        payload["ready"] = True
+        return self._json(payload)
+
+    # -- restart support ------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["cache"] = self.cache.state_dict()
+        state["counters"] = self.metrics.counters_dict()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        if "cache" in state:
+            self.cache.restore_state(state["cache"])
+        if "counters" in state:
+            self.metrics.restore_counters(state["counters"])
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _json(payload: dict[str, Any], status: int = 200) -> Response:
+        return Response.json(json.dumps(payload, sort_keys=True), status=status)

@@ -174,6 +174,10 @@ class VirtualInternet:
         self._hosts: dict[str, _HostEntry] = {}
         self._rng = random.Random(seed)
         self.log: deque[ExchangeRecord] = deque(maxlen=log_limit)
+        #: Exchange records evicted from the bounded ``log`` ring.  A
+        #: long-lived service run keeps RSS bounded by dropping the oldest
+        #: audit entries; the counter keeps the bound honest.
+        self.log_dropped = 0
         self._observers: list[Callable[[ExchangeRecord], None]] = []
         self._rate_history = max(rate_history, 1)
         self._client_times: dict[str, list[float]] = {}
@@ -290,6 +294,8 @@ class VirtualInternet:
         )
 
     def _record(self, record: ExchangeRecord) -> None:
+        if self.log.maxlen is not None and len(self.log) == self.log.maxlen:
+            self.log_dropped += 1
         self.log.append(record)
         if record.ok:
             self.exchanges_completed += 1

@@ -1,0 +1,207 @@
+"""Deterministic overload tests: the degradation ladder under pressure.
+
+Satellite coverage for the serving stack: bursts beyond the admission
+queue shed with ``429 Retry-After`` (never an unhandled exception), a
+deadline-exceeded honeypot yields a partial verdict flagged ``degraded``,
+and cache invalidation on a bot update forces re-vetting while
+stale-while-revalidate serves the old verdict during the refresh.
+"""
+
+import dataclasses
+
+from repro.core.resilience import CircuitBreakerRegistry, FaultLedger
+from repro.serving import LoadScript, ServicePolicy, ServingHarness, VettingService
+from repro.sites.botwebsites import BotWebsiteBuilder
+from repro.web.chaos import FaultSchedule
+from repro.web.client import HttpClient
+from repro.web.network import VirtualClock, VirtualInternet
+from tests.test_serving_service import QUICK, build_world, clean_bot, ecosystem, get_json  # noqa: F401
+
+
+def install_clean_bots(ecosystem, service, count, website=False):
+    """Distinct approvable submissions so every cold vet reaches the honeypot."""
+    bots = []
+    for index in range(count):
+        bot = clean_bot(ecosystem, name=f"Clean-{index}", website=website)
+        service.directory[bot.name] = bot
+        bots.append(bot)
+    return bots
+
+
+class TestAdmissionShedding:
+    def test_burst_beyond_queue_sheds_429_with_retry_after(self, ecosystem):
+        policy = dataclasses.replace(QUICK, queue_capacity=2)
+        internet, service, client = build_world(ecosystem, policy=policy)
+        bots = install_clean_bots(ecosystem, service, 5)
+
+        statuses = []
+        sheds = []
+        for bot in bots:  # back-to-back burst: no unhandled exception allowed
+            response = client.get(f"https://{service.hostname}/vet/{bot.name}")
+            statuses.append(response.status)
+            if response.status == 429:
+                sheds.append(response)
+        assert set(statuses) <= {200, 429}
+        assert statuses.count(200) == 2  # capacity admits exactly two cold vets
+        assert len(sheds) == 3
+        for shed in sheds:
+            assert "Retry-After" in shed.headers
+            assert float(shed.headers["Retry-After"]) > 0
+        assert service.queue.shed == 3
+        assert service.metrics.shed == 3
+        # Every shed is accounted in the fault ledger.
+        assert sum(1 for r in service.ledger.records if r.error_class == "LoadShed") == 3
+
+    def test_queue_drains_and_admits_again(self, ecosystem):
+        policy = dataclasses.replace(QUICK, queue_capacity=2)
+        internet, service, client = build_world(ecosystem, policy=policy)
+        bots = install_clean_bots(ecosystem, service, 3)
+        for bot in bots:
+            client.get(f"https://{service.hostname}/vet/{bot.name}")
+        assert service.queue.shed == 1
+        # Let the in-flight vets drain in virtual time, then retry: admitted.
+        internet.clock.sleep(2 * (policy.honeypot_observation + policy.honeypot_overhead))
+        response, payload = get_json(client, service, f"/vet/{bots[2].name}")
+        assert response.status == 200
+        assert payload["cache"] == "miss"
+
+    def test_shed_request_with_fresh_cache_still_serves_hit(self, ecosystem):
+        policy = dataclasses.replace(QUICK, queue_capacity=2)
+        internet, service, client = build_world(ecosystem, policy=policy)
+        (bot,) = install_clean_bots(ecosystem, service, 1)
+        get_json(client, service, f"/vet/{bot.name}")
+        horizon = internet.clock.now() + 50_000.0
+        service.queue.settle(horizon)
+        service.queue.settle(horizon)
+        response, payload = get_json(client, service, f"/vet/{bot.name}")
+        assert response.status == 200
+        assert payload["cache"] == "hit"
+        assert not payload["stale"]
+
+
+class TestDeadlineDegradation:
+    def test_deadline_exceeded_honeypot_yields_degraded_partial_verdict(self, ecosystem):
+        policy = dataclasses.replace(QUICK, deadline=500.0)  # < 660s honeypot estimate
+        internet, service, client = build_world(ecosystem, policy=policy)
+        (bot,) = install_clean_bots(ecosystem, service, 1)
+        response, payload = get_json(client, service, f"/vet/{bot.name}")
+        assert response.status == 200
+        assert payload["approved"]  # the static stages still ran
+        assert payload["degraded"]
+        assert payload["stages"]["honeypot"] == "skipped"
+        assert service.metrics.honeypot_skips == 1
+        assert any(r.error_class == "DeadlineExceeded" for r in service.ledger.records)
+
+    def test_degraded_verdict_is_not_cached(self, ecosystem):
+        policy = dataclasses.replace(QUICK, deadline=500.0)
+        internet, service, client = build_world(ecosystem, policy=policy)
+        (bot,) = install_clean_bots(ecosystem, service, 1)
+        _, first = get_json(client, service, f"/vet/{bot.name}")
+        _, second = get_json(client, service, f"/vet/{bot.name}")
+        assert first["degraded"] and second["degraded"]
+        assert second["cache"] == "miss"  # a healthier request should re-vet
+        assert len(service.cache) == 0
+
+    def test_honeypot_bulkhead_saturation_degrades_second_request(self, ecosystem):
+        policy = dataclasses.replace(QUICK, deadline=800.0, honeypot_limit=1)
+        internet, service, client = build_world(ecosystem, policy=policy)
+        first, second = install_clean_bots(ecosystem, service, 2)
+        _, full = get_json(client, service, f"/vet/{first.name}")
+        assert full["stages"]["honeypot"] == "completed"
+        _, partial = get_json(client, service, f"/vet/{second.name}")
+        assert partial["degraded"]
+        assert partial["stages"]["honeypot"] == "skipped"
+        assert service.bulkheads["honeypot"].saturations == 1
+        assert any(r.error_class == "BulkheadSaturated" for r in service.ledger.records)
+
+
+class TestStaleWhileRevalidate:
+    def test_update_forces_revet_while_swr_serves_old_verdict(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        (bot,) = install_clean_bots(ecosystem, service, 1)
+        _, fresh = get_json(client, service, f"/vet/{bot.name}")
+        assert fresh["cache"] == "miss"
+
+        client.post(f"https://{service.hostname}/bots/{bot.name}/update")
+        # Brownout: an open outbound breaker flips the service degraded.
+        for _ in range(5):
+            service.breakers.record_failure("dead.upstream.sim")
+        assert service.degraded_mode
+        _, stale = get_json(client, service, f"/vet/{bot.name}")
+        assert stale["cache"] == "stale"
+        assert stale["stale"] and stale["degraded"]
+        assert stale["approved"] == fresh["approved"]  # the old verdict, marked honestly
+        assert service.metrics.stale_served == 1
+        assert service.metrics.revalidations == 0  # refresh deferred, not dropped
+
+        # Pressure clears: the next request actually re-vets.
+        service.breakers = CircuitBreakerRegistry(internet.clock)
+        _, revalidated = get_json(client, service, f"/vet/{bot.name}")
+        assert revalidated["cache"] == "revalidated"
+        assert not revalidated["stale"] and not revalidated["degraded"]
+        assert service.metrics.revalidations == 1
+        # The refreshed verdict replaces the superseded entry.
+        assert not service.cache.entries[bot.name].superseded
+
+
+class TestBoundedAccumulators:
+    def test_fault_ledger_ring_counts_drops(self):
+        ledger = FaultLedger(max_records=3)
+        for index in range(5):
+            ledger.record("serving", "host", "LoadShed", float(index))
+        assert len(ledger) == 3
+        assert ledger.dropped == 2
+        assert [r.virtual_time for r in ledger.records] == [2.0, 3.0, 4.0]
+        payload = ledger.to_dict()
+        assert payload["max_records"] == 3
+        assert payload["dropped"] == 2
+        restored = FaultLedger.from_dict(payload)
+        assert restored.dropped == 2 and restored.max_records == 3
+
+    def test_unbounded_ledger_serialization_unchanged(self):
+        ledger = FaultLedger()
+        ledger.record("crawl", "host", "NetworkError", 1.0)
+        payload = ledger.to_dict()
+        # Batch-pipeline ledgers must serialize exactly as before the bound
+        # existed (byte-identical result JSON across the chaos benches).
+        assert set(payload) == {"records"}
+
+    def test_internet_log_ring_counts_drops(self, ecosystem):
+        clock = VirtualClock()
+        internet = VirtualInternet(clock, seed=1, log_limit=4)
+        BotWebsiteBuilder(ecosystem).register(internet)
+        service = VettingService(internet, ecosystem.bots, policy=QUICK, seed=1)
+        client = HttpClient(internet, client_id="driver")
+        for bot in ecosystem.bots[:6]:
+            client.get(f"https://{service.hostname}/vet/{bot.name}")
+        assert len(internet.log) == 4
+        assert internet.log_dropped > 0
+
+
+class TestChaosContract:
+    def test_hostile_burst_never_raises_and_explains_every_5xx(self, ecosystem):
+        policy = dataclasses.replace(QUICK, queue_capacity=4)
+        clock = VirtualClock()
+        internet = VirtualInternet(clock, seed=31)
+        BotWebsiteBuilder(ecosystem).register(internet)
+        internet.install_chaos(FaultSchedule("hostile", seed=31))
+        service = VettingService(internet, ecosystem.bots, policy=policy, seed=31)
+        harness = ServingHarness(internet, service, seed=31)
+        report = harness.run(LoadScript(waves=3, requests_per_wave=15, wave_gap=900.0))
+        assert report.requests_sent == 45
+        assert report.contract_ok, report.summary_lines()
+        assert report.verdicts > 0
+
+    def test_same_seed_runs_are_identical(self, ecosystem):
+        def run_once():
+            clock = VirtualClock()
+            internet = VirtualInternet(clock, seed=17)
+            BotWebsiteBuilder(ecosystem).register(internet)
+            internet.install_chaos(FaultSchedule("flaky", seed=17))
+            service = VettingService(internet, ecosystem.bots, policy=QUICK, seed=17)
+            harness = ServingHarness(internet, service, seed=17)
+            return harness.run(LoadScript(waves=2, requests_per_wave=10, wave_gap=600.0))
+
+        first = run_once().to_dict()
+        second = run_once().to_dict()
+        assert first == second

@@ -1,0 +1,217 @@
+"""Tests for the long-lived vetting service (repro.serving)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.discordsim import behaviors
+from repro.discordsim.permissions import Permission, Permissions
+from repro.ecosystem.generator import EcosystemConfig, InviteStatus, generate_ecosystem
+from repro.ecosystem.policies import PolicySpec
+from repro.serving import ServicePolicy, VettingService
+from repro.sites.botwebsites import BotWebsiteBuilder
+from repro.web.client import HttpClient
+from repro.web.network import VirtualClock, VirtualInternet
+
+#: Short observation so full vets stay cheap in wall time; no warmup so
+#: tests that don't exercise readiness skip the warming window.
+QUICK = ServicePolicy(warmup=0.0, honeypot_observation=600.0, honeypot_overhead=60.0)
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    return generate_ecosystem(EcosystemConfig(n_bots=120, seed=88, honeypot_window=20))
+
+
+def build_world(ecosystem, policy=QUICK, seed=9):
+    clock = VirtualClock()
+    internet = VirtualInternet(clock, seed=seed)
+    BotWebsiteBuilder(ecosystem).register(internet)
+    service = VettingService(internet, ecosystem.bots, policy=policy, seed=seed)
+    client = HttpClient(internet, client_id="test-driver")
+    return internet, service, client
+
+
+def clean_bot(ecosystem, name=None, website=True):
+    """A bot that passes every static gate (same recipe as test_vetting)."""
+    bot = next(
+        b
+        for b in ecosystem.bots
+        if b.invite_status is InviteStatus.VALID and b.behavior == behaviors.BENIGN
+    )
+    clone = dataclasses.replace(bot)
+    if name is not None:
+        clone.name = name
+    clone.permissions = Permissions.of(Permission.SEND_MESSAGES, Permission.EMBED_LINKS)
+    clone.policy = PolicySpec(present=True, categories=frozenset({"collect", "use"}), link_valid=True)
+    clone.github = None
+    if not website:
+        clone.website_host = None
+        clone.policy = PolicySpec(present=False)
+    return clone
+
+
+def get_json(client, service, path):
+    response = client.get(f"https://{service.hostname}{path}")
+    return response, json.loads(response.body)
+
+
+class TestVetEndpoint:
+    def test_miss_then_hit(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        name = ecosystem.bots[0].name
+        first, payload = get_json(client, service, f"/vet/{name}")
+        assert first.status == 200
+        assert payload["cache"] == "miss"
+        assert payload["bot"] == name
+        assert isinstance(payload["approved"], bool)
+        second, payload = get_json(client, service, f"/vet/{name}")
+        assert second.status == 200
+        assert payload["cache"] == "hit"
+        assert not payload["stale"]
+        assert service.cache.hits == 1
+        assert service.metrics.served == 2
+
+    def test_unknown_bot_404(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        response, payload = get_json(client, service, "/vet/NoSuchBot")
+        assert response.status == 404
+        assert "unknown bot" in payload["error"]
+        assert service.metrics.not_found == 1
+
+    def test_full_vet_runs_honeypot(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        bot = clean_bot(ecosystem, name="CleanCandidate")
+        service.directory[bot.name] = bot
+        _, payload = get_json(client, service, f"/vet/{bot.name}")
+        assert payload["approved"], payload["reasons"]
+        assert not payload["degraded"]
+        assert payload["stages"]["honeypot"] == "completed"
+        # The honeypot charges its measured sandbox consumption, so the
+        # verdict's virtual latency reflects the observation window.
+        assert payload["virtual_latency"] >= QUICK.honeypot_observation
+
+    def test_cached_hit_is_cheap(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        bot = clean_bot(ecosystem, name="CheapHit")
+        service.directory[bot.name] = bot
+        _, cold = get_json(client, service, f"/vet/{bot.name}")
+        _, warm = get_json(client, service, f"/vet/{bot.name}")
+        assert warm["cache"] == "hit"
+        assert warm["virtual_latency"] <= 1.0 < cold["virtual_latency"]
+
+
+class TestHealth:
+    def test_readyz_warms_up_then_ready(self, ecosystem):
+        policy = dataclasses.replace(QUICK, warmup=120.0)
+        internet, service, client = build_world(ecosystem, policy=policy)
+        warming = client.get(f"https://{service.hostname}/readyz")
+        assert warming.status == 503
+        assert "Retry-After" in warming.headers
+        internet.clock.sleep(121.0)
+        ready, payload = get_json(client, service, "/readyz")
+        assert ready.status == 200
+        assert payload["ready"]
+
+    def test_readyz_unready_past_high_water(self, ecosystem):
+        policy = dataclasses.replace(QUICK, queue_capacity=4, ready_high_water=0.5)
+        internet, service, client = build_world(ecosystem, policy=policy)
+        horizon = internet.clock.now() + 10_000.0
+        service.queue.settle(horizon)
+        service.queue.settle(horizon)
+        response, payload = get_json(client, service, "/readyz")
+        assert response.status == 503
+        assert not payload["ready"]
+        assert "Retry-After" in response.headers
+
+    def test_healthz_reports_the_serving_stack(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        get_json(client, service, f"/vet/{ecosystem.bots[0].name}")
+        response, payload = get_json(client, service, "/healthz")
+        assert response.status == 200
+        assert payload["status"] == "ok"
+        assert payload["queue_capacity"] == QUICK.queue_capacity
+        assert set(payload["bulkheads"]) == {"traceability", "code", "honeypot"}
+        assert "degraded_mode" in payload
+        assert payload["ledger"]["dropped"] == 0
+
+
+class TestUpdatesAndAudits:
+    def test_update_invalidates_and_forces_revalidation(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        name = ecosystem.bots[1].name
+        get_json(client, service, f"/vet/{name}")
+        response = client.post(f"https://{service.hostname}/bots/{name}/update")
+        assert response.status == 200
+        assert json.loads(response.body)["invalidated"]
+        _, payload = get_json(client, service, f"/vet/{name}")
+        assert payload["cache"] == "revalidated"
+        assert not payload["stale"]
+        assert service.metrics.revalidations == 1
+        assert service.cache.invalidations == 1
+
+    def test_update_unknown_bot_404(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        response = client.post(f"https://{service.hostname}/bots/NoSuchBot/update")
+        assert response.status == 404
+
+    def test_audit_registered_roster(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        roster = [bot.name for bot in ecosystem.bots[:4]]
+        service.register_guild("community-1", roster)
+        response, payload = get_json(client, service, "/audit/community-1")
+        assert response.status == 200
+        assert payload["guild"] == "community-1"
+        assert len(payload["bots"]) == 4
+        assert payload["approved"] + payload["rejected"] == 4
+
+    def test_audit_unknown_guild_404(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        response, _ = get_json(client, service, "/audit/nowhere")
+        assert response.status == 404
+
+    def test_audit_reuses_fresh_verdicts(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        roster = [bot.name for bot in ecosystem.bots[:3]]
+        service.register_guild("community-2", roster)
+        for name in roster:
+            get_json(client, service, f"/vet/{name}")
+        hits_before = service.cache.hits
+        _, payload = get_json(client, service, "/audit/community-2")
+        assert all(entry["cache"] == "hit" for entry in payload["bots"])
+        assert service.cache.hits == hits_before + 3
+
+
+class TestExceptionFirewall:
+    def test_internal_error_becomes_503_with_ledger_record(self, ecosystem, monkeypatch):
+        internet, service, client = build_world(ecosystem)
+
+        def explode(bot, verdict):
+            raise RuntimeError("stage blew up")
+
+        monkeypatch.setattr(service.pipeline, "review_static", explode)
+        faults_before = len(service.ledger)
+        response = client.get(f"https://{service.hostname}/vet/{ecosystem.bots[0].name}")
+        assert response.status == 503
+        assert "Retry-After" in response.headers
+        assert len(service.ledger) == faults_before + 1
+        assert service.ledger.records[-1].error_class == "RuntimeError"
+        assert service.metrics.errors_5xx == 1
+
+
+class TestRestart:
+    def test_restart_preserves_verdict_store_and_counters(self, ecosystem):
+        internet, service, client = build_world(ecosystem)
+        name = ecosystem.bots[2].name
+        get_json(client, service, f"/vet/{name}")
+        durable = {"cache": service.cache.state_dict(), "counters": service.metrics.counters_dict()}
+
+        replacement = VettingService(
+            internet, service.directory, policy=service.policy, seed=9, hostname=service.hostname
+        )
+        replacement.restore_state(durable)
+        _, payload = get_json(client, replacement, f"/vet/{name}")
+        assert payload["cache"] == "hit"
+        # Counters carried across the restart: the first vet plus this hit.
+        assert replacement.metrics.served == 2
