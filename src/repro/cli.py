@@ -49,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "is reached (default N=1); see repro.core.crashpoints.REGISTRY")
     run.add_argument("--shards", type=int, default=1,
                      help="deterministic shards for stages 2-4 (default 1 = sequential)")
+    run.add_argument("--parallel", action="store_true",
+                     help="run shard buckets in worker processes instead of threads "
+                          "(same byte-identical output, actual multi-core speedup; "
+                          "needs --shards > 1)")
     run.add_argument("--metrics", action="store_true",
                      help="print per-stage/per-shard run metrics after the report")
     run.add_argument("--max-bot-events", type=int, default=None,
@@ -131,6 +135,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint_path,
         journal_path=args.journal_path,
         shards=args.shards,
+        parallel=args.parallel,
         adversarial_bots=args.adversarial,
         **overrides,
     )

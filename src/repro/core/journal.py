@@ -264,20 +264,25 @@ class UnitTracker:
         self._components[name] = (capture, restore)
 
     def begin_unit(self) -> None:
-        """Mark the append-only components before a live unit runs."""
+        """Mark the append-only components before a live unit runs.
+
+        Marks are absolute positions (``mark()``), not list indices: a
+        bounded ledger's ring trim shifts indices mid-unit, and a raw slice
+        would then re-ship records from *before* the unit.
+        """
         self._marks = {
-            "faults": len(self._ledger.records),
-            "quarantines": len(self._quarantines.records),
+            "faults": self._ledger.mark(),
+            "quarantines": self._quarantines.mark(),
             "solves": len(self._solver.history) if self._solver is not None else 0,
         }
 
     def finish_unit(self, result: dict | None) -> dict:
         """Build the journal body for the unit that just ran live."""
         body: dict[str, Any] = {"result": result, "clock": self._clock.now()}
-        faults = self._ledger.records[self._marks["faults"]:]
+        faults = self._ledger.records_since(self._marks["faults"])
         if faults:
             body["faults"] = [record.to_dict() for record in faults]
-        quarantines = self._quarantines.records[self._marks["quarantines"]:]
+        quarantines = self._quarantines.records_since(self._marks["quarantines"])
         if quarantines:
             body["quarantines"] = [record.to_dict() for record in quarantines]
         if self._solver is not None:

@@ -13,8 +13,9 @@ stages against it:
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Callable
 
@@ -221,6 +222,10 @@ class AssessmentPipeline:
         #: World-state snapshots for shards not (yet) rebuilt this process,
         #: restored from the checkpoint or a honeypot stage-complete record.
         self._shard_world_states: dict[str, dict] = {}
+        #: Process pool for ``config.parallel`` runs (lazily started) and
+        #: the journal counters its workers report back.
+        self._parallel_runner = None
+        self._parallel_journal_stats = JournalStats()
         if self.config.adversarial_bots > 0:
             self._plant_adversaries()
 
@@ -352,11 +357,15 @@ class AssessmentPipeline:
 
     def _aggregate_journal_stats(self) -> None:
         journals = [journal for journal in (self._journal, *self._shard_journals.values()) if journal is not None]
-        if not journals:
+        worked = self._parallel_journal_stats.to_dict() != JournalStats().to_dict()
+        if not journals and not worked:
             return
         total = JournalStats()
         for journal in journals:
             total.merge(journal.stats)
+        # Shard journals owned by worker processes report their counters
+        # back through the task payloads.
+        total.merge(self._parallel_journal_stats)
         self.metrics.journal = total.to_dict()
 
     def _close_journals(self) -> None:
@@ -684,6 +693,23 @@ class AssessmentPipeline:
 
     # -- sharded execution -------------------------------------------------------
 
+    def _parallel_active(self) -> bool:
+        """Whether shard buckets run in worker processes this run.
+
+        Crash injection and crash-point recording need every crashpoint
+        hit in one process, so arming either environment knob falls the
+        run back to the in-process (threaded) shard path — same output,
+        byte for byte, just without the parallel speedup.
+        """
+        from repro.core.crashpoints import ENV_CRASH_AT, ENV_RECORD
+
+        return (
+            self.config.parallel
+            and self.config.shards > 1
+            and not os.environ.get(ENV_CRASH_AT)
+            and not os.environ.get(ENV_RECORD)
+        )
+
     def _sharded(self) -> ShardedExecutor:
         """The shard worlds, built lazily at the first sharded stage.
 
@@ -715,7 +741,9 @@ class AssessmentPipeline:
                 state = self._shard_world_states.get(str(shard.index))
                 if state:
                     restore_world_state(shard.clock, shard.internet, shard.solver, shard.breakers, state)
-            if self.config.journal_path is not None:
+            # In parallel mode each worker process owns its shard journal
+            # exclusively; the parent must not hold (and truncate) them.
+            if self.config.journal_path is not None and not self._parallel_active():
                 for shard in worlds:
                     if shard.index not in self._shard_journals:
                         self._shard_journals[shard.index] = self._open_journal(
@@ -734,26 +762,14 @@ class AssessmentPipeline:
 
         return sink
 
-    def _finish_sharded_stage(self, executor: ShardedExecutor, outcomes: list[ShardOutcome]) -> None:
-        """Merge shard fault records and advance the main clock to the horizon.
+    def run_shard_bucket(self, stage: str, shard: ShardWorld, bots: list, journal: WriteAheadJournal | None):
+        """Run one shard's bucket of ``stage`` — the single code path shared
+        by the threaded executor and the process-pool workers.
 
-        Virtual time merges as *max across shards*: shards ran concurrently
-        in simulated time, so the campaign is as long as its slowest shard.
+        Faults, quarantines and supervision all land in the *shard's* own
+        ledger/log/bus; the caller extracts the stage's deltas afterwards.
         """
-        merge_fault_records(self.ledger, outcomes)
-        merge_quarantine_records(self.quarantines, outcomes)
-        horizon = executor.sync_clocks()
-        now = self.world.clock.now()
-        if horizon > now:
-            self.world.clock.advance(horizon - now)
-        crashpoint("sharding.after_merge")
-
-    def _sharded_traceability(self, active: list[ScrapedBot]) -> tuple[list, list[ShardOutcome]]:
-        """Stage 2 across shards, merged back to the input bot order."""
-        executor = self._sharded()
-        buckets = partition(active, self.config.shards, key=lambda bot: bot.listing_id)
-
-        def worker(shard: ShardWorld, bots: list[ScrapedBot]) -> list:
+        if stage == STAGE_TRACEABILITY:
             return self.analyze_traceability(
                 bots,
                 on_fault=self._shard_sink(STAGE_TRACEABILITY, shard),
@@ -762,22 +778,11 @@ class AssessmentPipeline:
                 supervisor=self._supervisor(
                     STAGE_TRACEABILITY, world=shard, ledger=shard.ledger, quarantines=shard.quarantines
                 ),
-                journal=self._shard_journal(shard.index),
+                journal=journal,
                 ledger=shard.ledger,
                 quarantines=shard.quarantines,
             )
-
-        outcomes = executor.run_stage(buckets, worker)
-        self._finish_sharded_stage(executor, outcomes)
-        merged = merge_in_order(outcomes, [bot.name for bot in active], key=lambda item: item.bot_name)
-        return merged, outcomes
-
-    def _sharded_code(self, active: list[ScrapedBot]) -> tuple[list, list[ShardOutcome]]:
-        """Stage 3 across shards, merged back to the input bot order."""
-        executor = self._sharded()
-        buckets = partition(active, self.config.shards, key=lambda bot: bot.listing_id)
-
-        def worker(shard: ShardWorld, bots: list[ScrapedBot]) -> list:
+        if stage == STAGE_CODE:
             return self.analyze_code(
                 bots,
                 on_fault=self._shard_sink(STAGE_CODE, shard),
@@ -786,23 +791,11 @@ class AssessmentPipeline:
                 supervisor=self._supervisor(
                     STAGE_CODE, world=shard, ledger=shard.ledger, quarantines=shard.quarantines
                 ),
-                journal=self._shard_journal(shard.index),
+                journal=journal,
                 ledger=shard.ledger,
                 quarantines=shard.quarantines,
             )
-
-        outcomes = executor.run_stage(buckets, worker)
-        self._finish_sharded_stage(executor, outcomes)
-        merged = merge_in_order(outcomes, [bot.name for bot in active], key=lambda item: item.bot_name)
-        return merged, outcomes
-
-    def _sharded_honeypot(self) -> tuple["HoneypotReport", list[ShardOutcome]]:
-        """Stage 4 across shards: each shard honeypots its bucket on its own platform."""
-        executor = self._sharded()
-        sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
-        buckets = partition(sample, self.config.shards, key=lambda bot: bot.client_id)
-
-        def worker(shard: ShardWorld, bots: list) -> "HoneypotReport":
+        if stage == STAGE_HONEYPOT:
             if not bots:
                 from repro.honeypot.experiment import HoneypotReport
 
@@ -821,11 +814,148 @@ class AssessmentPipeline:
                     quarantines=shard.quarantines,
                     bus=shard.platform.events,
                 ),
-                journal=self._shard_journal(shard.index),
+                journal=journal,
             )
+        raise ValueError(f"stage {stage!r} is not sharded")
 
-        outcomes = executor.run_stage(buckets, worker)
+    def _process_runner(self):
+        """The run's process pool, started on first parallel stage."""
+        if self._parallel_runner is None:
+            from repro.core.parallel import ProcessShardRunner
+
+            self._parallel_runner = ProcessShardRunner(max_workers=self.config.shards)
+        return self._parallel_runner
+
+    def _close_parallel_runner(self) -> None:
+        if self._parallel_runner is not None:
+            self._parallel_runner.close()
+            self._parallel_runner = None
+
+    def _run_parallel_stage(
+        self, stage: str, executor: ShardedExecutor, buckets: list[list]
+    ) -> list[ShardOutcome]:
+        """Run every shard's bucket in a worker process; outcomes in shard order.
+
+        The parent captures each shard world, ships it to a worker, and on
+        return restores the worker's post-stage snapshot into its own shard
+        world — so the parent-side worlds evolve exactly as if the stage had
+        run on threads, and every later consumer (clock sync, checkpointing,
+        captcha accounting) is none the wiser.
+        """
+        from repro.core.parallel import ShardTaskSpec, decode_stage_value
+
+        child_config = replace(self.config, checkpoint_path=None, journal_path=None, parallel=False)
+        specs = []
+        for shard, bucket in zip(executor.worlds, buckets):
+            specs.append(
+                ShardTaskSpec(
+                    stage=stage,
+                    index=shard.index,
+                    start_time=shard.clock.now(),
+                    config=child_config,
+                    # Honeypot buckets are ecosystem bot profiles, outside
+                    # the pickling contract; the worker recomputes its
+                    # bucket from the deterministic sample partition.
+                    bots=None if stage == STAGE_HONEYPOT else list(bucket),
+                    world_state=capture_world_state(shard.clock, shard.internet, shard.solver, shard.breakers),
+                    journal_path=(
+                        f"{self.config.journal_path}.shard{shard.index}"
+                        if self.config.journal_path is not None
+                        else None
+                    ),
+                )
+            )
+        payloads = self._process_runner().run(specs)
+        outcomes: list[ShardOutcome] = []
+        for shard, bucket, payload in zip(executor.worlds, buckets, payloads):
+            restore_world_state(shard.clock, shard.internet, shard.solver, shard.breakers, payload["world"])
+            faults = [FaultRecord.from_dict(record) for record in payload["faults"]]
+            quarantined = [QuarantineRecord.from_dict(record) for record in payload["quarantines"]]
+            shard.ledger.records.extend(faults)
+            shard.quarantines.records.extend(quarantined)
+            if payload.get("journal_discard"):
+                record_resume_provenance(self.ledger, payload["journal_discard"])
+            stats = payload.get("journal_stats")
+            if stats is not None:
+                self._parallel_journal_stats.merge(
+                    JournalStats(
+                        appended=stats.get("appended", 0),
+                        replayed=stats.get("replayed", 0),
+                        discarded=stats.get("discarded", 0),
+                    )
+                )
+            outcomes.append(
+                ShardOutcome(
+                    shard_index=shard.index,
+                    items=list(bucket),
+                    value=decode_stage_value(stage, payload["value"]),
+                    wall_seconds=payload["wall_seconds"],
+                    virtual_seconds=payload["virtual_seconds"],
+                    exchanges=payload["exchanges"],
+                    faults=faults,
+                    quarantines=quarantined,
+                )
+            )
+        return outcomes
+
+    def _run_sharded_stage(self, stage: str, buckets: list[list]) -> list[ShardOutcome]:
+        """Dispatch a sharded stage to processes or threads, then merge."""
+        executor = self._sharded()
+        if self._parallel_active():
+            outcomes = self._run_parallel_stage(stage, executor, buckets)
+        else:
+            outcomes = executor.run_stage(
+                buckets,
+                lambda shard, bots: self.run_shard_bucket(stage, shard, bots, self._shard_journal(shard.index)),
+            )
         self._finish_sharded_stage(executor, outcomes)
+        return outcomes
+
+    def _finish_sharded_stage(self, executor: ShardedExecutor, outcomes: list[ShardOutcome]) -> None:
+        """Merge shard fault records and advance the main clock to the horizon.
+
+        Virtual time merges as *max across shards*: shards ran concurrently
+        in simulated time, so the campaign is as long as its slowest shard.
+        """
+        merge_fault_records(self.ledger, outcomes)
+        merge_quarantine_records(self.quarantines, outcomes)
+        horizon = executor.sync_clocks()
+        now = self.world.clock.now()
+        if horizon > now:
+            self.world.clock.advance(horizon - now)
+        crashpoint("sharding.after_merge")
+
+    def _sharded_traceability(self, active: list[ScrapedBot]) -> tuple[list, list[ShardOutcome]]:
+        """Stage 2 across shards, merged back to the input bot order."""
+        buckets = partition(active, self.config.shards, key=lambda bot: bot.listing_id)
+        outcomes = self._run_sharded_stage(STAGE_TRACEABILITY, buckets)
+        merged = merge_in_order(
+            outcomes,
+            [bot.name for bot in active],
+            key=lambda item: item.bot_name,
+            what="traceability merge",
+        )
+        return merged, outcomes
+
+    def _sharded_code(self, active: list[ScrapedBot]) -> tuple[list, list[ShardOutcome]]:
+        """Stage 3 across shards, merged back to the input bot order."""
+        buckets = partition(active, self.config.shards, key=lambda bot: bot.listing_id)
+        outcomes = self._run_sharded_stage(STAGE_CODE, buckets)
+        # Only GitHub-linked bots ever enter the stage; the others are
+        # legitimately absent from every shard, not silently dropped.
+        merged = merge_in_order(
+            outcomes,
+            [bot.name for bot in active if bot.github_url],
+            key=lambda item: item.bot_name,
+            what="code merge",
+        )
+        return merged, outcomes
+
+    def _sharded_honeypot(self) -> tuple["HoneypotReport", list[ShardOutcome]]:
+        """Stage 4 across shards: each shard honeypots its bucket on its own platform."""
+        sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
+        buckets = partition(sample, self.config.shards, key=lambda bot: bot.client_id)
+        outcomes = self._run_sharded_stage(STAGE_HONEYPOT, buckets)
         merged = merge_honeypot_reports(outcomes, [bot.name for bot in sample])
         return merged, outcomes
 
@@ -994,8 +1124,8 @@ class AssessmentPipeline:
                     timer = _StageTimer(self, STAGE_HONEYPOT)
                     outcomes = None
                     sample = self.world.ecosystem.top_voted(self.config.honeypot_sample_size)
-                    faults_mark = len(self.ledger.records)
-                    quarantines_mark = len(self.quarantines.records)
+                    faults_mark = self.ledger.mark()
+                    quarantines_mark = self.quarantines.mark()
                     try:
                         if sharded:
                             result.honeypot, outcomes = self._sharded_honeypot()
@@ -1039,10 +1169,11 @@ class AssessmentPipeline:
                                 },
                                 "world": self._capture_all_worlds(),
                                 "faults": [
-                                    record.to_dict() for record in self.ledger.records[faults_mark:]
+                                    record.to_dict() for record in self.ledger.records_since(faults_mark)
                                 ],
                                 "quarantines": [
-                                    record.to_dict() for record in self.quarantines.records[quarantines_mark:]
+                                    record.to_dict()
+                                    for record in self.quarantines.records_since(quarantines_mark)
                                 ],
                             },
                         )
@@ -1078,6 +1209,7 @@ class AssessmentPipeline:
                 for state in self._shard_world_states.values()
             )
         self._close_journals()
+        self._close_parallel_runner()
         return result
 
     def _stage_outcome(self, stage: str) -> str:

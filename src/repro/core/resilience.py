@@ -324,8 +324,16 @@ class FaultLedger:
     records: list[FaultRecord] = field(default_factory=list)
     #: When set, keep at most this many records (oldest dropped first).
     max_records: int | None = None
-    #: Records evicted by the ring bound.
+    #: Records evicted by the ring bound.  Includes drops inherited from
+    #: merged ledgers (:meth:`extend`), so it reports *how much was ever
+    #: forgotten* — it is NOT an index offset into this ledger's history.
     dropped: int = 0
+    #: How many records have left ``self.records`` *from the front of this
+    #: ledger specifically*.  ``drop_offset + len(records)`` is a stable
+    #: absolute position: a mark taken before a trim still resolves to the
+    #: same records afterwards.  Unlike ``dropped`` this never counts drops
+    #: merged in from another ledger.
+    drop_offset: int = 0
 
     def record(
         self,
@@ -359,6 +367,26 @@ class FaultLedger:
             excess = len(self.records) - self.max_records
             del self.records[:excess]
             self.dropped += excess
+            self.drop_offset += excess
+
+    def mark(self) -> int:
+        """An absolute position in this ledger's append history.
+
+        Stable across :meth:`_trim`: resolve it with :meth:`records_since`
+        instead of slicing ``records`` directly, which shifts under a
+        bounded ring.
+        """
+        return self.drop_offset + len(self.records)
+
+    def records_since(self, mark: int) -> list[FaultRecord]:
+        """Records appended after ``mark``, however many were trimmed since.
+
+        Records appended after the mark but already evicted by the ring are
+        gone (the ledger forgot them and counted the forgetting); the slice
+        then starts at the oldest retained record rather than resurfacing
+        unrelated older ones.
+        """
+        return self.records[max(mark - self.drop_offset, 0):]
 
     def __len__(self) -> int:
         return len(self.records)
@@ -408,6 +436,7 @@ class FaultLedger:
         if self.max_records is not None:
             payload["max_records"] = self.max_records
             payload["dropped"] = self.dropped
+            payload["drop_offset"] = self.drop_offset
         return payload
 
     @classmethod
@@ -416,6 +445,7 @@ class FaultLedger:
             records=[FaultRecord.from_dict(entry) for entry in payload.get("records", [])],
             max_records=payload.get("max_records"),
             dropped=payload.get("dropped", 0),
+            drop_offset=payload.get("drop_offset", 0),
         )
 
     def to_json(self) -> str:

@@ -130,8 +130,11 @@ class ShardedExecutor:
             wall_start = time.monotonic()
             virtual_start = world.clock.now()
             exchanges_start = world.internet.exchanges_total
-            faults_start = len(world.ledger.records)
-            quarantines_start = len(world.quarantines.records)
+            # Absolute marks, not list indices: a bounded ledger's ring
+            # trim shifts indices mid-stage and a raw slice would ship
+            # records from before the stage as this stage's delta.
+            faults_start = world.ledger.mark()
+            quarantines_start = world.quarantines.mark()
             value = worker(world, bucket)
             crashpoint("sharding.after_shard")
             return ShardOutcome(
@@ -141,8 +144,8 @@ class ShardedExecutor:
                 wall_seconds=time.monotonic() - wall_start,
                 virtual_seconds=world.clock.now() - virtual_start,
                 exchanges=world.internet.exchanges_total - exchanges_start,
-                faults=world.ledger.records[faults_start:],
-                quarantines=world.quarantines.records[quarantines_start:],
+                faults=world.ledger.records_since(faults_start),
+                quarantines=world.quarantines.records_since(quarantines_start),
             )
 
         if self.shards == 1:
@@ -172,21 +175,61 @@ class ShardedExecutor:
 # -- merge helpers -----------------------------------------------------------
 
 
+def verify_merge_accounting(
+    outcomes: Sequence[ShardOutcome],
+    order: Sequence[str],
+    produced: Iterable[str],
+    what: str,
+) -> None:
+    """Every bot absent from a merge must be explained, or the merge aborts.
+
+    This is the sharded face of the :func:`~repro.core.supervision.verify_accounting`
+    invariant (processed + skipped + quarantined == population): a bot may
+    legitimately be missing from ``produced`` only if a shard quarantined
+    it (known by name) or skipped it into a fault record (known by count —
+    fault records carry ``bots_skipped``, not names).  Anything beyond that
+    budget is a silently dropped bot, which used to vanish without a trace;
+    now it raises :class:`~repro.core.supervision.AccountingError`.
+    """
+    from repro.core.supervision import AccountingError
+
+    produced_names = set(produced)
+    missing = [name for name in order if name not in produced_names]
+    if not missing:
+        return
+    quarantined = {record.bot_name for outcome in outcomes for record in outcome.quarantines}
+    unexplained = [name for name in missing if name not in quarantined]
+    skip_budget = sum(record.bots_skipped for outcome in outcomes for record in outcome.faults)
+    if len(unexplained) > skip_budget:
+        shown = ", ".join(unexplained[:5])
+        raise AccountingError(
+            f"{what}: merge lost {len(unexplained)} bot(s) neither skipped nor quarantined "
+            f"(fault records account for {skip_budget}): {shown}"
+            + ("..." if len(unexplained) > 5 else "")
+        )
+
+
 def merge_in_order(
     outcomes: Sequence[ShardOutcome],
     order: Sequence[str],
     key: Callable[[Any], str],
+    what: str = "merge",
 ) -> list[Any]:
     """Concatenate per-bot result lists, reordered to the original input order.
 
     Sharding regroups bots, so a plain shard-order concatenation would
     differ from the sequential run's list ordering; keying each result by
-    bot and walking the input order restores it exactly.
+    bot and walking the input order restores it exactly.  ``order`` must
+    name only bots the stage was actually given (e.g. the code stage passes
+    its GitHub-linked subset): any ordered bot without a result that no
+    shard recorded as skipped or quarantined raises ``AccountingError``
+    instead of being silently dropped.
     """
     by_key: dict[str, Any] = {}
     for outcome in outcomes:
         for item in outcome.value:
             by_key[key(item)] = item
+    verify_merge_accounting(outcomes, order, by_key, what)
     return [by_key[name] for name in order if name in by_key]
 
 
@@ -197,6 +240,8 @@ def merge_honeypot_reports(outcomes: Sequence[ShardOutcome], order: Sequence[str
     shard-index order; account-level costs (manual verifications, captcha
     spend) and install failures sum — each shard runs its own persona
     pool, so the merged run reports the true aggregate operating cost.
+    Sampled bots missing from every shard's report must be covered by the
+    shards' skip/quarantine records or the merge raises ``AccountingError``.
     """
     merged = HoneypotReport()
     by_name: dict[str, Any] = {}
@@ -208,6 +253,7 @@ def merge_honeypot_reports(outcomes: Sequence[ShardOutcome], order: Sequence[str
         merged.manual_verifications += report.manual_verifications
         merged.install_failures += report.install_failures
         merged.captcha_cost += report.captcha_cost
+    verify_merge_accounting(outcomes, order, by_name, "honeypot merge")
     merged.outcomes = [by_name[name] for name in order if name in by_name]
     return merged
 

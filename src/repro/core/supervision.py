@@ -153,6 +153,17 @@ class QuarantineLog:
     def extend(self, other: "QuarantineLog") -> None:
         self.records.extend(other.records)
 
+    def mark(self) -> int:
+        """Absolute append position, mirroring :meth:`FaultLedger.mark`.
+
+        The log is unbounded, so the mark is just the current length — the
+        shared API keeps mark-taking call sites uniform across both logs.
+        """
+        return len(self.records)
+
+    def records_since(self, mark: int) -> list[QuarantineRecord]:
+        return self.records[mark:]
+
     def __len__(self) -> int:
         return len(self.records)
 

@@ -6,6 +6,13 @@ Here the bus is synchronous and deterministic, but the *visibility* rule is
 preserved: a bot only receives message events for channels where it holds
 VIEW_CHANNEL — which, thanks to ADMINISTRATOR, is effectively everywhere for
 most of the measured population.
+
+Delivery is indexed, not scanned: subscriptions live in buckets keyed by
+``(event_type, guild_id)`` and a dispatch only examines the (at most four)
+buckets whose key can match the event.  A guild with a thousand co-resident
+bots no longer pays a thousand predicate calls for every message posted in
+an unrelated guild — the honeypot's per-message dispatch cost is
+O(subscribers that can actually match), not O(all subscribers on the bus).
 """
 
 from __future__ import annotations
@@ -36,20 +43,57 @@ class Event:
 
 Subscriber = Callable[[Event], None]
 
+#: Bucket key: (event_type or None = any type, guild_id or None = any guild).
+_BucketKey = tuple["EventType | None", "int | None"]
+
+
+@dataclass
+class _Subscription:
+    """One registered callback and the filters that gate its delivery.
+
+    ``seq`` is the global registration order; dispatch sorts candidate
+    subscriptions by it so indexed delivery is byte-for-byte the same
+    order the old flat-list scan produced.  ``active`` flips False on
+    unsubscribe so a removed entry cannot be re-delivered through a stale
+    snapshot taken by a *different* (nested) dispatch.
+    """
+
+    seq: int
+    key: _BucketKey
+    predicate: Callable[[Event], bool] | None
+    callback: Subscriber
+    active: bool = True
+
 
 class EventBus:
     """Synchronous pub/sub with per-subscriber delivery filters.
 
-    ``subscribe`` registers a callback with an optional predicate; the
-    platform uses predicates to express gateway visibility (bot is in the
-    guild, bot can view the channel).
+    ``subscribe`` registers a callback with an optional event type, an
+    optional ``guild_id`` and an optional predicate; the platform uses
+    ``guild_id`` to scope a bot's gateway route to the guilds it is a
+    member of, and predicates to express the finer visibility rule (not
+    the bot's own message, VIEW_CHANNEL on the message's channel).
+
+    Semantics preserved from the flat-list implementation:
+
+    * delivery order is global subscription order, regardless of which
+      bucket a subscription lives in;
+    * subscribers unsubscribed *during* a dispatch still receive that
+      in-flight event (the dispatch iterates a snapshot);
+    * subscribers added during a dispatch do not see the in-flight event.
     """
 
     def __init__(self) -> None:
-        self._subscribers: list[tuple[EventType | None, Callable[[Event], bool] | None, Subscriber]] = []
+        self._buckets: dict[_BucketKey, list[_Subscription]] = {}
         self._guards: list[Callable[[Event], None]] = []
+        self._seq = 0
         self.events_dispatched = 0
         self.deliveries = 0
+        #: Subscriptions examined (matched a bucket key) across all
+        #: dispatches — the observable cost of delivery.  A flat scan
+        #: examines every subscriber per event; the index examines only
+        #: those whose (type, guild) can match.
+        self.subscribers_examined = 0
 
     def add_guard(self, guard: Callable[[Event], None]) -> Callable[[], None]:
         """Install a pre-dispatch hook; returns a remover.
@@ -74,31 +118,66 @@ class EventBus:
         callback: Subscriber,
         event_type: EventType | None = None,
         predicate: Callable[[Event], bool] | None = None,
+        guild_id: int | None = None,
     ) -> Callable[[], None]:
-        """Register; returns an unsubscribe function."""
-        entry = (event_type, predicate, callback)
-        self._subscribers.append(entry)
+        """Register; returns an unsubscribe function.
+
+        ``guild_id=None`` means "any guild" — the subscription lands in a
+        wildcard bucket that every dispatch examines, exactly like the old
+        flat list.  Passing a ``guild_id`` narrows delivery to that guild
+        *before* the predicate runs.
+        """
+        key: _BucketKey = (event_type, guild_id)
+        sub = _Subscription(seq=self._seq, key=key, predicate=predicate, callback=callback)
+        self._seq += 1
+        self._buckets.setdefault(key, []).append(sub)
 
         def unsubscribe() -> None:
-            try:
-                self._subscribers.remove(entry)
-            except ValueError:
-                pass
+            if not sub.active:
+                return
+            sub.active = False
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(sub)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self._buckets[key]
 
         return unsubscribe
+
+    def subscriber_count(self) -> int:
+        """Total live subscriptions across all buckets."""
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     def dispatch(self, event: Event) -> int:
         """Deliver to matching subscribers; returns delivery count."""
         for guard in tuple(self._guards):
             guard(event)
         self.events_dispatched += 1
+        # Only four bucket keys can match this event.  Snapshot + sort by
+        # registration seq keeps delivery order identical to the flat scan
+        # and keeps unsubscribe-during-dispatch safe (entries removed by a
+        # callback still receive this event; `active` guards entries
+        # removed before their turn only against *future* dispatches).
+        candidates: list[_Subscription] = []
+        for key in (
+            (event.type, event.guild_id),
+            (event.type, None),
+            (None, event.guild_id),
+            (None, None),
+        ):
+            bucket = self._buckets.get(key)
+            if bucket:
+                candidates.extend(bucket)
+        candidates.sort(key=lambda sub: sub.seq)
+        self.subscribers_examined += len(candidates)
         delivered = 0
-        for event_type, predicate, callback in list(self._subscribers):
-            if event_type is not None and event_type is not event.type:
+        for sub in candidates:
+            if sub.predicate is not None and not sub.predicate(event):
                 continue
-            if predicate is not None and not predicate(event):
-                continue
-            callback(event)
+            sub.callback(event)
             delivered += 1
         self.deliveries += delivered
         return delivered

@@ -91,6 +91,51 @@ class InstallRecord:
     time: float
 
 
+class _BotGatewayRoute:
+    """One bot runtime's gateway connection, indexed per member guild.
+
+    Instead of one wildcard subscription whose predicate re-derives guild
+    membership on *every* message anywhere on the platform, the route holds
+    one guild-keyed subscription per guild the bot belongs to — so the bus
+    only examines this bot for messages in guilds it can actually see.
+    The platform extends the route when membership changes through platform
+    paths (``create_guild``, ``join_guild``, ``complete_install``); the
+    visibility predicate still re-checks membership and VIEW_CHANNEL, so a
+    kick/ban (which bypasses the route) merely leaves a subscription that
+    filters everything out rather than delivering wrongly.
+    """
+
+    def __init__(self, platform: "DiscordPlatform", bot_user_id: int, callback) -> None:
+        self._platform = platform
+        self._bot_user_id = bot_user_id
+        self._callback = callback
+        self._per_guild: dict[int, Callable[[], None]] = {}
+        self._closed = False
+
+    def attach(self, guild_id: int) -> None:
+        """Add a guild-keyed subscription (idempotent, no-op once closed)."""
+        if self._closed or guild_id in self._per_guild:
+            return
+        self._per_guild[guild_id] = self._platform.events.subscribe(
+            self._callback, EventType.MESSAGE_CREATE, self._visible, guild_id=guild_id
+        )
+
+    def _visible(self, event: Event) -> bool:
+        guild = self._platform.guilds.get(event.guild_id)
+        if guild is None or self._bot_user_id not in guild.members:
+            return False
+        message: Message = event.payload["message"]
+        if message.author_id == self._bot_user_id:
+            return False
+        return guild.permissions_in(self._bot_user_id, message.channel_id).has(Permission.VIEW_CHANNEL)
+
+    def close(self) -> None:
+        self._closed = True
+        for unsubscribe in self._per_guild.values():
+            unsubscribe()
+        self._per_guild.clear()
+
+
 class DiscordPlatform:
     """The simulated messaging platform.
 
@@ -121,6 +166,8 @@ class DiscordPlatform:
         self.applications: dict[int, BotApplication] = {}
         self.vetted_applications: set[int] = set()
         self.installs: list[InstallRecord] = []
+        #: Live gateway routes per bot user (a bot may connect more than once).
+        self._bot_routes: dict[int, list[_BotGatewayRoute]] = {}
         self._join_times: dict[int, list[float]] = {}
         self.messages_posted = 0
         self.enforcer_denials = 0
@@ -206,6 +253,7 @@ class DiscordPlatform:
         guild.create_channel("general", ChannelType.TEXT)
         guild.create_channel("voice", ChannelType.VOICE)
         self.guilds[guild.guild_id] = guild
+        self._extend_bot_routes(owner.user_id, guild.guild_id)
         self.events.dispatch(Event(EventType.GUILD_CREATE, guild.guild_id, {"guild": guild}, self.clock.now()))
         return guild
 
@@ -215,6 +263,7 @@ class DiscordPlatform:
         self._note_join(user)
         guild = self.guilds[guild_id]
         member = guild.add_member(user)
+        self._extend_bot_routes(user_id, guild_id)
         self.events.dispatch(
             Event(EventType.GUILD_MEMBER_ADD, guild_id, {"member": member}, self.clock.now())
         )
@@ -303,6 +352,7 @@ class DiscordPlatform:
         )
         member = guild.add_member(application.bot_user)
         member.role_ids.append(bot_role.role_id)
+        self._extend_bot_routes(application.bot_user.user_id, guild_id)
         record = InstallRecord(
             client_id=application.client_id,
             guild_id=guild_id,
@@ -356,20 +406,38 @@ class DiscordPlatform:
 
     # -- gateway visibility ---------------------------------------------------------
 
+    def _extend_bot_routes(self, user_id: int, guild_id: int) -> None:
+        """Attach any live gateway routes for ``user_id`` to ``guild_id``."""
+        for route in self._bot_routes.get(user_id, ()):
+            route.attach(guild_id)
+
     def subscribe_bot(self, bot_user_id: int, callback) -> Callable[[], None]:
         """Subscribe a bot to MESSAGE_CREATE for channels it can view.
+
+        The subscription is guild-indexed: one bus entry per guild the bot
+        is a member of now, extended automatically as the bot gains guilds
+        through platform paths.  Membership granted by mutating a
+        :class:`~repro.discordsim.guild.Guild` directly does *not* extend
+        the route — go through ``join_guild``/``complete_install``.
 
         Returns the unsubscribe function, so a runtime can disconnect
         cleanly (e.g. when the supervision layer quarantines it).
         """
+        route = _BotGatewayRoute(self, bot_user_id, callback)
+        for guild in self.guilds.values():
+            if bot_user_id in guild.members:
+                route.attach(guild.guild_id)
+        self._bot_routes.setdefault(bot_user_id, []).append(route)
 
-        def visible(event: Event) -> bool:
-            guild = self.guilds.get(event.guild_id)
-            if guild is None or bot_user_id not in guild.members:
-                return False
-            message: Message = event.payload["message"]
-            if message.author_id == bot_user_id:
-                return False
-            return guild.permissions_in(bot_user_id, message.channel_id).has(Permission.VIEW_CHANNEL)
+        def unsubscribe() -> None:
+            route.close()
+            routes = self._bot_routes.get(bot_user_id)
+            if routes is not None:
+                try:
+                    routes.remove(route)
+                except ValueError:
+                    pass
+                if not routes:
+                    del self._bot_routes[bot_user_id]
 
-        return self.events.subscribe(callback, EventType.MESSAGE_CREATE, visible)
+        return unsubscribe

@@ -33,20 +33,34 @@ class BulkheadSaturatedError(Exception):
 
 
 @dataclass
+class Lease:
+    """One occupied bulkhead slot: when the stage started, when it frees.
+
+    The handle is how a caller shrinks *its own* lease after the real cost
+    is known — shrinking "the most recent lease" is wrong the moment two
+    requests interleave their acquires.
+    """
+
+    start: float
+    expiry: float
+
+
+@dataclass
 class Bulkhead:
     """A fixed pool of virtual-time slots for one stage.
 
     ``acquire(start, cost, max_wait)`` finds the earliest instant at or
     after ``start`` when a slot is free, leases it for ``cost`` seconds and
-    returns the lease start.  If the wait for a slot exceeds ``max_wait``
+    returns the :class:`Lease` handle (whose ``start`` is the instant the
+    stage actually starts).  If the wait for a slot exceeds ``max_wait``
     it raises :class:`BulkheadSaturatedError` instead — the caller then
     degrades (skips the stage) rather than queue past its deadline.
     """
 
     stage: str
     limit: int
-    #: Lease expiry instants for currently-occupied slots.
-    leases: list[float] = field(default_factory=list)
+    #: Currently-occupied slots.
+    leases: list[Lease] = field(default_factory=list)
     acquired: int = 0
     saturations: int = 0
 
@@ -55,32 +69,37 @@ class Bulkhead:
             raise ValueError("bulkhead limit must be >= 1")
 
     def in_flight(self, now: float) -> int:
-        return sum(1 for expiry in self.leases if expiry > now)
+        return sum(1 for lease in self.leases if lease.expiry > now)
 
     def _purge(self, now: float) -> None:
-        self.leases = [expiry for expiry in self.leases if expiry > now]
+        self.leases = [lease for lease in self.leases if lease.expiry > now]
 
-    def acquire(self, start: float, cost: float, max_wait: float) -> float:
-        """Lease a slot; returns the instant the stage actually starts."""
+    def acquire(self, start: float, cost: float, max_wait: float) -> Lease:
+        """Lease a slot; the returned handle's ``start`` is the actual start."""
         self._purge(start)
         if len(self.leases) < self.limit:
-            self.leases.append(start + cost)
+            lease = Lease(start=start, expiry=start + cost)
+            self.leases.append(lease)
             self.acquired += 1
-            return start
-        earliest = min(self.leases)
-        wait = earliest - start
+            return lease
+        earliest = min(self.leases, key=lambda lease: lease.expiry)
+        wait = earliest.expiry - start
         if wait > max_wait:
             self.saturations += 1
             raise BulkheadSaturatedError(self.stage, wait)
         self.leases.remove(earliest)
-        self.leases.append(earliest + cost)
+        lease = Lease(start=earliest.expiry, expiry=earliest.expiry + cost)
+        self.leases.append(lease)
         self.acquired += 1
-        return earliest
+        return lease
 
-    def release_last(self, lease_end: float) -> None:
-        """Shrink the most recent lease (actual cost < estimated cost)."""
-        if self.leases:
-            self.leases[-1] = min(self.leases[-1], lease_end)
+    def release(self, lease: Lease, lease_end: float) -> None:
+        """Shrink ``lease`` (actual cost < estimated cost) by identity.
+
+        A lease never grows here: overruns keep the estimated expiry, so a
+        stage that blew its estimate cannot retroactively push waiters back.
+        """
+        lease.expiry = min(lease.expiry, lease_end)
 
 
 class ShedDecision:

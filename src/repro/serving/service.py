@@ -30,6 +30,7 @@ Degradation ladder: full vet → skip-honeypot (partial verdict,
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -56,6 +57,16 @@ from repro.web.server import VirtualHost
 
 #: Policy-page path per website structural variant (mirrors the builder).
 _POLICY_PATHS = {"nav": "/privacy", "footer": "/privacy-policy", "legal": "/legal/privacy"}
+
+
+def retry_after_header(seconds: float) -> str:
+    """``Retry-After`` is whole seconds and must never be 0.
+
+    Rounding to nearest turns any sub-0.5s hint into ``Retry-After: 0`` —
+    an invitation to busy-spin that defeats ``AdmissionQueue.min_retry_after``.
+    Ceiling, floored at 1, keeps the header an honest "at least this long".
+    """
+    return str(max(math.ceil(seconds), 1))
 
 
 @dataclass(frozen=True)
@@ -274,7 +285,7 @@ class VettingService(VirtualHost):
             "serving", self.hostname, "LoadShed", now, detail=f"{reason}; retry_after={retry_after:.1f}"
         )
         response = self._json({"error": reason, "retry_after": round(retry_after, 3)}, status=429)
-        response.headers["Retry-After"] = f"{retry_after:.0f}"
+        response.headers["Retry-After"] = retry_after_header(retry_after)
         return response
 
     def _serve(self, payload: dict[str, Any], budget: DeadlineBudget) -> Response:
@@ -337,7 +348,7 @@ class VettingService(VirtualHost):
             evidence["website"] = "not_checked"
             return "skipped"
         try:
-            start = self.bulkheads["traceability"].acquire(
+            lease = self.bulkheads["traceability"].acquire(
                 budget.cursor, estimate, max_wait=budget.remaining - estimate
             )
         except BulkheadSaturatedError as error:
@@ -345,12 +356,12 @@ class VettingService(VirtualHost):
                                self.clock.now(), detail=str(error))
             evidence["website"] = "not_checked"
             return "skipped"
-        wait = start - budget.cursor
+        wait = lease.start - budget.cursor
         wall_before = self.clock.now()
         outcome = self._fetch_policy_evidence(bot)
         consumed = max(self.clock.now() - wall_before, 1.0)
         budget.charge("traceability", wait + consumed)
-        self.bulkheads["traceability"].release_last(start + consumed)
+        self.bulkheads["traceability"].release(lease, lease.start + consumed)
         evidence["website"] = outcome
         return "completed" if outcome in ("ok", "dead", "no_policy") else "degraded"
 
@@ -415,7 +426,7 @@ class VettingService(VirtualHost):
             verdict.skipped_stages.append("code")
             return "skipped"
         try:
-            start = self.bulkheads["code"].acquire(
+            lease = self.bulkheads["code"].acquire(
                 budget.cursor, self.policy.code_cost, max_wait=budget.remaining - self.policy.code_cost
             )
         except BulkheadSaturatedError as error:
@@ -423,7 +434,7 @@ class VettingService(VirtualHost):
                                self.clock.now(), detail=str(error))
             verdict.skipped_stages.append("code")
             return "skipped"
-        budget.charge("code", (start - budget.cursor) + self.policy.code_cost)
+        budget.charge("code", (lease.start - budget.cursor) + self.policy.code_cost)
         self.pipeline.review_code(bot, verdict)
         return "completed"
 
@@ -439,7 +450,7 @@ class VettingService(VirtualHost):
                                detail=f"{bot.name}: {budget.remaining:.0f}s left, needs {estimate:.0f}s")
             return "skipped"
         try:
-            start = self.bulkheads["honeypot"].acquire(
+            lease = self.bulkheads["honeypot"].acquire(
                 budget.cursor, estimate, max_wait=budget.remaining - estimate
             )
         except BulkheadSaturatedError as error:
@@ -449,8 +460,8 @@ class VettingService(VirtualHost):
                                self.clock.now(), detail=f"{bot.name}: {error}")
             return "skipped"
         consumed = self.pipeline.review_dynamic(bot, verdict, observation=self.policy.honeypot_observation)
-        budget.charge("honeypot", (start - budget.cursor) + consumed)
-        self.bulkheads["honeypot"].release_last(start + consumed)
+        budget.charge("honeypot", (lease.start - budget.cursor) + consumed)
+        self.bulkheads["honeypot"].release(lease, lease.start + consumed)
         return "completed"
 
     # -- /audit ---------------------------------------------------------------
@@ -470,7 +481,7 @@ class VettingService(VirtualHost):
             self.ledger.record("serving", self.hostname, "LoadShed", now,
                                detail=f"audit {guild}: {shed.reason}")
             response = self._json({"error": shed.reason, "retry_after": round(shed.retry_after, 3)}, status=429)
-            response.headers["Retry-After"] = f"{shed.retry_after:.0f}"
+            response.headers["Retry-After"] = retry_after_header(shed.retry_after)
             return response
 
         budget = DeadlineBudget(start=now, deadline=self.policy.audit_deadline)
@@ -590,13 +601,13 @@ class VettingService(VirtualHost):
         if now < self.ready_at:
             payload["ready"] = False
             response = self._json(payload, status=503)
-            response.headers["Retry-After"] = f"{max(self.ready_at - now, 1.0):.0f}"
+            response.headers["Retry-After"] = retry_after_header(self.ready_at - now)
             return response
         if depth >= high_water:
             payload["ready"] = False
             earliest = min(self.queue.in_flight) if self.queue.in_flight else now
             response = self._json(payload, status=503)
-            response.headers["Retry-After"] = f"{max(earliest - now, 1.0):.0f}"
+            response.headers["Retry-After"] = retry_after_header(earliest - now)
             return response
         payload["ready"] = True
         return self._json(payload)

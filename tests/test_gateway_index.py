@@ -1,0 +1,195 @@
+"""The indexed event bus: O(matching) delivery, preserved semantics.
+
+The flat-list bus examined every subscriber for every event, so a guild
+with N co-resident bots paid N predicate calls per message *anywhere* on
+the platform — the honeypot's per-message dispatch cost was O(all bots),
+quadratic over a campaign.  The bucketed bus must only examine
+subscriptions whose ``(event_type, guild_id)`` can match, while keeping
+the old contract bit-for-bit: global subscription order, guards first,
+unsubscribe-during-dispatch safety.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discordsim.gateway import Event, EventBus, EventType
+from repro.discordsim.models import ChannelType
+from repro.discordsim.platform import DiscordPlatform
+
+
+def _message(guild_id: int, time: float = 0.0) -> Event:
+    return Event(EventType.MESSAGE_CREATE, guild_id, {"message": None}, time)
+
+
+class TestIndexedDelivery:
+    def test_guild_keyed_subscription_only_sees_its_guild(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event.guild_id), EventType.MESSAGE_CREATE, guild_id=7)
+        bus.dispatch(_message(7))
+        bus.dispatch(_message(8))
+        assert seen == [7]
+
+    def test_wildcard_subscriptions_see_everything(self):
+        bus = EventBus()
+        by_type, by_guild, global_ = [], [], []
+        bus.subscribe(lambda event: by_type.append(event.guild_id), EventType.MESSAGE_CREATE)
+        bus.subscribe(lambda event: by_guild.append(event.type), guild_id=7)
+        bus.subscribe(lambda event: global_.append(event.guild_id))
+        bus.dispatch(_message(7))
+        bus.dispatch(Event(EventType.GUILD_CREATE, 7))
+        bus.dispatch(_message(9))
+        assert by_type == [7, 9]
+        assert by_guild == [EventType.MESSAGE_CREATE, EventType.GUILD_CREATE]
+        assert global_ == [7, 7, 9]
+
+    def test_examined_count_is_o_matching_not_o_subscribers(self):
+        """1,000 bots keyed to one guild cost nothing in another guild."""
+        bus = EventBus()
+        for _ in range(1000):
+            bus.subscribe(lambda event: None, EventType.MESSAGE_CREATE, guild_id=1)
+        bus.subscribe(lambda event: None, EventType.MESSAGE_CREATE, guild_id=2)
+        before = bus.subscribers_examined
+        bus.dispatch(_message(2))
+        assert bus.subscribers_examined - before == 1
+        before = bus.subscribers_examined
+        bus.dispatch(_message(1))
+        assert bus.subscribers_examined - before == 1000
+
+    def test_counters_match_flat_bus_contract(self):
+        bus = EventBus()
+        bus.subscribe(lambda event: None, EventType.MESSAGE_CREATE, guild_id=1)
+        bus.subscribe(lambda event: None, EventType.MESSAGE_CREATE, predicate=lambda event: False)
+        bus.dispatch(_message(1))
+        assert bus.events_dispatched == 1
+        # Predicate-rejected subscribers are examined but not delivered.
+        assert bus.deliveries == 1
+
+
+class TestPreservedSemantics:
+    def test_delivery_order_is_global_subscription_order(self):
+        """Bucketing must not reorder delivery: a guild-keyed subscriber
+        registered *after* a wildcard one still runs after it."""
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda event: order.append("wild"), EventType.MESSAGE_CREATE)
+        bus.subscribe(lambda event: order.append("guild"), EventType.MESSAGE_CREATE, guild_id=5)
+        bus.subscribe(lambda event: order.append("global"))
+        bus.dispatch(_message(5))
+        assert order == ["wild", "guild", "global"]
+
+    def test_unsubscribe_during_dispatch_still_delivers_in_flight(self):
+        bus = EventBus()
+        seen = []
+        unsubscribers = []
+
+        def first(event):
+            seen.append("first")
+            unsubscribers[1]()
+
+        def second(event):
+            seen.append("second")
+
+        unsubscribers.append(bus.subscribe(first, EventType.MESSAGE_CREATE, guild_id=3))
+        unsubscribers.append(bus.subscribe(second, EventType.MESSAGE_CREATE, guild_id=3))
+        assert bus.dispatch(_message(3)) == 2
+        assert seen == ["first", "second"]
+        assert bus.dispatch(_message(3)) == 1
+        assert seen == ["first", "second", "first"]
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        unsubscribe = bus.subscribe(lambda event: None, EventType.MESSAGE_CREATE, guild_id=1)
+        unsubscribe()
+        unsubscribe()
+        assert bus.subscriber_count() == 0
+
+    def test_guard_veto_blocks_every_bucket(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event.guild_id), EventType.MESSAGE_CREATE, guild_id=4)
+
+        def guard(event):
+            raise RuntimeError("vetoed")
+
+        remove = bus.add_guard(guard)
+        with pytest.raises(RuntimeError):
+            bus.dispatch(_message(4))
+        assert seen == []
+        remove()
+        bus.dispatch(_message(4))
+        assert seen == [4]
+
+
+class TestPlatformRoutes:
+    def _guild_with_channel(self, platform, owner, name):
+        guild = platform.create_guild(owner, name)
+        return guild, guild.text_channels()[0]
+
+    def test_bot_route_attaches_to_member_guilds(self):
+        platform = DiscordPlatform()
+        owner = platform.create_user("owner", phone_verified=True)
+        guild, channel = self._guild_with_channel(platform, owner, "g1")
+        application = platform.register_application(owner, "HelperBot")
+        platform.join_guild(application.bot_user.user_id, guild.guild_id)
+        received = []
+        platform.subscribe_bot(application.bot_user.user_id, received.append)
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "hi")
+        assert [event.payload["message"].content for event in received] == ["hi"]
+
+    def test_route_extends_when_bot_joins_after_subscribing(self):
+        platform = DiscordPlatform()
+        owner = platform.create_user("owner", phone_verified=True)
+        guild1, channel1 = self._guild_with_channel(platform, owner, "g1")
+        application = platform.register_application(owner, "HelperBot")
+        platform.join_guild(application.bot_user.user_id, guild1.guild_id)
+        received = []
+        platform.subscribe_bot(application.bot_user.user_id, received.append)
+        guild2, channel2 = self._guild_with_channel(platform, owner, "g2")
+        platform.join_guild(application.bot_user.user_id, guild2.guild_id)
+        platform.post_message(owner.user_id, guild2.guild_id, channel2.channel_id, "later guild")
+        assert [event.guild_id for event in received] == [guild2.guild_id]
+
+    def test_unsubscribe_detaches_every_guild(self):
+        platform = DiscordPlatform()
+        owner = platform.create_user("owner", phone_verified=True)
+        guild, channel = self._guild_with_channel(platform, owner, "g1")
+        application = platform.register_application(owner, "HelperBot")
+        platform.join_guild(application.bot_user.user_id, guild.guild_id)
+        received = []
+        unsubscribe = platform.subscribe_bot(application.bot_user.user_id, received.append)
+        unsubscribe()
+        platform.post_message(owner.user_id, guild.guild_id, channel.channel_id, "hi")
+        assert received == []
+        assert platform.events.subscriber_count() == 0
+
+    def test_bot_never_sees_its_own_messages(self):
+        platform = DiscordPlatform()
+        owner = platform.create_user("owner", phone_verified=True)
+        guild, channel = self._guild_with_channel(platform, owner, "g1")
+        application = platform.register_application(owner, "HelperBot")
+        platform.join_guild(application.bot_user.user_id, guild.guild_id)
+        received = []
+        platform.subscribe_bot(application.bot_user.user_id, received.append)
+        platform.post_message(application.bot_user.user_id, guild.guild_id, channel.channel_id, "me")
+        assert received == []
+
+    def test_dispatch_cost_scales_with_guild_not_platform(self):
+        """Co-residency pricing: message dispatch in a 2-bot guild examines
+        2 subscriptions even with hundreds of bots routed elsewhere."""
+        platform = DiscordPlatform()
+        owner = platform.create_user("owner", phone_verified=True)
+        big, _ = self._guild_with_channel(platform, owner, "big")
+        small, small_channel = self._guild_with_channel(platform, owner, "small")
+        for index in range(200):
+            application = platform.register_application(owner, f"bot-{index}")
+            platform.join_guild(application.bot_user.user_id, big.guild_id)
+            platform.subscribe_bot(application.bot_user.user_id, lambda event: None)
+        for index in range(2):
+            application = platform.register_application(owner, f"small-{index}")
+            platform.join_guild(application.bot_user.user_id, small.guild_id)
+            platform.subscribe_bot(application.bot_user.user_id, lambda event: None)
+        before = platform.events.subscribers_examined
+        platform.post_message(owner.user_id, small.guild_id, small_channel.channel_id, "hello")
+        assert platform.events.subscribers_examined - before == 2
