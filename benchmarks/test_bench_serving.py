@@ -37,13 +37,31 @@ SCRIPT = LoadScript(
 )
 
 
-def _build():
+#: The kill-storm variant: 3 interleaved clients over a 4-worker pool, the
+#: whole service restarted at wave 2, then 2 of the replacement pool's 4
+#: workers SIGKILLed in the middle of wave 3 (a restart builds a fresh
+#: pool, so storming after it keeps the storm's scars on the final report).
+KILL_STORM_SCRIPT = LoadScript(
+    waves=5,
+    requests_per_wave=10,
+    clients=3,
+    wave_gap=1_800.0,
+    repeat_fraction=0.6,
+    audit_every=13,
+    update_every=29,
+    restart_at_wave=2,
+    kill_workers_at_wave=3,
+    kill_workers=2,
+)
+
+
+def _build(workers: int = 0):
     ecosystem = generate_ecosystem(EcosystemConfig(n_bots=N_BOTS, seed=SEED, honeypot_window=100))
     clock = VirtualClock()
     internet = VirtualInternet(clock, seed=SEED)
     BotWebsiteBuilder(ecosystem).register(internet)
     internet.install_chaos(FaultSchedule("hostile", seed=SEED))
-    service = VettingService(internet, ecosystem.bots, policy=POLICY, seed=SEED)
+    service = VettingService(internet, ecosystem.bots, policy=POLICY, seed=SEED, workers=workers)
     for index in range(3):
         roster = [bot.name for bot in ecosystem.bots[index * 5 : index * 5 + 5]]
         service.register_guild(f"community-{index}", roster)
@@ -88,3 +106,50 @@ def test_bench_serving_same_seed_runs_identical():
     _, first = _build()
     _, second = _build()
     assert first.run(SCRIPT).to_dict() == second.run(SCRIPT).to_dict()
+
+
+def test_bench_serving_kill_storm_on_worker_pool(benchmark):
+    """ROBUSTNESS: the serving contract survives losing half the pool.
+
+    Same hostile world as the base benchmark, but the vets run on a
+    4-worker pool with 3 interleaved clients — and 2 of the 4 workers are
+    SIGKILLed in the middle of wave 2, followed by a full service restart
+    at wave 3.  The contract must not notice: every admitted request ends
+    in exactly one terminal response, the dispatch book balances at every
+    checkpoint, and the report (minus the execution plane) is
+    byte-identical to the same script run with no pool at all.
+    """
+    service, harness = _build(workers=4)
+    try:
+        report = benchmark.pedantic(
+            lambda: harness.run(KILL_STORM_SCRIPT), rounds=1, iterations=1
+        )
+    finally:
+        harness.service.shutdown()
+
+    expected = KILL_STORM_SCRIPT.waves * KILL_STORM_SCRIPT.requests_per_wave * KILL_STORM_SCRIPT.clients
+    assert report.requests_sent == expected
+    assert report.contract_ok, report.summary_lines()
+    assert report.ledger_consistent
+    assert report.workers_killed == 2
+    assert report.readyz_recovered
+
+    # The storm actually happened: the supervisor replaced the dead slots.
+    assert report.pool is not None
+    assert report.pool["restarts"] >= 2
+    assert report.pool["dispatch"]["consistent"]
+
+    # Byte-equality with the no-pool control run (execution-plane fields
+    # excluded): worker crashes may cost wall-clock, never verdict bytes.
+    control_service, control = _build(workers=0)
+    control_report = control.run(KILL_STORM_SCRIPT)
+    assert control_report.comparable_dict() == report.comparable_dict()
+
+    print()
+    for line in report.summary_lines():
+        print(line)
+    dispatch = report.pool["dispatch"]
+    print(
+        f"pool: {report.pool['restarts']} restarts, {dispatch['opened']} dispatched, "
+        f"{dispatch['redispatched']} re-dispatched, {dispatch['duplicates_suppressed']} suppressed"
+    )

@@ -93,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="every Nth request audits a guild roster (0 = never)")
     serve.add_argument("--update-every", type=int, default=0,
                        help="every Nth request posts a listing update (0 = never)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="vet-worker processes (0 = in-process, default)")
+    serve.add_argument("--clients", type=int, default=1,
+                       help="interleaved virtual clients (default 1); --requests is per client")
+    serve.add_argument("--kill-at-wave", type=int, default=None,
+                       help="SIGKILL --kill-workers pool workers halfway through this wave")
+    serve.add_argument("--kill-workers", type=int, default=2,
+                       help="workers to kill in the kill-storm (default 2)")
     serve.add_argument("--restart-at-wave", type=int, default=None,
                        help="kill + restart the service at the start of this wave")
     serve.add_argument("--queue-capacity", type=int, default=None,
@@ -315,7 +323,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if overrides:
         policy = _dataclasses.replace(policy, **overrides)
 
-    service = VettingService(internet, ecosystem.bots, policy=policy, seed=args.seed)
+    service = VettingService(
+        internet, ecosystem.bots, policy=policy, seed=args.seed, workers=args.workers
+    )
     if args.audit_every:
         for index in range(3):
             roster = [bot.name for bot in ecosystem.bots[index * 5 : index * 5 + 5]]
@@ -330,15 +340,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         audit_every=args.audit_every,
         update_every=args.update_every,
         restart_at_wave=args.restart_at_wave,
+        clients=args.clients,
+        kill_workers_at_wave=args.kill_at_wave,
+        kill_workers=args.kill_workers,
     )
     chaos_note = f" under {args.chaos!r} chaos" if args.chaos else ""
-    print(f"Serving {len(ecosystem.bots)} listed bots on https://{service.hostname}{chaos_note}...")
-    report = harness.run(script)
+    pool_note = f" with {args.workers} vet workers" if args.workers else ""
+    print(
+        f"Serving {len(ecosystem.bots)} listed bots on https://{service.hostname}"
+        f"{pool_note}{chaos_note}..."
+    )
+    try:
+        report = harness.run(script)
+    finally:
+        harness.service.shutdown()
     for line in report.summary_lines():
         print(line)
     if args.metrics:
         metrics = RunMetrics()
         metrics.serving = harness.service.metrics.to_dict()
+        if report.pool is not None:
+            metrics.serving["pool"] = report.pool
         print()
         print(metrics.render())
     if args.json_path:

@@ -58,7 +58,19 @@ REGISTRY = (
     "run.before_result",
 )
 
-_REGISTERED = frozenset(REGISTRY)
+#: Crash points inside the serving layer's vet-worker processes.  They live
+#: in their own registry because the batch crash matrix proves coverage of
+#: :data:`REGISTRY` against a golden *pipeline* run, which never enters the
+#: serving pool; the serving tests hold the equivalent bar for these.
+#: ``mid_vet`` fires before the worker computes anything (the vet is lost
+#: outright); ``before_result`` fires after the compute but before the
+#: result crosses the pipe (the worker did the work and died with it).
+SERVING_REGISTRY = (
+    "serving.worker.mid_vet",
+    "serving.worker.before_result",
+)
+
+_REGISTERED = frozenset(REGISTRY) | frozenset(SERVING_REGISTRY)
 
 _lock = threading.Lock()
 _hits: dict[str, int] = {}

@@ -194,6 +194,23 @@ class RunMetrics:
                     f"    {endpoint}: {stats.get('count', 0)} requests, "
                     f"p50 {stats.get('p50', 0.0):.3f}s, p99 {stats.get('p99', 0.0):.3f}s virtual"
                 )
+            pool = self.serving.get("pool")
+            if pool:
+                dispatch = pool.get("dispatch", {})
+                lines.append(
+                    f"    pool: {pool.get('workers', 0)} workers ({pool.get('status', '?')}), "
+                    f"{pool.get('restarts', 0)} restarts, {pool.get('fallbacks', 0)} fallbacks; "
+                    f"dispatch {dispatch.get('opened', 0)} opened, "
+                    f"{dispatch.get('redispatched', 0)} re-dispatched, "
+                    f"{dispatch.get('hedges', 0)} hedged, "
+                    f"{dispatch.get('duplicates_suppressed', 0)} suppressed"
+                )
+                for worker in pool.get("per_worker", []):
+                    lines.append(
+                        f"        worker {worker.get('worker', '?')}: {worker.get('vets', 0)} vets, "
+                        f"{worker.get('crashes', 0)} crashes, breaker {worker.get('breaker', '?')}, "
+                        f"p99 {worker.get('wall_ms_p99', 0.0):.1f}ms wall"
+                    )
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:

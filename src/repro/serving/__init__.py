@@ -12,14 +12,20 @@ chaos profiles the batch pipeline survives.
   stale-while-revalidate.
 - :mod:`repro.serving.metrics` — serving counters and latency percentiles.
 - :mod:`repro.serving.service` — the :class:`VettingService` virtual host.
-- :mod:`repro.serving.harness` — deterministic scripted load driver.
+- :mod:`repro.serving.workers` — supervised vet-worker pool (crash-tolerant
+  delegation of the heavy stages to worker processes).
+- :mod:`repro.serving.dispatch` — exactly-once dispatch ledger for the pool.
+- :mod:`repro.serving.harness` — deterministic scripted load driver with
+  K interleaved virtual clients and kill-storm scenarios.
 """
 
 from repro.serving.admission import AdmissionQueue, Bulkhead, BulkheadSaturatedError
 from repro.serving.budget import DeadlineBudget
 from repro.serving.cache import VerdictCache
+from repro.serving.dispatch import DispatchInvariantError, DispatchLedger, DispatchRecord
 from repro.serving.metrics import LatencyReservoir, ServingMetrics
 from repro.serving.service import ServicePolicy, VettingService
+from repro.serving.workers import VetJob, WorkerPool, WorkerPoolPolicy
 from repro.serving.harness import LoadScript, ServingHarness, ServingRunReport
 
 __all__ = [
@@ -27,6 +33,9 @@ __all__ = [
     "Bulkhead",
     "BulkheadSaturatedError",
     "DeadlineBudget",
+    "DispatchInvariantError",
+    "DispatchLedger",
+    "DispatchRecord",
     "LatencyReservoir",
     "LoadScript",
     "ServicePolicy",
@@ -34,5 +43,8 @@ __all__ = [
     "ServingMetrics",
     "ServingRunReport",
     "VerdictCache",
+    "VetJob",
     "VettingService",
+    "WorkerPool",
+    "WorkerPoolPolicy",
 ]

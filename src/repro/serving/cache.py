@@ -73,8 +73,11 @@ class VerdictCache:
     ``lookup`` classifies an entry as ``"fresh"`` (fingerprint matches and
     TTL not expired), ``"stale"`` (superseded by an update or past TTL —
     servable only as an explicitly-marked stale answer), or a miss
-    (``None``).  The store is a ring: past ``max_entries`` the oldest
-    entry is evicted and counted.
+    (``None``).  Eviction is LRU: every lookup hit refreshes the entry's
+    recency (dict order is the recency order), and past ``max_entries``
+    the least-recently-used entry is evicted and counted — under pressure
+    the cache sheds cold verdicts, never the hottest one that merely
+    happened to be stored first.
     """
 
     ttl: float = 7 * 86_400.0
@@ -91,6 +94,9 @@ class VerdictCache:
         if entry is None:
             self.misses += 1
             return None
+        # LRU refresh: a stale hit counts too — a verdict being served (even
+        # marked stale) is still hotter than one nobody asks about.
+        self.entries[bot.name] = self.entries.pop(bot.name)
         fresh = (
             not entry.superseded
             and entry.fingerprint == bot_fingerprint(bot)
@@ -109,9 +115,12 @@ class VerdictCache:
 
     def store(self, bot: BotProfile, payload: dict[str, Any], now: float) -> CacheEntry:
         entry = CacheEntry(payload=dict(payload), fingerprint=bot_fingerprint(bot), stored_at=now)
-        if bot.name not in self.entries and len(self.entries) >= self.max_entries:
-            oldest = min(self.entries, key=lambda name: self.entries[name].stored_at)
-            del self.entries[oldest]
+        if bot.name in self.entries:
+            # Re-store refreshes recency as well as content.
+            del self.entries[bot.name]
+        elif len(self.entries) >= self.max_entries:
+            coldest = next(iter(self.entries))
+            del self.entries[coldest]
             self.evictions += 1
         self.entries[bot.name] = entry
         return entry

@@ -1,0 +1,177 @@
+"""Exactly-once dispatch accounting for the vet-worker pool.
+
+Every piece of vet compute the service hands to a worker process is opened
+here first, keyed by ``bot fingerprint + listing epoch + stage kind``.  The
+ledger then tracks the job through whatever the pool does to keep it alive
+— re-dispatch after a worker death, a hedged copy for a straggler — and
+guarantees the serving layer one thing: **each job reaches exactly one
+terminal state** (a delivered result, or an explicit abandonment to the
+in-process fallback), no matter how many workers died or raced under it.
+
+The invariant the kill-storm tests assert every tick::
+
+    opened == completed + abandoned + len(in_flight)
+
+A hedge or re-dispatch adds an *attempt*, never a second job; a result
+arriving for a job that already completed (the losing side of a hedge, or
+a zombie from a replaced worker) is suppressed and counted, never applied
+twice.  :meth:`DispatchLedger.verify` recomputes the invariant from the
+raw counters and raises :class:`DispatchInvariantError` if the book is
+open — a supervisor bug must abort loudly, not mis-serve quietly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class DispatchInvariantError(AssertionError):
+    """The dispatch book does not balance: a vet was lost or double-counted."""
+
+
+@dataclass
+class DispatchRecord:
+    """One delegated job's life, from first send to terminal state."""
+
+    job_id: int
+    key: str
+    kind: str
+    bot: str
+    #: Virtual time of the first dispatch (parent clock).
+    dispatched_at: float
+    #: Every worker the job was ever sent to, in dispatch order.
+    workers: list[int] = field(default_factory=list)
+    #: Dispatch attempts: 1 + re-dispatches + hedges.
+    attempts: int = 1
+    redispatches: int = 0
+    hedged: bool = False
+    state: str = "in_flight"  # in_flight | completed | abandoned
+    #: Worker whose result won (completed jobs only).
+    completed_by: int | None = None
+    completed_at: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "kind": self.kind,
+            "bot": self.bot,
+            "dispatched_at": self.dispatched_at,
+            "workers": list(self.workers),
+            "attempts": self.attempts,
+            "redispatches": self.redispatches,
+            "hedged": self.hedged,
+            "state": self.state,
+        }
+
+
+class DispatchLedger:
+    """In-flight tracking + exactly-once completion for delegated vets."""
+
+    def __init__(self) -> None:
+        self._next_job_id = 1
+        self.in_flight: dict[int, DispatchRecord] = {}
+        self.opened = 0
+        self.completed = 0
+        self.abandoned = 0
+        self.redispatched = 0
+        self.hedges = 0
+        self.duplicates_suppressed = 0
+        self.verifications = 0
+
+    # -- job life -----------------------------------------------------------
+
+    def open(self, key: str, kind: str, bot: str, worker_id: int, now: float) -> DispatchRecord:
+        """A job leaves the parent for ``worker_id``; returns its record."""
+        record = DispatchRecord(
+            job_id=self._next_job_id,
+            key=key,
+            kind=kind,
+            bot=bot,
+            dispatched_at=now,
+            workers=[worker_id],
+        )
+        self._next_job_id += 1
+        self.in_flight[record.job_id] = record
+        self.opened += 1
+        return record
+
+    def redispatch(self, job_id: int, worker_id: int) -> DispatchRecord:
+        """The job's only live attempt died; it is re-sent to ``worker_id``."""
+        record = self._live(job_id, "redispatch")
+        record.workers.append(worker_id)
+        record.attempts += 1
+        record.redispatches += 1
+        self.redispatched += 1
+        return record
+
+    def hedge(self, job_id: int, worker_id: int) -> DispatchRecord:
+        """A straggler gets a duplicate attempt on ``worker_id``; first wins."""
+        record = self._live(job_id, "hedge")
+        record.workers.append(worker_id)
+        record.attempts += 1
+        record.hedged = True
+        self.hedges += 1
+        return record
+
+    def complete(self, job_id: int, worker_id: int, now: float) -> bool:
+        """A result arrived.  True if it wins; False if it is a duplicate
+        (or a zombie for a job already abandoned) and must be suppressed."""
+        record = self.in_flight.pop(job_id, None)
+        if record is None:
+            self.duplicates_suppressed += 1
+            return False
+        record.state = "completed"
+        record.completed_by = worker_id
+        record.completed_at = now
+        self.completed += 1
+        return True
+
+    def abandon(self, job_id: int) -> DispatchRecord:
+        """The pool gives up on the job; the caller falls back in-process."""
+        record = self.in_flight.pop(job_id, None)
+        if record is None:
+            raise DispatchInvariantError(f"abandon of job {job_id} which is not in flight")
+        record.state = "abandoned"
+        self.abandoned += 1
+        return record
+
+    def _live(self, job_id: int, action: str) -> DispatchRecord:
+        record = self.in_flight.get(job_id)
+        if record is None:
+            raise DispatchInvariantError(f"{action} of job {job_id} which is not in flight")
+        return record
+
+    # -- the invariant ------------------------------------------------------
+
+    def verify(self) -> None:
+        """Raise unless every opened job is completed, abandoned or in flight."""
+        self.verifications += 1
+        accounted = self.completed + self.abandoned + len(self.in_flight)
+        if self.opened != accounted:
+            raise DispatchInvariantError(
+                f"dispatch book open: opened={self.opened} != completed={self.completed} "
+                f"+ abandoned={self.abandoned} + in_flight={len(self.in_flight)}"
+            )
+
+    @property
+    def consistent(self) -> bool:
+        try:
+            self.verify()
+        except DispatchInvariantError:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "opened": self.opened,
+            "completed": self.completed,
+            "abandoned": self.abandoned,
+            "in_flight": len(self.in_flight),
+            "redispatched": self.redispatched,
+            "hedges": self.hedges,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "verifications": self.verifications,
+            "consistent": self.consistent,
+        }

@@ -2,18 +2,29 @@
 
 The harness fires a seeded, scripted request stream at a
 :class:`~repro.serving.service.VettingService` over the virtual internet —
-waves of ``/vet`` and ``/audit`` requests with clock advances between waves,
-an optional kill-and-restart mid-burst, and health polling — then verifies
-the serving contract:
+waves of ``/vet`` and ``/audit`` requests from ``K`` deterministically
+interleaved virtual clients, clock advances between waves, an optional
+kill-and-restart mid-burst, an optional worker kill-storm (SIGKILL a slice
+of the vet-worker pool mid-wave), and health polling — then verifies the
+serving contract:
 
 - zero unhandled exceptions: every outcome is a response or a counted
   transport failure;
 - every service-origin 429/503 carries ``Retry-After`` and a corresponding
   :class:`~repro.core.resilience.FaultLedger` record;
-- after a restart, ``/readyz`` recovers within the warmup window.
+- after a restart, ``/readyz`` recovers within the warmup window (a
+  readiness timeout is recorded and fails the contract, never silently
+  ignored);
+- the worker pool's dispatch ledger balances (exactly-once) at every
+  between-wave checkpoint and at the end of the run.
 
-All draws come from one seeded RNG, so two same-seed runs issue identical
-streams — the serving analogue of the chaos benchmarks' determinism.
+Each client draws from its own seeded RNG (client 0 uses the harness seed
+itself, so a one-client run is byte-identical to the pre-multi-client
+harness), and clients take turns round-robin within a wave — so two
+same-seed runs issue identical streams regardless of worker count.
+:meth:`ServingRunReport.comparable_dict` strips the execution-plane fields
+(pool counters, kill tallies), leaving JSON that must be byte-identical
+across ``workers=0`` and ``workers=N``, kill-storms included.
 """
 
 from __future__ import annotations
@@ -47,6 +58,13 @@ class LoadScript:
     #: POST an update notification for an already-vetted bot every Nth
     #: request (0 disables) — exercises invalidation + revalidation.
     update_every: int = 0
+    #: Concurrent virtual clients, interleaved round-robin within a wave.
+    #: ``requests_per_wave`` is per client.
+    clients: int = 1
+    #: SIGKILL ``kill_workers`` pool workers halfway through this wave
+    #: (None = never; a no-op against a workerless service).
+    kill_workers_at_wave: int | None = None
+    kill_workers: int = 2
 
 
 @dataclass
@@ -68,6 +86,17 @@ class ServingRunReport:
     cold_latencies: list[float] = field(default_factory=list)
     cached_latencies: list[float] = field(default_factory=list)
     readyz_recovered: bool = True
+    #: Readiness polls that gave up before /readyz went ready.  Non-zero
+    #: means some slice of the run was driven against a never-ready
+    #: service — a contract violation, never a silent shrug.
+    readiness_timeouts: int = 0
+    clients: int = 1
+    workers: int = 0
+    workers_killed: int = 0
+    #: AND of every dispatch-ledger verification taken during the run
+    #: (between waves, before a restart, and at the end).
+    ledger_consistent: bool = True
+    pool: dict[str, Any] | None = None
     serving_metrics: dict[str, Any] = field(default_factory=dict)
 
     @staticmethod
@@ -88,7 +117,13 @@ class ServingRunReport:
 
     @property
     def contract_ok(self) -> bool:
-        return self.unexplained_5xx == 0 and self.shed_missing_retry_after == 0 and self.readyz_recovered
+        return (
+            self.unexplained_5xx == 0
+            and self.shed_missing_retry_after == 0
+            and self.readyz_recovered
+            and self.readiness_timeouts == 0
+            and self.ledger_consistent
+        )
 
     def summary_lines(self) -> list[str]:
         statuses = ", ".join(f"{status}: {count}" for status, count in sorted(self.status_counts.items()))
@@ -100,8 +135,19 @@ class ServingRunReport:
             f"p99 virtual latency: cold {self.cold_p99:.1f}s, cached {self.cached_p99:.3f}s.",
             f"Contract: {'OK' if self.contract_ok else 'VIOLATED'} "
             f"(unexplained 5xx: {self.unexplained_5xx}, shed without Retry-After: "
-            f"{self.shed_missing_retry_after}, readyz recovered: {self.readyz_recovered}).",
+            f"{self.shed_missing_retry_after}, readyz recovered: {self.readyz_recovered}, "
+            f"readiness timeouts: {self.readiness_timeouts}, "
+            f"dispatch ledger consistent: {self.ledger_consistent}).",
         ]
+        if self.pool is not None:
+            dispatch = self.pool.get("dispatch", {})
+            lines.append(
+                f"Pool: {self.workers} workers, {self.pool.get('restarts', 0)} restarts, "
+                f"{self.workers_killed} killed; dispatch {dispatch.get('opened', 0)} opened, "
+                f"{dispatch.get('redispatched', 0)} re-dispatched, {dispatch.get('hedges', 0)} hedged, "
+                f"{dispatch.get('duplicates_suppressed', 0)} duplicates suppressed, "
+                f"{self.pool.get('fallbacks', 0)} in-process fallbacks."
+            )
         return lines
 
     def to_dict(self) -> dict[str, Any]:
@@ -120,9 +166,41 @@ class ServingRunReport:
             "cold_p99": round(self.cold_p99, 6),
             "cached_p99": round(self.cached_p99, 6),
             "readyz_recovered": self.readyz_recovered,
+            "readiness_timeouts": self.readiness_timeouts,
+            "clients": self.clients,
+            "workers": self.workers,
+            "workers_killed": self.workers_killed,
+            "ledger_consistent": self.ledger_consistent,
+            "pool": self.pool,
             "contract_ok": self.contract_ok,
             "serving": self.serving_metrics,
         }
+
+    def comparable_dict(self) -> dict[str, Any]:
+        """The report minus the execution-plane fields.
+
+        ``workers`` / ``workers_killed`` / ``pool`` describe *how* the vets
+        were computed (wall-clock supervision, restarts, hedges) — they
+        differ between workers=0 and workers=N by construction.  Everything
+        else is virtual-time request semantics and must be byte-identical
+        across worker counts, kill-storms included; the cross-mode
+        determinism tests compare exactly this dict.
+        """
+        kept = self.to_dict()
+        for execution_plane in ("workers", "workers_killed", "pool"):
+            kept.pop(execution_plane, None)
+        return kept
+
+
+@dataclass
+class _VirtualClient:
+    """One scripted caller: its own RNG, HTTP identity and request memory."""
+
+    index: int
+    rng: random.Random
+    http: HttpClient
+    seen: list[str] = field(default_factory=list)
+    sequence: int = 0
 
 
 class ServingHarness:
@@ -136,41 +214,90 @@ class ServingHarness:
 
     # -- scripted run ---------------------------------------------------------
 
+    def _make_clients(self, count: int) -> list[_VirtualClient]:
+        """Client 0 reuses the harness seed and identity verbatim, so a
+        one-client run replays the exact pre-multi-client stream."""
+        clients = []
+        for index in range(max(count, 1)):
+            if index == 0:
+                rng, http = random.Random(self.seed), self.client
+            else:
+                rng = random.Random(self.seed + 1_000_003 * index)
+                http = HttpClient(self.internet, client_id=f"load-driver-{index}")
+            clients.append(_VirtualClient(index=index, rng=rng, http=http))
+        return clients
+
+    def _checkpoint_pool(self, report: ServingRunReport) -> None:
+        """Between-wave supervision tick: drain stragglers, verify the book."""
+        pool = self.service.pool
+        if pool is None:
+            return
+        pool.reap()
+        report.ledger_consistent = report.ledger_consistent and pool.ledger.consistent
+
     def run(self, script: LoadScript) -> ServingRunReport:
         report = ServingRunReport()
-        rng = random.Random(self.seed)
+        report.clients = max(script.clients, 1)
+        report.workers = self.service.pool.size if self.service.pool is not None else 0
+        clients = self._make_clients(script.clients)
         names = sorted(self.service.directory)
         if not names:
             raise ValueError("service directory is empty")
         guilds = sorted(self.service._rosters)
-        seen: list[str] = []
-        sequence = 0
+        storm_round = max(script.requests_per_wave // 2, 0)
         for wave in range(script.waves):
             if script.restart_at_wave is not None and wave == script.restart_at_wave:
+                self._checkpoint_pool(report)
                 self.restart_service()
-                report.readyz_recovered = self._await_ready()
-            for _ in range(script.requests_per_wave):
-                sequence += 1
-                if script.audit_every and guilds and sequence % script.audit_every == 0:
-                    path = f"/audit/{rng.choice(guilds)}"
-                    self._request(report, "GET", path)
-                    continue
-                if script.update_every and seen and sequence % script.update_every == 0:
-                    target = rng.choice(seen)
-                    self._request(report, "POST", f"/bots/{target}/update")
-                    continue
-                if seen and rng.random() < script.repeat_fraction:
-                    name = rng.choice(seen)
-                else:
-                    name = rng.choice(names)
-                    if name not in seen:
-                        seen.append(name)
-                self._request(report, "GET", f"/vet/{name}")
+                recovered = self._await_ready()
+                report.readyz_recovered = recovered
+                if not recovered:
+                    report.readiness_timeouts += 1
+            for round_index in range(script.requests_per_wave):
+                if (
+                    script.kill_workers_at_wave is not None
+                    and wave == script.kill_workers_at_wave
+                    and round_index == storm_round
+                    and self.service.pool is not None
+                ):
+                    report.workers_killed += len(
+                        self.service.pool.kill_workers(script.kill_workers)
+                    )
+                for caller in clients:
+                    self._client_request(report, caller, script, names, guilds)
             self.internet.clock.sleep(script.wave_gap)
+            self._checkpoint_pool(report)
             self._request(report, "GET", "/healthz", count=False)
             self._request(report, "GET", "/readyz", count=False)
+        self._checkpoint_pool(report)
+        if self.service.pool is not None:
+            report.pool = self.service.pool.to_dict()
         report.serving_metrics = self.service.metrics.to_dict()
         return report
+
+    def _client_request(
+        self,
+        report: ServingRunReport,
+        caller: _VirtualClient,
+        script: LoadScript,
+        names: list[str],
+        guilds: list[str],
+    ) -> None:
+        caller.sequence += 1
+        if script.audit_every and guilds and caller.sequence % script.audit_every == 0:
+            self._request(report, "GET", f"/audit/{caller.rng.choice(guilds)}", http=caller.http)
+            return
+        if script.update_every and caller.seen and caller.sequence % script.update_every == 0:
+            target = caller.rng.choice(caller.seen)
+            self._request(report, "POST", f"/bots/{target}/update", http=caller.http)
+            return
+        if caller.seen and caller.rng.random() < script.repeat_fraction:
+            name = caller.rng.choice(caller.seen)
+        else:
+            name = caller.rng.choice(names)
+            if name not in caller.seen:
+                caller.seen.append(name)
+        self._request(report, "GET", f"/vet/{name}", http=caller.http)
 
     def restart_service(self) -> VettingService:
         """Kill the service and bring up a fresh instance on the same host.
@@ -182,6 +309,7 @@ class ServingHarness:
         """
         old = self.service
         durable = {"cache": old.cache.state_dict(), "counters": old.metrics.counters_dict()}
+        old.shutdown()  # the old pool's workers die with their service
         replacement = VettingService(
             self.internet,
             old.directory,
@@ -190,6 +318,8 @@ class ServingHarness:
             seed=old.pipeline.seed,
             hostname=old.hostname,
             platform=old.guardian.platform if old.guardian is not None else None,
+            workers=old.pool.size if old.pool is not None else 0,
+            pool_policy=old.pool.policy if old.pool is not None else None,
         )
         replacement.restore_state(durable)
         for guild, roster in old._rosters.items():
@@ -198,7 +328,12 @@ class ServingHarness:
         return replacement
 
     def _await_ready(self, polls: int = 10) -> bool:
-        """Poll /readyz, advancing past the warmup, until it reports ready."""
+        """Poll /readyz, advancing past the warmup, until it reports ready.
+
+        ``False`` means the service never went ready within the poll budget.
+        :meth:`run` records that as a ``readiness_timeouts`` contract
+        violation — callers must never treat it as a silent "proceed anyway".
+        """
         step = max(self.service.policy.warmup / 2, 1.0)
         for _ in range(polls):
             try:
@@ -213,16 +348,24 @@ class ServingHarness:
 
     # -- one exchange, classified ---------------------------------------------
 
-    def _request(self, report: ServingRunReport, method: str, path: str, count: bool = True) -> None:
+    def _request(
+        self,
+        report: ServingRunReport,
+        method: str,
+        path: str,
+        count: bool = True,
+        http: HttpClient | None = None,
+    ) -> None:
+        http = http or self.client
         url = f"https://{self.service.hostname}{path}"
         ledger_before = len(self.service.ledger.records) + self.service.ledger.dropped
         if count:
             report.requests_sent += 1
         try:
             if method == "POST":
-                response = self.client.post(url)
+                response = http.post(url)
             else:
-                response = self.client.get(url)
+                response = http.get(url)
         except NetworkError:
             if count:
                 report.transport_errors += 1

@@ -47,8 +47,9 @@ from repro.discordsim.platform import DiscordPlatform
 from repro.ecosystem.generator import BotProfile
 from repro.serving.admission import AdmissionQueue, Bulkhead, BulkheadSaturatedError
 from repro.serving.budget import DeadlineBudget
-from repro.serving.cache import VerdictCache
+from repro.serving.cache import VerdictCache, bot_fingerprint
 from repro.serving.metrics import ServingMetrics
+from repro.serving.workers import WorkerPool, WorkerPoolPolicy
 from repro.sites.botwebsites import variant_for
 from repro.web.client import HttpClient
 from repro.web.http import Request, Response, Url
@@ -125,6 +126,8 @@ class VettingService(VirtualHost):
         hostname: str = "vetting.gate",
         platform: DiscordPlatform | None = None,
         register: bool = True,
+        workers: int = 0,
+        pool_policy: WorkerPoolPolicy | None = None,
     ) -> None:
         super().__init__(name=hostname)
         self.internet = internet
@@ -156,6 +159,21 @@ class VettingService(VirtualHost):
         )
         self.started_at = self.clock.now()
         self.ready_at = self.started_at + self.policy.warmup
+        self.seed = seed
+        #: Listing-update epoch per bot: part of the dispatch-ledger job key,
+        #: so a vet of the pre-update listing and a vet of the post-update
+        #: listing are distinct jobs even when the fingerprint collides.
+        self._epochs: dict[str, int] = {}
+        self.pool: WorkerPool | None = None
+        if workers:
+            self.pool = WorkerPool(
+                workers,
+                seed,
+                self.pipeline.policy,
+                self.clock,
+                fault_ledger=self.ledger,
+                policy=pool_policy,
+            )
         self._rosters: dict[str, list[str]] = {}
         self.guardian = GuildGuardian(platform) if platform is not None else None
         self._register_routes()
@@ -186,6 +204,12 @@ class VettingService(VirtualHost):
         """The listing changed: replace the profile and invalidate its verdict."""
         self.directory[bot.name] = bot
         self.cache.invalidate(bot.name)
+        self._epochs[bot.name] = self._epochs.get(bot.name, 0) + 1
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (no-op for an in-process service)."""
+        if self.pool is not None:
+            self.pool.shutdown()
 
     # -- degraded-mode signal -------------------------------------------------
 
@@ -435,7 +459,7 @@ class VettingService(VirtualHost):
             verdict.skipped_stages.append("code")
             return "skipped"
         budget.charge("code", (lease.start - budget.cursor) + self.policy.code_cost)
-        self.pipeline.review_code(bot, verdict)
+        self._run_code(bot, verdict)
         return "completed"
 
     def _stage_honeypot(self, bot: BotProfile, verdict: VettingVerdict, budget: DeadlineBudget) -> str:
@@ -459,10 +483,51 @@ class VettingService(VirtualHost):
             self.ledger.record("serving.honeypot", self.hostname, "BulkheadSaturated",
                                self.clock.now(), detail=f"{bot.name}: {error}")
             return "skipped"
-        consumed = self.pipeline.review_dynamic(bot, verdict, observation=self.policy.honeypot_observation)
+        consumed = self._run_honeypot(bot, verdict)
         budget.charge("honeypot", (lease.start - budget.cursor) + consumed)
         self.bulkheads["honeypot"].release(lease, lease.start + consumed)
         return "completed"
+
+    # -- worker-pool delegation ------------------------------------------------
+    #
+    # Both heavy stages are pure deterministic functions of (bot, vetting
+    # policy, seed) that only ever *append* to the verdict, so the parent can
+    # merge a worker's fresh-verdict result and get bytes identical to running
+    # the stage in-process.  All virtual-time accounting (budget charges,
+    # bulkhead leases) stays in the parent — worker supervision is wall-clock
+    # plumbing that never touches the simulated timeline, which is why
+    # workers=0 and workers=N (even under kill-storms) serve identical
+    # responses.  A pool that cannot answer (crash cascade, breaker-dark
+    # slots, re-dispatch budget spent) returns None and the stage runs
+    # in-process: the "in-process fallback" rung of the extended ladder.
+
+    def _job_key(self, bot: BotProfile, kind: str) -> str:
+        return f"{bot.name}:{bot_fingerprint(bot)}:{self._epochs.get(bot.name, 0)}:{kind}"
+
+    def _run_code(self, bot: BotProfile, verdict: VettingVerdict) -> None:
+        if self.pool is not None:
+            result = self.pool.execute("code", bot, key=self._job_key(bot, "code"))
+            if result is not None:
+                if not result["approved"]:
+                    verdict.approved = False
+                verdict.reasons.extend(result["reasons"])
+                return
+        self.pipeline.review_code(bot, verdict)
+
+    def _run_honeypot(self, bot: BotProfile, verdict: VettingVerdict) -> float:
+        if self.pool is not None:
+            result = self.pool.execute(
+                "honeypot",
+                bot,
+                key=self._job_key(bot, "honeypot"),
+                observation=self.policy.honeypot_observation,
+            )
+            if result is not None:
+                if not result["approved"]:
+                    verdict.approved = False
+                verdict.reasons.extend(result["reasons"])
+                return result["consumed"]
+        return self.pipeline.review_dynamic(bot, verdict, observation=self.policy.honeypot_observation)
 
     # -- /audit ---------------------------------------------------------------
 
@@ -563,6 +628,7 @@ class VettingService(VirtualHost):
         if bot_name not in self.directory:
             return self._json({"error": f"unknown bot {bot_name!r}"}, status=404)
         invalidated = self.cache.invalidate(bot_name)
+        self._epochs[bot_name] = self._epochs.get(bot_name, 0) + 1
         return self._json({"bot": bot_name, "invalidated": invalidated})
 
     # -- health ---------------------------------------------------------------
@@ -579,6 +645,7 @@ class VettingService(VirtualHost):
                 "breakers_open": self.breakers.open_hosts(),
                 "degraded_mode": self.degraded_mode,
                 "cache_entries": len(self.cache),
+                "pool": self.pool.to_dict() if self.pool is not None else None,
                 "ledger": {"faults": len(self.ledger), "dropped": self.ledger.dropped},
                 "bulkheads": {
                     name: {"limit": bulkhead.limit, "in_flight": bulkhead.in_flight(now),

@@ -215,3 +215,54 @@ class TestRestart:
         assert payload["cache"] == "hit"
         # Counters carried across the restart: the first vet plus this hit.
         assert replacement.metrics.served == 2
+
+
+class TestVerdictCacheLRU:
+    def make_cache(self, ecosystem, capacity=3):
+        from repro.serving import VerdictCache
+
+        cache = VerdictCache(max_entries=capacity)
+        bots = {bot.name: bot for bot in ecosystem.bots[: capacity + 2]}
+        for name, bot in list(bots.items())[:capacity]:
+            cache.store(bot, {"bot": name}, now=0.0)
+        return cache, list(bots.values())
+
+    def test_lookup_refresh_saves_hot_entry_under_pressure(self, ecosystem):
+        cache, bots = self.make_cache(ecosystem)
+        oldest = bots[0]
+        # The oldest-stored entry is also the hottest: touch it, then
+        # overflow the cache.  FIFO would evict it; LRU must not.
+        assert cache.lookup(oldest, now=1.0)[0] == "fresh"
+        cache.store(bots[3], {"bot": bots[3].name}, now=2.0)
+        assert cache.evictions == 1
+        assert oldest.name in cache.entries
+        assert bots[1].name not in cache.entries  # the actual LRU went
+
+    def test_stale_hit_also_refreshes_recency(self, ecosystem):
+        cache, bots = self.make_cache(ecosystem)
+        cache.invalidate(bots[0].name)
+        assert cache.lookup(bots[0], now=1.0)[0] == "stale"
+        cache.store(bots[3], {"bot": bots[3].name}, now=2.0)
+        assert bots[0].name in cache.entries
+        assert bots[1].name not in cache.entries
+
+    def test_eviction_pressure_accounting(self, ecosystem):
+        cache, bots = self.make_cache(ecosystem)
+        for index, extra in enumerate(bots[3:5]):
+            cache.store(extra, {"bot": extra.name}, now=float(index))
+        assert cache.evictions == 2
+        assert len(cache) == 3
+
+    def test_state_dict_round_trips_recency_order(self, ecosystem):
+        from repro.serving import VerdictCache
+
+        cache, bots = self.make_cache(ecosystem)
+        assert cache.lookup(bots[0], now=1.0)[0] == "fresh"
+        restored = VerdictCache(max_entries=3)
+        restored.restore_state(cache.state_dict())
+        assert list(restored.entries) == list(cache.entries)
+        assert restored.evictions == cache.evictions
+        # The restored cache evicts the same LRU victim the original would.
+        restored.store(bots[3], {"bot": bots[3].name}, now=2.0)
+        assert bots[0].name in restored.entries
+        assert bots[1].name not in restored.entries
