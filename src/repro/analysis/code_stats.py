@@ -9,26 +9,54 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.codeanalysis.analyzer import ANALYZED_LANGUAGES, RepoAnalysis
 
 
 @dataclass
 class CodeAnalysisSummary:
-    """Aggregate over per-repo analyses for an active-bot population."""
+    """Aggregate over per-repo analyses for an active-bot population.
+
+    Counter-based, filled in one pass by :meth:`from_analyses` — the
+    streamed pipeline feeds it straight from a disk spill, so the summary
+    must never retain the per-repo analysis list.
+    """
 
     active_bots: int = 0
     github_links: int = 0
-    analyses: list[RepoAnalysis] = field(default_factory=list)
+    valid_repos: int = 0
+    with_source_code: int = 0
+    #: ``language -> count`` over valid repos with a main language.
+    language_tally: Counter = field(default_factory=Counter)
+    #: ``language -> count`` over repos with available source.
+    analyzed_tally: Counter = field(default_factory=Counter)
+    #: ``language -> count`` over analyzed repos containing a check API.
+    check_tally: Counter = field(default_factory=Counter)
 
     @classmethod
     def from_analyses(
         cls,
         active_bots: int,
         github_links: int,
-        analyses: list[RepoAnalysis],
+        analyses: Iterable[RepoAnalysis],
     ) -> "CodeAnalysisSummary":
-        return cls(active_bots=active_bots, github_links=github_links, analyses=list(analyses))
+        summary = cls(active_bots=active_bots, github_links=github_links)
+        for analysis in analyses:
+            summary.add(analysis)
+        return summary
+
+    def add(self, analysis: RepoAnalysis) -> None:
+        if analysis.link_valid:
+            self.valid_repos += 1
+            if analysis.main_language:
+                self.language_tally[analysis.main_language] += 1
+        if analysis.has_source_code:
+            self.with_source_code += 1
+            if analysis.main_language:
+                self.analyzed_tally[analysis.main_language] += 1
+                if analysis.performs_check:
+                    self.check_tally[analysis.main_language] += 1
 
     # -- link funnel ------------------------------------------------------------
 
@@ -38,17 +66,9 @@ class CodeAnalysisSummary:
         return 100.0 * self.github_links / self.active_bots if self.active_bots else 0.0
 
     @property
-    def valid_repos(self) -> int:
-        return sum(1 for analysis in self.analyses if analysis.link_valid)
-
-    @property
     def valid_repo_percent_of_links(self) -> float:
         """Links leading to valid repositories (60.46%)."""
         return 100.0 * self.valid_repos / self.github_links if self.github_links else 0.0
-
-    @property
-    def with_source_code(self) -> int:
-        return sum(1 for analysis in self.analyses if analysis.has_source_code)
 
     @property
     def source_percent_of_active(self) -> float:
@@ -58,39 +78,29 @@ class CodeAnalysisSummary:
     # -- languages -----------------------------------------------------------------
 
     def language_counts(self) -> dict[str, int]:
-        counter: Counter = Counter(
-            analysis.main_language for analysis in self.analyses if analysis.link_valid and analysis.main_language
-        )
-        return dict(counter)
+        return dict(self.language_tally)
 
     def language_percent(self, language: str) -> float:
         """Percent of valid repositories whose main language is ``language``."""
         if not self.valid_repos:
             return 0.0
-        return 100.0 * self.language_counts().get(language, 0) / self.valid_repos
+        return 100.0 * self.language_tally.get(language, 0) / self.valid_repos
 
     # -- permission checks -------------------------------------------------------------
 
-    def repos_for_language(self, language: str) -> list[RepoAnalysis]:
-        return [
-            analysis
-            for analysis in self.analyses
-            if analysis.has_source_code and analysis.main_language == language
-        ]
-
     def check_rate(self, language: str) -> float:
         """Fraction of ``language`` repos containing a Table-3 check API."""
-        repos = self.repos_for_language(language)
-        if not repos:
+        analyzed = self.analyzed_tally.get(language, 0)
+        if not analyzed:
             return 0.0
-        return sum(1 for analysis in repos if analysis.performs_check) / len(repos)
+        return self.check_tally.get(language, 0) / analyzed
 
     def check_table(self) -> list[tuple[str, int, int, float]]:
         """Rows of ``(language, analyzed, with_checks, percent)``."""
         rows = []
         for language in ANALYZED_LANGUAGES:
-            repos = self.repos_for_language(language)
-            with_checks = sum(1 for analysis in repos if analysis.performs_check)
-            percent = 100.0 * with_checks / len(repos) if repos else 0.0
-            rows.append((language, len(repos), with_checks, percent))
+            analyzed = self.analyzed_tally.get(language, 0)
+            with_checks = self.check_tally.get(language, 0)
+            percent = 100.0 * with_checks / analyzed if analyzed else 0.0
+            rows.append((language, analyzed, with_checks, percent))
         return rows

@@ -2,39 +2,50 @@
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.traceability.analyzer import TraceabilityClass, TraceabilityResult
 
 
 @dataclass
 class TraceabilitySummary:
-    """Aggregate of per-bot traceability results (over active bots)."""
+    """Aggregate of per-bot traceability results (over active bots).
 
-    results: list[TraceabilityResult] = field(default_factory=list)
+    Holds only counters, filled in one pass by :meth:`from_results` — the
+    streamed pipeline feeds it straight from a disk spill, so the summary
+    must never retain the per-bot result list (that list is the population).
+    """
+
+    active_bots: int = 0
+    with_website: int = 0
+    with_policy_link: int = 0
+    with_valid_policy: int = 0
+    generic_valid: int = 0
+    class_counts: dict[str, int] = field(
+        default_factory=lambda: {cls.value: 0 for cls in TraceabilityClass}
+    )
 
     @classmethod
-    def from_results(cls, results: list[TraceabilityResult]) -> "TraceabilitySummary":
-        return cls(results=list(results))
+    def from_results(cls, results: Iterable[TraceabilityResult]) -> "TraceabilitySummary":
+        summary = cls()
+        for result in results:
+            summary.add(result)
+        return summary
+
+    def add(self, result: TraceabilityResult) -> None:
+        self.active_bots += 1
+        if result.has_website:
+            self.with_website += 1
+        if result.has_policy_link:
+            self.with_policy_link += 1
+        if result.policy_page_valid:
+            self.with_valid_policy += 1
+            if result.generic_policy:
+                self.generic_valid += 1
+        self.class_counts[result.classification.value] += 1
 
     # -- Table 2 rows ---------------------------------------------------------
-
-    @property
-    def active_bots(self) -> int:
-        return len(self.results)
-
-    @property
-    def with_website(self) -> int:
-        return sum(1 for result in self.results if result.has_website)
-
-    @property
-    def with_policy_link(self) -> int:
-        return sum(1 for result in self.results if result.has_policy_link)
-
-    @property
-    def with_valid_policy(self) -> int:
-        return sum(1 for result in self.results if result.policy_page_valid)
 
     def _percent(self, count: int) -> float:
         return 100.0 * count / self.active_bots if self.active_bots else 0.0
@@ -51,29 +62,26 @@ class TraceabilitySummary:
     # -- classification breakdown ------------------------------------------------
 
     def classification_counts(self) -> dict[str, int]:
-        counter: Counter = Counter(result.classification.value for result in self.results)
-        return {cls.value: counter.get(cls.value, 0) for cls in TraceabilityClass}
+        return {cls.value: self.class_counts.get(cls.value, 0) for cls in TraceabilityClass}
 
     @property
     def broken_fraction(self) -> float:
         """The paper's 95.67% broken-traceability headline."""
-        if not self.results:
+        if not self.active_bots:
             return 0.0
-        broken = self.classification_counts()[TraceabilityClass.BROKEN.value]
-        return broken / self.active_bots
+        return self.class_counts[TraceabilityClass.BROKEN.value] / self.active_bots
 
     @property
     def complete_count(self) -> int:
-        return self.classification_counts()[TraceabilityClass.COMPLETE.value]
+        return self.class_counts[TraceabilityClass.COMPLETE.value]
 
     @property
     def partial_count(self) -> int:
-        return self.classification_counts()[TraceabilityClass.PARTIAL.value]
+        return self.class_counts[TraceabilityClass.PARTIAL.value]
 
     @property
     def generic_fraction_of_valid(self) -> float:
         """Among valid policies, the share that are generic boilerplate."""
-        valid = [result for result in self.results if result.policy_page_valid]
-        if not valid:
+        if not self.with_valid_policy:
             return 0.0
-        return sum(1 for result in valid if result.generic_policy) / len(valid)
+        return self.generic_valid / self.with_valid_policy

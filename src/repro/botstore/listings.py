@@ -41,16 +41,36 @@ class Listing:
 
 
 class ListingStore:
-    """All listings, ordered by votes (the "top chatbot" list)."""
+    """All listings, ordered by votes (the "top chatbot" list).
+
+    Materialized ecosystems are converted to listings eagerly (evolved
+    populations may renumber bots, so positions cannot stand in for ids).
+    Streaming ecosystems are paged lazily: listing ids equal bot ranks by
+    construction, so a page is just a slice of the stream and no listing is
+    resident between requests.
+    """
 
     def __init__(self, ecosystem: Ecosystem) -> None:
-        self.listings: list[Listing] = [Listing.from_profile(bot) for bot in ecosystem.bots]
-        self._by_id = {listing.listing_id: listing for listing in self.listings}
+        self._streaming = getattr(ecosystem, "stream", None) is not None
+        if self._streaming:
+            self._bots = ecosystem.bots
+            self.listings: list[Listing] = []
+            self._by_id: dict[int, Listing] = {}
+        else:
+            self._bots = None
+            self.listings = [Listing.from_profile(bot) for bot in ecosystem.bots]
+            self._by_id = {listing.listing_id: listing for listing in self.listings}
 
     def __len__(self) -> int:
+        if self._streaming:
+            return len(self._bots)
         return len(self.listings)
 
     def get(self, listing_id: int) -> Listing | None:
+        if self._streaming:
+            if not 0 <= listing_id < len(self._bots):
+                return None
+            return Listing.from_profile(self._bots[listing_id])
         return self._by_id.get(listing_id)
 
     def page(self, page_number: int, page_size: int) -> list[Listing]:
@@ -58,7 +78,10 @@ class ListingStore:
         if page_number < 1:
             return []
         start = (page_number - 1) * page_size
+        if self._streaming:
+            stop = min(start + page_size, len(self._bots))
+            return [Listing.from_profile(bot) for bot in self._bots[start:stop]]
         return self.listings[start : start + page_size]
 
     def page_count(self, page_size: int) -> int:
-        return (len(self.listings) + page_size - 1) // page_size
+        return (len(self) + page_size - 1) // page_size

@@ -47,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--crashpoint", dest="crashpoint", default=None, metavar="NAME[:N]",
                      help="debug: abort the process the Nth time the named crash point "
                           "is reached (default N=1); see repro.core.crashpoints.REGISTRY")
+    run.add_argument("--stream", action="store_true",
+                     help="generate the population lazily and run in fixed-size chunks "
+                          "(bounded memory, byte-identical output)")
+    run.add_argument("--chunk-size", type=int, default=2_048,
+                     help="bots per streamed chunk (default 2048; needs --stream)")
     run.add_argument("--shards", type=int, default=1,
                      help="deterministic shards for stages 2-4 (default 1 = sequential)")
     run.add_argument("--parallel", action="store_true",
@@ -130,6 +135,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("--shards must be >= 1", file=sys.stderr)
         return 2
+    if args.chunk_size < 1:
+        print("--chunk-size must be >= 1", file=sys.stderr)
+        return 2
     overrides = {}
     if args.max_bot_events is not None:
         overrides["max_bot_events"] = args.max_bot_events
@@ -142,6 +150,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         chaos_seed=args.chaos_seed,
         checkpoint_path=args.checkpoint_path,
         journal_path=args.journal_path,
+        stream=args.stream,
+        chunk_size=args.chunk_size,
         shards=args.shards,
         parallel=args.parallel,
         adversarial_bots=args.adversarial,

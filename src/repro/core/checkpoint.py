@@ -35,6 +35,7 @@ from repro.core.supervision import QuarantineLog
 from repro.honeypot.console import TriggerRecord
 from repro.honeypot.experiment import BotTestOutcome, HoneypotReport
 from repro.honeypot.tokens import TokenKind
+from repro.core.spill import SpillList
 from repro.scraper.base import ScrapeStats
 from repro.scraper.checkpoint import scraped_bot_from_dict, scraped_bot_to_dict
 from repro.scraper.topgg import CrawlResult
@@ -322,6 +323,40 @@ def _honeypot_from_dict(payload: dict) -> HoneypotReport:
     )
 
 
+# -- spill references --------------------------------------------------------
+#
+# Streamed runs accumulate stage output in JSONL spill files
+# (:class:`repro.core.spill.SpillList`) instead of lists; their checkpoint
+# payloads then carry a *reference* — path, record count, content sha256 —
+# rather than re-embedding every record, so the checkpoint document itself
+# stays O(1) in the population.  Restore verifies the reference before
+# trusting the file; a missing or altered spill fails like any other
+# corruption and the stage simply re-runs.
+
+
+def _spill_ref(spill: SpillList) -> dict:
+    spill.flush()
+    return {
+        "path": str(spill.path),
+        "count": len(spill),
+        "sha256": hashlib.sha256(spill.path.read_bytes()).hexdigest(),
+    }
+
+
+def _restore_spill(ref: dict, encode, decode) -> SpillList:
+    path = Path(ref["path"])
+    if not path.exists():
+        raise CheckpointCorruptionError(f"stage spill file missing: {path}")
+    if hashlib.sha256(path.read_bytes()).hexdigest() != ref["sha256"]:
+        raise CheckpointCorruptionError(f"stage spill file altered since save: {path}")
+    spill = SpillList(path, encode, decode, restore=True)
+    if len(spill) != ref["count"]:
+        raise CheckpointCorruptionError(
+            f"stage spill file holds {len(spill)} records, checkpoint expects {ref['count']}: {path}"
+        )
+    return spill
+
+
 # -- the checkpoint ----------------------------------------------------------
 
 
@@ -354,39 +389,58 @@ class PipelineCheckpoint:
     # -- stage-typed store/restore ---------------------------------------
 
     def store_crawl(self, crawl: CrawlResult, stats: ScrapeStats) -> None:
-        self.stages[STAGE_CRAWL] = {
-            "bots": [scraped_bot_to_dict(bot) for bot in crawl.bots],
+        payload: dict[str, Any] = {
             "pages_traversed": crawl.pages_traversed,
             "scrape_stats": _scrape_stats_to_dict(stats),
         }
+        if isinstance(crawl.bots, SpillList):
+            payload["bots_spill"] = _spill_ref(crawl.bots)
+        else:
+            payload["bots"] = [scraped_bot_to_dict(bot) for bot in crawl.bots]
+        self.stages[STAGE_CRAWL] = payload
 
     def restore_crawl(self) -> tuple[CrawlResult, ScrapeStats]:
         payload = self.stages[STAGE_CRAWL]
-        crawl = CrawlResult(
-            bots=[scraped_bot_from_dict(entry) for entry in payload["bots"]],
-            pages_traversed=payload["pages_traversed"],
-        )
+        if "bots_spill" in payload:
+            bots = _restore_spill(payload["bots_spill"], scraped_bot_to_dict, scraped_bot_from_dict)
+        else:
+            bots = [scraped_bot_from_dict(entry) for entry in payload["bots"]]
+        crawl = CrawlResult(pages_traversed=payload["pages_traversed"])
+        crawl.bots = bots
         return crawl, _scrape_stats_from_dict(payload["scrape_stats"])
 
     def store_traceability(self, results: list[TraceabilityResult], validation: ValidationReport | None) -> None:
-        self.stages[STAGE_TRACEABILITY] = {
-            "results": [_traceability_to_dict(result) for result in results],
+        payload: dict[str, Any] = {
             "validation": _validation_to_dict(validation) if validation is not None else None,
         }
+        if isinstance(results, SpillList):
+            payload["results_spill"] = _spill_ref(results)
+        else:
+            payload["results"] = [_traceability_to_dict(result) for result in results]
+        self.stages[STAGE_TRACEABILITY] = payload
 
     def restore_traceability(self) -> tuple[list[TraceabilityResult], ValidationReport | None]:
         payload = self.stages[STAGE_TRACEABILITY]
         validation = payload["validation"]
-        return (
-            [_traceability_from_dict(entry) for entry in payload["results"]],
-            _validation_from_dict(validation) if validation is not None else None,
-        )
+        if "results_spill" in payload:
+            results = _restore_spill(payload["results_spill"], _traceability_to_dict, _traceability_from_dict)
+        else:
+            results = [_traceability_from_dict(entry) for entry in payload["results"]]
+        return results, _validation_from_dict(validation) if validation is not None else None
 
     def store_code(self, analyses: list[RepoAnalysis]) -> None:
-        self.stages[STAGE_CODE] = {"analyses": [_repo_analysis_to_dict(analysis) for analysis in analyses]}
+        if isinstance(analyses, SpillList):
+            self.stages[STAGE_CODE] = {"analyses_spill": _spill_ref(analyses)}
+        else:
+            self.stages[STAGE_CODE] = {
+                "analyses": [_repo_analysis_to_dict(analysis) for analysis in analyses]
+            }
 
     def restore_code(self) -> list[RepoAnalysis]:
-        return [_repo_analysis_from_dict(entry) for entry in self.stages[STAGE_CODE]["analyses"]]
+        payload = self.stages[STAGE_CODE]
+        if "analyses_spill" in payload:
+            return _restore_spill(payload["analyses_spill"], _repo_analysis_to_dict, _repo_analysis_from_dict)
+        return [_repo_analysis_from_dict(entry) for entry in payload["analyses"]]
 
     def store_honeypot(self, report: HoneypotReport) -> None:
         self.stages[STAGE_HONEYPOT] = {"report": _honeypot_to_dict(report)}

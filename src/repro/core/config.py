@@ -52,6 +52,17 @@ class PipelineConfig:
     # 2Captcha account.
     captcha_balance: float = 100.0
 
+    # Streaming population.
+    #: Generate the population lazily (rank-addressable stream) and run the
+    #: crawl and stages 2–4 over fixed-size chunks instead of holding every
+    #: bot resident.  Output is byte-identical to a materialized run at the
+    #: same seed; large result accumulators spill to disk beside the
+    #: checkpoint so peak RSS stays bounded regardless of ``n_bots``.
+    stream: bool = False
+    #: Bots per streamed chunk: the unit of the stream cursor recorded in
+    #: checkpoints and the granularity of the ``stream.*`` crash points.
+    chunk_size: int = 2_048
+
     # Sharded execution.
     #: Deterministic shards for stages 2–4.  ``1`` runs the classic
     #: sequential pipeline; ``N > 1`` partitions bots by stable id hash

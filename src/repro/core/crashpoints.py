@@ -56,6 +56,13 @@ REGISTRY = (
     "sharding.after_merge",
     "supervision.after_quarantine",
     "run.before_result",
+    # Streamed-mode cadence: mid-chunk and chunk-boundary kills inside the
+    # chunked stage loops, plus a kill between assembling the stream-cursor
+    # checkpoint payload and writing it.  Only ``--stream`` runs hit these;
+    # the crash matrix covers them with a streamed scenario.
+    "stream.mid_chunk",
+    "stream.after_chunk",
+    "stream.cursor_save",
 )
 
 #: Crash points inside the serving layer's vet-worker processes.  They live

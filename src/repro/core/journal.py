@@ -101,12 +101,12 @@ class WriteAheadJournal:
         self.discard_detail = ""
         self._stream = None
         self._truncated = False
-        self._scanned, self._valid_bytes, dropped = self._scan()
-        self._next_seq = len(self._scanned) + 1
+        scanned, self._valid_bytes, dropped = self._scan()
+        self._next_seq = len(scanned) + 1
         if dropped:
             self.stats.discarded += dropped
             self.discard_detail = (
-                f"discarded {dropped} invalid trailing record(s) after seq {len(self._scanned)}"
+                f"discarded {dropped} invalid trailing record(s) after seq {len(scanned)}"
             )
 
     # -- reading -----------------------------------------------------------
@@ -157,8 +157,17 @@ class WriteAheadJournal:
         return JournalRecord(seq=seq, stage=stage, key=key, body=body)
 
     def pending(self, stage: str) -> list[JournalRecord]:
-        """Replayable records for ``stage``, in append order."""
-        return [record for record in self._scanned if record.stage == stage]
+        """Replayable records for ``stage``, in append order.
+
+        Scans the file on demand rather than keeping an in-RAM copy of
+        every append: replay happens once per stage open while appends
+        happen per unit, so the scan cost lands on the rare path and the
+        hot path stays O(1) memory over a million-bot run.
+        """
+        if self._stream is not None:
+            self._stream.flush()
+        records, _, _ = self._scan()
+        return [record for record in records if record.stage == stage]
 
     # -- writing -----------------------------------------------------------
 
@@ -184,7 +193,6 @@ class WriteAheadJournal:
         crashpoint("journal.mid_append")
         stream.write(line[half:])
         stream.flush()
-        self._scanned.append(record)
         self._next_seq += 1
         self.stats.appended += 1
         return record

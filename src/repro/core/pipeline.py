@@ -99,14 +99,20 @@ class PipelineWorld:
 
     @classmethod
     def build(cls, config: PipelineConfig) -> "PipelineWorld":
-        ecosystem = generate_ecosystem(
-            EcosystemConfig(
-                n_bots=config.n_bots,
-                seed=config.seed,
-                targets=config.targets,
-                honeypot_window=config.honeypot_sample_size,
-            )
+        eco_config = EcosystemConfig(
+            n_bots=config.n_bots,
+            seed=config.seed,
+            targets=config.targets,
+            honeypot_window=config.honeypot_sample_size,
         )
+        if config.stream:
+            # Same per-rank definition, never materialized: sites decode
+            # ranks back out of names/ids instead of holding index maps.
+            from repro.ecosystem.stream import StreamingEcosystem
+
+            ecosystem = StreamingEcosystem(eco_config)
+        else:
+            ecosystem = generate_ecosystem(eco_config)
         clock = VirtualClock()
         internet = VirtualInternet(clock, seed=config.seed)
         platform = DiscordPlatform(clock, captcha_seed=config.seed + 1)
@@ -382,6 +388,44 @@ class AssessmentPipeline:
         except ValueError:
             return "<unknown>"
 
+    # -- streaming helpers --------------------------------------------------
+
+    def _stream_units(self, bots):
+        """Yield a stage's bots in chunk cadence (streamed runs only).
+
+        Materialized runs pass straight through.  Streamed runs fire the
+        ``stream.mid_chunk`` / ``stream.after_chunk`` crash points at the
+        middle and boundary of every ``config.chunk_size`` window, so the
+        crash matrix can kill a run at every phase of chunked consumption.
+        """
+        if not self.config.stream:
+            yield from bots
+            return
+        chunk = max(self.config.chunk_size, 1)
+        for index, bot in enumerate(bots):
+            if index % chunk == chunk // 2:
+                crashpoint("stream.mid_chunk")
+            yield bot
+            if (index + 1) % chunk == 0:
+                crashpoint("stream.after_chunk")
+
+    def _stage_results(self, stage: str, encode, decode, world=None):
+        """A stage's result accumulator: a list, or a disk spill when streaming.
+
+        One JSONL spill per stage (per shard view, when sharded) beside the
+        checkpoint, using the stage's checkpoint codecs — so the streamed
+        accumulator holds a file handle and a count, never the records.
+        """
+        if not self.config.stream:
+            return []
+        from repro.core.spill import SpillList, spill_dir_for
+
+        shard = getattr(world, "index", None)
+        name = stage if shard is None else f"{stage}.shard{shard}"
+        return SpillList(
+            spill_dir_for(self.config.checkpoint_path) / f"{name}.jsonl", encode, decode
+        )
+
     # -- stages ------------------------------------------------------------
 
     def collect(self) -> tuple[TopGGScraper, "CrawlResult"]:
@@ -407,11 +451,17 @@ class AssessmentPipeline:
                 scraper=scraper,
             )
             recorder = StageRecorder(journal, STAGE_CRAWL, tracker, self.ledger)
+        bots_store = None
+        if self.config.stream:
+            from repro.scraper.checkpoint import scraped_bot_from_dict, scraped_bot_to_dict
+
+            bots_store = self._stage_results(STAGE_CRAWL, scraped_bot_to_dict, scraped_bot_from_dict)
         crawl = scraper.crawl(
             max_pages=self.config.max_pages,
             resolve_permissions=self.config.resolve_permissions,
             on_fault=sink,
             recorder=recorder,
+            bots=bots_store,
         )
         if sink is not None and self.config.max_pages is None:
             # Reconcile: an abandoned pagination (or an unparseable list
@@ -489,8 +539,10 @@ class AssessmentPipeline:
                 scraper=website_scraper,
             )
             recorder = StageRecorder(journal, STAGE_TRACEABILITY, tracker, ledger)
-        results = []
-        for bot in active_bots:
+        results = self._stage_results(
+            STAGE_TRACEABILITY, traceability_to_dict, traceability_from_dict, world=world
+        )
+        for bot in self._stream_units(active_bots):
             if recorder is not None:
                 replayed, payload = recorder.try_replay(bot.name)
                 if replayed:
@@ -578,8 +630,10 @@ class AssessmentPipeline:
                 scraper=github_scraper,
             )
             recorder = StageRecorder(journal, STAGE_CODE, tracker, ledger)
-        analyses = []
-        for bot in active_bots:
+        analyses = self._stage_results(
+            STAGE_CODE, repo_analysis_to_dict, repo_analysis_from_dict, world=world
+        )
+        for bot in self._stream_units(active_bots):
             if not bot.github_url:
                 continue
             if recorder is not None:
@@ -1283,6 +1337,11 @@ class AssessmentPipeline:
         checkpoint.metrics = {stage: entry.to_dict() for stage, entry in self.metrics.stages.items()}
         checkpoint.world_state = self._capture_all_worlds()
         assert self.config.checkpoint_path is not None
+        if self.config.stream:
+            # Streamed checkpoints record spill references + counts (a
+            # stream cursor) instead of materialized populations; a kill
+            # here must leave a checkpoint/spill pair a resume can trust.
+            crashpoint("stream.cursor_save")
         checkpoint.save(self.config.checkpoint_path)
         crashpoint("pipeline.after_stage")
 
@@ -1298,6 +1357,20 @@ class AssessmentPipeline:
     def _validate_traceability(self):
         """The paper's 100-policy manual-review validation."""
         validator = ManualReviewValidator(self.traceability_analyzer, seed=self.config.seed + 4)
+        bots = self.world.ecosystem.bots
+        if self.config.stream:
+            # Two passes over the stream — count eligible, then collect the
+            # sampled ordinals — instead of one materialized list; the
+            # report is byte-identical (sampling is by index either way).
+            count = sum(1 for bot in bots if bot.policy.present and bot.policy.link_valid)
+            entries = (
+                (bot.name, bot.policy, bot.policy_text)
+                for bot in bots
+                if bot.policy.present and bot.policy.link_valid
+            )
+            return validator.validate_stream(
+                entries, count, sample_size=self.config.validation_sample_size
+            )
         policies = [
             (bot.name, bot.policy, bot.policy_text)
             for bot in self.world.ecosystem.bots

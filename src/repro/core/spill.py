@@ -1,0 +1,134 @@
+"""Disk-spilled accumulators for streamed runs.
+
+A streamed pipeline walks the population in fixed-size chunks, but the
+stages still *produce* one record per bot (scraped listings, traceability
+verdicts, repo analyses).  Left in plain lists those records would grow
+linearly with ``n_bots`` and defeat the point of streaming, so streamed
+runs accumulate them in a :class:`SpillList`: an append-only JSONL file
+beside the checkpoint, holding nothing in RAM but the file handle and a
+running count.
+
+The codec pair is supplied by the caller (the same ``*_to_dict`` /
+``*_from_dict`` functions the checkpoint layer uses), so a spilled record
+round-trips byte-identically with its checkpointed form.  Iteration
+re-reads the file in append order; sequential consumers therefore see
+exactly the list they would have seen materialized.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+
+class SpillList:
+    """Append-only, JSONL-backed sequence of codec-serializable records.
+
+    Supports the accumulator subset of the list protocol — ``append``,
+    ``extend``, ``len``, iteration, and positive indexing — which is all
+    the pipeline's stage loops and mergers use.  Records are written
+    through ``encode`` on append and revived through ``decode`` on read;
+    only the open file handle and the count stay resident.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        encode: Callable[[Any], dict] = lambda item: item,
+        decode: Callable[[dict], Any] = lambda payload: payload,
+        *,
+        restore: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self._encode = encode
+        self._decode = decode
+        self._stream = None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if restore and self.path.exists():
+            self._count = sum(1 for _ in self._lines())
+        else:
+            # A fresh accumulator truncates any stale spill from a previous
+            # attempt: stage loops restart from their journal, not from the
+            # spill, so leftovers would double-count.
+            self.path.write_text("")
+            self._count = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, item: Any) -> None:
+        if self._stream is None:
+            self._stream = open(self.path, "a", encoding="utf-8")
+        payload = json.dumps(self._encode(item), sort_keys=True, separators=(",", ":"))
+        self._stream.write(payload + "\n")
+        self._count += 1
+
+    def extend(self, items: Iterable[Any]) -> None:
+        for item in items:
+            self.append(item)
+
+    def flush(self) -> None:
+        if self._stream is not None:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    # -- reading -----------------------------------------------------------
+
+    def _lines(self) -> Iterator[str]:
+        self.flush()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield line
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        for line in self._lines():
+            yield self._decode(json.loads(line))
+
+    def __getitem__(self, index: int | slice) -> Any:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._count)
+            if step != 1:
+                raise ValueError("SpillList slices must be contiguous")
+            out = []
+            for position, item in enumerate(self):
+                if position >= stop:
+                    break
+                if position >= start:
+                    out.append(item)
+            return out
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(index)
+        for position, item in enumerate(self):
+            if position == index:
+                return item
+        raise IndexError(index)  # pragma: no cover - count/file disagreement
+
+
+def spill_dir_for(checkpoint_path: str | Path | None) -> Path:
+    """Directory streamed accumulators spill into.
+
+    Beside the checkpoint when one is configured (so a resumed process
+    finds the same files), otherwise a per-process temp directory.
+    """
+    if checkpoint_path is not None:
+        directory = Path(f"{checkpoint_path}.spill")
+    else:
+        directory = Path(tempfile.gettempdir()) / f"repro-spill-{os.getpid()}"
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory

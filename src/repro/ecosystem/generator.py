@@ -3,367 +3,51 @@
 :func:`generate_ecosystem` produces the ground-truth population that the
 virtual sites render and the measurement pipeline re-measures.  All
 marginals follow :mod:`repro.ecosystem.distributions`.
+
+Since the streaming refactor the population is *defined* in
+:mod:`repro.ecosystem.stream` — rank-addressable, lazily generable — and
+this module is the materialized face of it: ``generate_ecosystem`` returns
+the same bots ``EcosystemStream.iter_bots`` yields, as a plain list.  The
+public data model (:class:`BotProfile`, :class:`Developer`,
+:class:`Ecosystem`, …) is re-exported here so existing imports keep
+working.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from enum import Enum
+from repro.ecosystem.stream import (
+    _CLIENT_ID_BASE,
+    BLOCK,
+    BotProfile,
+    Developer,
+    Ecosystem,
+    EcosystemConfig,
+    EcosystemStream,
+    InviteStatus,
+    MelonianOverlay,
+    StreamingEcosystem,
+    _generate_bot,
+    generate_ecosystem,
+    iter_bots,
+    resolve_by_client_id,
+    resolve_by_name,
+    votes_at,
+)
 
-from repro.discordsim import behaviors
-from repro.discordsim.oauth import OAuthScope, build_invite_url
-from repro.discordsim.permissions import Permission, Permissions, permission_from_name
-from repro.ecosystem import names as naming
-from repro.ecosystem.distributions import DEFAULT_TARGETS, Targets
-from repro.ecosystem.policies import PolicySpec, render_policy, sample_policy_spec
-from repro.ecosystem.repos import RepoKind, RepoSpec, generate_repo
-
-
-class InviteStatus(Enum):
-    """What happens when the scraper follows the bot's invite link."""
-
-    VALID = "valid"
-    MALFORMED = "malformed"  # unparseable OAuth URL
-    REMOVED = "removed"  # application deleted -> 404
-    SLOW_REDIRECT = "slow_redirect"  # redirect chain that times out
-
-
-@dataclass
-class Developer:
-    """One third-party developer account."""
-
-    tag: str
-    uses_platform: str | None = None  # third-party dev platform, if any
-    bot_indices: list[int] = field(default_factory=list)
-
-    @property
-    def bot_count(self) -> int:
-        return len(self.bot_indices)
-
-
-@dataclass
-class BotProfile:
-    """Ground truth for one listed chatbot."""
-
-    index: int
-    client_id: int
-    name: str
-    developer_tag: str
-    tags: list[str]
-    description: str
-    guild_count: int
-    votes: int
-    invite_status: InviteStatus
-    permissions: Permissions
-    scopes: tuple[OAuthScope, ...]
-    website_host: str | None
-    policy: PolicySpec
-    policy_text: str
-    github: RepoSpec | None
-    behavior: str
-    built_with: str | None = None
-
-    @property
-    def invite_url(self) -> str:
-        """The invite URL shown on the listing page."""
-        if self.invite_status is InviteStatus.MALFORMED:
-            return f"https://discord.sim/oauth2/authorize?client_id=&permissions=oops&scope=bot&bot={self.index}"
-        return build_invite_url(self.client_id, self.permissions, scopes=self.scopes)
-
-    @property
-    def has_valid_permissions(self) -> bool:
-        return self.invite_status is InviteStatus.VALID
-
-    @property
-    def website_url(self) -> str | None:
-        return f"https://{self.website_host}/" if self.website_host else None
-
-    @property
-    def github_url(self) -> str | None:
-        if self.github is None:
-            return None
-        if self.github.kind is RepoKind.INVALID_LINK:
-            return f"https://github.sim/{self.github.owner}/{self.github.name}-deleted"
-        return self.github.url
-
-    @property
-    def is_invasive(self) -> bool:
-        return self.behavior in behaviors.INVASIVE_BEHAVIORS
-
-
-@dataclass
-class EcosystemConfig:
-    """Knobs for population generation."""
-
-    n_bots: int = 20_915
-    seed: int = 2022
-    targets: Targets = field(default_factory=lambda: DEFAULT_TARGETS)
-    #: Invasive-behaviour rate outside the most-voted (honeypot) sample.
-    background_invasive_rate: float = 0.004
-    #: Size of the most-voted window that must contain exactly one invasive
-    #: bot (the Melonian plant).  Clamped to n_bots.
-    honeypot_window: int = 500
-
-
-@dataclass
-class Ecosystem:
-    """The generated population plus lookup helpers."""
-
-    config: EcosystemConfig
-    bots: list[BotProfile]  # sorted by votes, descending (the "top list")
-    developers: dict[str, Developer]
-
-    def bot_by_name(self, name: str) -> BotProfile | None:
-        for bot in self.bots:
-            if bot.name == name:
-                return bot
-        return None
-
-    def bot_by_client_id(self, client_id: int) -> BotProfile | None:
-        for bot in self.bots:
-            if bot.client_id == client_id:
-                return bot
-        return None
-
-    def top_voted(self, count: int) -> list[BotProfile]:
-        return self.bots[:count]
-
-    def with_valid_permissions(self) -> list[BotProfile]:
-        return [bot for bot in self.bots if bot.has_valid_permissions]
-
-    def websites(self) -> list[BotProfile]:
-        return [bot for bot in self.bots if bot.website_host]
-
-    def github_linked(self) -> list[BotProfile]:
-        return [bot for bot in self.bots if bot.github is not None]
-
-
-_CLIENT_ID_BASE = 100_000_000_000_000_000
-
-
-def generate_ecosystem(config: EcosystemConfig | None = None) -> Ecosystem:
-    """Generate the full population deterministically from ``config.seed``."""
-    config = config or EcosystemConfig()
-    targets = config.targets
-    rng = random.Random(config.seed)
-
-    developers = _generate_developers(config, rng)
-    assignment = _assign_bots_to_developers(config.n_bots, developers, rng)
-
-    taken_names: set[str] = set()
-    bots: list[BotProfile] = []
-    for index in range(config.n_bots):
-        developer = assignment[index]
-        name = naming.bot_name(rng, taken_names)
-        tags = naming.bot_tags(rng)
-        bots.append(
-            _generate_bot(
-                index=index,
-                name=name,
-                developer=developer,
-                tags=tags,
-                rng=rng,
-                targets=targets,
-            )
-        )
-        developer.bot_indices.append(index)
-
-    bots.sort(key=lambda bot: bot.votes, reverse=True)
-    for rank, bot in enumerate(bots):
-        bot.index = rank
-
-    _plant_honeypot_ground_truth(bots, config, rng)
-    return Ecosystem(config=config, bots=bots, developers={dev.tag: dev for dev in developers})
-
-
-# ---------------------------------------------------------------------------
-# Internals
-# ---------------------------------------------------------------------------
-
-
-def _generate_developers(config: EcosystemConfig, rng: random.Random) -> list[Developer]:
-    """Create enough developers to cover n_bots, following Table 1."""
-    counts, weights = config.targets.population.developer_count_weights()
-    developers: list[Developer] = []
-    taken: set[str] = set()
-    covered = 0
-    while covered < config.n_bots:
-        bot_count = rng.choices(counts, weights=weights, k=1)[0]
-        bot_count = min(bot_count, config.n_bots - covered)
-        platform = (
-            rng.choice(naming.THIRD_PARTY_PLATFORMS)
-            if rng.random() < config.targets.population.third_party_platform_fraction
-            else None
-        )
-        developer = Developer(tag=naming.developer_tag(rng, taken), uses_platform=platform)
-        developer.bot_indices = []  # filled during assignment
-        developers.append(developer)
-        covered += bot_count
-        developer._quota = bot_count  # type: ignore[attr-defined]
-    return developers
-
-
-def _assign_bots_to_developers(n_bots: int, developers: list[Developer], rng: random.Random) -> list[Developer]:
-    slots: list[Developer] = []
-    for developer in developers:
-        slots.extend([developer] * developer._quota)  # type: ignore[attr-defined]
-    rng.shuffle(slots)
-    return slots[:n_bots]
-
-
-def _sample_permissions(rng: random.Random, targets: Targets) -> Permissions:
-    value = Permissions.none()
-    for display_name, percent in targets.fig3.percentages.items():
-        if rng.random() < percent / 100.0:
-            value = value | permission_from_name(display_name)
-    return value
-
-
-def _sample_scopes(rng: random.Random, targets: Targets) -> tuple[OAuthScope, ...]:
-    """The bot scope always, plus sampled extras."""
-    scopes = [OAuthScope.BOT]
-    for scope_name, rate in targets.population.extra_scope_rates.items():
-        if rng.random() < rate:
-            scopes.append(OAuthScope(scope_name))
-    return tuple(scopes)
-
-
-def _sample_invite_status(rng: random.Random, targets: Targets) -> InviteStatus:
-    if rng.random() < targets.population.valid_permission_fraction:
-        return InviteStatus.VALID
-    breakdown = targets.population.invalid_breakdown
-    kinds = list(breakdown)
-    status = rng.choices(kinds, weights=[breakdown[kind] for kind in kinds], k=1)[0]
-    return {
-        "malformed_link": InviteStatus.MALFORMED,
-        "removed": InviteStatus.REMOVED,
-        "slow_redirect": InviteStatus.SLOW_REDIRECT,
-    }[status]
-
-
-def _sample_counts(rng: random.Random, targets: Targets) -> tuple[int, int]:
-    population = targets.population
-    guilds = int(10 ** rng.gauss(population.guild_count_log10_mean, population.guild_count_log10_sigma))
-    votes = int(10 ** rng.gauss(population.vote_count_log10_mean, population.vote_count_log10_sigma))
-    return min(guilds, population.max_guild_count), min(votes, population.max_vote_count)
-
-
-def _sample_github(
-    rng: random.Random,
-    targets: Targets,
-    developer: Developer,
-    bot_name: str,
-) -> RepoSpec | None:
-    code = targets.code
-    if rng.random() >= code.github_link_fraction:
-        return None
-    owner = developer.tag.split("#")[0]
-    if rng.random() < code.valid_repo_given_link:
-        languages = list(code.language_shares)
-        weights = [code.language_shares[language] for language in languages]
-        choice = rng.choices(languages, weights=weights, k=1)[0]
-        if choice == "readme_only":
-            return generate_repo(RepoKind.README_ONLY, owner, bot_name, None, False, rng)
-        check_rate = code.check_rate_by_language.get(choice, 0.0)
-        has_check = rng.random() < check_rate
-        return generate_repo(RepoKind.VALID_CODE, owner, bot_name, choice, has_check, rng)
-    breakdown = code.invalid_link_breakdown
-    kinds = list(breakdown)
-    kind_name = rng.choices(kinds, weights=[breakdown[kind] for kind in kinds], k=1)[0]
-    kind = {
-        "user_profile": RepoKind.USER_PROFILE,
-        "no_repositories": RepoKind.NO_REPOSITORIES,
-        "no_public_repositories": RepoKind.NO_PUBLIC_REPOSITORIES,
-        "invalid_link": RepoKind.INVALID_LINK,
-    }[kind_name]
-    return generate_repo(kind, owner, bot_name, None, False, rng)
-
-
-def _sample_behavior(rng: random.Random, config: EcosystemConfig) -> str:
-    if rng.random() < config.background_invasive_rate:
-        return rng.choice((behaviors.EXFILTRATOR, behaviors.NOSY_OPERATOR))
-    weights = config.targets.honeypot.benign_behavior_weights
-    kinds = list(weights)
-    return rng.choices(kinds, weights=[weights[kind] for kind in kinds], k=1)[0]
-
-
-def _generate_bot(
-    index: int,
-    name: str,
-    developer: Developer,
-    tags: list[str],
-    rng: random.Random,
-    targets: Targets,
-) -> BotProfile:
-    invite_status = _sample_invite_status(rng, targets)
-    permissions = _sample_permissions(rng, targets) if invite_status is InviteStatus.VALID else Permissions.none()
-    scopes = _sample_scopes(rng, targets) if invite_status is InviteStatus.VALID else (OAuthScope.BOT,)
-    guild_count, votes = _sample_counts(rng, targets)
-
-    trace = targets.traceability
-    has_website = rng.random() < trace.website_fraction
-    website_host = f"{name.lower()}.botsite.sim" if has_website else None
-    policy_present = has_website and rng.random() < trace.policy_link_given_website
-    link_valid = policy_present and rng.random() < trace.valid_policy_given_link
-    policy = sample_policy_spec(
-        rng,
-        present=policy_present,
-        link_valid=link_valid,
-        complete_fraction=trace.complete_fraction,
-        categories_mentioned_weights=trace.categories_mentioned_weights,
-        generic_reuse_fraction=trace.generic_reuse_fraction,
-    )
-    policy_text = render_policy(policy, name, rng) if policy.present and policy.link_valid else ""
-
-    github = _sample_github(rng, targets, developer, name)
-
-    return BotProfile(
-        index=index,
-        client_id=_CLIENT_ID_BASE + index,
-        name=name,
-        developer_tag=developer.tag,
-        tags=tags,
-        description=naming.bot_description(rng, name, tags),
-        guild_count=guild_count,
-        votes=votes,
-        invite_status=invite_status,
-        permissions=permissions,
-        scopes=scopes,
-        website_host=website_host,
-        policy=policy,
-        policy_text=policy_text,
-        github=github,
-        behavior=behaviors.BENIGN,  # assigned for real below
-        built_with=developer.uses_platform,
-    )
-
-
-def _plant_honeypot_ground_truth(bots: list[BotProfile], config: EcosystemConfig, rng: random.Random) -> None:
-    """Assign behaviours; plant exactly one invasive bot in the top window.
-
-    Mirrors the paper's finding: of the 500 most-voted bots tested, exactly
-    one ("Melonian", present in only a few guilds) was caught accessing the
-    canary URL and Word document.
-    """
-    window = min(config.honeypot_window, len(bots))
-    for bot in bots:
-        bot.behavior = _sample_behavior(rng, config)
-    for bot in bots[:window]:
-        if bot.is_invasive:
-            bot.behavior = behaviors.BENIGN
-    if window:
-        # Prefer a bot whose invite actually works; the planted bot must be
-        # installable and able to read channels for the incident to occur.
-        candidates = [bot for bot in bots[:window] if bot.invite_status is InviteStatus.VALID]
-        chosen = rng.choice(candidates) if candidates else bots[rng.randrange(window)]
-        chosen.behavior = behaviors.NOSY_OPERATOR
-        chosen.name = naming.MELONIAN
-        chosen.guild_count = rng.randint(5, 30)  # "present in a few guilds"
-        chosen.invite_status = InviteStatus.VALID
-        needed = Permissions.of(
-            Permission.VIEW_CHANNEL,
-            Permission.READ_MESSAGE_HISTORY,
-            Permission.SEND_MESSAGES,
-        )
-        chosen.permissions = chosen.permissions | needed
+__all__ = [
+    "_CLIENT_ID_BASE",
+    "BLOCK",
+    "BotProfile",
+    "Developer",
+    "Ecosystem",
+    "EcosystemConfig",
+    "EcosystemStream",
+    "InviteStatus",
+    "MelonianOverlay",
+    "StreamingEcosystem",
+    "generate_ecosystem",
+    "iter_bots",
+    "resolve_by_client_id",
+    "resolve_by_name",
+    "votes_at",
+]

@@ -19,7 +19,9 @@ BOT_NOUNS = (
     "Dealer", "Critic", "Chef", "Barista",
 )
 
-BOT_SUFFIXES = ("", "", "", "Bot", "Bot", "X", "2", "Pro", "Lite", "HQ")
+# Suffixes are deliberately digit-free: generated names end with the bot's
+# rank, and trailing digits must decode back to it unambiguously.
+BOT_SUFFIXES = ("", "", "", "Bot", "Bot", "X", "Go", "Pro", "Lite", "HQ")
 
 DEVELOPER_NAMES = (
     "aiden", "bella", "carlos", "daria", "elliot", "fatima", "george",

@@ -316,6 +316,13 @@ class HoneypotExperiment:
         for test in provisioned:
             settle(self._attribute(test))
 
+        # Outcomes settle in phases (broken invites and quarantines during
+        # provisioning, survivors at attribution), but the report promises
+        # sampling order — the same contract merge_honeypot_reports enforces
+        # when shards are recombined, so sequential and sharded runs agree.
+        order = {bot.name: index for index, bot in enumerate(sample)}
+        report.outcomes.sort(key=lambda outcome: order.get(outcome.bot_name, len(order)))
+
         report.triggers = list(self.console.triggers)
         report.captcha_cost = self.solver.total_spent - spent_before
         if shared_personas is not None:

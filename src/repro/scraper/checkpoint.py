@@ -5,10 +5,21 @@ fetches; real campaigns get interrupted (bans, machine restarts, captcha
 budget exhaustion).  The checkpoint records completed pages and their
 scraped bots after every page, so a re-run resumes instead of re-crawling.
 
-Integrity matches the pipeline checkpoint: saves embed a sha256 checksum
-and are fsynced before the atomic rename; :meth:`CrawlCheckpoint.load`
-raises :class:`CheckpointCorruptionError` on damage, and
-:meth:`CrawlCheckpoint.load_or_empty` sidelines a damaged file to
+Progress is stored in *cursor form*: the checkpoint document itself holds
+only the completed-page cursor and a recorded-bot count, while the bots
+live in an append-only JSONL sidecar (``<path>.bots``) that each save
+extends with just the pages recorded since the last save.  The old form
+re-embedded the full listing set in every snapshot, making each page's
+save O(bots so far) — a full crawl rewrote the whole population hundreds
+of times over.
+
+Integrity matches the pipeline checkpoint: the meta document embeds a
+sha256 checksum and is fsynced before the atomic rename, and the sidecar
+is appended and fsynced *before* the meta that counts it — the count is
+authoritative, so a crash between the two leaves a torn sidecar tail that
+the next load simply truncates.  :meth:`CrawlCheckpoint.load` raises
+:class:`CheckpointCorruptionError` on damage, and
+:meth:`CrawlCheckpoint.load_or_empty` sidelines a damaged pair to
 ``<name>.corrupt`` and restarts the crawl rather than crashing.
 """
 
@@ -25,7 +36,13 @@ from repro.scraper.topgg import PermissionStatus, ScrapedBot
 
 logger = logging.getLogger(__name__)
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+
+def sidecar_path(path: str | Path) -> Path:
+    """Path of the append-only bot log that rides next to a checkpoint."""
+    target = Path(path)
+    return target.with_name(target.name + ".bots")
 
 
 class CheckpointCorruptionError(ValueError):
@@ -82,6 +99,9 @@ class CrawlCheckpoint:
 
     completed_pages: list[int] = field(default_factory=list)
     bots: list[ScrapedBot] = field(default_factory=list)
+    #: How many of ``bots`` are already on disk in the sidecar; ``save``
+    #: appends only the tail past this cursor.
+    _persisted: int = field(default=0, init=False, repr=False, compare=False)
 
     def record_page(self, page_number: int, bots: list[ScrapedBot]) -> None:
         """Record one completed page, idempotently.
@@ -103,11 +123,25 @@ class CrawlCheckpoint:
 
     def save(self, path: str | Path) -> Path:
         target = Path(path)
+        sidecar = sidecar_path(target)
+        # Sidecar first: append only the bots recorded since the last save
+        # and fsync them before the meta that counts them.  The meta count
+        # is authoritative, so a crash after the append but before the
+        # rename just leaves extra sidecar lines the next load truncates.
+        fresh = self.bots[self._persisted :]
+        if self._persisted == 0 or fresh:
+            mode = "a" if self._persisted else "w"
+            with open(sidecar, mode, encoding="utf-8") as stream:
+                for bot in fresh:
+                    stream.write(json.dumps(scraped_bot_to_dict(bot), sort_keys=True, separators=(",", ":")) + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+        self._persisted = len(self.bots)
         payload = {
             "version": CHECKPOINT_VERSION,
             "checksum": "",
             "completed_pages": self.completed_pages,
-            "bots": [scraped_bot_to_dict(bot) for bot in self.bots],
+            "bots_recorded": len(self.bots),
         }
         payload["checksum"] = _payload_checksum(payload)
         # Write-then-fsync-then-rename so a crash mid-save never corrupts
@@ -121,23 +155,74 @@ class CrawlCheckpoint:
         return target
 
     @classmethod
-    def load(cls, path: str | Path) -> "CrawlCheckpoint":
+    def _load_sidecar(cls, path: Path, count: int) -> list[ScrapedBot]:
+        """Read the first ``count`` bots back from the sidecar log.
+
+        Lines beyond ``count`` are a torn tail from a crash between the
+        sidecar append and the meta rename; they are truncated away so the
+        next append extends a clean prefix.  Fewer than ``count`` parseable
+        lines means the log lost acknowledged data — corruption.
+        """
+        sidecar = sidecar_path(path)
+        bots: list[ScrapedBot] = []
+        valid_bytes = 0
+        if count:
+            try:
+                with open(sidecar, "rb") as stream:
+                    for line in stream:
+                        if len(bots) == count:
+                            break
+                        bots.append(scraped_bot_from_dict(json.loads(line.decode("utf-8"))))
+                        valid_bytes += len(line)
+            except FileNotFoundError as error:
+                raise CheckpointCorruptionError(f"crawl checkpoint bot log missing: {sidecar}") from error
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise CheckpointCorruptionError(f"crawl checkpoint bot log is damaged: {error}") from error
+        if len(bots) != count:
+            raise CheckpointCorruptionError(
+                f"crawl checkpoint bot log holds {len(bots)} bots, meta recorded {count}"
+            )
         try:
-            payload = json.loads(Path(path).read_text())
+            if sidecar.exists() and sidecar.stat().st_size > valid_bytes:
+                with open(sidecar, "r+b") as stream:
+                    stream.truncate(valid_bytes)
+        except OSError:
+            logger.warning("could not truncate torn tail of crawl bot log %s", sidecar)
+        return bots
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CrawlCheckpoint":
+        target = Path(path)
+        try:
+            payload = json.loads(target.read_text())
         except json.JSONDecodeError as error:
             raise CheckpointCorruptionError(f"crawl checkpoint is not valid JSON: {error}") from error
         if not isinstance(payload, dict):
             raise CheckpointCorruptionError("crawl checkpoint payload is not a JSON object")
-        if payload.get("version") != CHECKPOINT_VERSION:
-            raise ValueError(f"unsupported checkpoint version: {payload.get('version')!r}")
+        version = payload.get("version")
+        if version not in (1, CHECKPOINT_VERSION):
+            raise ValueError(f"unsupported checkpoint version: {version!r}")
         stored = payload.get("checksum")
         if stored and stored != _payload_checksum(payload):
             raise CheckpointCorruptionError("crawl checkpoint checksum mismatch: file corrupted on disk")
         try:
-            return cls(
+            if version == 1:
+                # Legacy embedded form: bots live inside the meta document.
+                # ``_persisted`` stays 0 so the first save migrates the full
+                # set into a fresh sidecar.
+                return cls(
+                    completed_pages=list(payload["completed_pages"]),
+                    bots=[scraped_bot_from_dict(entry) for entry in payload["bots"]],
+                )
+            count = int(payload["bots_recorded"])
+            checkpoint = cls(
                 completed_pages=list(payload["completed_pages"]),
-                bots=[scraped_bot_from_dict(entry) for entry in payload["bots"]],
+                bots=cls._load_sidecar(target, count),
             )
+            checkpoint._persisted = count
+            return checkpoint
+        except CheckpointCorruptionError:
+            raise
         except (KeyError, TypeError, ValueError) as error:
             raise CheckpointCorruptionError(f"crawl checkpoint fields are damaged: {error}") from error
 
@@ -145,22 +230,28 @@ class CrawlCheckpoint:
     def load_or_empty(cls, path: str | Path) -> "CrawlCheckpoint":
         """Load a crawl checkpoint; sideline a damaged file instead of crashing."""
         target = Path(path)
-        # Clear any stale ``.tmp`` sidecar a crash mid-save left behind.
+        # Clear any stale ``.tmp`` a crash mid-save left behind.
         stale = target.with_suffix(target.suffix + ".tmp")
         if stale.exists():
             try:
                 stale.unlink()
             except OSError:
-                logger.warning("could not remove stale checkpoint sidecar %s", stale)
+                logger.warning("could not remove stale checkpoint temp file %s", stale)
         if not target.exists():
             return cls()
         try:
             return cls.load(target)
         except ValueError as error:
-            sidecar = target.with_name(target.name + ".corrupt")
+            corrupt = target.with_name(target.name + ".corrupt")
             try:
-                target.replace(sidecar)
+                target.replace(corrupt)
             except OSError:
                 logger.warning("could not sideline corrupt crawl checkpoint %s", target)
-            logger.warning("corrupt crawl checkpoint %s sidelined to %s (%s)", target, sidecar, error)
+            bot_log = sidecar_path(target)
+            if bot_log.exists():
+                try:
+                    bot_log.replace(corrupt.with_name(corrupt.name + ".bots"))
+                except OSError:
+                    logger.warning("could not sideline crawl bot log %s", bot_log)
+            logger.warning("corrupt crawl checkpoint %s sidelined to %s (%s)", target, corrupt, error)
             return cls()

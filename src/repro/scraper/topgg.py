@@ -72,13 +72,47 @@ class ScrapedBot:
         return self.permission_status.is_valid
 
 
+class ActiveBots:
+    """Lazy ``has_valid_permissions`` filter over a spilled bot sequence.
+
+    Iteration re-reads the backing store each pass (streamed runs re-walk
+    it once per stage); the count is taken on first ``len()`` and cached —
+    the crawl is over by then, so the filtered population is final.
+    """
+
+    def __init__(self, bots) -> None:
+        self._bots = bots
+        self._count: int | None = None
+
+    def __iter__(self):
+        for bot in self._bots:
+            if bot.has_valid_permissions:
+                yield bot
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for _ in self)
+        return self._count
+
+
 @dataclass
 class CrawlResult:
     bots: list[ScrapedBot] = field(default_factory=list)
     pages_traversed: int = 0
+    _active: "ActiveBots | None" = field(default=None, init=False, repr=False, compare=False)
 
-    def with_valid_permissions(self) -> list[ScrapedBot]:
-        return [bot for bot in self.bots if bot.has_valid_permissions]
+    def with_valid_permissions(self) -> "list[ScrapedBot] | ActiveBots":
+        """The bots whose invites resolved (the stage 2–4 input).
+
+        A plain list for materialized crawls; a cached lazy view when
+        ``bots`` is a disk spill, so a streamed run never materializes the
+        active population either.
+        """
+        if isinstance(self.bots, list):
+            return [bot for bot in self.bots if bot.has_valid_permissions]
+        if self._active is None:
+            self._active = ActiveBots(self.bots)
+        return self._active
 
 
 class TopGGScraper(PoliteScraper):
@@ -91,6 +125,7 @@ class TopGGScraper(PoliteScraper):
         checkpoint_path: str | None = None,
         on_fault: CrawlFaultSink | None = None,
         recorder=None,
+        bots: list | None = None,
     ) -> CrawlResult:
         """Traverse the top list; optionally resolve invite permissions.
 
@@ -116,6 +151,10 @@ class TopGGScraper(PoliteScraper):
 
         checkpoint = None
         result = CrawlResult()
+        if bots is not None:
+            # Caller-provided accumulator (a disk spill for streamed runs);
+            # the crawl only ever appends/extends, so any list-alike works.
+            result.bots = bots
         page_number = 1
         known: set[int] = set()
         if checkpoint_path is not None:

@@ -11,6 +11,7 @@ class of sites (3 of 676 in the paper) advertise a policy link that 404s.
 from __future__ import annotations
 
 from repro.ecosystem.generator import BotProfile, Ecosystem
+from repro.ecosystem.stream import rank_suffix_of
 from repro.web.http import Request, Response
 from repro.web.network import VirtualInternet
 from repro.web.server import VirtualHost
@@ -18,24 +19,51 @@ from repro.web.server import VirtualHost
 #: Structural variants a bot website can use for its policy link.
 WEBSITE_VARIANTS = ("nav", "footer", "legal")
 
+#: Domain under which every generated bot website lives.
+BOTSITE_DOMAIN = ".botsite.sim"
+
 
 def variant_for(bot: BotProfile) -> str:
     return WEBSITE_VARIANTS[bot.client_id % len(WEBSITE_VARIANTS)]
 
 
 class BotWebsiteBuilder:
-    """Builds one VirtualHost per bot website and registers them all."""
+    """Builds one VirtualHost per bot website.
+
+    For a materialized :class:`Ecosystem` every site is built and registered
+    up front.  For a streaming ecosystem no site exists until a request
+    arrives: ``register`` installs a resolver on the internet that decodes
+    ``<name><rank>.botsite.sim`` back to the owning bot's rank and builds
+    that one site on demand (bounded by the internet's dynamic-host LRU).
+    """
 
     def __init__(self, ecosystem: Ecosystem) -> None:
         self.ecosystem = ecosystem
         self.hosts: dict[str, VirtualHost] = {}
-        for bot in ecosystem.websites():
-            assert bot.website_host is not None
-            self.hosts[bot.website_host] = _build_site(bot)
+        self._streaming = getattr(ecosystem, "stream", None) is not None
+        if not self._streaming:
+            for bot in ecosystem.websites():
+                assert bot.website_host is not None
+                self.hosts[bot.website_host] = _build_site(bot)
 
     def register(self, internet: VirtualInternet) -> None:
+        if self._streaming:
+            internet.register_resolver(self.resolve)
+            return
         for hostname, host in self.hosts.items():
             internet.register(hostname, host)
+
+    def resolve(self, hostname: str) -> VirtualHost | None:
+        """``<botname-lowercase>.botsite.sim`` -> that bot's site, else None."""
+        if not hostname.endswith(BOTSITE_DOMAIN):
+            return None
+        rank = rank_suffix_of(hostname[: -len(BOTSITE_DOMAIN)])
+        if rank is None or not 0 <= rank < len(self.ecosystem.bots):
+            return None
+        bot = self.ecosystem.bots[rank]
+        if bot.website_host != hostname:
+            return None
+        return _build_site(bot)
 
 
 def _build_site(bot: BotProfile) -> VirtualHost:

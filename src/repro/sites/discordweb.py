@@ -32,7 +32,14 @@ class DiscordWebsite:
 
     def __init__(self, ecosystem: Ecosystem) -> None:
         self.ecosystem = ecosystem
-        self._by_client_id: dict[int, BotProfile] = {bot.client_id: bot for bot in ecosystem.bots}
+        # Materialized populations get a dict; streaming ones decode the
+        # client id back to a rank (ids are rank + a constant base), so the
+        # consent pages never force the population resident.
+        self._by_client_id: dict[int, BotProfile] | None = (
+            None
+            if getattr(ecosystem, "stream", None) is not None
+            else {bot.client_id: bot for bot in ecosystem.bots}
+        )
         self.host = VirtualHost(DISCORD_HOSTNAME)
         self.slow_host = VirtualHost(SLOW_CDN_HOSTNAME)
         self.host.add_route("/oauth2/authorize", self._authorize)
@@ -56,7 +63,10 @@ class DiscordWebsite:
             client_id = int(raw_client_id)
         except ValueError:
             return Response.html(_error_page("Invalid OAuth2 authorize request"), status=400)
-        bot = self._by_client_id.get(client_id)
+        if self._by_client_id is not None:
+            bot = self._by_client_id.get(client_id)
+        else:
+            bot = self.ecosystem.bot_by_client_id(client_id)
         if bot is None or bot.invite_status is InviteStatus.REMOVED:
             return Response.html(_error_page("Unknown Application"), status=404)
         if bot.invite_status is InviteStatus.SLOW_REDIRECT:

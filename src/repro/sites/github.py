@@ -11,29 +11,42 @@ from collections import defaultdict
 
 from repro.ecosystem.generator import Ecosystem
 from repro.ecosystem.repos import RepoKind, RepoSpec
+from repro.ecosystem.stream import BLOCK, owner_block_of, rank_suffix_of
 from repro.web.http import Request, Response
 from repro.web.network import VirtualInternet
 from repro.web.server import VirtualHost
 
 GITHUB_HOSTNAME = "github.sim"
 
+_REPO_KINDS = (RepoKind.VALID_CODE, RepoKind.README_ONLY)
+_PROFILE_KINDS = (RepoKind.USER_PROFILE, RepoKind.NO_REPOSITORIES, RepoKind.NO_PUBLIC_REPOSITORIES)
+
 
 class GitHubSite:
-    """Builds and registers the ``github.sim`` host for an ecosystem."""
+    """Builds and registers the ``github.sim`` host for an ecosystem.
+
+    A materialized ecosystem is indexed up front.  A streaming one is
+    decoded per request instead: repo names end with their bot's rank, and
+    owner tags encode their developer block, so one page needs at most one
+    block (512 bots) of the population — never all of it.
+    """
 
     def __init__(self, ecosystem: Ecosystem) -> None:
+        self.ecosystem = ecosystem
+        self._streaming = getattr(ecosystem, "stream", None) is not None
         self._repos: dict[tuple[str, str], RepoSpec] = {}
         self._profiles: dict[str, list[RepoSpec]] = defaultdict(list)
         self._profile_kinds: dict[str, RepoKind] = {}
-        for bot in ecosystem.bots:
-            spec = bot.github
-            if spec is None:
-                continue
-            if spec.kind in (RepoKind.VALID_CODE, RepoKind.README_ONLY):
-                self._repos[(spec.owner, spec.name)] = spec
-                self._profiles[spec.owner].append(spec)
-            elif spec.kind in (RepoKind.USER_PROFILE, RepoKind.NO_REPOSITORIES, RepoKind.NO_PUBLIC_REPOSITORIES):
-                self._profile_kinds.setdefault(spec.owner, spec.kind)
+        if not self._streaming:
+            for bot in ecosystem.bots:
+                spec = bot.github
+                if spec is None:
+                    continue
+                if spec.kind in _REPO_KINDS:
+                    self._repos[(spec.owner, spec.name)] = spec
+                    self._profiles[spec.owner].append(spec)
+                elif spec.kind in _PROFILE_KINDS:
+                    self._profile_kinds.setdefault(spec.owner, spec.kind)
         self.host = VirtualHost(GITHUB_HOSTNAME)
         self.host.add_route("/{owner}/{repo}/raw/main/{*path}", self._raw_file)
         self.host.add_route("/{owner}/{repo}", self._repo_page)
@@ -42,10 +55,47 @@ class GitHubSite:
     def register(self, internet: VirtualInternet) -> None:
         internet.register(GITHUB_HOSTNAME, self.host)
 
+    # -- lazy lookups ------------------------------------------------------
+
+    def _lookup_repo(self, owner: str, repo: str) -> RepoSpec | None:
+        if not self._streaming:
+            return self._repos.get((owner, repo))
+        rank = rank_suffix_of(repo)
+        if rank is None or not 0 <= rank < len(self.ecosystem.bots):
+            return None
+        spec = self.ecosystem.bots[rank].github
+        if spec is None or spec.kind not in _REPO_KINDS:
+            return None
+        if spec.owner != owner or spec.name != repo:
+            return None
+        return spec
+
+    def _lookup_profile(self, owner: str) -> tuple[list[RepoSpec], RepoKind | None]:
+        if not self._streaming:
+            return self._profiles.get(owner) or [], self._profile_kinds.get(owner)
+        decoded = owner_block_of(owner)
+        if decoded is None:
+            return [], None
+        block, _ = decoded
+        start = block * BLOCK
+        if start >= len(self.ecosystem.bots):
+            return [], None
+        repos: list[RepoSpec] = []
+        kind: RepoKind | None = None
+        for rank in range(start, min(start + BLOCK, len(self.ecosystem.bots))):
+            spec = self.ecosystem.bots[rank].github
+            if spec is None or spec.owner != owner:
+                continue
+            if spec.kind in _REPO_KINDS:
+                repos.append(spec)
+            elif spec.kind in _PROFILE_KINDS and kind is None:
+                kind = spec.kind
+        return repos, kind
+
     # -- routes -----------------------------------------------------------
 
     def _repo_page(self, request: Request, owner: str, repo: str) -> Response:
-        spec = self._repos.get((owner, repo))
+        spec = self._lookup_repo(owner, repo)
         if spec is None:
             return Response.html(_not_found_page(), status=404)
         file_rows = "".join(
@@ -73,14 +123,13 @@ class GitHubSite:
         return Response.html(body)
 
     def _raw_file(self, request: Request, owner: str, repo: str, path: str) -> Response:
-        spec = self._repos.get((owner, repo))
+        spec = self._lookup_repo(owner, repo)
         if spec is None or path not in spec.files:
             return Response.text("404: Not Found", status=404)
         return Response.text(spec.files[path])
 
     def _profile_page(self, request: Request, owner: str) -> Response:
-        repos = self._profiles.get(owner)
-        kind = self._profile_kinds.get(owner)
+        repos, kind = self._lookup_profile(owner)
         if repos:
             rows = "".join(
                 f'<li class="repo"><a class="repo-link" href="/{spec.owner}/{spec.name}">{spec.name}</a></li>'

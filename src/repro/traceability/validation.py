@@ -61,6 +61,37 @@ class ManualReviewValidator:
         population = [entry for entry in policies if entry[1].present and entry[1].link_valid]
         if len(population) > sample_size:
             population = self._rng.sample(population, sample_size)
+        return self._score(population)
+
+    def validate_stream(
+        self,
+        policies,
+        population_size: int,
+        sample_size: int = 100,
+    ) -> ValidationReport:
+        """Two-pass form of :meth:`validate` for streamed populations.
+
+        ``policies`` is an iterable of *pre-filtered* eligible entries (the
+        same ``present and link_valid`` predicate :meth:`validate` applies)
+        and ``population_size`` their total count, learned in a prior
+        counting pass.  Byte-identical to :meth:`validate` on the
+        materialized list: ``random.sample`` selects by index only, so
+        sampling ``range(n)`` draws the same positions in the same order —
+        the report's cases come out in selection order either way, without
+        the eligible population ever being resident at once.
+        """
+        if population_size <= sample_size:
+            return self._score(list(policies))
+        chosen = self._rng.sample(range(population_size), sample_size)
+        slots = {ordinal: slot for slot, ordinal in enumerate(chosen)}
+        selected: list[tuple[str, PolicySpec, str] | None] = [None] * len(chosen)
+        for ordinal, entry in enumerate(policies):
+            slot = slots.get(ordinal)
+            if slot is not None:
+                selected[slot] = entry
+        return self._score([entry for entry in selected if entry is not None])
+
+    def _score(self, population: list[tuple[str, PolicySpec, str]]) -> ValidationReport:
         report = ValidationReport()
         for bot_name, spec, text in population:
             predicted, _ = self.analyzer.classify_text(text)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -162,6 +162,9 @@ class VirtualInternet:
     DEFAULT_LOG_LIMIT = 100_000
     #: Per-client timestamp history kept for :meth:`request_rate`.
     DEFAULT_RATE_HISTORY = 10_000
+    #: Bound on hosts built on demand by resolvers: past this, the coldest
+    #: resolver-built host is dropped and re-resolved on its next visit.
+    DEFAULT_DYNAMIC_HOST_LIMIT = 1_024
 
     def __init__(
         self,
@@ -172,6 +175,9 @@ class VirtualInternet:
     ) -> None:
         self.clock = clock or VirtualClock()
         self._hosts: dict[str, _HostEntry] = {}
+        self._resolvers: list[Callable[[str], "VirtualHost | None"]] = []
+        self._dynamic_hosts: OrderedDict[str, None] = OrderedDict()
+        self.dynamic_host_limit = self.DEFAULT_DYNAMIC_HOST_LIMIT
         self._rng = random.Random(seed)
         self.log: deque[ExchangeRecord] = deque(maxlen=log_limit)
         #: Exchange records evicted from the bounded ``log`` ring.  A
@@ -193,11 +199,52 @@ class VirtualInternet:
     # -- registry ----------------------------------------------------------
 
     def register(self, hostname: str, host: "VirtualHost", conditions: HostConditions | None = None) -> None:
-        """Register ``host`` under ``hostname`` (replaces any previous host)."""
-        self._hosts[hostname.lower()] = _HostEntry(host, conditions or HostConditions())
+        """Register ``host`` under ``hostname`` (replaces any previous host).
+
+        Explicit registration pins the host: it is exempt from the dynamic
+        LRU even if a resolver built an earlier incarnation of it.
+        """
+        key = hostname.lower()
+        self._hosts[key] = _HostEntry(host, conditions or HostConditions())
+        self._dynamic_hosts.pop(key, None)
+
+    def register_resolver(self, resolver: Callable[[str], "VirtualHost | None"], limit: int | None = None) -> None:
+        """Install an on-demand host factory consulted for unknown hostnames.
+
+        A resolver maps ``hostname -> VirtualHost | None``.  Hosts it builds
+        are registered on first contact and kept in a bounded LRU of size
+        ``dynamic_host_limit``: a million-bot ecosystem can expose a million
+        websites without a million resident :class:`VirtualHost` objects,
+        because a cold site is simply rebuilt (deterministically, from the
+        same profile) on its next visit.
+        """
+        self._resolvers.append(resolver)
+        if limit is not None:
+            self.dynamic_host_limit = max(limit, 1)
 
     def unregister(self, hostname: str) -> None:
         self._hosts.pop(hostname.lower(), None)
+        self._dynamic_hosts.pop(hostname.lower(), None)
+
+    def _entry_for(self, hostname: str) -> "_HostEntry | None":
+        """Look up ``hostname``, consulting resolvers for unknown hosts."""
+        entry = self._hosts.get(hostname)
+        if entry is not None:
+            if hostname in self._dynamic_hosts:
+                self._dynamic_hosts.move_to_end(hostname)
+            return entry
+        for resolver in self._resolvers:
+            host = resolver(hostname)
+            if host is None:
+                continue
+            entry = _HostEntry(host, HostConditions())
+            self._hosts[hostname] = entry
+            self._dynamic_hosts[hostname] = None
+            while len(self._dynamic_hosts) > self.dynamic_host_limit:
+                cold, _ = self._dynamic_hosts.popitem(last=False)
+                self._hosts.pop(cold, None)
+            return entry
+        return None
 
     def knows(self, hostname: str) -> bool:
         return hostname.lower() in self._hosts
@@ -245,9 +292,9 @@ class VirtualInternet:
         client-side retry budgets meaningful).
         """
         hostname = request.url.host.lower()
-        if hostname not in self._hosts:
+        entry = self._entry_for(hostname)
+        if entry is None:
             raise UnknownHostError(hostname or "<empty-host>")
-        entry = self._hosts[hostname]
         latency = entry.conditions.sample_latency(self._rng)
         if self.chaos is not None:
             latency += self.chaos.extra_latency(hostname, self.clock.now())

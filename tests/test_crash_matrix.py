@@ -47,7 +47,14 @@ BASE_CONFIG = {
     "adversarial_bots": 2,
 }
 
-SCENARIOS = {"sequential": 1, "sharded": 4}
+SCENARIOS = {
+    "sequential": {"shards": 1},
+    "sharded": {"shards": 4},
+    # Chunked stream consumption: the chunk size sits below the active
+    # population so both the mid-chunk and chunk-boundary kills (plus the
+    # cursor-save kill) genuinely occur.
+    "streamed": {"shards": 1, "stream": True, "chunk_size": 16},
+}
 
 
 def _env(extra: dict[str, str] | None = None) -> dict[str, str]:
@@ -72,9 +79,9 @@ def _run_driver(workdir: Path, config: dict, extra_env: dict[str, str] | None = 
     )
 
 
-def _scenario_config(workdir: Path, shards: int) -> dict:
+def _scenario_config(workdir: Path, overrides: dict) -> dict:
     config = dict(BASE_CONFIG)
-    config["shards"] = shards
+    config.update(overrides)
     config["checkpoint_path"] = str(workdir / "ckpt.json")
     config["journal_path"] = str(workdir / "journal.wal")
     return config
@@ -84,10 +91,10 @@ def _scenario_config(workdir: Path, shards: int) -> dict:
 def goldens(tmp_path_factory) -> dict[str, tuple[bytes, dict[str, int]]]:
     """Golden comparable JSON + fired-point counts, per scenario."""
     results: dict[str, tuple[bytes, dict[str, int]]] = {}
-    for name, shards in SCENARIOS.items():
+    for name, overrides in SCENARIOS.items():
         workdir = tmp_path_factory.mktemp(f"golden-{name}")
         record = workdir / "fired.txt"
-        proc = _run_driver(workdir, _scenario_config(workdir, shards), {ENV_RECORD: str(record)})
+        proc = _run_driver(workdir, _scenario_config(workdir, overrides), {ENV_RECORD: str(record)})
         assert proc.returncode == 0, f"golden {name} failed:\n{proc.stderr}"
         results[name] = ((workdir / "out.json").read_bytes(), read_fired(record))
     return results
@@ -109,12 +116,12 @@ def test_fired_points_are_registered(goldens) -> None:
 def test_kill_and_resume_matches_golden(scenario, goldens, tmp_path) -> None:
     """Kill at every fired point (first occurrence), resume, compare bytes."""
     golden_bytes, counts = goldens[scenario]
-    shards = SCENARIOS[scenario]
+    overrides = SCENARIOS[scenario]
     failures: list[str] = []
     for point in sorted(counts):
         workdir = tmp_path / point.replace(".", "-")
         workdir.mkdir()
-        config = _scenario_config(workdir, shards)
+        config = _scenario_config(workdir, overrides)
         crashed = _run_driver(workdir, config, {ENV_CRASH_AT: point})
         if crashed.returncode != EXIT_CODE:
             failures.append(f"{point}: crash run exited {crashed.returncode}, wanted {EXIT_CODE}")

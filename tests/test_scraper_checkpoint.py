@@ -159,3 +159,117 @@ class TestDuplicateProtection:
         assert len(resumed.bots) == len(ecosystem.bots)
         names = [bot.listing_id for bot in resumed.bots]
         assert len(names) == len(set(names))
+
+
+class TestCursorForm:
+    """The stream-cursor checkpoint: meta counts, sidecar holds the bots."""
+
+    def test_resumed_crawl_refetches_no_checkpointed_page(self, store_world, tmp_path):
+        """A resume must not re-fetch any page the checkpoint recorded."""
+        ecosystem, internet, solver = store_world
+        path = str(tmp_path / "crawl.json")
+        first = TopGGScraper(internet, solver=solver)
+        first.crawl(max_pages=3, resolve_permissions=False, checkpoint_path=path)
+        completed = set(CrawlCheckpoint.load(path).completed_pages)
+        assert completed == {1, 2, 3}
+
+        second = TopGGScraper(internet, solver=solver, client_id="resumer")
+        fetched: list[int] = []
+        inner = second._scrape_list_page
+
+        def spy(page_number):
+            fetched.append(page_number)
+            return inner(page_number)
+
+        second._scrape_list_page = spy
+        resumed = second.crawl(resolve_permissions=False, checkpoint_path=path)
+        assert len(resumed.bots) == 100
+        assert not (set(fetched) & completed), f"re-fetched checkpointed pages: {sorted(set(fetched) & completed)}"
+
+    def test_save_appends_only_new_bots(self, store_world, tmp_path):
+        """Each save writes one page of bots, not the whole population."""
+        from repro.scraper.checkpoint import sidecar_path
+
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=2, resolve_permissions=False)
+        path = tmp_path / "crawl.json"
+        checkpoint = CrawlCheckpoint()
+        checkpoint.record_page(1, result.bots[:25])
+        checkpoint.save(path)
+        first_size = sidecar_path(path).stat().st_size
+        first_meta = path.read_bytes()
+        checkpoint.record_page(2, result.bots[25:])
+        checkpoint.save(path)
+        # The sidecar grew by page 2 only; re-saving page 1 would double it.
+        assert sidecar_path(path).stat().st_size < 2 * first_size + len(first_meta)
+        with open(sidecar_path(path), encoding="utf-8") as stream:
+            assert sum(1 for _ in stream) == 50
+        # The meta document stays O(pages): no bot payloads embedded.
+        assert b"listing_id" not in path.read_bytes()
+
+    def test_torn_sidecar_tail_is_truncated(self, store_world, tmp_path):
+        """Extra lines past the meta count (crash between the sidecar append
+        and the meta rename) are dropped on load, not treated as data."""
+        from repro.scraper.checkpoint import sidecar_path
+
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=1, resolve_permissions=False)
+        path = tmp_path / "crawl.json"
+        checkpoint = CrawlCheckpoint()
+        checkpoint.record_page(1, result.bots)
+        checkpoint.save(path)
+        with open(sidecar_path(path), "a", encoding="utf-8") as stream:
+            stream.write('{"torn": true}\n{"half')  # unacknowledged tail
+        loaded = CrawlCheckpoint.load(path)
+        assert loaded.bots == result.bots
+        # The tail is gone, so a follow-up save extends a clean prefix.
+        loaded.record_page(2, result.bots[:1])
+        loaded.save(path)
+        assert CrawlCheckpoint.load(path).bots == result.bots
+
+    def test_missing_sidecar_is_corruption(self, store_world, tmp_path):
+        """A meta that counts bots with no log to back it cannot resume."""
+        from repro.scraper.checkpoint import CheckpointCorruptionError, sidecar_path
+
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=1, resolve_permissions=False)
+        path = tmp_path / "crawl.json"
+        checkpoint = CrawlCheckpoint()
+        checkpoint.record_page(1, result.bots)
+        checkpoint.save(path)
+        sidecar_path(path).unlink()
+        with pytest.raises(CheckpointCorruptionError):
+            CrawlCheckpoint.load(path)
+        # load_or_empty degrades to a fresh crawl and sidelines the meta.
+        fresh = CrawlCheckpoint.load_or_empty(path)
+        assert fresh.bots == [] and fresh.next_page == 1
+        assert not path.exists()
+
+    def test_legacy_embedded_checkpoint_loads(self, store_world, tmp_path):
+        """Version-1 checkpoints (bots embedded in the meta) still resume,
+        and the first save migrates them to the sidecar form."""
+        import json
+
+        from repro.scraper.checkpoint import _payload_checksum, sidecar_path
+
+        ecosystem, internet, solver = store_world
+        scraper = TopGGScraper(internet, solver=solver)
+        result = scraper.crawl(max_pages=1, resolve_permissions=False)
+        path = tmp_path / "crawl.json"
+        payload = {
+            "version": 1,
+            "checksum": "",
+            "completed_pages": [1],
+            "bots": [scraped_bot_to_dict(bot) for bot in result.bots],
+        }
+        payload["checksum"] = _payload_checksum(payload)
+        path.write_text(json.dumps(payload))
+        loaded = CrawlCheckpoint.load(path)
+        assert loaded.bots == result.bots and loaded.next_page == 2
+        loaded.save(path)
+        assert sidecar_path(path).exists()
+        migrated = CrawlCheckpoint.load(path)
+        assert migrated.bots == result.bots and migrated.completed_pages == [1]

@@ -192,7 +192,10 @@ class TestExceptionFirewall:
 
         monkeypatch.setattr(service.pipeline, "review_static", explode)
         faults_before = len(service.ledger)
-        response = client.get(f"https://{service.hostname}/vet/{ecosystem.bots[0].name}")
+        # Pick a bot whose invite resolves: broken submissions are rejected
+        # before the static stage and would never reach the mocked explosion.
+        target = next(b for b in ecosystem.bots if b.has_valid_permissions)
+        response = client.get(f"https://{service.hostname}/vet/{target.name}")
         assert response.status == 503
         assert "Retry-After" in response.headers
         assert len(service.ledger) == faults_before + 1
