@@ -1,0 +1,98 @@
+"""OVERHEAD: the unified durable-storage layer must be near-free.
+
+Two acceptance bars from the storage-chaos work:
+
+1. **Fsync cadence** — the journal's default ``fsync_every=1`` buys
+   per-record durability; batching (``fsync_every=64``) must never be
+   meaningfully slower than per-record (it exists to be faster on real
+   disks), and explicit-sync mode (``0``) bounds the floor.  The
+   trajectory file records all three so a regression in the append path
+   shows up as a number, not a feeling.
+
+2. **Storage tax** — running a checkpointed + journaled + streamed
+   pipeline with the ``calm`` disk-chaos shim installed (every durable
+   operation consults the fault plan, none injects) must cost < 5%
+   wall-clock over the same run with no shim at 10^4 bots.  The consult
+   is two dict operations; anything above the bar means the shim crept
+   onto a hot path it doesn't belong on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.core.config import PipelineConfig
+from repro.core.journal import WriteAheadJournal
+from repro.core.pipeline import AssessmentPipeline
+from repro.core.storage import install_disk_chaos, uninstall_faults
+
+STORAGE_BENCH_SCALE = int(os.environ.get("REPRO_BENCH_STORAGE_SCALE", 10_000))
+JOURNAL_RECORDS = int(os.environ.get("REPRO_BENCH_STORAGE_RECORDS", 20_000))
+
+#: < 5% relative overhead, with a small absolute floor so the assertion
+#: is meaningful on hosts where the whole run finishes in seconds.
+TAX_CEILING = 0.05
+TAX_FLOOR_SECONDS = 0.25
+
+
+def _journal_wall(path: Path, fsync_every: int) -> float:
+    journal = WriteAheadJournal(path, fsync_every=fsync_every)
+    body = {"verdict": "ok", "padding": "x" * 64}
+    start = time.monotonic()
+    for index in range(JOURNAL_RECORDS):
+        journal.append("bench", f"bot-{index}", body)
+    journal.sync()
+    journal.close()
+    wall = time.monotonic() - start
+    print(f"fsync_every={fsync_every:3d}: {JOURNAL_RECORDS} records in {wall:.3f}s "
+          f"({JOURNAL_RECORDS / wall:,.0f} rec/s)")
+    return wall
+
+
+def test_batched_fsync_cadence_is_never_slower(tmp_path) -> None:
+    per_record = _journal_wall(tmp_path / "wal1", fsync_every=1)
+    batched = _journal_wall(tmp_path / "wal64", fsync_every=64)
+    explicit = _journal_wall(tmp_path / "wal0", fsync_every=0)
+    # Batching trades torn-tail width for throughput; it must never lose
+    # that trade (generous slack absorbs scheduler noise on fast disks).
+    assert batched <= per_record * 1.25 + 0.1, (
+        f"fsync_every=64 ({batched:.3f}s) slower than fsync_every=1 ({per_record:.3f}s)"
+    )
+    assert explicit <= per_record * 1.25 + 0.1
+
+
+def _pipeline_wall(tmp_path: Path, shim: bool) -> float:
+    config = PipelineConfig(
+        n_bots=STORAGE_BENCH_SCALE,
+        seed=13,
+        honeypot_sample_size=min(200, STORAGE_BENCH_SCALE),
+        validation_sample_size=20,
+        stream=True,
+        chunk_size=2_048,
+        checkpoint_path=str(tmp_path / f"ckpt-{shim}.json"),
+        journal_path=str(tmp_path / f"journal-{shim}.wal"),
+    )
+    if shim:
+        install_disk_chaos("calm", seed=0)
+    else:
+        uninstall_faults()
+    try:
+        start = time.monotonic()
+        AssessmentPipeline(config).run()
+        wall = time.monotonic() - start
+    finally:
+        uninstall_faults()
+    print(f"shim={'calm' if shim else 'off '}: {STORAGE_BENCH_SCALE} bots in {wall:.3f}s")
+    return wall
+
+
+def test_storage_tax_under_five_percent(tmp_path) -> None:
+    baseline = _pipeline_wall(tmp_path, shim=False)
+    shimmed = _pipeline_wall(tmp_path, shim=True)
+    ceiling = max(baseline * (1.0 + TAX_CEILING), baseline + TAX_FLOOR_SECONDS)
+    print(f"storage tax={(shimmed / baseline - 1.0) * 100:+.1f}% (ceiling {TAX_CEILING * 100:.0f}%)")
+    assert shimmed <= ceiling, (
+        f"calm-shimmed pipeline took {shimmed:.3f}s vs {baseline:.3f}s bare"
+    )

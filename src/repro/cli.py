@@ -22,6 +22,7 @@ from repro.core.config import PipelineConfig
 from repro.core.pipeline import AssessmentPipeline
 from repro.core.report import render_full_report
 from repro.core.serialize import save_result
+from repro.core.storage import STORAGE_EXIT_CODE, STORAGE_PROFILES, StorageError, install_disk_chaos
 from repro.web.chaos import PROFILES
 
 
@@ -44,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--journal", dest="journal_path", default=None,
                      help="intra-stage write-ahead journal; resumes mid-stage after a crash "
                           "(shard journals live beside it as <path>.shard<k>)")
+    run.add_argument("--journal-fsync-every", type=int, default=1, metavar="N",
+                     help="journal fsync cadence: 1 fsyncs every record (default), N batches "
+                          "(widens the torn-tail window to N-1 records), 0 never fsyncs")
+    run.add_argument("--disk-chaos", default=None, choices=sorted(STORAGE_PROFILES),
+                     help="inject storage faults (ENOSPC/EIO/short writes/lost fsyncs/bit rot) "
+                          "from a named disk-chaos profile")
+    run.add_argument("--disk-chaos-seed", type=int, default=0,
+                     help="storage fault schedule seed (default 0)")
     run.add_argument("--crashpoint", dest="crashpoint", default=None, metavar="NAME[:N]",
                      help="debug: abort the process the Nth time the named crash point "
                           "is reached (default N=1); see repro.core.crashpoints.REGISTRY")
@@ -88,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chaos", default=None, choices=sorted(PROFILES),
                        help="inject faults from a named chaos profile")
     serve.add_argument("--chaos-seed", type=int, default=0, help="fault schedule seed (default 0)")
+    serve.add_argument("--disk-chaos", default=None, choices=sorted(STORAGE_PROFILES),
+                       help="inject storage faults into the persisted service state")
+    serve.add_argument("--disk-chaos-seed", type=int, default=0,
+                       help="storage fault schedule seed (default 0)")
+    serve.add_argument("--state", dest="state_path", default=None,
+                       help="persist the verdict cache and counters to this path on shutdown "
+                            "and scrub-load them on startup (restarts keep their memory)")
     serve.add_argument("--waves", type=int, default=4, help="request waves to fire (default 4)")
     serve.add_argument("--requests", type=int, default=30, help="requests per wave (default 30)")
     serve.add_argument("--wave-gap", type=float, default=1_800.0,
@@ -155,6 +171,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shards=args.shards,
         parallel=args.parallel,
         adversarial_bots=args.adversarial,
+        journal_fsync_every=args.journal_fsync_every,
+        disk_chaos=args.disk_chaos,
+        disk_chaos_seed=args.disk_chaos_seed,
         **overrides,
     )
     if args.crashpoint:
@@ -321,6 +340,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.web.chaos import FaultSchedule
 
         internet.install_chaos(FaultSchedule(args.chaos, seed=args.chaos_seed))
+    if args.disk_chaos is not None:
+        install_disk_chaos(args.disk_chaos, seed=args.disk_chaos_seed)
 
     policy = ServicePolicy()
     overrides = {}
@@ -334,7 +355,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy = _dataclasses.replace(policy, **overrides)
 
     service = VettingService(
-        internet, ecosystem.bots, policy=policy, seed=args.seed, workers=args.workers
+        internet, ecosystem.bots, policy=policy, seed=args.seed, workers=args.workers,
+        state_path=args.state_path,
     )
     if args.audit_every:
         for index in range(3):
@@ -414,7 +436,13 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except StorageError as error:
+        # Same typed exit the crash driver uses: a disk fault is a loud,
+        # classified death, distinguishable from any bug of our own.
+        print(f"STORAGE_ERROR {type(error).__name__}: {error}", file=sys.stderr)
+        return STORAGE_EXIT_CODE
 
 
 if __name__ == "__main__":

@@ -22,7 +22,6 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -31,6 +30,7 @@ from repro.codeanalysis.analyzer import RepoAnalysis
 from repro.codeanalysis.patterns import PatternHit
 from repro.core.crashpoints import crashpoint
 from repro.core.resilience import FaultLedger
+from repro.core.storage import ArtifactCorruptionError, atomic_write_json, discard_stale_tmp
 from repro.core.supervision import QuarantineLog
 from repro.honeypot.console import TriggerRecord
 from repro.honeypot.experiment import BotTestOutcome, HoneypotReport
@@ -54,8 +54,13 @@ STAGE_HONEYPOT = "honeypot"
 STAGES = (STAGE_CRAWL, STAGE_TRACEABILITY, STAGE_CODE, STAGE_HONEYPOT)
 
 
-class CheckpointCorruptionError(ValueError):
-    """The checkpoint file on disk does not match what was written."""
+class CheckpointCorruptionError(ArtifactCorruptionError):
+    """The checkpoint file on disk does not match what was written.
+
+    Also a :class:`~repro.core.storage.StorageError` (and still a
+    ``ValueError``), so corruption surfaces through the same typed-error
+    contract as every other storage fault.
+    """
 
 
 # -- integrity helpers -------------------------------------------------------
@@ -335,12 +340,10 @@ def _honeypot_from_dict(payload: dict) -> HoneypotReport:
 
 
 def _spill_ref(spill: SpillList) -> dict:
-    spill.flush()
-    return {
-        "path": str(spill.path),
-        "count": len(spill),
-        "sha256": hashlib.sha256(spill.path.read_bytes()).hexdigest(),
-    }
+    # ``reference`` syncs the spill to media *before* hashing and verifies
+    # the on-disk record count against the acknowledged one, so a
+    # checkpoint can never reference bytes that did not actually land.
+    return spill.reference()
 
 
 def _restore_spill(ref: dict, encode, decode) -> SpillList:
@@ -469,17 +472,16 @@ class PipelineCheckpoint:
         return payload
 
     def save(self, path: str | Path) -> Path:
-        target = Path(path)
-        # Write-then-fsync-then-rename so a crash mid-save never corrupts
-        # progress: the rename only happens once the bytes are on disk.
-        temporary = target.with_suffix(target.suffix + ".tmp")
-        with open(temporary, "w", encoding="utf-8") as stream:
-            stream.write(json.dumps(self.to_dict()))
-            stream.flush()
-            os.fsync(stream.fileno())
-        crashpoint("checkpoint.after_tmp_write")
-        temporary.replace(target)
-        return target
+        # Write-then-fsync-then-rename (via the unified storage layer) so a
+        # crash mid-save never corrupts progress: the rename only happens
+        # once the bytes are on disk.  The crash hook keeps the kill
+        # harness's ``checkpoint.after_tmp_write`` point in its old spot.
+        return atomic_write_json(
+            path,
+            self.to_dict(),
+            label="checkpoint",
+            crash_hook=lambda: crashpoint("checkpoint.after_tmp_write"),
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "PipelineCheckpoint":
@@ -517,15 +519,10 @@ class PipelineCheckpoint:
         never the whole campaign, and never a crash.
         """
         target = Path(path)
-        # A crash between write and rename leaves a stale ``.tmp`` sidecar
+        # A crash between write and rename leaves a stale write sidecar
         # behind; it is never authoritative, so clear it here rather than
         # letting it accumulate forever.
-        stale = target.with_suffix(target.suffix + ".tmp")
-        if stale.exists():
-            try:
-                stale.unlink()
-            except OSError:
-                logger.warning("could not remove stale checkpoint sidecar %s", stale)
+        discard_stale_tmp(target)
         if not target.exists():
             return cls()
         try:

@@ -93,6 +93,19 @@ class PipelineConfig:
     #: crash mid-stage resumes at the next unit instead of the stage start.
     #: Sharded runs derive one journal per shard (``<path>.shard<k>``).
     journal_path: str | None = None
+    #: Journal fsync cadence: ``1`` fsyncs every record (the default — an
+    #: acknowledged record is a durable record), ``N`` batches fsyncs for
+    #: throughput at the price of a torn-tail window up to ``N-1``
+    #: acknowledged records wide, ``0`` never fsyncs implicitly.
+    journal_fsync_every: int = 1
+    #: Storage-fault injection profile ("calm", "scratched", "torn",
+    #: "bitrot", "hostile"), a
+    #: :class:`~repro.core.storage.StorageChaosProfile`, or None to leave
+    #: the process's storage-fault shim untouched.  Installed process-wide
+    #: when the pipeline is built, so parallel shard workers (which rebuild
+    #: the pipeline from this config) inherit the same seeded schedule.
+    disk_chaos: str | None = None
+    disk_chaos_seed: int = 0
     #: Absorb stage/bot-level faults into the ledger instead of crashing.
     degrade_on_faults: bool = True
     circuit_failure_threshold: int = 5

@@ -23,6 +23,7 @@ from typing import Sequence
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import AssessmentPipeline
 from repro.core.serialize import comparable_result, result_to_dict
+from repro.core.storage import STORAGE_EXIT_CODE, StorageError
 
 
 def build_config(payload: dict) -> PipelineConfig:
@@ -42,7 +43,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     config_path, out_path = argv
     payload = json.loads(Path(config_path).read_text())
-    result = AssessmentPipeline(build_config(payload)).run()
+    try:
+        result = AssessmentPipeline(build_config(payload)).run()
+    except StorageError as error:
+        # A typed storage failure: loud, named, and distinguishable from a
+        # crash-point kill (137) so the disk-fault harness can assert the
+        # run failed *honestly* rather than producing a wrong result.
+        print(f"STORAGE_ERROR {type(error).__name__}: {error}", file=sys.stderr)
+        return STORAGE_EXIT_CODE
     comparable = comparable_result(result_to_dict(result))
     Path(out_path).write_text(json.dumps(comparable, sort_keys=True, indent=1) + "\n")
     return 0

@@ -53,6 +53,7 @@ from repro.core.journal import (
 from repro.core.metrics import RunMetrics, ShardMetrics, StageMetrics
 from repro.core.resilience import CircuitBreakerRegistry, FaultLedger, FaultRecord, RetryBudget, StageStatus
 from repro.core.results import PipelineResult
+from repro.core.storage import RecoveryManager, StorageError, install_disk_chaos
 from repro.core.sharding import (
     ShardedExecutor,
     ShardOutcome,
@@ -232,6 +233,12 @@ class AssessmentPipeline:
         #: the journal counters its workers report back.
         self._parallel_runner = None
         self._parallel_journal_stats = JournalStats()
+        # Storage-fault injection is process-global (the durable-I/O
+        # primitives consult one shim), so installing it here covers every
+        # artifact this run writes — and parallel shard workers, which
+        # rebuild the pipeline from this same config, arm themselves too.
+        if self.config.disk_chaos is not None:
+            install_disk_chaos(self.config.disk_chaos, seed=self.config.disk_chaos_seed)
         if self.config.adversarial_bots > 0:
             self._plant_adversaries()
 
@@ -275,7 +282,10 @@ class AssessmentPipeline:
             bus=bus,
             max_events=self.config.max_bot_events,
             deadline=self.config.bot_deadline,
-            passthrough=(WebDriverException, NetworkError),
+            # Storage faults must never be absorbed into a quarantine — a
+            # bot "quarantined by a full disk" would silently diverge from
+            # the golden run; typed storage errors stay loud.
+            passthrough=(WebDriverException, NetworkError, StorageError),
         )
 
     def _plant_adversaries(self) -> None:
@@ -310,7 +320,7 @@ class AssessmentPipeline:
     # -- journal + world-state helpers --------------------------------------
 
     def _open_journal(self, path: str) -> WriteAheadJournal:
-        journal = WriteAheadJournal(path)
+        journal = WriteAheadJournal(path, fsync_every=self.config.journal_fsync_every)
         if journal.discard_detail:
             record_resume_provenance(self.ledger, f"{Path(path).name}: {journal.discard_detail}")
         return journal
@@ -1032,7 +1042,14 @@ class AssessmentPipeline:
 
         checkpoint: PipelineCheckpoint | None = None
         if self.config.checkpoint_path is not None:
-            checkpoint = PipelineCheckpoint.load_or_empty(self.config.checkpoint_path)
+            # Scrub-on-load: verify every artifact (checksums, stage
+            # round-trips, spill references) before trusting it.  Anything
+            # inconsistent is quarantined and the checkpoint reset, with
+            # the detection recorded under the ``storage`` provenance
+            # stage — the journal then replays what the snapshot lost.
+            checkpoint = RecoveryManager(self.ledger).scrub_pipeline_checkpoint(
+                self.config.checkpoint_path
+            )
             self.ledger.extend(checkpoint.ledger)
             self.quarantines.extend(checkpoint.quarantines)
             # Re-enter the simulation exactly where the saving run left it

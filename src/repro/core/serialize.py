@@ -138,7 +138,7 @@ def result_to_dict(result: PipelineResult, include_bots: bool = False) -> dict[s
 
 
 #: Ledger stages describing *this process's* recovery, not the campaign.
-_PROVENANCE_STAGES = ("journal", "checkpoint")
+_PROVENANCE_STAGES = ("journal", "checkpoint", "storage")
 
 
 def comparable_result(payload: dict[str, Any]) -> dict[str, Any]:
@@ -151,7 +151,7 @@ def comparable_result(payload: dict[str, Any]) -> dict[str, Any]:
     - wall-clock seconds (top level, per stage, per shard) — host timing;
     - journal counters and per-stage ``resumed`` flags;
     - fault-ledger records with the reserved provenance stages
-      (``journal`` / ``checkpoint``), with the "Absorbed N faults" summary
+      (``journal`` / ``checkpoint`` / ``storage``), with the "Absorbed N faults" summary
       line regenerated from what remains;
     - ``stage_status`` values of ``resumed``, mapped back to the outcome
       the *executing* run recorded (persisted in the stage metrics).

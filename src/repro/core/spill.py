@@ -13,15 +13,29 @@ The codec pair is supplied by the caller (the same ``*_to_dict`` /
 round-trips byte-identically with its checkpointed form.  Iteration
 re-reads the file in append order; sequential consumers therefore see
 exactly the list they would have seen materialized.
+
+Durability contract: appends ride through a
+:class:`~repro.core.storage.DurableAppendFile` in explicit-sync mode —
+the hot path never fsyncs (a spill is scratch until referenced), and
+:meth:`SpillList.reference` is the acknowledgement point: it syncs the
+file to media, verifies the on-disk record count against the in-memory
+one, and only then hashes the bytes for the checkpoint's
+``{path, count, sha256}`` reference.  Reads are verified too: a record
+that fails to decode, or a file that runs out before ``count`` records,
+raises a typed :class:`~repro.core.storage.ArtifactCorruptionError`
+instead of silently yielding a short or garbled sequence.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.storage import ArtifactCorruptionError, DurableAppendFile
 
 
 class SpillList:
@@ -45,10 +59,14 @@ class SpillList:
         self.path = Path(path)
         self._encode = encode
         self._decode = decode
-        self._stream = None
+        self._file = DurableAppendFile(self.path, label="spill", fsync_every=0)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if restore and self.path.exists():
-            self._count = sum(1 for _ in self._lines())
+            # Salvage the maximal valid prefix: count only complete,
+            # parseable lines and truncate whatever torn tail follows, so
+            # later appends extend a clean log.
+            self._count, valid_bytes = self._scan_valid_prefix()
+            self._file.truncate_to(valid_bytes)
         else:
             # A fresh accumulator truncates any stale spill from a previous
             # attempt: stage loops restart from their journal, not from the
@@ -56,13 +74,30 @@ class SpillList:
             self.path.write_text("")
             self._count = 0
 
+    def _scan_valid_prefix(self) -> tuple[int, int]:
+        raw = self.path.read_bytes()
+        count = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                break  # unterminated line: a torn append — stop here
+            line = raw[offset:newline].strip()
+            if line:
+                try:
+                    json.loads(line.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break
+                count += 1
+            offset = newline + 1
+        return count, offset
+
     # -- writing -----------------------------------------------------------
 
     def append(self, item: Any) -> None:
-        if self._stream is None:
-            self._stream = open(self.path, "a", encoding="utf-8")
         payload = json.dumps(self._encode(item), sort_keys=True, separators=(",", ":"))
-        self._stream.write(payload + "\n")
+        self._file.write((payload + "\n").encode("utf-8"))
+        self._file.commit()
         self._count += 1
 
     def extend(self, items: Iterable[Any]) -> None:
@@ -70,13 +105,35 @@ class SpillList:
             self.append(item)
 
     def flush(self) -> None:
-        if self._stream is not None:
-            self._stream.flush()
+        self._file.flush()
+
+    def sync(self) -> None:
+        """Force (and verify) durability of every appended record."""
+        self._file.sync()
 
     def close(self) -> None:
-        if self._stream is not None:
-            self._stream.close()
-            self._stream = None
+        self._file.close()
+
+    def reference(self) -> dict:
+        """The checkpoint reference: ``{path, count, sha256}``, verified.
+
+        Syncs the file to media first, then recounts the on-disk records
+        while hashing — a reference may only ever describe bytes that
+        actually landed, so a lying fsync (or any other lost tail) is
+        detected *here*, before a checkpoint acknowledges the data.
+        """
+        self.sync()
+        data = self.path.read_bytes() if self.path.exists() else b""
+        on_disk = sum(1 for piece in data.split(b"\n") if piece.strip())
+        if on_disk != self._count:
+            raise ArtifactCorruptionError(
+                f"spill {self.path} holds {on_disk} records on disk, {self._count} were acknowledged"
+            )
+        return {
+            "path": str(self.path),
+            "count": self._count,
+            "sha256": hashlib.sha256(data).hexdigest(),
+        }
 
     # -- reading -----------------------------------------------------------
 
@@ -88,6 +145,18 @@ class SpillList:
                 if line:
                     yield line
 
+    def _guarded_lines(self) -> Iterator[str]:
+        """Like ``_lines`` but a rotten byte raises typed, not raw.
+
+        Bit rot lands inside already-synced records, so the read itself can
+        die mid-file on invalid UTF-8 — that is corruption of acknowledged
+        data and must surface through the typed contract.
+        """
+        try:
+            yield from self._lines()
+        except UnicodeDecodeError as error:
+            raise ArtifactCorruptionError(f"spill {self.path} is damaged: {error}") from error
+
     def __len__(self) -> int:
         return self._count
 
@@ -95,8 +164,26 @@ class SpillList:
         return self._count > 0
 
     def __iter__(self) -> Iterator[Any]:
-        for line in self._lines():
-            yield self._decode(json.loads(line))
+        yielded = 0
+        for line in self._guarded_lines():
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ArtifactCorruptionError(f"spill {self.path} is damaged: {error}") from error
+            try:
+                item = self._decode(payload)
+            except Exception as error:
+                raise ArtifactCorruptionError(
+                    f"spill {self.path} record failed to decode: {error!r}"
+                ) from error
+            yield item
+            yielded += 1
+        if yielded < self._count:
+            # The file lost acknowledged records (e.g. a lying fsync whose
+            # gap was modeled after the records were counted): loud, typed.
+            raise ArtifactCorruptionError(
+                f"spill {self.path} yielded {yielded} records, {self._count} were acknowledged"
+            )
 
     def __getitem__(self, index: int | slice) -> Any:
         if isinstance(index, slice):

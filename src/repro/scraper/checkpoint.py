@@ -28,10 +28,15 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.storage import (
+    ArtifactCorruptionError,
+    DurableAppendFile,
+    atomic_write_json,
+    discard_stale_tmp,
+)
 from repro.scraper.topgg import PermissionStatus, ScrapedBot
 
 logger = logging.getLogger(__name__)
@@ -45,8 +50,12 @@ def sidecar_path(path: str | Path) -> Path:
     return target.with_name(target.name + ".bots")
 
 
-class CheckpointCorruptionError(ValueError):
-    """The crawl checkpoint on disk does not match what was written."""
+class CheckpointCorruptionError(ArtifactCorruptionError):
+    """The crawl checkpoint on disk does not match what was written.
+
+    Also a :class:`~repro.core.storage.StorageError` (and still a
+    ``ValueError``), matching the pipeline checkpoint's error typing.
+    """
 
 
 def _payload_checksum(payload: dict) -> str:
@@ -130,12 +139,17 @@ class CrawlCheckpoint:
         # rename just leaves extra sidecar lines the next load truncates.
         fresh = self.bots[self._persisted :]
         if self._persisted == 0 or fresh:
-            mode = "a" if self._persisted else "w"
-            with open(sidecar, mode, encoding="utf-8") as stream:
+            log = DurableAppendFile(sidecar, label="crawl.bots", fsync_every=0)
+            try:
+                if self._persisted == 0:
+                    log.truncate_to(0)  # a fresh crawl starts a fresh log
                 for bot in fresh:
-                    stream.write(json.dumps(scraped_bot_to_dict(bot), sort_keys=True, separators=(",", ":")) + "\n")
-                stream.flush()
-                os.fsync(stream.fileno())
+                    line = json.dumps(scraped_bot_to_dict(bot), sort_keys=True, separators=(",", ":"))
+                    log.write((line + "\n").encode("utf-8"))
+                    log.commit()
+                log.sync()
+            finally:
+                log.close()
         self._persisted = len(self.bots)
         payload = {
             "version": CHECKPOINT_VERSION,
@@ -144,15 +158,10 @@ class CrawlCheckpoint:
             "bots_recorded": len(self.bots),
         }
         payload["checksum"] = _payload_checksum(payload)
-        # Write-then-fsync-then-rename so a crash mid-save never corrupts
-        # progress: the rename only happens once the bytes are on disk.
-        temporary = target.with_suffix(target.suffix + ".tmp")
-        with open(temporary, "w", encoding="utf-8") as stream:
-            stream.write(json.dumps(payload))
-            stream.flush()
-            os.fsync(stream.fileno())
-        temporary.replace(target)
-        return target
+        # Write-then-fsync-then-rename (via the unified storage layer) so a
+        # crash mid-save never corrupts progress: the rename only happens
+        # once the bytes are on disk.
+        return atomic_write_json(target, payload, label="crawl.meta")
 
     @classmethod
     def _load_sidecar(cls, path: Path, count: int) -> list[ScrapedBot]:
@@ -230,13 +239,8 @@ class CrawlCheckpoint:
     def load_or_empty(cls, path: str | Path) -> "CrawlCheckpoint":
         """Load a crawl checkpoint; sideline a damaged file instead of crashing."""
         target = Path(path)
-        # Clear any stale ``.tmp`` a crash mid-save left behind.
-        stale = target.with_suffix(target.suffix + ".tmp")
-        if stale.exists():
-            try:
-                stale.unlink()
-            except OSError:
-                logger.warning("could not remove stale checkpoint temp file %s", stale)
+        # Clear any stale write sidecar a crash mid-save left behind.
+        discard_stale_tmp(target)
         if not target.exists():
             return cls()
         try:

@@ -306,10 +306,18 @@ class ServingHarness:
         database); in-flight admission state and bulkhead leases die with
         the process.  The new instance re-registers on the internet and
         warms up before /readyz goes ready again.
+
+        With a ``state_path`` the handoff goes through disk for real:
+        shutdown persists the checksummed snapshot and the replacement
+        scrub-loads it in its constructor — so a corrupted file surfaces
+        here exactly as it would across a process restart (quarantine +
+        cold start), instead of being papered over by an in-memory copy.
         """
         old = self.service
-        durable = {"cache": old.cache.state_dict(), "counters": old.metrics.counters_dict()}
-        old.shutdown()  # the old pool's workers die with their service
+        durable = None
+        if old.state_path is None:
+            durable = {"cache": old.cache.state_dict(), "counters": old.metrics.counters_dict()}
+        old.shutdown()  # the old pool's workers die with their service; persists --state
         replacement = VettingService(
             self.internet,
             old.directory,
@@ -320,8 +328,10 @@ class ServingHarness:
             platform=old.guardian.platform if old.guardian is not None else None,
             workers=old.pool.size if old.pool is not None else 0,
             pool_policy=old.pool.policy if old.pool is not None else None,
+            state_path=old.state_path,
         )
-        replacement.restore_state(durable)
+        if durable is not None:
+            replacement.restore_state(durable)
         for guild, roster in old._rosters.items():
             replacement.register_guild(guild, roster)
         self.service = replacement

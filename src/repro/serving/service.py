@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.core.guardian import GuildGuardian
@@ -42,6 +43,7 @@ from repro.core.resilience import (
     RetryBudget,
     RetryPolicy,
 )
+from repro.core.storage import RecoveryManager, atomic_write_json, payload_checksum
 from repro.core.vetting import VettingPipeline, VettingPolicy, VettingVerdict
 from repro.discordsim.platform import DiscordPlatform
 from repro.ecosystem.generator import BotProfile
@@ -58,6 +60,9 @@ from repro.web.server import VirtualHost
 
 #: Policy-page path per website structural variant (mirrors the builder).
 _POLICY_PATHS = {"nav": "/privacy", "footer": "/privacy-policy", "legal": "/legal/privacy"}
+
+#: Schema version of the persisted service-state snapshot (``--state``).
+SERVING_STATE_VERSION = 1
 
 
 def retry_after_header(seconds: float) -> str:
@@ -128,6 +133,7 @@ class VettingService(VirtualHost):
         register: bool = True,
         workers: int = 0,
         pool_policy: WorkerPoolPolicy | None = None,
+        state_path: str | Path | None = None,
     ) -> None:
         super().__init__(name=hostname)
         self.internet = internet
@@ -176,6 +182,12 @@ class VettingService(VirtualHost):
             )
         self._rosters: dict[str, list[str]] = {}
         self.guardian = GuildGuardian(platform) if platform is not None else None
+        #: With a path, the verdict cache and counters survive restarts: the
+        #: snapshot is scrub-loaded here (damage → quarantine + cold start,
+        #: recorded in the fault ledger) and persisted again on shutdown.
+        self.state_path = Path(state_path) if state_path is not None else None
+        if self.state_path is not None:
+            self._restore_persisted_state()
         self._register_routes()
         if register:
             internet.register(hostname, self)
@@ -207,9 +219,11 @@ class VettingService(VirtualHost):
         self._epochs[bot.name] = self._epochs.get(bot.name, 0) + 1
 
     def shutdown(self) -> None:
-        """Stop the worker pool (no-op for an in-process service)."""
+        """Stop the worker pool and persist durable state if configured."""
         if self.pool is not None:
             self.pool.shutdown()
+        if self.state_path is not None:
+            self.persist_state()
 
     # -- degraded-mode signal -------------------------------------------------
 
@@ -693,6 +707,54 @@ class VettingService(VirtualHost):
             self.cache.restore_state(state["cache"])
         if "counters" in state:
             self.metrics.restore_counters(state["counters"])
+
+    # -- durable state (--state) ----------------------------------------------
+
+    def persist_state(self) -> Path:
+        """Snapshot the verdict cache and counters to ``state_path``.
+
+        Checksummed and written via the unified atomic-write protocol, so a
+        crash mid-persist leaves either the previous snapshot or none — a
+        reload never sees a torn one.
+        """
+        if self.state_path is None:
+            raise ValueError("service was built without a state_path")
+        payload = {
+            "version": SERVING_STATE_VERSION,
+            "checksum": "",
+            "state": self.state_dict(),
+        }
+        payload["checksum"] = payload_checksum(payload)
+        return atomic_write_json(self.state_path, payload, label="serving.state")
+
+    def _restore_persisted_state(self) -> None:
+        """Scrub-load the persisted snapshot; damage means a cold start.
+
+        A corrupted or unversioned snapshot is quarantined to ``.corrupt``
+        and recorded in the fault ledger — the service starts cold and
+        re-earns its cache rather than trusting bytes that failed their
+        checksum.
+        """
+        scrubber = RecoveryManager(self.ledger)
+        payload = scrubber.scrub_json_artifact(self.state_path, artifact="serving.state")
+        if payload is None:
+            return
+        if payload.get("version") != SERVING_STATE_VERSION or "state" not in payload:
+            scrubber.note(
+                "serving.state", self.state_path,
+                f"unsupported snapshot version {payload.get('version')!r}",
+                "ignored; rebuilding cold",
+            )
+            return
+        try:
+            self.restore_state(payload["state"])
+        except (KeyError, TypeError, ValueError) as error:
+            self.cache = VerdictCache(ttl=self.policy.cache_ttl, max_entries=self.policy.cache_entries)
+            scrubber.note(
+                "serving.state", self.state_path,
+                f"snapshot fields are damaged: {error}",
+                "reset cache; rebuilding cold",
+            )
 
     # -- helpers --------------------------------------------------------------
 

@@ -16,6 +16,16 @@ from repro.ecosystem.generator import Ecosystem, EcosystemConfig, generate_ecosy
 from repro.web.network import VirtualClock, VirtualInternet
 
 
+@pytest.fixture(autouse=True)
+def _pristine_disk():
+    """The storage-fault shim is process-global; never let it leak across tests."""
+    from repro.core.storage import uninstall_faults
+
+    uninstall_faults()
+    yield
+    uninstall_faults()
+
+
 @pytest.fixture
 def clock() -> VirtualClock:
     return VirtualClock()

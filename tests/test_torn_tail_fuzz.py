@@ -1,0 +1,232 @@
+"""Torn-tail fuzzing: truncate every durable artifact at every byte.
+
+A crash (or a lying disk cache) can cut an append-only file anywhere
+inside its final record, and an atomic snapshot can be tail-truncated by
+the faults the storage shim injects.  For each artifact this suite cuts
+the file at every byte boundary of the damage window and asserts the
+recovery contract: the loader salvages the **maximal valid prefix** or
+raises a typed corruption error — it never yields garbage records and
+never crashes the resume path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.checkpoint import PipelineCheckpoint
+from repro.core.journal import WriteAheadJournal
+from repro.core.spill import SpillList
+from repro.core.storage import ArtifactCorruptionError
+from repro.honeypot.experiment import HoneypotReport
+from repro.scraper.checkpoint import CrawlCheckpoint, sidecar_path
+from repro.scraper.topgg import PermissionStatus, ScrapedBot
+
+
+def _bot(index: int) -> ScrapedBot:
+    return ScrapedBot(
+        listing_id=index,
+        name=f"bot-{index}",
+        developer_tag=f"dev#{index:04d}",
+        tags=("moderation",),
+        description="x" * (index % 7),
+        guild_count=10 * index,
+        votes=index,
+        invite_url=f"https://discord.com/oauth2?client_id={index}",
+        website_url=None,
+        github_url=None,
+        built_with=None,
+        permission_status=PermissionStatus.VALID,
+        permission_names=("VIEW_CHANNEL",),
+        scope_names=("bot",),
+    )
+
+
+def _truncated_copy(source: Path, cut: int, destination: Path) -> Path:
+    destination.write_bytes(source.read_bytes()[:cut])
+    return destination
+
+
+# -- write-ahead journal -----------------------------------------------------
+
+
+def test_journal_survives_every_cut_of_its_final_record(tmp_path):
+    path = tmp_path / "wal"
+    journal = WriteAheadJournal(path)
+    for seq in range(3):
+        journal.append("code", f"bot-{seq}", {"verdict": seq, "blob": "y" * 20})
+    journal.close()
+    data = path.read_bytes()
+    # Byte offset where the final record starts = end of the 2-record prefix.
+    prefix_end = data.rfind(b"\n", 0, len(data) - 1) + 1
+    assert 0 < prefix_end < len(data)
+    prefix_records = 2
+
+    for cut in range(prefix_end, len(data) + 1):
+        mangled = _truncated_copy(path, cut, tmp_path / f"wal-{cut}")
+        reopened = WriteAheadJournal(mangled)
+        records = reopened.pending("code")
+        reopened.close()
+        expected = 3 if cut == len(data) else prefix_records
+        assert len(records) == expected, f"cut at byte {cut}"
+        # Whatever replays is exactly the intact prefix — never garbage.
+        for seq, record in enumerate(records):
+            assert record.key == f"bot-{seq}"
+            assert record.body["verdict"] == seq
+
+
+def test_journal_truncated_tail_is_discarded_and_counted(tmp_path):
+    path = tmp_path / "wal"
+    journal = WriteAheadJournal(path)
+    journal.append("code", "bot-0", {"verdict": 0})
+    journal.append("code", "bot-1", {"verdict": 1})
+    journal.close()
+    data = path.read_bytes()
+    path.write_bytes(data[:-4])  # tear the final record
+    reopened = WriteAheadJournal(path)
+    assert reopened.stats.discarded == 1
+    assert "invalid trailing record" in reopened.discard_detail
+    # The first append truncates the torn bytes, so the log stays clean.
+    reopened.append("code", "bot-1", {"verdict": 1})
+    records = reopened.pending("code")
+    reopened.close()
+    assert [record.seq for record in records] == [1, 2]
+
+
+# -- spill files -------------------------------------------------------------
+
+
+def test_spill_restore_salvages_every_cut_of_its_final_record(tmp_path):
+    path = tmp_path / "records.jsonl"
+    spill = SpillList(path)
+    for index in range(3):
+        spill.append({"bot": index, "payload": "z" * 15})
+    spill.sync()
+    spill.close()
+    data = path.read_bytes()
+    prefix_end = data.rfind(b"\n", 0, len(data) - 1) + 1
+
+    for cut in range(prefix_end, len(data) + 1):
+        mangled = _truncated_copy(path, cut, tmp_path / f"records-{cut}.jsonl")
+        restored = SpillList(mangled, restore=True)
+        expected = 3 if cut == len(data) else 2
+        assert len(restored) == expected, f"cut at byte {cut}"
+        items = list(restored)
+        assert [item["bot"] for item in items] == list(range(expected))
+        # The torn tail was physically truncated: appends extend cleanly.
+        restored.append({"bot": expected, "payload": "fresh"})
+        assert list(restored)[-1]["bot"] == expected
+        restored.close()
+
+
+def test_spill_mid_file_damage_raises_typed_corruption(tmp_path):
+    path = tmp_path / "records.jsonl"
+    spill = SpillList(path)
+    for index in range(3):
+        spill.append({"bot": index})
+    spill.sync()
+    spill.close()
+    data = bytearray(path.read_bytes())
+    data[3] = 0xFF  # garble the first record, not the tail
+    path.write_bytes(bytes(data))
+    restored = SpillList(path, restore=True)
+    # The valid prefix before the damage is empty; acknowledged count drops
+    # to zero rather than trusting records past the garbled line.
+    assert len(restored) == 0
+    restored.close()
+
+    # An intact-looking count with damaged bytes must raise, not yield junk.
+    fresh = SpillList(tmp_path / "other.jsonl")
+    fresh.append({"bot": 0})
+    fresh.sync()
+    fresh.close()
+    (tmp_path / "other.jsonl").write_bytes(b'{"bot": \xff}\n')
+    reloaded = SpillList(tmp_path / "other.jsonl", restore=True)
+    reloaded._count = 1  # simulate an acknowledged record the disk garbled
+    with pytest.raises(ArtifactCorruptionError):
+        list(reloaded)
+    reloaded.close()
+
+
+# -- crawl checkpoint sidecar ------------------------------------------------
+
+
+def test_crawl_sidecar_survives_every_cut_of_its_final_record(tmp_path):
+    path = tmp_path / "crawl.ckpt"
+    checkpoint = CrawlCheckpoint()
+    checkpoint.record_page(1, [_bot(1), _bot(2)])
+    checkpoint.save(path)
+    checkpoint.record_page(2, [_bot(3)])
+    checkpoint.save(path)
+    sidecar = sidecar_path(path)
+    data = sidecar.read_bytes()
+    prefix_end = data.rfind(b"\n", 0, len(data) - 1) + 1
+
+    for cut in range(prefix_end, len(data) + 1):
+        workdir = tmp_path / f"cut-{cut}"
+        workdir.mkdir()
+        meta_copy = workdir / "crawl.ckpt"
+        meta_copy.write_bytes(path.read_bytes())
+        _truncated_copy(sidecar, cut, sidecar_path(meta_copy))
+        # The meta counts 3 acknowledged bots.  Either every record's bytes
+        # survived the cut (a lost trailing newline loses no data) and the
+        # load recovers the exact golden set — or acknowledged data is gone
+        # and the load is typed corruption, never a fabricated record.
+        from repro.scraper.checkpoint import CheckpointCorruptionError
+
+        try:
+            loaded = CrawlCheckpoint.load(meta_copy)
+        except CheckpointCorruptionError:
+            recovered = CrawlCheckpoint.load_or_empty(meta_copy)
+            assert recovered.bots == [] and recovered.completed_pages == []
+            assert (workdir / "crawl.ckpt.corrupt").exists()
+        else:
+            assert [bot.listing_id for bot in loaded.bots] == [1, 2, 3], f"cut at byte {cut}"
+            assert cut >= len(data) - 1  # only a complete final record loads
+
+
+def test_crawl_sidecar_extra_tail_is_truncated_not_trusted(tmp_path):
+    path = tmp_path / "crawl.ckpt"
+    checkpoint = CrawlCheckpoint()
+    checkpoint.record_page(1, [_bot(1)])
+    checkpoint.save(path)
+    sidecar = sidecar_path(path)
+    # A crash between the sidecar append and the meta rename leaves lines
+    # beyond the authoritative count; they must be dropped, not revived.
+    with open(sidecar, "ab") as handle:
+        handle.write(b'{"half": "a record')
+    loaded = CrawlCheckpoint.load(path)
+    assert [bot.listing_id for bot in loaded.bots] == [1]
+    assert b"half" not in sidecar.read_bytes()
+
+
+# -- pipeline checkpoint snapshot --------------------------------------------
+
+
+def test_pipeline_checkpoint_never_crashes_or_fabricates_under_truncation(tmp_path):
+    path = tmp_path / "pipeline.ckpt"
+    checkpoint = PipelineCheckpoint()
+    checkpoint.store_honeypot(
+        HoneypotReport(outcomes=[], triggers=[], manual_verifications=2, install_failures=1, captcha_cost=1.5)
+    )
+    checkpoint.world_state = {"main": {"clock": 12.0}}
+    checkpoint.save(path)
+    data = path.read_bytes()
+    golden = json.loads(data)
+
+    cuts = set(range(max(0, len(data) - 512), len(data) + 1)) | set(range(0, len(data), 97))
+    for cut in sorted(cuts):
+        mangled = tmp_path / "mangled.ckpt"
+        mangled.write_bytes(data[:cut])
+        recovered = PipelineCheckpoint.load_or_empty(mangled)  # must never raise
+        for stage, entry in recovered.stages.items():
+            # Anything salvaged is byte-faithful to what was stored.
+            assert entry == golden["stages"][stage], f"cut at byte {cut}"
+            assert PipelineCheckpoint._stage_round_trips(stage, entry)
+        (tmp_path / "mangled.ckpt.corrupt").unlink(missing_ok=True)
+    # The untruncated file loads whole.
+    mangled = tmp_path / "mangled.ckpt"
+    mangled.write_bytes(data)
+    assert PipelineCheckpoint.load_or_empty(mangled).completed_stages == ["honeypot"]
